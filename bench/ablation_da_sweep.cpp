@@ -1,0 +1,94 @@
+// E7 — ablation: leakage vs the dissymmetry criterion dA, and the role of
+// load-dependent timing.
+//
+// Section VI claims "the lower the value of dA, the more resistant to DPA
+// the chip is". We inject a controlled dA on the attacked S-Box output
+// channel and measure the DPA bias and measurements-to-disclosure:
+//   * with the full delay model (charge + timing leakage), and
+//   * with the load-insensitive model (charge leakage only) — the
+//     DESIGN.md ablation of the Δt(C) term in eq. 12.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "qdi/dpa/acquisition.hpp"
+#include "qdi/dpa/dpa.hpp"
+#include "qdi/gates/testbench.hpp"
+#include "qdi/util/table.hpp"
+
+namespace qg = qdi::gates;
+namespace qd = qdi::dpa;
+namespace qn = qdi::netlist;
+namespace qs = qdi::sim;
+namespace qu = qdi::util;
+
+namespace {
+constexpr std::uint8_t kKey = 0x4f;
+
+void inject_da(qg::AesByteSlice& slice, double da) {
+  // dA = (C_hi - C_lo)/C_lo  ->  C_hi = C_lo * (1 + dA) on the channels
+  // that carry the attacked bit (S-Box out0 and its latch).
+  for (qn::ChannelId ch = 0; ch < slice.nl.num_channels(); ++ch) {
+    const qn::Channel& c = slice.nl.channel(ch);
+    if (c.name.find("sbox/out0") != std::string::npos ||
+        c.name.find("hb/q_q0") != std::string::npos)
+      slice.nl.net(c.rails[1]).cap_ff =
+          slice.nl.net(c.rails[0]).cap_ff * (1.0 + da);
+  }
+}
+
+struct Point {
+  double bias_peak = 0.0;
+  double bias_integral = 0.0;
+  std::size_t mtd = 0;
+};
+
+Point probe(double da, const qs::DelayModel& dm, double noise,
+            std::size_t traces) {
+  qg::AesByteSlice slice = qg::build_aes_byte_slice();
+  inject_da(slice, da);
+  qd::Acquisition cfg;
+  cfg.num_traces = traces;
+  cfg.seed = 7;
+  cfg.power.noise_sigma_ua = noise;
+  const qd::TraceSet ts = qd::acquire_aes_byte_slice(slice, kKey, cfg, dm);
+  const auto bias = qd::dpa_bias(ts, qd::aes_sbox_selection(0, 0), kKey);
+  Point p;
+  p.bias_peak = bias.peak;
+  p.bias_integral = bias.integrated;
+  p.mtd = qd::measurements_to_disclosure(ts, qd::aes_sbox_selection(0, 0), 256,
+                                         kKey, 50, 50);
+  return p;
+}
+}  // namespace
+
+int main() {
+  bench::header("E7 — leakage vs dA (and the timing-leakage ablation)");
+  const std::size_t traces = 800;
+  const double noise = 1.0;
+
+  qu::Table t({"injected dA", "model", "bias peak (uA)", "bias integral",
+               "MTD (traces)"});
+  t.set_precision(3);
+  for (double da : {0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0}) {
+    const Point full = probe(da, qs::DelayModel{}, noise, traces);
+    const Point charge_only =
+        probe(da, qs::DelayModel::load_insensitive(), noise, traces);
+    t.add_row({t.format_double(da), "charge+timing",
+               t.format_double(full.bias_peak),
+               t.format_double(full.bias_integral),
+               full.mtd == 0 ? std::string("not disclosed")
+                             : std::to_string(full.mtd)});
+    t.add_row({t.format_double(da), "charge only",
+               t.format_double(charge_only.bias_peak),
+               t.format_double(charge_only.bias_integral),
+               charge_only.mtd == 0 ? std::string("not disclosed")
+                                    : std::to_string(charge_only.mtd)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "expected shape: bias grows monotonically with dA (paper: \"the lower\n"
+      "dA, the more resistant\"); MTD falls as dA grows; the charge+timing\n"
+      "model leaks at least as much as charge-only — the Δt(C) term of\n"
+      "eq. 12 is a second, independent leakage channel.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation of the design choices DESIGN.md §5 calls out on the P&R side:
+//   * annealing effort (moves per cell) — how much the criterion depends
+//     on placement quality,
+//   * extraction repeater distance — the long-net capacitance cap,
+//   * target utilization — die-size pressure vs rail divergence.
+// Workload: the AES byte slice under the flat flow (criterion over the
+// dual-rail data channels).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "qdi/core/secure_flow.hpp"
+#include "qdi/gates/testbench.hpp"
+#include "qdi/util/table.hpp"
+
+namespace qn = qdi::netlist;
+namespace qc = qdi::core;
+namespace qp = qdi::pnr;
+namespace qu = qdi::util;
+
+namespace {
+struct Point {
+  double max_da = 0.0;
+  double mean_da = 0.0;
+  double hpwl_m = 0.0;
+};
+
+Point run(int moves, double repeater_um, double utilization) {
+  qn::Netlist nl = qdi::gates::build_aes_byte_slice().nl;
+  qc::FlowOptions opt;
+  opt.placer.mode = qp::FlowMode::Flat;
+  opt.placer.seed = 5;
+  opt.placer.moves_per_cell = moves;
+  opt.placer.stages = 40;
+  opt.placer.target_utilization = utilization;
+  opt.extraction.repeater_distance_um = repeater_um;
+  const qc::FlowResult r = qc::run_secure_flow(nl, opt);
+  Point p;
+  // Dual-rail channels only (the Table 2 population).
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& ch : r.criteria) {
+    if (nl.channel(ch.id).arity() != 2) continue;
+    p.max_da = std::max(p.max_da, ch.dA);
+    sum += ch.dA;
+    ++n;
+  }
+  p.mean_da = n ? sum / static_cast<double>(n) : 0.0;
+  p.hpwl_m = r.extraction.total_wirelength_um * 1e-6;
+  return p;
+}
+}  // namespace
+
+int main() {
+  bench::header("Flow-parameter ablation (flat flow, AES byte slice)");
+
+  qu::Table t({"knob", "value", "max dA (dual)", "mean dA (dual)", "HPWL (m)"});
+  t.set_precision(3);
+
+  for (int moves : {2, 8, 32, 96}) {
+    const Point p = run(moves, 250.0, 0.65);
+    t.add_row({"moves/cell", std::to_string(moves), t.format_double(p.max_da),
+               t.format_double(p.mean_da), t.format_double(p.hpwl_m)});
+  }
+  for (double rep : {0.0, 100.0, 250.0, 1000.0}) {
+    const Point p = run(32, rep, 0.65);
+    t.add_row({"repeater dist (um)", t.format_double(rep),
+               t.format_double(p.max_da), t.format_double(p.mean_da),
+               t.format_double(p.hpwl_m)});
+  }
+  for (double util : {0.4, 0.65, 0.85}) {
+    const Point p = run(32, 250.0, util);
+    t.add_row({"utilization", t.format_double(util), t.format_double(p.max_da),
+               t.format_double(p.mean_da), t.format_double(p.hpwl_m)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "readings: more annealing lowers the mean criterion (wirelength down)\n"
+      "but the max dA is tail-dominated and noisy; the repeater-distance cap\n"
+      "only bites when nets exceed it — on this slice-sized die (~0.25 mm)\n"
+      "most settings are inert and the knob matters at AES-core scale\n"
+      "(table2_criterion); higher utilization shrinks the die and with it\n"
+      "both the wirelength and the criterion.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Extension experiment — the asynchronous-alignment story.
+//
+// The paper's introduction presents asynchronous logic's missing clock as
+// a security feature ("their absence of clock signal ... eliminate[s] a
+// global synchronization signal"). This bench quantifies that claim and
+// the standard attacker countermeasure:
+//   1. aligned traces (perfect trigger)       -> baseline DPA bias,
+//   2. jittered acquisition windows           -> the bias smears,
+//   3. jittered + cross-correlation realign   -> the bias returns.
+//
+// Swept over the jitter magnitude; victim is the byte slice with the
+// attacked channel unbalanced (dA = 2 on the S-Box out0 group).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "qdi/dpa/acquisition.hpp"
+#include "qdi/dpa/dpa.hpp"
+#include "qdi/dpa/spa.hpp"
+#include "qdi/gates/testbench.hpp"
+#include "qdi/util/table.hpp"
+
+namespace qn = qdi::netlist;
+namespace qg = qdi::gates;
+namespace qd = qdi::dpa;
+namespace qu = qdi::util;
+
+namespace {
+constexpr std::uint8_t kKey = 0x4f;
+
+qg::AesByteSlice victim() {
+  qg::AesByteSlice slice = qg::build_aes_byte_slice();
+  for (qn::ChannelId ch = 0; ch < slice.nl.num_channels(); ++ch) {
+    const qn::Channel& c = slice.nl.channel(ch);
+    if (c.name.find("sbox/out0") != std::string::npos ||
+        c.name.find("hb/q_q0") != std::string::npos)
+      slice.nl.net(c.rails[1]).cap_ff *= 3.0;
+  }
+  return slice;
+}
+}  // namespace
+
+int main() {
+  bench::header("Async alignment — jitter as obstacle, realignment as answer");
+  const auto d = qd::aes_sbox_selection(0, 0);
+
+  qu::Table t({"jitter (ps)", "bias peak aligned", "bias peak jittered",
+               "bias peak realigned", "traces moved"});
+  t.set_precision(2);
+
+  qg::AesByteSlice slice = victim();
+  qd::Acquisition cfg;
+  cfg.num_traces = 300;
+  cfg.seed = 4242;
+  const qd::TraceSet aligned = qd::acquire_aes_byte_slice(slice, kKey, cfg);
+  const double base = qd::dpa_bias(aligned, d, kKey).peak;
+
+  for (double jitter : {100.0, 300.0, 800.0, 2000.0}) {
+    qg::AesByteSlice v = victim();
+    qd::Acquisition jcfg = cfg;
+    jcfg.start_jitter_ps = jitter;
+    qd::TraceSet ts = qd::acquire_aes_byte_slice(v, kKey, jcfg);
+    const double smeared = qd::dpa_bias(ts, d, kKey).peak;
+    const std::size_t moved = qd::realign_traces(
+        ts, static_cast<std::size_t>(jitter / 10.0) + 10);
+    const double restored = qd::dpa_bias(ts, d, kKey).peak;
+    t.add_row({t.format_double(jitter), t.format_double(base),
+               t.format_double(smeared), t.format_double(restored),
+               std::to_string(moved)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "expected: the smeared peak degrades with jitter (the clockless\n"
+      "advantage the paper's introduction cites), and cross-correlation\n"
+      "realignment recovers most of the aligned bias — absence of a clock\n"
+      "raises the attack cost but is not by itself a countermeasure;\n"
+      "capacitance balance (the paper's flow) remains the real defence.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared helpers for the experiment benches: coarse series printing
+// (so the paper's figures are reproducible as terminal plots) and common
+// acquisition plumbing.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+/// Reduce a series to `bins` by max-|.|-preserving downsampling.
+inline std::vector<double> downsample(std::span<const double> v, std::size_t bins) {
+  std::vector<double> out(bins, 0.0);
+  if (v.empty()) return out;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const std::size_t lo = b * v.size() / bins;
+    const std::size_t hi = std::max(lo + 1, (b + 1) * v.size() / bins);
+    double best = 0.0;
+    for (std::size_t j = lo; j < hi && j < v.size(); ++j)
+      if (std::fabs(v[j]) > std::fabs(best)) best = v[j];
+    out[b] = best;
+  }
+  return out;
+}
+
+/// Signed ASCII sparkline: '#'/'=' above zero, 'o'/'-' below, '.' ~ zero.
+inline std::string sparkline(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  std::string s;
+  for (double x : v) {
+    if (m <= 0.0) {
+      s += '.';
+      continue;
+    }
+    const double r = x / m;
+    if (r > 0.66)
+      s += '#';
+    else if (r > 0.15)
+      s += '=';
+    else if (r < -0.66)
+      s += 'o';
+    else if (r < -0.15)
+      s += '-';
+    else
+      s += '.';
+  }
+  return s;
+}
+
+/// Print a labelled series as a sparkline plus its extremes.
+inline void print_series(const std::string& label, std::span<const double> v,
+                         std::size_t bins = 72) {
+  const auto d = downsample(v, bins);
+  double peak = 0.0;
+  for (double x : v) peak = std::max(peak, std::fabs(x));
+  std::printf("  %-26s |%s|  peak=%9.3f\n", label.c_str(), sparkline(d).c_str(),
+              peak);
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace bench

@@ -1,0 +1,129 @@
+// E6 — end-to-end DPA against the first-round AES byte slice (the
+// circuit the paper's section-IV D-function targets), across the layout
+// scenarios of section VI:
+//
+//   1. flat P&R, global residual dissymmetry   (AES_v2: every channel
+//      somewhat unbalanced — the uncontrolled-tool outcome),
+//   2. hierarchical P&R                        (AES_v1),
+//   3. "critical channel" — all channels repaired except the attacked
+//      S-Box output latch, which keeps its extracted imbalance. This is
+//      the paper's headline observation: "even though most of the
+//      channels present a low criterion value, the existence of some
+//      channels having a high criterion value greatly degrades the DPA
+//      resistance level of the circuit",
+//   4. fully repaired (rail-capacitance equalization extension).
+//
+// Reported per scenario: the criterion statistics, the *known-key* bias
+// (designer-side leakage assessment, as in the paper's validation), and
+// the attacker-side key recovery (rank of the true key, margin, MTD).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "qdi/core/secure_flow.hpp"
+#include "qdi/dpa/acquisition.hpp"
+#include "qdi/dpa/dpa.hpp"
+#include "qdi/gates/testbench.hpp"
+#include "qdi/util/table.hpp"
+
+namespace qg = qdi::gates;
+namespace qc = qdi::core;
+namespace qn = qdi::netlist;
+namespace qp = qdi::pnr;
+namespace qd = qdi::dpa;
+namespace qu = qdi::util;
+
+namespace {
+constexpr std::uint8_t kSecretKey = 0x4f;
+
+/// Equalize rail caps of every channel except those whose name contains
+/// `keep` (nullptr = equalize everything).
+void balance_except(qn::Netlist& nl, const char* keep) {
+  for (qn::ChannelId ch = 0; ch < nl.num_channels(); ++ch) {
+    const qn::Channel& c = nl.channel(ch);
+    if (keep != nullptr && c.name.find(keep) != std::string::npos) continue;
+    double cap_max = 0.0;
+    for (qn::NetId r : c.rails) cap_max = std::max(cap_max, nl.net(r).cap_ff);
+    for (qn::NetId r : c.rails) nl.net(r).cap_ff = cap_max;
+  }
+}
+
+struct Scenario {
+  const char* label;
+  qp::FlowMode mode;
+  /// nullptr: leave extraction as-is; "": repair all; else: repair all but
+  /// matching channels.
+  const char* repair_except;
+};
+
+void run_scenario(const Scenario& sc, qu::Table& out) {
+  qg::AesByteSlice slice = qg::build_aes_byte_slice();
+  qc::FlowOptions flow;
+  flow.placer.mode = sc.mode;
+  flow.placer.seed = 1;
+  flow.placer.moves_per_cell = 20;
+  qc::run_secure_flow(slice.nl, flow);
+  if (sc.repair_except != nullptr)
+    balance_except(slice.nl,
+                   *sc.repair_except ? sc.repair_except : nullptr);
+
+  const auto criteria = qc::evaluate_criterion(slice.nl);
+
+  qd::Acquisition cfg;
+  cfg.num_traces = 1000;
+  cfg.seed = 99;
+  const qd::TraceSet ts = qd::acquire_aes_byte_slice(slice, kSecretKey, cfg);
+
+  // Designer-side leakage assessment: bias with the known key.
+  const qd::BiasResult known =
+      qd::dpa_bias(ts, qd::aes_sbox_selection(0, 0), kSecretKey);
+
+  // Attacker-side recovery.
+  std::vector<qd::SelectionFn> bits;
+  for (int b = 0; b < 8; ++b) bits.push_back(qd::aes_sbox_selection(0, b));
+  const qd::KeyRecoveryResult rec = qd::recover_key_multibit(ts, bits, 256);
+  const std::size_t mtd =
+      rec.rank_of(kSecretKey) == 0
+          ? qd::measurements_to_disclosure(ts, qd::aes_sbox_selection(0, 0),
+                                           256, kSecretKey, 50, 50)
+          : 0;
+
+  out.add_row({sc.label, out.format_double(qc::max_dA(criteria)),
+               out.format_double(qc::mean_dA(criteria)),
+               out.format_double(known.peak), std::to_string(rec.rank_of(kSecretKey)),
+               out.format_double(rec.margin()),
+               mtd ? std::to_string(mtd) : std::string("--")});
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E6 — DPA against layouts of the two flows (secret key 0x4f)");
+  std::printf("victim: AddRoundKey + SubBytes byte slice; 1000 traces; "
+              "multi-bit S-Box DPA, 256 guesses\n\n");
+
+  qu::Table t({"scenario", "max dA", "mean dA", "known-key bias (uA)",
+               "true-key rank", "margin", "MTD"});
+  t.set_precision(3);
+
+  const Scenario scenarios[] = {
+      {"flat, global residual (AES_v2)", qp::FlowMode::Flat, nullptr},
+      {"hierarchical (AES_v1)", qp::FlowMode::Hierarchical, nullptr},
+      {"one critical channel (hb latch)", qp::FlowMode::Flat, "hb/q_q0"},
+      {"fully repaired", qp::FlowMode::Flat, ""},
+  };
+  for (const Scenario& sc : scenarios) run_scenario(sc, t);
+
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "reading of the rows:\n"
+      "  * global residual dissymmetry produces the largest known-key bias, but\n"
+      "    full key recovery is obscured by ghost bias from the thousands of\n"
+      "    other unbalanced code groups (high resistance against naive DPA —\n"
+      "    the finding of the authors' companion 'Concrete Results' study);\n"
+      "  * a single high-dA channel among otherwise balanced ones is directly\n"
+      "    exploitable: rank 0 with a clear margin (the paper's core warning);\n"
+      "  * the hierarchical flow lowers the criterion and the known-key bias;\n"
+      "  * rail-capacitance repair removes the leak entirely (bias = 0).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E1 — Fig. 6 of the paper: electrical signature S(t) of the dual-rail
+// XOR gate with all load capacitances equal (Cl_ij = 8 fF), over the
+// evaluation phase and the return-to-zero phase.
+//
+// S(t) = A0(t) - A1(t), the difference between the average current of the
+// xor=0 computations and the xor=1 computations. In the paper, balanced
+// caps leave only "a few peaks due to internal gate capacitance"; in this
+// reproduction internal parasitics are modelled as uniform per node, so
+// the balanced signature is numerically zero — the comparison row
+// (see fig7_cap_sweep) shows what any imbalance does to it.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "qdi/gates/testbench.hpp"
+#include "qdi/power/synth.hpp"
+#include "qdi/sim/environment.hpp"
+#include "qdi/util/stats.hpp"
+
+namespace qg = qdi::gates;
+namespace qs = qdi::sim;
+namespace qp = qdi::power;
+namespace qu = qdi::util;
+
+namespace {
+
+struct Signature {
+  std::vector<double> a0, a1, s;
+  double t_valid = 0.0, t_empty = 0.0;
+};
+
+Signature xor_signature(qg::XorStage& x) {
+  qs::Simulator sim(x.nl);
+  qs::FourPhaseEnv env(sim, x.env);
+  env.apply_reset();
+  qp::PowerModelParams pm;
+  qu::VectorMean m0, m1;
+  Signature sig;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      sim.clear_log();
+      const std::vector<int> v{a, b};
+      const auto cyc = env.send(v);
+      const qp::PowerTrace t =
+          qp::synthesize(sim.log(), cyc.t_start, x.env.period_ps, pm, nullptr);
+      ((a ^ b) == 0 ? m0 : m1).add(t.samples());
+      sig.t_valid = cyc.t_valid - cyc.t_start;
+      sig.t_empty = cyc.t_empty - cyc.t_start;
+    }
+  }
+  sig.a0 = m0.mean();
+  sig.a1 = m1.mean();
+  sig.s = qu::subtract(sig.a0, sig.a1);
+  return sig;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 6 — dual-rail XOR signature, balanced caps (Cl = 8 fF)");
+  qg::XorStage x = qg::build_xor_stage();
+  const Signature sig = xor_signature(x);
+
+  std::printf("phase boundaries: valid at %.0f ps, empty at %.0f ps "
+              "(evaluation | return-to-zero)\n",
+              sig.t_valid, sig.t_empty);
+  bench::print_series("A0 (xor=0 mean current)", sig.a0);
+  bench::print_series("A1 (xor=1 mean current)", sig.a1);
+  bench::print_series("S = A0 - A1", sig.s);
+
+  const double peak = qu::max_abs(sig.s);
+  const double a_peak = qu::max_abs(sig.a0);
+  std::printf("\n  signature peak |S| = %.6f uA  (%.4f %% of the A0 peak)\n",
+              peak, a_peak > 0 ? 100.0 * peak / a_peak : 0.0);
+  std::printf("  paper's reading: balanced caps leave only residual internal-"
+              "capacitance peaks;\n  here internal caps are uniform, so the "
+              "balanced signature vanishes.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// E2 — Fig. 7 of the paper: electrical signature of the dual-rail XOR
+// when individual net capacitances are unbalanced.
+//
+//   (a) Cl31 = 16 fF   — level-3 output net co0 ("one important peak at
+//                         the end of each phase")
+//   (b) Cl21 = 16 fF   — level-2 net s0 (peak + downstream shift)
+//   (c) Cl11 = Cl12 = 16 fF — level-1 nets m1, m2 (whole curve shifted)
+//   (d) Cl11 = Cl12 = 32 fF — same nets, 4x default ("signature maximum")
+//
+// Reported per configuration: the S(t) sparkline, peak |S|, integrated
+// |S|, and the phase where the first peak lands.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "qdi/gates/testbench.hpp"
+#include "qdi/power/synth.hpp"
+#include "qdi/sim/environment.hpp"
+#include "qdi/util/stats.hpp"
+#include "qdi/util/table.hpp"
+
+namespace qg = qdi::gates;
+namespace qs = qdi::sim;
+namespace qp = qdi::power;
+namespace qu = qdi::util;
+
+namespace {
+
+struct Sig {
+  std::vector<double> s;
+  /// Evaluation-time difference between the classes: how far the xor=0
+  /// curve is shifted against the xor=1 curve ("the electrical curve of
+  /// both sets are completely shifted" in fig. 7-d).
+  double class_shift_ps = 0.0;
+};
+
+Sig signature(qg::XorStage& x) {
+  qs::Simulator sim(x.nl);
+  qs::FourPhaseEnv env(sim, x.env);
+  env.apply_reset();
+  qp::PowerModelParams pm;
+  qu::VectorMean m0, m1;
+  double valid0 = 0.0, valid1 = 0.0;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      sim.clear_log();
+      const std::vector<int> v{a, b};
+      const auto cyc = env.send(v);
+      const qp::PowerTrace t =
+          qp::synthesize(sim.log(), cyc.t_start, x.env.period_ps, pm, nullptr);
+      if ((a ^ b) == 0) {
+        m0.add(t.samples());
+        valid0 += (cyc.t_valid - cyc.t_start) / 2.0;
+      } else {
+        m1.add(t.samples());
+        valid1 += (cyc.t_valid - cyc.t_start) / 2.0;
+      }
+    }
+  }
+  Sig sig;
+  sig.s = qu::subtract(m0.mean(), m1.mean());
+  sig.class_shift_ps = valid0 - valid1;
+  return sig;
+}
+
+struct Config {
+  const char* label;
+  const char* paper_note;
+  std::function<void(qg::XorStage&)> apply;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 7 — XOR signature vs load-capacitance imbalance (Cd = 8 fF)");
+
+  const std::vector<Config> configs{
+      {"balanced (fig. 6)", "reference",
+       [](qg::XorStage&) {}},
+      {"(a) Cl31 = 16 fF", "peak at end of each phase",
+       [](qg::XorStage& x) { x.nl.net(x.co0).cap_ff = 16.0; }},
+      {"(b) Cl21 = 16 fF", "two peaks, downstream shift",
+       [](qg::XorStage& x) { x.nl.net(x.s0).cap_ff = 16.0; }},
+      {"(c) Cl11 = Cl12 = 16 fF", "curves shifted from level 1",
+       [](qg::XorStage& x) {
+         x.nl.net(x.m[0]).cap_ff = 16.0;
+         x.nl.net(x.m[1]).cap_ff = 16.0;
+       }},
+      {"(d) Cl11 = Cl12 = 32 fF", "signature maximum",
+       [](qg::XorStage& x) {
+         x.nl.net(x.m[0]).cap_ff = 32.0;
+         x.nl.net(x.m[1]).cap_ff = 32.0;
+       }},
+  };
+
+  qu::Table table({"config", "peak |S| (uA)", "integral |S| (uA*smp)",
+                   "class shift (ps)", "paper's reading"});
+  table.set_precision(3);
+
+  for (const Config& cfg : configs) {
+    qg::XorStage x = qg::build_xor_stage();
+    cfg.apply(x);
+    const Sig sig = signature(x);
+    bench::print_series(cfg.label, sig.s);
+    table.add_row({cfg.label, table.format_double(qu::max_abs(sig.s)),
+                   table.format_double(qu::sum_abs(sig.s)),
+                   table.format_double(sig.class_shift_ps), cfg.paper_note});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf(
+      "\nexpected shape (paper): any imbalance produces clear peaks; the\n"
+      "deeper in the path the imbalance sits, the earlier the curves diverge,\n"
+      "and (d)'s doubled imbalance shifts the classes furthest apart (the\n"
+      "class-shift column; the sample-integral saturates once the curves are\n"
+      "fully disjoint, so the shift is the faithful 'maximum' metric).\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E8 — google-benchmark microbenchmarks: throughput of the pillars the
+// experiments stand on (event simulation, trace synthesis, DPA bias,
+// placement annealing). These quantify the cost of reproducing the
+// paper's experiments and guard against performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "qdi/core/criterion.hpp"
+#include "qdi/dpa/acquisition.hpp"
+#include "qdi/dpa/dpa.hpp"
+#include "qdi/gates/testbench.hpp"
+#include "qdi/pnr/extraction.hpp"
+#include "qdi/pnr/placement.hpp"
+#include "qdi/power/synth.hpp"
+#include "qdi/sim/environment.hpp"
+
+namespace qg = qdi::gates;
+namespace qs = qdi::sim;
+namespace qp = qdi::power;
+namespace qd = qdi::dpa;
+namespace qc = qdi::core;
+
+static void BM_XorStageCycle(benchmark::State& state) {
+  qg::XorStage x = qg::build_xor_stage();
+  qs::Simulator sim(x.nl);
+  qs::FourPhaseEnv env(sim, x.env);
+  env.apply_reset();
+  int v = 0;
+  for (auto _ : state) {
+    const std::vector<int> values{v & 1, (v >> 1) & 1};
+    benchmark::DoNotOptimize(env.send(values));
+    sim.clear_log();
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XorStageCycle);
+
+static void BM_AesSliceCycle(benchmark::State& state) {
+  qg::AesByteSlice slice = qg::build_aes_byte_slice();
+  qs::Simulator sim(slice.nl);
+  qs::FourPhaseEnv env(sim, slice.env);
+  env.apply_reset();
+  unsigned p = 0;
+  for (auto _ : state) {
+    std::vector<int> values;
+    for (int b = 0; b < 8; ++b) values.push_back((p >> b) & 1);
+    for (int b = 0; b < 8; ++b) values.push_back(0);
+    benchmark::DoNotOptimize(env.send(values));
+    sim.clear_log();
+    ++p;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AesSliceCycle);
+
+static void BM_TraceSynthesis(benchmark::State& state) {
+  qg::AesByteSlice slice = qg::build_aes_byte_slice();
+  qs::Simulator sim(slice.nl);
+  qs::FourPhaseEnv env(sim, slice.env);
+  env.apply_reset();
+  std::vector<int> values(16, 0);
+  values[3] = 1;
+  const auto cyc = env.send(values);
+  const qp::PowerModelParams pm;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        qp::synthesize(sim.log(), cyc.t_start, slice.env.period_ps, pm, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSynthesis);
+
+static void BM_DpaBias(benchmark::State& state) {
+  // Synthetic set sized like an attack batch.
+  qdi::util::Rng rng(1);
+  qd::TraceSet ts;
+  for (int i = 0; i < 512; ++i) {
+    qp::PowerTrace t(0.0, 10.0, 512);
+    for (std::size_t j = 0; j < t.size(); ++j) t[j] = rng.gaussian();
+    ts.add(std::move(t), {rng.byte()});
+  }
+  const auto d = qd::aes_sbox_selection(0, 0);
+  unsigned g = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qd::dpa_bias(ts, d, g++ & 0xff));
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_DpaBias);
+
+static void BM_FlatPlacementSlice(benchmark::State& state) {
+  const qdi::netlist::Netlist nl = qg::build_aes_byte_slice().nl;
+  qp::PowerModelParams unused;
+  (void)unused;
+  for (auto _ : state) {
+    qdi::pnr::PlacerOptions opt;
+    opt.mode = qdi::pnr::FlowMode::Flat;
+    opt.seed = static_cast<std::uint64_t>(state.iterations());
+    opt.moves_per_cell = 10;
+    opt.stages = 20;
+    benchmark::DoNotOptimize(qdi::pnr::place(nl, opt));
+  }
+}
+BENCHMARK(BM_FlatPlacementSlice)->Unit(benchmark::kMillisecond);
+
+static void BM_CriterionEvaluation(benchmark::State& state) {
+  qdi::netlist::Netlist nl = qg::build_aes_byte_slice().nl;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qc::evaluate_criterion(nl));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(nl.num_channels()));
+}
+BENCHMARK(BM_CriterionEvaluation);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Asynchronous pipeline demo: an 8-bit wide, 4-deep WCHB FIFO with real
+// stage-to-stage acknowledge wiring (fig. 1/2 of the paper: handshake-
+// based communication between modules, four-phase protocol).
+//
+// Shows tokens flowing through, the per-cycle transition count (constant,
+// whatever the data), and the self-timed cycle latency.
+#include <cstdio>
+
+#include "qdi/gates/pipeline.hpp"
+#include "qdi/sim/environment.hpp"
+#include "qdi/util/rng.hpp"
+
+int main() {
+  using namespace qdi;
+
+  gates::WchbFifo fifo = gates::build_wchb_fifo(/*width=*/8, /*depth=*/4);
+  std::printf("WCHB FIFO: 8 channels x 4 stages, %zu gates, %zu nets\n\n",
+              fifo.nl.num_gates(), fifo.nl.num_nets());
+
+  sim::Simulator simulator(fifo.nl);
+  sim::FourPhaseEnv env(simulator, fifo.env);
+  env.apply_reset();
+
+  util::Rng rng(1);
+  std::printf("token  value     transitions  latency(ps)  protocol\n");
+  for (int t = 0; t < 10; ++t) {
+    const std::uint8_t byte = rng.byte();
+    std::vector<int> values(8);
+    for (int b = 0; b < 8; ++b) values[static_cast<std::size_t>(b)] = (byte >> b) & 1;
+    const auto cyc = env.send(values);
+    std::uint8_t out = 0;
+    for (int b = 0; b < 8; ++b)
+      if (cyc.outputs[static_cast<std::size_t>(b)] == 1)
+        out |= static_cast<std::uint8_t>(1 << b);
+    std::printf("%5d   0x%02x->0x%02x   %8zu   %10.0f   %s\n", t, byte, out,
+                cyc.transitions, cyc.t_valid - cyc.t_start,
+                cyc.ok && out == byte ? "ok" : "FAIL");
+  }
+  std::printf("\nglitches observed: %zu (hazard-free QDI logic)\n",
+              simulator.glitch_count());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// The paper's contribution as a tool: run the DPA-aware design flow
+// (place -> extract -> criterion -> accept/iterate/repair) on the AES
+// byte slice, comparing the conventional flat flow, the hierarchical
+// flow of section VI, and the capacitance-repair extension.
+//
+// Usage: secure_flow [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "qdi/core/leakage.hpp"
+#include "qdi/core/secure_flow.hpp"
+#include "qdi/gates/testbench.hpp"
+#include "qdi/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qdi;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  util::Table table({"flow", "max dA", "mean dA", "accepted",
+                     "core area (um^2)", "iterations", "repaired ch",
+                     "added cap (fF)"});
+  table.set_precision(3);
+
+  auto run = [&](const char* label, pnr::FlowMode mode, bool repair) {
+    gates::AesByteSlice slice = gates::build_aes_byte_slice();
+    core::FlowOptions opt;
+    opt.placer.mode = mode;
+    opt.placer.seed = seed;
+    opt.placer.moves_per_cell = 20;
+    opt.max_da_threshold = 0.15;  // the paper's hierarchical flow achieves 0.13
+    opt.max_iterations = 3;
+    opt.repair = repair;
+    opt.repair_target_da = 0.05;
+    const core::FlowResult r = core::run_secure_flow(slice.nl, opt);
+    table.add_row({label, table.format_double(r.max_da),
+                   table.format_double(r.mean_da), r.accepted ? "yes" : "NO",
+                   table.format_double(r.placement.core_area_um2()),
+                   std::to_string(r.iterations_used),
+                   std::to_string(r.repaired_channels),
+                   table.format_double(r.repair_added_cap_ff)});
+
+    std::printf("%-22s -> most critical channels:\n", label);
+    for (const auto& ch : core::most_critical(r.criteria, 3))
+      std::printf("    %-34s C = %6.2f | %6.2f fF   dA = %.3f\n",
+                  ch.name.c_str(), ch.cap_min_ff, ch.cap_max_ff, ch.dA);
+    // Physical eq. 12 ranking (charge + timing terms), which can reorder
+    // the raw dA list towards what an attacker actually measures.
+    const auto leaks = core::rank_leakage(slice.nl, sim::DelayModel{},
+                                          power::PowerModelParams{});
+    std::printf("    worst by physical leakage score: %s (%.2f uA)\n",
+                leaks.empty() ? "-" : leaks[0].name.c_str(),
+                leaks.empty() ? 0.0 : leaks[0].score_ua);
+  };
+
+  run("flat (AES_v2 style)", pnr::FlowMode::Flat, false);
+  run("hierarchical (AES_v1)", pnr::FlowMode::Hierarchical, false);
+  run("flat + repair pass", pnr::FlowMode::Flat, true);
+
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf("\nreading: the hierarchical flow bounds the criterion by "
+              "construction (at an\narea cost); the flat flow needs the "
+              "post-route repair extension to pass.\n");
+  return 0;
+}

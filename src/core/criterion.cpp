@@ -1,0 +1,126 @@
+#include "qdi/core/criterion.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace qdi::core {
+
+double dissymmetry(double cap0_ff, double cap1_ff) noexcept {
+  const double lo = std::min(cap0_ff, cap1_ff);
+  const double hi = std::max(cap0_ff, cap1_ff);
+  if (lo <= 0.0) return hi > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  return (hi - lo) / lo;
+}
+
+ChannelCriterion channel_criterion(const netlist::Netlist& nl,
+                                   netlist::ChannelId ch) {
+  const netlist::Channel& c = nl.channel(ch);
+  ChannelCriterion r;
+  r.id = ch;
+  r.name = c.name;
+  // Worst pair over all rails (dual-rail: the single pair).
+  for (std::size_t i = 0; i < c.rails.size(); ++i) {
+    for (std::size_t j = i + 1; j < c.rails.size(); ++j) {
+      const double ci = nl.net(c.rails[i]).cap_ff;
+      const double cj = nl.net(c.rails[j]).cap_ff;
+      const double d = dissymmetry(ci, cj);
+      if (d >= r.dA) {
+        r.dA = d;
+        r.cap_min_ff = std::min(ci, cj);
+        r.cap_max_ff = std::max(ci, cj);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<ChannelCriterion> evaluate_criterion(const netlist::Netlist& nl) {
+  std::vector<ChannelCriterion> out;
+  out.reserve(nl.num_channels());
+  for (netlist::ChannelId ch = 0; ch < nl.num_channels(); ++ch)
+    out.push_back(channel_criterion(nl, ch));
+  return out;
+}
+
+std::vector<ChannelCriterion> most_critical(std::vector<ChannelCriterion> all,
+                                            std::size_t k) {
+  std::sort(all.begin(), all.end(),
+            [](const ChannelCriterion& a, const ChannelCriterion& b) {
+              if (a.dA != b.dA) return a.dA > b.dA;
+              return a.name < b.name;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+double max_dA(const std::vector<ChannelCriterion>& all) noexcept {
+  double m = 0.0;
+  for (const auto& c : all) m = std::max(m, c.dA);
+  return m;
+}
+
+double mean_dA(const std::vector<ChannelCriterion>& all) noexcept {
+  if (all.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& c : all) s += c.dA;
+  return s / static_cast<double>(all.size());
+}
+
+std::vector<BlockCriterion> criterion_by_block(
+    const std::vector<ChannelCriterion>& rows, int depth) {
+  auto block_of = [depth](const std::string& name) {
+    std::size_t pos = 0;
+    for (int d = 0; d < depth; ++d) {
+      const std::size_t next = name.find('/', pos);
+      if (next == std::string::npos) return name;
+      pos = next + 1;
+    }
+    return name.substr(0, pos == 0 ? std::string::npos : pos - 1);
+  };
+
+  std::map<std::string, BlockCriterion> agg;
+  for (const ChannelCriterion& c : rows) {
+    BlockCriterion& b = agg[block_of(c.name)];
+    if (b.block.empty()) b.block = block_of(c.name);
+    ++b.channels;
+    b.max_da = std::max(b.max_da, c.dA);
+    b.mean_da += c.dA;  // running sum; divided below
+  }
+  std::vector<BlockCriterion> out;
+  out.reserve(agg.size());
+  for (auto& [key, b] : agg) {
+    (void)key;
+    if (b.channels > 0) b.mean_da /= static_cast<double>(b.channels);
+    out.push_back(std::move(b));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BlockCriterion& a, const BlockCriterion& b) {
+              return a.max_da > b.max_da;
+            });
+  return out;
+}
+
+util::Table block_criterion_table(const std::vector<BlockCriterion>& rows) {
+  util::Table t({"block", "channels", "max dA", "mean dA"});
+  t.set_precision(3);
+  for (const BlockCriterion& b : rows)
+    t.add_row({b.block, std::to_string(b.channels), t.format_double(b.max_da),
+               t.format_double(b.mean_da)});
+  return t;
+}
+
+util::Table criterion_table(const std::vector<ChannelCriterion>& rows,
+                            const std::string& version_label) {
+  util::Table t({"version", "channel", "C_rail_lo (fF)", "C_rail_hi (fF)", "dA"});
+  t.set_precision(2);
+  for (const auto& r : rows) {
+    t.add_row({version_label, r.name, t.format_double(r.cap_min_ff),
+               t.format_double(r.cap_max_ff), t.format_double(r.dA)});
+  }
+  return t;
+}
+
+}  // namespace qdi::core

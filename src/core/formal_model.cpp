@@ -1,0 +1,113 @@
+#include "qdi/core/formal_model.hpp"
+
+#include <algorithm>
+
+namespace qdi::core {
+
+using netlist::CellId;
+using netlist::kNoCell;
+using netlist::kNoNet;
+using netlist::NetId;
+
+BlockProfile analyze_block(const netlist::Graph& g) {
+  BlockProfile p;
+  p.nc = g.num_levels();
+  p.nij_max = g.level_occupancy();
+  p.gates = g.netlist().num_gates();
+  return p;
+}
+
+MeasuredActivity measure_activity(const netlist::Graph& g,
+                                  std::span<const sim::Transition> log,
+                                  double t0_ps, double t1_ps) {
+  MeasuredActivity a;
+  a.nij.assign(static_cast<std::size_t>(g.num_levels()) + 1, 0);
+  for (const sim::Transition& t : log) {
+    if (t.t_ps < t0_ps || t.t_ps >= t1_ps) continue;
+    const CellId driver = g.netlist().net(t.net).driver;
+    if (driver == kNoCell) continue;
+    const netlist::Cell& cell = g.netlist().cell(driver);
+    if (netlist::is_pseudo(cell.kind)) continue;
+    ++a.nt;
+    const int lvl = g.level(driver);
+    if (lvl >= 1 && lvl < static_cast<int>(a.nij.size()))
+      ++a.nij[static_cast<std::size_t>(lvl)];
+  }
+  return a;
+}
+
+double gate_dynamic_power_nw(double cap_ff, double vdd, double f_mhz,
+                             double activity) noexcept {
+  return activity * cap_ff * vdd * vdd * f_mhz;  // fF·V²·MHz = 1e-9 W = nW
+}
+
+double block_dynamic_power_nw(const netlist::Netlist& nl, double vdd,
+                              double fa_mhz, double activity) {
+  double total = 0.0;
+  for (const netlist::Net& net : nl.nets())
+    total += gate_dynamic_power_nw(net.cap_ff, vdd, fa_mhz, activity);
+  return total;
+}
+
+std::vector<double> arrival_times_ps(const netlist::Graph& g,
+                                     const sim::DelayModel& dm) {
+  const netlist::Netlist& nl = g.netlist();
+  std::vector<double> cell_arr(nl.num_cells(), 0.0);
+  std::vector<double> net_arr(nl.num_nets(), 0.0);
+
+  for (CellId c : g.topo_order()) {
+    const netlist::Cell& cell = nl.cell(c);
+    double in_arr = 0.0;
+    for (NetId i : cell.inputs) {
+      const CellId drv = nl.net(i).driver;
+      // Feedback edges (driver at a deeper level) do not constrain timing.
+      if (drv != kNoCell && g.level(drv) <= g.level(c))
+        in_arr = std::max(in_arr, net_arr[i]);
+    }
+    if (cell.output == kNoNet) {
+      cell_arr[c] = in_arr;
+      continue;
+    }
+    double out = in_arr;
+    if (!netlist::is_pseudo(cell.kind))
+      out += dm.delay_ps(cell.kind, nl.net(cell.output).cap_ff);
+    cell_arr[c] = out;
+    net_arr[cell.output] = out;
+  }
+  return net_arr;
+}
+
+power::PowerTrace predict_class_profile(const netlist::Graph& g,
+                                        const sim::DelayModel& dm,
+                                        const power::PowerModelParams& pm,
+                                        std::span<const NetId> firing,
+                                        double window_ps) {
+  const std::vector<double> arr = arrival_times_ps(g, dm);
+  std::vector<sim::Transition> pulses;
+  pulses.reserve(firing.size());
+  for (NetId net : firing) {
+    sim::Transition t;
+    t.net = net;
+    t.rising = true;
+    t.cap_ff = g.netlist().net(net).cap_ff;
+    t.slew_ps = dm.slew_ps(t.cap_ff);
+    t.t_ps = arr[net];
+    pulses.push_back(t);
+  }
+  return power::synthesize(pulses, 0.0, window_ps, pm, nullptr);
+}
+
+std::vector<double> predict_bias(const netlist::Graph& g,
+                                 const sim::DelayModel& dm,
+                                 const power::PowerModelParams& pm,
+                                 std::span<const NetId> class0,
+                                 std::span<const NetId> class1,
+                                 double window_ps) {
+  const power::PowerTrace p0 = predict_class_profile(g, dm, pm, class0, window_ps);
+  const power::PowerTrace p1 = predict_class_profile(g, dm, pm, class1, window_ps);
+  std::vector<double> bias(p0.size());
+  for (std::size_t j = 0; j < bias.size(); ++j) bias[j] = p0[j] - p1[j];
+  return bias;
+}
+
+}  // namespace qdi::core

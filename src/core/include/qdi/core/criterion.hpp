@@ -1,0 +1,62 @@
+// Section VI: the per-channel dissymmetry criterion
+//
+//     dA = |C_l0 - C_l1| / min(C_l0, C_l1)
+//
+// "the lower the value of dA, the more resistant to DPA the chip is."
+// For 1-of-N channels the worst rail pair is reported. The criterion is
+// evaluated over the netlist's registered channel list after extraction
+// back-annotated real capacitances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qdi/netlist/netlist.hpp"
+#include "qdi/util/table.hpp"
+
+namespace qdi::core {
+
+struct ChannelCriterion {
+  netlist::ChannelId id = 0;
+  std::string name;
+  double cap_min_ff = 0.0;  ///< smaller rail capacitance of the worst pair
+  double cap_max_ff = 0.0;  ///< larger rail capacitance of the worst pair
+  double dA = 0.0;
+};
+
+/// dA between two rail capacitances.
+double dissymmetry(double cap0_ff, double cap1_ff) noexcept;
+
+/// Criterion of one channel (worst pair over its rails).
+ChannelCriterion channel_criterion(const netlist::Netlist& nl,
+                                   netlist::ChannelId ch);
+
+/// All channels, in registry order.
+std::vector<ChannelCriterion> evaluate_criterion(const netlist::Netlist& nl);
+
+/// The k most critical channels (highest dA first) — Table 2's rows.
+std::vector<ChannelCriterion> most_critical(std::vector<ChannelCriterion> all,
+                                            std::size_t k);
+
+double max_dA(const std::vector<ChannelCriterion>& all) noexcept;
+double mean_dA(const std::vector<ChannelCriterion>& all) noexcept;
+
+/// Render a Table-2-style report.
+util::Table criterion_table(const std::vector<ChannelCriterion>& rows,
+                            const std::string& version_label);
+
+/// Per-block aggregation (blocks per fig. 8's legend): channels are
+/// grouped by the leading `depth` components of their hierarchical name.
+struct BlockCriterion {
+  std::string block;
+  std::size_t channels = 0;
+  double max_da = 0.0;
+  double mean_da = 0.0;
+};
+
+std::vector<BlockCriterion> criterion_by_block(
+    const std::vector<ChannelCriterion>& rows, int depth = 2);
+
+util::Table block_criterion_table(const std::vector<BlockCriterion>& rows);
+
+}  // namespace qdi::core

@@ -1,0 +1,88 @@
+// The paper's formal electrical model of secured QDI blocks (section III)
+// and its DPA application (section IV):
+//
+//   eq. 1-2: Pd = η·C·Vdd²·f     (dynamic power, f -> fa in QDI)
+//   eq. 3:   Pdb = Σ_{i=1..Nt} η·fa·C_i·Vdd²
+//   eq. 4:   I(t) = C·dV/dt
+//   eq. 5:   Pdc(t) = Σ_{i=1..Nc} Σ_{j=1..Nij} I_ij(t) + Pdn(t)
+//   eq. 10-11: A0/A1 as per-class sums of gate currents
+//   eq. 12:  S[t] ≈ V · Σ ±(C_k/Δt_k)  — the bias is set by per-path
+//            capacitance (and capacitance-dependent timing) differences.
+//
+// `predict_class_profile` evaluates the right-hand side of eq. 5 for a
+// given switching set using static longest-path arrival times — a purely
+// analytical profile requiring no event simulation. Comparing two class
+// profiles implements eq. 12; the eq12_model_vs_sim bench validates the
+// prediction against the event-driven + synthesized-trace pipeline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "qdi/netlist/graph.hpp"
+#include "qdi/power/synth.hpp"
+#include "qdi/sim/delay_model.hpp"
+#include "qdi/sim/simulator.hpp"
+
+namespace qdi::core {
+
+/// Static block profile: the (Nc, Nij) structure of eq. 5 as read off the
+/// annotated graph (fig. 5: "Nt, Nc and Nij are determined by a simple
+/// analysis of a graphic representation of the block").
+struct BlockProfile {
+  int nc = 0;                        ///< logic levels
+  std::vector<std::size_t> nij_max;  ///< static level occupancy (upper bound)
+  std::size_t gates = 0;             ///< real gates in the block
+};
+
+BlockProfile analyze_block(const netlist::Graph& g);
+
+/// Measured switching activity from a simulation transition log restricted
+/// to [t0, t1): Nt and the per-level firing counts N_ij.
+struct MeasuredActivity {
+  std::size_t nt = 0;
+  std::vector<std::size_t> nij;  ///< index 0 unused; 1..Nc per level
+};
+
+MeasuredActivity measure_activity(const netlist::Graph& g,
+                                  std::span<const sim::Transition> log,
+                                  double t0_ps, double t1_ps);
+
+// --- eq. 1-3: average power estimates -------------------------------------
+
+/// Pd = η·C·Vdd²·f for one gate (C in fF, f in MHz, result in nW —
+/// fF·V²·MHz = nW).
+double gate_dynamic_power_nw(double cap_ff, double vdd, double f_mhz,
+                             double activity = 1.0) noexcept;
+
+/// Eq. 3: block power at acknowledge frequency fa, summing every net's
+/// annotated capacitance (each net switches twice per four-phase cycle:
+/// set + return-to-zero, i.e. activity 2·fa on active nets).
+double block_dynamic_power_nw(const netlist::Netlist& nl, double vdd,
+                              double fa_mhz, double activity = 1.0);
+
+// --- eq. 4-6 / 10-12: analytic current profiles ---------------------------
+
+/// Longest-path arrival time (ps) of every net's driving gate output,
+/// using the levelized graph and the delay model (feedback edges cut).
+std::vector<double> arrival_times_ps(const netlist::Graph& g,
+                                     const sim::DelayModel& dm);
+
+/// Analytic current profile of one switching class: each net in `firing`
+/// contributes a charge pulse C·Vdd wide Δt(C) ending at its arrival time.
+power::PowerTrace predict_class_profile(const netlist::Graph& g,
+                                        const sim::DelayModel& dm,
+                                        const power::PowerModelParams& pm,
+                                        std::span<const netlist::NetId> firing,
+                                        double window_ps);
+
+/// Eq. 12: predicted DPA bias T[t] = profile(class0) - profile(class1).
+std::vector<double> predict_bias(const netlist::Graph& g,
+                                 const sim::DelayModel& dm,
+                                 const power::PowerModelParams& pm,
+                                 std::span<const netlist::NetId> class0,
+                                 std::span<const netlist::NetId> class1,
+                                 double window_ps);
+
+}  // namespace qdi::core

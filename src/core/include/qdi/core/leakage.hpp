@@ -1,0 +1,46 @@
+// Channel leakage scoring — a refinement of the raw criterion dA using
+// the full eq. 12 of the paper: the bias contribution of a rail pair is
+// driven by the difference of C/Δt terms (instantaneous current) *and*
+// by the charge difference C·Vdd (integrated current). Ranking channels
+// by the physical score rather than the dimensionless dA prioritizes
+// repair effort where the attacker actually gains signal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qdi/core/criterion.hpp"
+#include "qdi/power/synth.hpp"
+#include "qdi/sim/delay_model.hpp"
+
+namespace qdi::core {
+
+struct ChannelLeakage {
+  netlist::ChannelId id = 0;
+  std::string name;
+  double dA = 0.0;
+  /// |C_hi/Δt(C_hi) − C_lo/Δt(C_lo)| · Vdd — the peak-current term of
+  /// eq. 12, in µA.
+  double peak_current_ua = 0.0;
+  /// |C_hi − C_lo| · Vdd — the charge term, in fC.
+  double charge_fc = 0.0;
+  /// Combined score used for ranking: peak term plus charge term spread
+  /// over its own Δt (so both terms share units of µA).
+  double score_ua = 0.0;
+};
+
+/// Score one channel from its worst rail pair.
+ChannelLeakage channel_leakage(const netlist::Netlist& nl,
+                               netlist::ChannelId ch,
+                               const sim::DelayModel& dm,
+                               const power::PowerModelParams& pm);
+
+/// Score and rank every registered channel, highest score first.
+std::vector<ChannelLeakage> rank_leakage(const netlist::Netlist& nl,
+                                         const sim::DelayModel& dm,
+                                         const power::PowerModelParams& pm);
+
+util::Table leakage_table(const std::vector<ChannelLeakage>& rows,
+                          std::size_t top_k);
+
+}  // namespace qdi::core

@@ -1,0 +1,35 @@
+// Per-block power accounting: attributes the measured switching activity
+// of a simulation run to the hierarchical blocks of the design and
+// evaluates eq. 3 per block. This is the designer-side "where does the
+// current go" view that complements the criterion's "where does the
+// *difference* go".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qdi/netlist/netlist.hpp"
+#include "qdi/power/synth.hpp"
+#include "qdi/sim/simulator.hpp"
+#include "qdi/util/table.hpp"
+
+namespace qdi::core {
+
+struct BlockPower {
+  std::string block;
+  std::size_t transitions = 0;
+  double charge_fc = 0.0;   ///< supply charge attributed to the block
+  double share = 0.0;       ///< fraction of the total charge
+};
+
+/// Attribute every logged transition to the driving cell's block (the
+/// leading `depth` components of its hierarchical path; environment-
+/// driven nets are attributed to "(environment)").
+std::vector<BlockPower> block_power(const netlist::Netlist& nl,
+                                    std::span<const sim::Transition> log,
+                                    const power::PowerModelParams& pm,
+                                    int depth = 2);
+
+util::Table block_power_table(const std::vector<BlockPower>& rows);
+
+}  // namespace qdi::core

@@ -1,0 +1,42 @@
+// Static timing reports built on the formal model's arrival times: the
+// critical path of a block (the Nc chain of section III, with physical
+// delays), per-level timing, and the handshake cycle-time estimate the
+// self-timed design "clocks" itself with (fa of eq. 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qdi/netlist/graph.hpp"
+#include "qdi/sim/delay_model.hpp"
+#include "qdi/util/table.hpp"
+
+namespace qdi::core {
+
+struct PathStep {
+  netlist::CellId cell = netlist::kNoCell;
+  std::string cell_name;
+  std::string kind;
+  int level = 0;
+  double arrival_ps = 0.0;
+  double cap_ff = 0.0;  ///< load the step drives
+};
+
+struct TimingReport {
+  double critical_arrival_ps = 0.0;
+  std::vector<PathStep> critical_path;      ///< input -> slowest output
+  std::vector<double> level_arrival_ps;     ///< max arrival per level
+  /// Four-phase cycle-time estimate: data wave + RTZ wave + two
+  /// acknowledge hops (a standard first-order QDI cycle model).
+  double cycle_estimate_ps = 0.0;
+};
+
+/// Analyze the netlist under the delay model (uses the netlist's current
+/// capacitance annotations — run it before and after extraction to see
+/// the physical-design impact).
+TimingReport analyze_timing(const netlist::Graph& g, const sim::DelayModel& dm);
+
+/// Render the critical path as a table.
+util::Table timing_table(const TimingReport& report);
+
+}  // namespace qdi::core

@@ -1,0 +1,61 @@
+#include "qdi/core/leakage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdi::core {
+
+ChannelLeakage channel_leakage(const netlist::Netlist& nl,
+                               netlist::ChannelId ch,
+                               const sim::DelayModel& dm,
+                               const power::PowerModelParams& pm) {
+  const ChannelCriterion crit = channel_criterion(nl, ch);
+  ChannelLeakage lk;
+  lk.id = ch;
+  lk.name = crit.name;
+  lk.dA = crit.dA;
+
+  const double c_lo = pm.total_cap_ff(crit.cap_min_ff);
+  const double c_hi = pm.total_cap_ff(crit.cap_max_ff);
+  const double dt_lo = dm.slew_ps(crit.cap_min_ff);
+  const double dt_hi = dm.slew_ps(crit.cap_max_ff);
+
+  // fC/ps = mA; scale to µA.
+  lk.peak_current_ua =
+      std::fabs(c_hi / dt_hi - c_lo / dt_lo) * pm.vdd * 1000.0;
+  lk.charge_fc = std::fabs(c_hi - c_lo) * pm.vdd;
+  const double dt_mean = 0.5 * (dt_lo + dt_hi);
+  lk.score_ua = lk.peak_current_ua + 1000.0 * lk.charge_fc / dt_mean;
+  return lk;
+}
+
+std::vector<ChannelLeakage> rank_leakage(const netlist::Netlist& nl,
+                                         const sim::DelayModel& dm,
+                                         const power::PowerModelParams& pm) {
+  std::vector<ChannelLeakage> out;
+  out.reserve(nl.num_channels());
+  for (netlist::ChannelId ch = 0; ch < nl.num_channels(); ++ch)
+    out.push_back(channel_leakage(nl, ch, dm, pm));
+  std::sort(out.begin(), out.end(),
+            [](const ChannelLeakage& a, const ChannelLeakage& b) {
+              if (a.score_ua != b.score_ua) return a.score_ua > b.score_ua;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+util::Table leakage_table(const std::vector<ChannelLeakage>& rows,
+                          std::size_t top_k) {
+  util::Table t({"channel", "dA", "peak term (uA)", "charge term (fC)",
+                 "score (uA)"});
+  t.set_precision(3);
+  for (std::size_t i = 0; i < rows.size() && i < top_k; ++i) {
+    const ChannelLeakage& r = rows[i];
+    t.add_row({r.name, t.format_double(r.dA),
+               t.format_double(r.peak_current_ua), t.format_double(r.charge_fc),
+               t.format_double(r.score_ua)});
+  }
+  return t;
+}
+
+}  // namespace qdi::core

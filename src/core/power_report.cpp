@@ -1,0 +1,63 @@
+#include "qdi/core/power_report.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace qdi::core {
+
+std::vector<BlockPower> block_power(const netlist::Netlist& nl,
+                                    std::span<const sim::Transition> log,
+                                    const power::PowerModelParams& pm,
+                                    int depth) {
+  auto block_of = [depth](const std::string& hier) -> std::string {
+    if (hier.empty()) return "(environment)";
+    std::size_t pos = 0;
+    for (int d = 0; d < depth; ++d) {
+      const std::size_t next = hier.find('/', pos);
+      if (next == std::string::npos) return hier;
+      pos = next + 1;
+    }
+    return hier.substr(0, pos == 0 ? std::string::npos : pos - 1);
+  };
+
+  std::map<std::string, BlockPower> agg;
+  double total = 0.0;
+  for (const sim::Transition& t : log) {
+    const netlist::CellId driver = nl.net(t.net).driver;
+    std::string key = "(environment)";
+    if (driver != netlist::kNoCell) {
+      const netlist::Cell& cell = nl.cell(driver);
+      key = netlist::is_pseudo(cell.kind) ? "(environment)"
+                                          : block_of(cell.hier);
+    }
+    BlockPower& b = agg[key];
+    if (b.block.empty()) b.block = key;
+    ++b.transitions;
+    const double q = power::transition_charge_fc(t, pm);
+    b.charge_fc += q;
+    total += q;
+  }
+  std::vector<BlockPower> out;
+  out.reserve(agg.size());
+  for (auto& [key, b] : agg) {
+    (void)key;
+    b.share = total > 0.0 ? b.charge_fc / total : 0.0;
+    out.push_back(std::move(b));
+  }
+  std::sort(out.begin(), out.end(), [](const BlockPower& a, const BlockPower& b) {
+    return a.charge_fc > b.charge_fc;
+  });
+  return out;
+}
+
+util::Table block_power_table(const std::vector<BlockPower>& rows) {
+  util::Table t({"block", "transitions", "charge (fC)", "share %"});
+  t.set_precision(1);
+  for (const BlockPower& b : rows)
+    t.add_row({b.block, std::to_string(b.transitions),
+               t.format_double(b.charge_fc),
+               t.format_double(100.0 * b.share)});
+  return t;
+}
+
+}  // namespace qdi::core

@@ -1,0 +1,193 @@
+#include "qdi/crypto/aes.hpp"
+
+#include <cassert>
+
+namespace qdi::crypto {
+
+namespace {
+
+/// GF(2^8) inverse via exponentiation (a^254 = a^-1), branch-free enough
+/// for a reference model.
+std::uint8_t gf_inv(std::uint8_t a) noexcept {
+  if (a == 0) return 0;
+  // a^254 = a^(2+4+8+16+32+64+128) * ... compute via square-and-multiply.
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  int e = 254;
+  while (e) {
+    if (e & 1) result = gf_mul(result, base);
+    base = gf_mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+struct SboxTables {
+  std::array<std::uint8_t, 256> fwd{};
+  std::array<std::uint8_t, 256> inv{};
+
+  SboxTables() {
+    for (int x = 0; x < 256; ++x) {
+      const std::uint8_t i = gf_inv(static_cast<std::uint8_t>(x));
+      // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+      auto rotl8 = [](std::uint8_t v, int k) -> std::uint8_t {
+        return static_cast<std::uint8_t>((v << k) | (v >> (8 - k)));
+      };
+      const std::uint8_t s = static_cast<std::uint8_t>(
+          i ^ rotl8(i, 1) ^ rotl8(i, 2) ^ rotl8(i, 3) ^ rotl8(i, 4) ^ 0x63);
+      fwd[static_cast<std::size_t>(x)] = s;
+      inv[s] = static_cast<std::uint8_t>(x);
+    }
+  }
+};
+
+const SboxTables& tables() {
+  static const SboxTables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) noexcept {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    const bool hi = (a & 0x80) != 0;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1b;
+    b >>= 1;
+  }
+  return p;
+}
+
+std::uint8_t xtime(std::uint8_t a) noexcept { return gf_mul(a, 0x02); }
+
+std::uint8_t aes_sbox(std::uint8_t x) noexcept { return tables().fwd[x]; }
+std::uint8_t aes_inv_sbox(std::uint8_t x) noexcept { return tables().inv[x]; }
+
+void sub_bytes(Block& s) noexcept {
+  for (auto& b : s) b = aes_sbox(b);
+}
+void inv_sub_bytes(Block& s) noexcept {
+  for (auto& b : s) b = aes_inv_sbox(b);
+}
+
+// State layout: s[r + 4c] = row r, column c (FIPS-197 column-major bytes:
+// input byte i maps to row i%4, column i/4).
+void shift_rows(Block& s) noexcept {
+  Block t = s;
+  for (int r = 1; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      s[static_cast<std::size_t>(r + 4 * c)] =
+          t[static_cast<std::size_t>(r + 4 * ((c + r) % 4))];
+}
+void inv_shift_rows(Block& s) noexcept {
+  Block t = s;
+  for (int r = 1; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      s[static_cast<std::size_t>(r + 4 * ((c + r) % 4))] =
+          t[static_cast<std::size_t>(r + 4 * c)];
+}
+
+void mix_columns(Block& s) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = &s[static_cast<std::size_t>(4 * c)];
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3);
+    col[1] = static_cast<std::uint8_t>(a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3);
+    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3));
+    col[3] = static_cast<std::uint8_t>(gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2));
+  }
+}
+void inv_mix_columns(Block& s) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = &s[static_cast<std::size_t>(4 * c)];
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(gf_mul(a0, 14) ^ gf_mul(a1, 11) ^
+                                       gf_mul(a2, 13) ^ gf_mul(a3, 9));
+    col[1] = static_cast<std::uint8_t>(gf_mul(a0, 9) ^ gf_mul(a1, 14) ^
+                                       gf_mul(a2, 11) ^ gf_mul(a3, 13));
+    col[2] = static_cast<std::uint8_t>(gf_mul(a0, 13) ^ gf_mul(a1, 9) ^
+                                       gf_mul(a2, 14) ^ gf_mul(a3, 11));
+    col[3] = static_cast<std::uint8_t>(gf_mul(a0, 11) ^ gf_mul(a1, 13) ^
+                                       gf_mul(a2, 9) ^ gf_mul(a3, 14));
+  }
+}
+
+void add_round_key(Block& s, std::span<const std::uint8_t, 16> rk) noexcept {
+  for (int i = 0; i < 16; ++i)
+    s[static_cast<std::size_t>(i)] ^= rk[static_cast<std::size_t>(i)];
+}
+
+Aes128::Aes128(const Aes128Key& key) {
+  // Key expansion (FIPS-197 §5.2), Nk=4, Nr=10.
+  for (int i = 0; i < 16; ++i) round_keys_[static_cast<std::size_t>(i)] = key[static_cast<std::size_t>(i)];
+  std::uint8_t rcon = 0x01;
+  for (int w = 4; w < 4 * (kAes128Rounds + 1); ++w) {
+    std::uint8_t t[4];
+    for (int b = 0; b < 4; ++b)
+      t[b] = round_keys_[static_cast<std::size_t>(4 * (w - 1) + b)];
+    if (w % 4 == 0) {
+      // RotWord + SubWord + Rcon.
+      const std::uint8_t tmp = t[0];
+      t[0] = static_cast<std::uint8_t>(aes_sbox(t[1]) ^ rcon);
+      t[1] = aes_sbox(t[2]);
+      t[2] = aes_sbox(t[3]);
+      t[3] = aes_sbox(tmp);
+      rcon = xtime(rcon);
+    }
+    for (int b = 0; b < 4; ++b)
+      round_keys_[static_cast<std::size_t>(4 * w + b)] =
+          static_cast<std::uint8_t>(round_keys_[static_cast<std::size_t>(4 * (w - 4) + b)] ^ t[b]);
+  }
+}
+
+std::span<const std::uint8_t, 16> Aes128::round_key(int r) const {
+  assert(r >= 0 && r <= kAes128Rounds);
+  return std::span<const std::uint8_t, 16>(
+      round_keys_.data() + 16 * static_cast<std::size_t>(r), 16);
+}
+
+Block Aes128::encrypt(const Block& plaintext) const {
+  Block s = plaintext;
+  add_round_key(s, round_key(0));
+  for (int r = 1; r < kAes128Rounds; ++r) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, round_key(r));
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, round_key(kAes128Rounds));
+  return s;
+}
+
+Block Aes128::decrypt(const Block& ciphertext) const {
+  Block s = ciphertext;
+  add_round_key(s, round_key(kAes128Rounds));
+  inv_shift_rows(s);
+  inv_sub_bytes(s);
+  for (int r = kAes128Rounds - 1; r >= 1; --r) {
+    add_round_key(s, round_key(r));
+    inv_mix_columns(s);
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+  }
+  add_round_key(s, round_key(0));
+  return s;
+}
+
+Block Aes128::first_round_xor(const Block& plaintext) const {
+  Block s = plaintext;
+  add_round_key(s, round_key(0));
+  return s;
+}
+
+Block Aes128::first_round_sbox(const Block& plaintext) const {
+  Block s = first_round_xor(plaintext);
+  sub_bytes(s);
+  return s;
+}
+
+}  // namespace qdi::crypto

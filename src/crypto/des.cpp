@@ -1,0 +1,192 @@
+#include "qdi/crypto/des.hpp"
+
+#include <cassert>
+
+namespace qdi::crypto {
+
+namespace {
+
+// FIPS 46-3 tables. Bit numbering: bit 1 = MSB of the 64-bit block.
+constexpr int kIP[64] = {
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
+
+constexpr int kFP[64] = {
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
+
+constexpr int kE[48] = {32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,
+                        8,  9,  10, 11, 12, 13, 12, 13, 14, 15, 16, 17,
+                        16, 17, 18, 19, 20, 21, 20, 21, 22, 23, 24, 25,
+                        24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
+
+constexpr int kP[32] = {16, 7, 20, 21, 29, 12, 28, 17, 1,  15, 23, 26,
+                        5,  18, 31, 10, 2,  8,  24, 14, 32, 27, 3,  9,
+                        19, 13, 30, 6,  22, 11, 4,  25};
+
+constexpr int kPC1[56] = {57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
+                          10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
+                          63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
+                          14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4};
+
+constexpr int kPC2[48] = {14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10,
+                          23, 19, 12, 4,  26, 8,  16, 7,  27, 20, 13, 2,
+                          41, 52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48,
+                          44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
+
+constexpr int kShifts[16] = {1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1};
+
+constexpr std::uint8_t kSbox[8][64] = {
+    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
+     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
+     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
+     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
+    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
+     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
+     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
+     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
+    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
+     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
+     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
+     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
+    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
+     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
+     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
+     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
+    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
+     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
+     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
+     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
+    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
+     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
+     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
+     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
+    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6,  1,
+     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8,  6,
+     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9,  2,
+     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3,  12},
+    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
+     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
+     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
+     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11}};
+
+/// Extract bit `pos` (1 = MSB) from a `width`-bit value held in the low
+/// bits of v.
+constexpr std::uint64_t get_bit(std::uint64_t v, int pos, int width) noexcept {
+  return (v >> (width - pos)) & 1ULL;
+}
+
+/// Generic permutation: out bit i (1 = MSB of `out_width` bits) takes
+/// input bit table[i].
+template <int OutWidth, int InWidth>
+constexpr std::uint64_t permute(std::uint64_t v, const int (&table)[OutWidth]) noexcept {
+  std::uint64_t out = 0;
+  for (int i = 0; i < OutWidth; ++i)
+    out = (out << 1) | get_bit(v, table[i], InWidth);
+  return out;
+}
+
+constexpr std::uint32_t rotl28(std::uint32_t v, int k) noexcept {
+  return ((v << k) | (v >> (28 - k))) & 0x0fffffffu;
+}
+
+}  // namespace
+
+std::uint32_t des_f(std::uint32_t r, std::uint64_t subkey48) noexcept {
+  const std::uint64_t expanded = permute<48, 32>(r, kE) ^ subkey48;
+  std::uint32_t sout = 0;
+  for (int box = 0; box < 8; ++box) {
+    const std::uint8_t six =
+        static_cast<std::uint8_t>((expanded >> (42 - 6 * box)) & 0x3f);
+    sout = (sout << 4) | des_sbox(box, six);
+  }
+  return static_cast<std::uint32_t>(permute<32, 32>(sout, kP));
+}
+
+std::pair<std::uint32_t, std::uint32_t> des_round(std::uint32_t l,
+                                                  std::uint32_t r,
+                                                  std::uint64_t subkey48) noexcept {
+  return {r, l ^ des_f(r, subkey48)};
+}
+
+std::span<const int, 48> des_expansion_table() noexcept {
+  return std::span<const int, 48>(kE);
+}
+
+std::span<const int, 32> des_p_table() noexcept {
+  return std::span<const int, 32>(kP);
+}
+
+std::uint8_t des_sbox(int box, std::uint8_t idx) noexcept {
+  assert(box >= 0 && box < 8);
+  assert(idx < 64);
+  // Row = outer bits (b5,b0), column = inner bits (b4..b1).
+  const int row = ((idx >> 4) & 0x2) | (idx & 0x1);
+  const int col = (idx >> 1) & 0xf;
+  return kSbox[box][row * 16 + col];
+}
+
+Des::Des(DesKey key) {
+  std::uint64_t cd = permute<56, 64>(key, kPC1);
+  std::uint32_t c = static_cast<std::uint32_t>(cd >> 28) & 0x0fffffffu;
+  std::uint32_t d = static_cast<std::uint32_t>(cd) & 0x0fffffffu;
+  for (int r = 0; r < 16; ++r) {
+    c = rotl28(c, kShifts[r]);
+    d = rotl28(d, kShifts[r]);
+    const std::uint64_t merged = (static_cast<std::uint64_t>(c) << 28) | d;
+    subkeys_[static_cast<std::size_t>(r)] = permute<48, 56>(merged, kPC2);
+  }
+}
+
+DesBlock Des::encrypt(DesBlock plaintext) const noexcept {
+  std::uint64_t v = permute<64, 64>(plaintext, kIP);
+  std::uint32_t l = static_cast<std::uint32_t>(v >> 32);
+  std::uint32_t r = static_cast<std::uint32_t>(v);
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t nl = r;
+    r = l ^ des_f(r, subkeys_[static_cast<std::size_t>(i)]);
+    l = nl;
+  }
+  // Note the final swap: (R16, L16).
+  const std::uint64_t pre = (static_cast<std::uint64_t>(r) << 32) | l;
+  return permute<64, 64>(pre, kFP);
+}
+
+DesBlock Des::decrypt(DesBlock ciphertext) const noexcept {
+  std::uint64_t v = permute<64, 64>(ciphertext, kIP);
+  std::uint32_t l = static_cast<std::uint32_t>(v >> 32);
+  std::uint32_t r = static_cast<std::uint32_t>(v);
+  for (int i = 15; i >= 0; --i) {
+    const std::uint32_t nl = r;
+    r = l ^ des_f(r, subkeys_[static_cast<std::size_t>(i)]);
+    l = nl;
+  }
+  const std::uint64_t pre = (static_cast<std::uint64_t>(r) << 32) | l;
+  return permute<64, 64>(pre, kFP);
+}
+
+std::uint32_t Des::first_round_sbox_outputs(DesBlock plaintext) const noexcept {
+  const std::uint64_t v = permute<64, 64>(plaintext, kIP);
+  const std::uint32_t r0 = static_cast<std::uint32_t>(v);
+  const std::uint64_t expanded = permute<48, 32>(r0, kE) ^ subkeys_[0];
+  std::uint32_t sout = 0;
+  for (int box = 0; box < 8; ++box) {
+    const std::uint8_t six =
+        static_cast<std::uint8_t>((expanded >> (42 - 6 * box)) & 0x3f);
+    sout = (sout << 4) | des_sbox(box, six);
+  }
+  return sout;
+}
+
+std::uint8_t Des::first_round_sbox_input(DesBlock plaintext, int box) const noexcept {
+  const std::uint64_t v = permute<64, 64>(plaintext, kIP);
+  const std::uint32_t r0 = static_cast<std::uint32_t>(v);
+  const std::uint64_t expanded = permute<48, 32>(r0, kE) ^ subkeys_[0];
+  return static_cast<std::uint8_t>((expanded >> (42 - 6 * box)) & 0x3f);
+}
+
+}  // namespace qdi::crypto

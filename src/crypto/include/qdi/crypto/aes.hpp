@@ -1,0 +1,69 @@
+// AES-128 software reference (FIPS-197 / Rijndael). The reproduction uses
+// it in three roles:
+//   1. golden model for the QDI AES datapath generators (qdi/),
+//   2. source of the DPA selection function D(C1,P8,K8) = XOR(P8,K8)(C1)
+//      from section IV of the paper,
+//   3. plaintext/ciphertext generation for trace acquisition.
+// Encryption and decryption are both implemented so the library stands on
+// its own as an AES implementation (tested against FIPS-197 vectors).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace qdi::crypto {
+
+inline constexpr int kAesBlockBytes = 16;
+inline constexpr int kAes128KeyBytes = 16;
+inline constexpr int kAes128Rounds = 10;
+
+using Block = std::array<std::uint8_t, kAesBlockBytes>;
+using Aes128Key = std::array<std::uint8_t, kAes128KeyBytes>;
+
+/// Forward S-box lookup (SubBytes), table generated from GF(2^8) inverse
+/// plus the affine map at static-initialization time — no magic constants.
+std::uint8_t aes_sbox(std::uint8_t x) noexcept;
+/// Inverse S-box.
+std::uint8_t aes_inv_sbox(std::uint8_t x) noexcept;
+
+/// GF(2^8) multiplication modulo x^8+x^4+x^3+x+1 (0x11b).
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) noexcept;
+/// xtime: multiplication by {02}.
+std::uint8_t xtime(std::uint8_t a) noexcept;
+
+/// Expanded key schedule: 11 round keys of 16 bytes.
+class Aes128 {
+ public:
+  explicit Aes128(const Aes128Key& key);
+
+  Block encrypt(const Block& plaintext) const;
+  Block decrypt(const Block& ciphertext) const;
+
+  /// Round key r (0..10) as 16 bytes, column-major as in FIPS-197.
+  std::span<const std::uint8_t, 16> round_key(int r) const;
+
+  /// State after AddRoundKey(round 0) — the 16 bytes P ^ K. This is the
+  /// intermediate the paper's AES D-function targets ("XOR = a xor
+  /// function of AES with 8-bit output").
+  Block first_round_xor(const Block& plaintext) const;
+
+  /// State after SubBytes of round 1 (useful as an alternative, more
+  /// diffusive DPA target).
+  Block first_round_sbox(const Block& plaintext) const;
+
+ private:
+  std::array<std::uint8_t, 16 * (kAes128Rounds + 1)> round_keys_{};
+};
+
+// --- individual round transforms (exposed for tests and for the QDI
+//     datapath generators, which mirror them structurally) ---------------
+void sub_bytes(Block& s) noexcept;
+void inv_sub_bytes(Block& s) noexcept;
+void shift_rows(Block& s) noexcept;
+void inv_shift_rows(Block& s) noexcept;
+void mix_columns(Block& s) noexcept;
+void inv_mix_columns(Block& s) noexcept;
+void add_round_key(Block& s, std::span<const std::uint8_t, 16> rk) noexcept;
+
+}  // namespace qdi::crypto

@@ -1,0 +1,61 @@
+// DES reference implementation (FIPS 46-3). The paper's DPA recap
+// (section IV, following Messerges) uses the DES selection function
+//   D(C1, P6, K0) = SBOX1(P6 xor K0)(C1)
+// so the S-boxes are exposed directly; the full 16-round cipher is also
+// implemented (and tested against published vectors) so that DES-based
+// examples can generate real ciphertexts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace qdi::crypto {
+
+using DesBlock = std::uint64_t;  ///< 64-bit block, MSB-first bit numbering
+using DesKey = std::uint64_t;    ///< 64-bit key (8 parity bits ignored)
+
+/// S-box lookup: box in [0,8), idx is the 6-bit input (b5..b0 with the
+/// DES convention: outer bits b5b0 select the row, inner b4..b1 the
+/// column). Returns the 4-bit output.
+std::uint8_t des_sbox(int box, std::uint8_t idx) noexcept;
+
+/// The Feistel f-function: f(R, K) = P(S(E(R) xor K)); K in the low 48
+/// bits. Exposed so gate-level DES datapaths can be verified against it.
+std::uint32_t des_f(std::uint32_t r, std::uint64_t subkey48) noexcept;
+
+/// One Feistel round: (L, R) -> (R, L ^ f(R, K)).
+std::pair<std::uint32_t, std::uint32_t> des_round(std::uint32_t l,
+                                                  std::uint32_t r,
+                                                  std::uint64_t subkey48) noexcept;
+
+/// The expansion E (32 -> 48 bits) and permutation P (32 -> 32 bits)
+/// position tables, 1-based DES bit positions (1 = MSB), exposed for the
+/// wiring-only blocks of the gate-level datapath.
+std::span<const int, 48> des_expansion_table() noexcept;
+std::span<const int, 32> des_p_table() noexcept;
+
+class Des {
+ public:
+  explicit Des(DesKey key);
+
+  DesBlock encrypt(DesBlock plaintext) const noexcept;
+  DesBlock decrypt(DesBlock ciphertext) const noexcept;
+
+  /// 48-bit round key for round r (0..15), in the low 48 bits.
+  std::uint64_t round_key(int r) const noexcept { return subkeys_[static_cast<std::size_t>(r)]; }
+
+  /// First-round f-function S-box outputs: given the plaintext, returns
+  /// the 32-bit concatenation of the eight 4-bit S-box outputs of round 1
+  /// (before the P permutation). Bit extraction helpers for DPA targets.
+  std::uint32_t first_round_sbox_outputs(DesBlock plaintext) const noexcept;
+
+  /// The 6-bit input of S-box `box` in round 1 for this plaintext.
+  std::uint8_t first_round_sbox_input(DesBlock plaintext, int box) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 16> subkeys_{};
+};
+
+}  // namespace qdi::crypto

@@ -1,0 +1,126 @@
+#include "qdi/dpa/cpa.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "qdi/crypto/aes.hpp"
+#include "qdi/crypto/des.hpp"
+
+namespace qdi::dpa {
+
+LeakageModel aes_sbox_hw_model(int byte) {
+  return [byte](std::span<const std::uint8_t> pt, unsigned guess) -> double {
+    const std::uint8_t x = static_cast<std::uint8_t>(
+        pt[static_cast<std::size_t>(byte)] ^ static_cast<std::uint8_t>(guess));
+    return static_cast<double>(std::popcount(static_cast<unsigned>(crypto::aes_sbox(x))));
+  };
+}
+
+LeakageModel aes_xor_hw_model(int byte) {
+  return [byte](std::span<const std::uint8_t> pt, unsigned guess) -> double {
+    const std::uint8_t x = static_cast<std::uint8_t>(
+        pt[static_cast<std::size_t>(byte)] ^ static_cast<std::uint8_t>(guess));
+    return static_cast<double>(std::popcount(static_cast<unsigned>(x)));
+  };
+}
+
+LeakageModel des_sbox_hw_model(int box) {
+  return [box](std::span<const std::uint8_t> pt, unsigned guess) -> double {
+    const std::uint8_t x = static_cast<std::uint8_t>((pt[0] ^ guess) & 0x3f);
+    return static_cast<double>(
+        std::popcount(static_cast<unsigned>(crypto::des_sbox(box, x))));
+  };
+}
+
+std::size_t CpaResult::rank_of(unsigned key) const {
+  assert(key < correlation.size());
+  const double ref = correlation[key];
+  std::size_t rank = 0;
+  for (double r : correlation)
+    if (r > ref) ++rank;
+  return rank;
+}
+
+namespace {
+
+/// One-pass correlation of the model column h against all samples:
+/// rho[j] = cov(h, s_j) / (sigma_h * sigma_{s_j}).
+std::vector<double> correlation_columns(const TraceSet& ts,
+                                        std::span<const double> h,
+                                        std::size_t n) {
+  const std::size_t m = ts.num_samples();
+  double sum_h = 0.0, sum_h2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_h += h[i];
+    sum_h2 += h[i] * h[i];
+  }
+  std::vector<double> sum_s(m, 0.0), sum_s2(m, 0.0), sum_hs(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = ts.trace(i).samples();
+    const double hi = h[i];
+    for (std::size_t j = 0; j < m; ++j) {
+      sum_s[j] += s[j];
+      sum_s2[j] += s[j] * s[j];
+      sum_hs[j] += hi * s[j];
+    }
+  }
+  std::vector<double> rho(m, 0.0);
+  const double nn = static_cast<double>(n);
+  const double var_h = sum_h2 - sum_h * sum_h / nn;
+  if (var_h <= 0.0) return rho;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double var_s = sum_s2[j] - sum_s[j] * sum_s[j] / nn;
+    if (var_s <= 0.0) continue;
+    const double cov = sum_hs[j] - sum_h * sum_s[j] / nn;
+    rho[j] = cov / std::sqrt(var_h * var_s);
+  }
+  return rho;
+}
+
+}  // namespace
+
+std::vector<double> cpa_correlation_trace(const TraceSet& ts,
+                                          const LeakageModel& model,
+                                          unsigned guess, std::size_t prefix) {
+  const std::size_t n = (prefix == 0) ? ts.size() : std::min(prefix, ts.size());
+  std::vector<double> h(n);
+  for (std::size_t i = 0; i < n; ++i) h[i] = model(ts.plaintext(i), guess);
+  return correlation_columns(ts, h, n);
+}
+
+CpaResult cpa_attack(const TraceSet& ts, const LeakageModel& model,
+                     unsigned num_guesses, std::size_t prefix,
+                     std::size_t window_lo, std::size_t window_hi) {
+  CpaResult res;
+  res.correlation.resize(num_guesses, 0.0);
+  const std::size_t m = ts.num_samples();
+  const std::size_t hi = (window_hi == 0) ? m : std::min(window_hi, m);
+
+  for (unsigned g = 0; g < num_guesses; ++g) {
+    const std::vector<double> rho = cpa_correlation_trace(ts, model, g, prefix);
+    double best = 0.0;
+    std::size_t best_j = window_lo;
+    for (std::size_t j = window_lo; j < hi; ++j) {
+      const double a = std::fabs(rho[j]);
+      if (a > best) {
+        best = a;
+        best_j = j;
+      }
+    }
+    res.correlation[g] = best;
+    if (best > res.best_rho) {
+      res.best_rho = best;
+      res.best_guess = g;
+      res.best_sample = best_j;
+    }
+  }
+  res.second_rho = 0.0;
+  for (unsigned g = 0; g < num_guesses; ++g)
+    if (g != res.best_guess)
+      res.second_rho = std::max(res.second_rho, res.correlation[g]);
+  return res;
+}
+
+}  // namespace qdi::dpa

@@ -1,0 +1,52 @@
+// Simple Power Analysis utilities — the paper's introduction motivates
+// both SPA and DPA; SPA inspects *individual* traces for operation-level
+// structure. For four-phase QDI circuits the natural SPA questions are:
+// where are the handshake cycles, how much charge does each move, and do
+// two traces differ visibly (they must not, on a balanced block).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qdi/power/trace.hpp"
+
+namespace qdi::dpa {
+
+struct ActivityBurst {
+  std::size_t start = 0;   ///< first sample above threshold
+  std::size_t end = 0;     ///< one past the last sample above threshold
+  double charge_fc = 0.0;  ///< integrated charge of the burst
+  double peak_ua = 0.0;
+};
+
+/// Segment a trace into activity bursts: maximal runs of samples above
+/// `threshold_ua` separated by at least `min_gap` quiet samples. On a
+/// four-phase QDI trace the bursts are the protocol phases.
+std::vector<ActivityBurst> find_bursts(const power::PowerTrace& trace,
+                                       double threshold_ua,
+                                       std::size_t min_gap = 4);
+
+/// Largest absolute point-wise difference between two traces of equal
+/// geometry — the SPA distinguishability of two operations. A balanced
+/// QDI block yields ~0 between any two codewords of the same operation.
+double spa_distance(const power::PowerTrace& a, const power::PowerTrace& b);
+
+/// Simple matched filter: cross-correlate `pattern` over `trace` and
+/// return the offset with the highest normalized correlation — locating
+/// a known operation inside a longer acquisition.
+struct MatchResult {
+  std::size_t offset = 0;
+  double correlation = 0.0;
+};
+MatchResult locate_pattern(const power::PowerTrace& trace,
+                           const power::PowerTrace& pattern);
+
+/// Trace-set realignment: clockless circuits give the attacker no
+/// trigger edge, so acquisitions are mutually shifted (see
+/// Acquisition::start_jitter_ps). This pass aligns every trace to the
+/// first one by maximizing the sample cross-correlation over left shifts
+/// in [0, max_shift_samples], shifting in place (tail zero-padded).
+/// Returns the number of traces that were moved.
+std::size_t realign_traces(class TraceSet& ts, std::size_t max_shift_samples);
+
+}  // namespace qdi::dpa

@@ -1,0 +1,45 @@
+// Acquisition container: N power signals S_ij plus the plaintext (and
+// optional ciphertext) that produced each one — the inputs of the DPA
+// algorithm of section IV.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qdi/power/trace.hpp"
+
+namespace qdi::dpa {
+
+class TraceSet {
+ public:
+  /// Append one acquisition. All traces must share geometry.
+  void add(power::PowerTrace trace, std::vector<std::uint8_t> plaintext,
+           std::vector<std::uint8_t> ciphertext = {});
+
+  std::size_t size() const noexcept { return traces_.size(); }
+  std::size_t num_samples() const noexcept {
+    return traces_.empty() ? 0 : traces_.front().size();
+  }
+
+  const power::PowerTrace& trace(std::size_t i) const { return traces_.at(i); }
+  /// Mutable access for preprocessing passes (realignment, filtering).
+  power::PowerTrace& mutable_trace(std::size_t i) { return traces_.at(i); }
+  std::span<const std::uint8_t> plaintext(std::size_t i) const {
+    return plaintexts_.at(i);
+  }
+  std::span<const std::uint8_t> ciphertext(std::size_t i) const {
+    return ciphertexts_.at(i);
+  }
+
+  /// Restrict to the first n acquisitions (view semantics are not needed;
+  /// MTD scans pass an explicit prefix length to the analysis instead).
+  void truncate(std::size_t n);
+
+ private:
+  std::vector<power::PowerTrace> traces_;
+  std::vector<std::vector<std::uint8_t>> plaintexts_;
+  std::vector<std::vector<std::uint8_t>> ciphertexts_;
+};
+
+}  // namespace qdi::dpa

@@ -1,0 +1,105 @@
+#include "qdi/dpa/spa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qdi/dpa/trace_set.hpp"
+#include "qdi/util/stats.hpp"
+
+namespace qdi::dpa {
+
+std::vector<ActivityBurst> find_bursts(const power::PowerTrace& trace,
+                                       double threshold_ua,
+                                       std::size_t min_gap) {
+  std::vector<ActivityBurst> bursts;
+  const std::size_t n = trace.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (std::fabs(trace[i]) < threshold_ua) {
+      ++i;
+      continue;
+    }
+    ActivityBurst b;
+    b.start = i;
+    std::size_t quiet = 0;
+    std::size_t last_active = i;
+    while (i < n) {
+      if (std::fabs(trace[i]) >= threshold_ua) {
+        quiet = 0;
+        last_active = i;
+        b.charge_fc += trace[i] * trace.dt_ps();
+        b.peak_ua = std::max(b.peak_ua, std::fabs(trace[i]));
+      } else if (++quiet > min_gap) {
+        break;
+      }
+      ++i;
+    }
+    b.end = last_active + 1;
+    bursts.push_back(b);
+  }
+  return bursts;
+}
+
+double spa_distance(const power::PowerTrace& a, const power::PowerTrace& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  double d = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    d = std::max(d, std::fabs(a[j] - b[j]));
+  return d;
+}
+
+namespace {
+/// Cross-correlation score between reference and trace shifted left by s.
+double shift_score(const power::PowerTrace& ref, const power::PowerTrace& t,
+                   std::size_t s) {
+  const std::size_t n = ref.size() - s;
+  double sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) sum += ref[j] * t[j + s];
+  return sum;
+}
+}  // namespace
+
+std::size_t realign_traces(TraceSet& ts, std::size_t max_shift_samples) {
+  if (ts.size() < 2 || ts.num_samples() == 0) return 0;
+  const power::PowerTrace& ref = ts.trace(0);
+  const std::size_t max_s = std::min(max_shift_samples, ref.size() - 1);
+
+  std::size_t moved = 0;
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    power::PowerTrace& t = ts.mutable_trace(i);
+    std::size_t best_s = 0;
+    double best = shift_score(ref, t, 0);
+    for (std::size_t s = 1; s <= max_s; ++s) {
+      const double score = shift_score(ref, t, s);
+      if (score > best) {
+        best = score;
+        best_s = s;
+      }
+    }
+    if (best_s == 0) continue;
+    ++moved;
+    const std::size_t n = t.size();
+    for (std::size_t j = 0; j + best_s < n; ++j) t[j] = t[j + best_s];
+    for (std::size_t j = n - best_s; j < n; ++j) t[j] = 0.0;
+  }
+  return moved;
+}
+
+MatchResult locate_pattern(const power::PowerTrace& trace,
+                           const power::PowerTrace& pattern) {
+  MatchResult best;
+  if (pattern.size() == 0 || pattern.size() > trace.size()) return best;
+  const std::size_t m = pattern.size();
+  std::vector<double> window(m);
+  for (std::size_t off = 0; off + m <= trace.size(); ++off) {
+    for (std::size_t j = 0; j < m; ++j) window[j] = trace[off + j];
+    const double rho = util::pearson(window, pattern.samples());
+    if (rho > best.correlation) {
+      best.correlation = rho;
+      best.offset = off;
+    }
+  }
+  return best;
+}
+
+}  // namespace qdi::dpa

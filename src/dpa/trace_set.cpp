@@ -1,0 +1,22 @@
+#include "qdi/dpa/trace_set.hpp"
+
+#include <cassert>
+
+namespace qdi::dpa {
+
+void TraceSet::add(power::PowerTrace trace, std::vector<std::uint8_t> plaintext,
+                   std::vector<std::uint8_t> ciphertext) {
+  assert(traces_.empty() || trace.size() == traces_.front().size());
+  traces_.push_back(std::move(trace));
+  plaintexts_.push_back(std::move(plaintext));
+  ciphertexts_.push_back(std::move(ciphertext));
+}
+
+void TraceSet::truncate(std::size_t n) {
+  if (n >= traces_.size()) return;
+  traces_.resize(n);
+  plaintexts_.resize(n);
+  ciphertexts_.resize(n);
+}
+
+}  // namespace qdi::dpa

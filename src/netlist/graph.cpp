@@ -1,0 +1,188 @@
+#include "qdi/netlist/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <sstream>
+
+namespace qdi::netlist {
+
+Graph::Graph(const Netlist& nl) : nl_(&nl) {
+  const std::size_t n = nl.num_cells();
+  succ_.assign(n, {});
+  pred_.assign(n, {});
+
+  for (CellId c = 0; c < n; ++c) {
+    const Cell& cell = nl.cell(c);
+    if (cell.output == kNoNet) continue;
+    for (const Pin& p : nl.net(cell.output).sinks) {
+      succ_[c].push_back(p.cell);
+      pred_[p.cell].push_back(c);
+    }
+  }
+  levelize();
+}
+
+void Graph::levelize() {
+  const std::size_t n = succ_.size();
+  // Kahn's algorithm with cycle-cutting at Muller gates: an edge u->v is a
+  // "feedback" edge when v is a Muller gate and the edge closes a cycle.
+  // We approximate by ignoring, for in-degree purposes, edges into Muller
+  // gates coming from cells that are not yet resolvable — implemented as:
+  // run Kahn normally; when it stalls, force-release the unresolved Muller
+  // gate with the smallest id (its remaining inputs are feedback).
+  std::vector<int> indeg(n, 0);
+  for (CellId c = 0; c < n; ++c)
+    for (CellId s : succ_[c]) indeg[s]++;
+
+  level_.assign(n, 0);
+  topo_.clear();
+  topo_.reserve(n);
+  comb_cycle_ = false;
+
+  std::vector<char> done(n, 0);
+  std::priority_queue<CellId, std::vector<CellId>, std::greater<>> ready;
+  for (CellId c = 0; c < n; ++c)
+    if (indeg[c] == 0) ready.push(c);
+
+  std::size_t resolved = 0;
+  while (resolved < n) {
+    if (ready.empty()) {
+      // Stall: every unresolved cell is on a cycle. Release the smallest
+      // unresolved Muller gate; if none exists the cycle is combinational.
+      CellId pick = kNoCell;
+      for (CellId c = 0; c < n; ++c) {
+        if (!done[c] && is_muller(nl_->cell(c).kind)) {
+          pick = c;
+          break;
+        }
+      }
+      if (pick == kNoCell) {
+        comb_cycle_ = true;
+        // Fall back: release the smallest unresolved cell to terminate.
+        for (CellId c = 0; c < n; ++c)
+          if (!done[c]) {
+            pick = c;
+            break;
+          }
+      }
+      indeg[pick] = 0;
+      ready.push(pick);
+      continue;
+    }
+    const CellId c = ready.top();
+    ready.pop();
+    if (done[c]) continue;
+    done[c] = 1;
+    ++resolved;
+    topo_.push_back(c);
+
+    // Level: 1 + max level of resolved predecessors (unresolved ones are
+    // feedback and do not constrain the level). Input pseudo-cells stay 0.
+    int lvl = 0;
+    for (CellId p : pred_[c])
+      if (done[p]) lvl = std::max(lvl, level_[p] + 1);
+    if (nl_->cell(c).kind == CellKind::Input) lvl = 0;
+    level_[c] = lvl;
+
+    for (CellId s : succ_[c]) {
+      if (--indeg[s] == 0 && !done[s]) ready.push(s);
+    }
+  }
+
+  nc_ = 0;
+  for (CellId c = 0; c < n; ++c)
+    if (!is_pseudo(nl_->cell(c).kind)) nc_ = std::max(nc_, level_[c]);
+
+  by_level_.assign(static_cast<std::size_t>(nc_) + 1, {});
+  for (CellId c = 0; c < n; ++c) {
+    if (nl_->cell(c).kind == CellKind::Output) continue;
+    const int l = std::min(level_[c], nc_);
+    by_level_[static_cast<std::size_t>(l)].push_back(c);
+  }
+}
+
+std::vector<std::size_t> Graph::level_occupancy() const {
+  std::vector<std::size_t> occ;
+  occ.reserve(by_level_.size() > 0 ? by_level_.size() - 1 : 0);
+  for (std::size_t l = 1; l < by_level_.size(); ++l)
+    occ.push_back(by_level_[l].size());
+  return occ;
+}
+
+std::vector<CellId> Graph::fanin_cone(NetId net) const {
+  std::vector<CellId> cone;
+  std::vector<char> seen(succ_.size(), 0);
+  std::vector<CellId> stack;
+  const CellId root = nl_->net(net).driver;
+  if (root == kNoCell) return cone;
+  stack.push_back(root);
+  seen[root] = 1;
+  while (!stack.empty()) {
+    const CellId c = stack.back();
+    stack.pop_back();
+    cone.push_back(c);
+    for (CellId p : pred_[c]) {
+      // Do not traverse feedback into a deeper level: only walk edges that
+      // decrease or keep the level, which terminates on cyclic graphs.
+      if (!seen[p] && level_[p] <= level_[c]) {
+        seen[p] = 1;
+        stack.push_back(p);
+      }
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+namespace {
+void emit_vertex(std::ostringstream& os, const Netlist& nl, CellId c, int level) {
+  const Cell& cell = nl.cell(c);
+  os << "  c" << c << " [label=\"" << cell.name << "\\n"
+     << name(cell.kind) << " L" << level << "\"";
+  if (is_muller(cell.kind)) os << ", shape=circle";
+  if (is_pseudo(cell.kind)) os << ", shape=plaintext";
+  os << "];\n";
+}
+}  // namespace
+
+std::string Graph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph \"" << nl_->name() << "\" {\n  rankdir=LR;\n";
+  for (CellId c = 0; c < succ_.size(); ++c) emit_vertex(os, *nl_, c, level_[c]);
+  for (CellId c = 0; c < succ_.size(); ++c) {
+    const Cell& cell = nl_->cell(c);
+    if (cell.output == kNoNet) continue;
+    const Net& net = nl_->net(cell.output);
+    for (const Pin& p : net.sinks) {
+      os << "  c" << c << " -> c" << p.cell << " [label=\"" << net.name << "\\n"
+         << net.cap_ff << "fF\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string Graph::cone_to_dot(NetId root) const {
+  const std::vector<CellId> cone = fanin_cone(root);
+  std::vector<char> in_cone(succ_.size(), 0);
+  for (CellId c : cone) in_cone[c] = 1;
+
+  std::ostringstream os;
+  os << "digraph \"" << nl_->name() << "_cone\" {\n  rankdir=LR;\n";
+  for (CellId c : cone) emit_vertex(os, *nl_, c, level_[c]);
+  for (CellId c : cone) {
+    const Cell& cell = nl_->cell(c);
+    if (cell.output == kNoNet) continue;
+    const Net& net = nl_->net(cell.output);
+    for (const Pin& p : net.sinks) {
+      if (!in_cone[p.cell]) continue;
+      os << "  c" << c << " -> c" << p.cell << " [label=\"" << net.name << "\\n"
+         << net.cap_ff << "fF\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace qdi::netlist

@@ -1,0 +1,161 @@
+// Gate-level netlist container. This is the "V and E" of the paper's
+// annotated directed graph G(V,E) (fig. 5): cells are vertices, nets are
+// hyper-edges from one driver to its sinks, and each net carries the
+// physical annotations (load capacitance, wirelength) that the electrical
+// model of section III consumes.
+//
+// The netlist also owns the *dual-rail channel registry*: the pairs
+// (rail0, rail1) over which section VI's dissymmetry criterion
+// dA = |Cl0 - Cl1| / min(Cl0, Cl1) is evaluated.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "qdi/netlist/cell_kind.hpp"
+
+namespace qdi::netlist {
+
+using CellId = std::uint32_t;
+using NetId = std::uint32_t;
+inline constexpr CellId kNoCell = std::numeric_limits<CellId>::max();
+inline constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
+
+/// Default net load used before extraction. The paper's electrical
+/// validation (section V) uses Cd = 8 fF as the default net capacitance.
+inline constexpr double kDefaultNetCapFf = 8.0;
+
+/// A sink pin: input pin `pin` of cell `cell`.
+struct Pin {
+  CellId cell = kNoCell;
+  int pin = 0;
+
+  friend bool operator==(const Pin&, const Pin&) = default;
+};
+
+struct Net {
+  std::string name;
+  CellId driver = kNoCell;
+  std::vector<Pin> sinks;
+
+  // --- physical annotations (back-annotated by pnr extraction) ---
+  double cap_ff = kDefaultNetCapFf;  ///< total load capacitance C = Cl+Cpar+Csc
+  double wirelength_um = 0.0;        ///< routing estimate, 0 before extraction
+};
+
+struct Cell {
+  std::string name;
+  CellKind kind = CellKind::Buf;
+  std::vector<NetId> inputs;  ///< size == info(kind).num_inputs
+  NetId output = kNoNet;
+  /// Hierarchical block path ("aes_core/addkey0"). The hierarchical
+  /// place-and-route flow (section VI) constrains all cells sharing a
+  /// top-level prefix into one region.
+  std::string hier;
+};
+
+/// A 1-of-N channel: `rails[v]` is the wire that goes high to transmit
+/// value v. Dual-rail channels have N == 2. `ack` is the acknowledge wire
+/// of the four-phase handshake (kNoNet for internal, un-acked channels).
+struct Channel {
+  std::string name;
+  std::vector<NetId> rails;
+  NetId ack = kNoNet;
+
+  std::size_t arity() const noexcept { return rails.size(); }
+};
+
+using ChannelId = std::uint32_t;
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // ---- construction -----------------------------------------------------
+
+  /// Create a named net with no driver yet.
+  NetId add_net(std::string name);
+
+  /// Create a cell driving `output`; registers the sink pins on each input
+  /// net and the driver on the output net. The number of inputs must match
+  /// the kind's arity. Returns the new cell id.
+  CellId add_cell(CellKind kind, std::string name, std::vector<NetId> inputs,
+                  NetId output, std::string hier = {});
+
+  /// Create a primary input: an Input pseudo-cell plus its net.
+  NetId add_input(std::string name, std::string hier = {});
+
+  /// Mark `net` as a primary output by attaching an Output pseudo-cell.
+  CellId mark_output(NetId net, std::string name, std::string hier = {});
+
+  /// Register a 1-of-N channel over existing nets. Returns its id.
+  ChannelId add_channel(std::string name, std::vector<NetId> rails,
+                        NetId ack = kNoNet);
+
+  // ---- access -----------------------------------------------------------
+
+  std::size_t num_cells() const noexcept { return cells_.size(); }
+  std::size_t num_nets() const noexcept { return nets_.size(); }
+  std::size_t num_channels() const noexcept { return channels_.size(); }
+
+  const Cell& cell(CellId id) const { return cells_.at(id); }
+  Cell& cell(CellId id) { return cells_.at(id); }
+  const Net& net(NetId id) const { return nets_.at(id); }
+  Net& net(NetId id) { return nets_.at(id); }
+  const Channel& channel(ChannelId id) const { return channels_.at(id); }
+
+  const std::vector<Cell>& cells() const noexcept { return cells_; }
+  const std::vector<Net>& nets() const noexcept { return nets_; }
+  const std::vector<Channel>& channels() const noexcept { return channels_; }
+
+  /// Primary input nets (outputs of Input pseudo-cells), in creation order.
+  const std::vector<NetId>& primary_inputs() const noexcept { return inputs_; }
+  /// Primary output nets, in creation order.
+  const std::vector<NetId>& primary_outputs() const noexcept { return outputs_; }
+
+  /// Find a net/cell/channel by exact name; kNoNet/kNoCell/nullptr-like
+  /// sentinel when absent. Linear scan: intended for tests and examples,
+  /// not inner loops.
+  NetId find_net(std::string_view name) const noexcept;
+  CellId find_cell(std::string_view name) const noexcept;
+  ChannelId find_channel(std::string_view name) const noexcept;
+  static constexpr ChannelId kNoChannel = std::numeric_limits<ChannelId>::max();
+
+  /// Count of non-pseudo cells (real gates).
+  std::size_t num_gates() const noexcept;
+
+  /// Per-kind cell histogram, indexed by static_cast<int>(CellKind).
+  std::vector<std::size_t> kind_histogram() const;
+
+  /// Total transistor count of all real gates (area proxy).
+  std::size_t transistor_count() const noexcept;
+
+  // ---- annotations ------------------------------------------------------
+
+  /// Set every net's capacitance back to `cap_ff` (used to reset between
+  /// place-and-route runs).
+  void reset_caps(double cap_ff = kDefaultNetCapFf);
+
+  // ---- integrity --------------------------------------------------------
+
+  /// Structural well-formedness diagnostics: multiply-driven nets,
+  /// driverless non-input nets, floating nets, arity mismatches, channels
+  /// over missing nets. Empty result means the netlist is sound.
+  std::vector<std::string> check() const;
+
+ private:
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<Channel> channels_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+};
+
+}  // namespace qdi::netlist

@@ -1,0 +1,41 @@
+// Logical-symmetry verification of dual-rail data paths.
+//
+// Section III of the paper: "the graphic representation ... offers the
+// opportunity to formally verify the logical symmetry of the data-path".
+// Two rails of a channel are *logically symmetric* when their fanin cones
+// are structurally isomorphic: same gate kinds level by level, same
+// connection pattern. Logical symmetry guarantees equal transition counts
+// (Nt) regardless of data; it does NOT guarantee equal capacitances —
+// that residual asymmetry is exactly the leakage eq. 12 exposes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qdi/netlist/graph.hpp"
+#include "qdi/netlist/netlist.hpp"
+
+namespace qdi::netlist {
+
+struct SymmetryReport {
+  bool symmetric = false;
+  /// Gate count of each rail's fanin cone.
+  std::size_t cone_size0 = 0;
+  std::size_t cone_size1 = 0;
+  /// Per-level gate-kind histograms match?
+  bool level_histograms_match = false;
+  /// Full recursive structural isomorphism holds?
+  bool isomorphic = false;
+  /// Human-readable mismatch diagnostics (empty when symmetric).
+  std::vector<std::string> diagnostics;
+};
+
+/// Check logical symmetry between two rails (typically channel.rails[0]
+/// and channel.rails[1]).
+SymmetryReport check_rail_symmetry(const Graph& g, NetId rail0, NetId rail1);
+
+/// Check every registered dual-rail channel of the netlist; returns one
+/// report per channel, index-aligned with netlist.channels().
+std::vector<SymmetryReport> check_all_channels(const Graph& g);
+
+}  // namespace qdi::netlist

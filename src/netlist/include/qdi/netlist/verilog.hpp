@@ -1,0 +1,32 @@
+// Structural Verilog export. Produces a gate-level module instantiating
+// the QDI cell library (plus behavioural `celldefine` models for the
+// library itself, so the output is self-contained and simulatable by any
+// Verilog tool). Net capacitance annotations are emitted as comments so
+// a back-end flow can be replayed outside this library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qdi/netlist/netlist.hpp"
+
+namespace qdi::netlist {
+
+struct VerilogOptions {
+  bool emit_cell_models = true;  ///< prepend behavioural cell definitions
+  bool emit_cap_comments = true; ///< annotate wires with cap_ff comments
+};
+
+/// Emit the netlist as a structural Verilog module named after
+/// Netlist::name() (sanitized). Primary inputs/outputs become ports.
+void write_verilog(std::ostream& os, const Netlist& nl,
+                   const VerilogOptions& opt = {});
+
+/// Convenience: render to a string.
+std::string to_verilog(const Netlist& nl, const VerilogOptions& opt = {});
+
+/// Identifier sanitizer (slashes, '#' and dots become '_'); exposed for
+/// tests.
+std::string verilog_ident(const std::string& name);
+
+}  // namespace qdi::netlist

@@ -1,0 +1,170 @@
+#include "qdi/netlist/netlist.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace qdi::netlist {
+
+NetId Netlist::add_net(std::string name) {
+  const NetId id = static_cast<NetId>(nets_.size());
+  Net n;
+  n.name = std::move(name);
+  nets_.push_back(std::move(n));
+  return id;
+}
+
+CellId Netlist::add_cell(CellKind kind, std::string name,
+                         std::vector<NetId> inputs, NetId output,
+                         std::string hier) {
+  const auto& ki = info(kind);
+  assert(static_cast<int>(inputs.size()) == ki.num_inputs &&
+         "add_cell: input count does not match cell arity");
+  (void)ki;
+
+  const CellId id = static_cast<CellId>(cells_.size());
+  Cell c;
+  c.name = std::move(name);
+  c.kind = kind;
+  c.inputs = std::move(inputs);
+  c.output = output;
+  c.hier = std::move(hier);
+
+  for (std::size_t pin = 0; pin < c.inputs.size(); ++pin) {
+    assert(c.inputs[pin] < nets_.size() && "add_cell: unknown input net");
+    nets_[c.inputs[pin]].sinks.push_back(Pin{id, static_cast<int>(pin)});
+  }
+  if (output != kNoNet) {
+    assert(output < nets_.size() && "add_cell: unknown output net");
+    assert(nets_[output].driver == kNoCell && "add_cell: net already driven");
+    nets_[output].driver = id;
+  }
+  cells_.push_back(std::move(c));
+  return id;
+}
+
+NetId Netlist::add_input(std::string name, std::string hier) {
+  const NetId net = add_net(name);
+  add_cell(CellKind::Input, name + ".in", {}, net, std::move(hier));
+  inputs_.push_back(net);
+  return net;
+}
+
+CellId Netlist::mark_output(NetId net, std::string name, std::string hier) {
+  const CellId c =
+      add_cell(CellKind::Output, std::move(name), {net}, kNoNet, std::move(hier));
+  outputs_.push_back(net);
+  return c;
+}
+
+ChannelId Netlist::add_channel(std::string name, std::vector<NetId> rails,
+                               NetId ack) {
+  assert(rails.size() >= 2 && "channel needs at least two rails (1-of-N)");
+  const ChannelId id = static_cast<ChannelId>(channels_.size());
+  Channel ch;
+  ch.name = std::move(name);
+  ch.rails = std::move(rails);
+  ch.ack = ack;
+  channels_.push_back(std::move(ch));
+  return id;
+}
+
+NetId Netlist::find_net(std::string_view name) const noexcept {
+  for (NetId i = 0; i < nets_.size(); ++i)
+    if (nets_[i].name == name) return i;
+  return kNoNet;
+}
+
+CellId Netlist::find_cell(std::string_view name) const noexcept {
+  for (CellId i = 0; i < cells_.size(); ++i)
+    if (cells_[i].name == name) return i;
+  return kNoCell;
+}
+
+ChannelId Netlist::find_channel(std::string_view name) const noexcept {
+  for (ChannelId i = 0; i < channels_.size(); ++i)
+    if (channels_[i].name == name) return i;
+  return kNoChannel;
+}
+
+std::size_t Netlist::num_gates() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : cells_)
+    if (!is_pseudo(c.kind)) ++n;
+  return n;
+}
+
+std::vector<std::size_t> Netlist::kind_histogram() const {
+  std::vector<std::size_t> hist(kNumCellKinds, 0);
+  for (const auto& c : cells_) ++hist[static_cast<int>(c.kind)];
+  return hist;
+}
+
+std::size_t Netlist::transistor_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : cells_) n += info(c.kind).transistor_count;
+  return n;
+}
+
+void Netlist::reset_caps(double cap_ff) {
+  for (auto& n : nets_) {
+    n.cap_ff = cap_ff;
+    n.wirelength_um = 0.0;
+  }
+}
+
+std::vector<std::string> Netlist::check() const {
+  std::vector<std::string> issues;
+  auto complain = [&](const std::string& msg) { issues.push_back(msg); };
+
+  for (NetId i = 0; i < nets_.size(); ++i) {
+    const Net& n = nets_[i];
+    if (n.driver == kNoCell)
+      complain("net '" + n.name + "' has no driver");
+    if (n.driver == kNoCell && n.sinks.empty())
+      complain("net '" + n.name + "' is floating (no driver, no sinks)");
+    if (n.cap_ff <= 0.0) {
+      std::ostringstream os;
+      os << "net '" << n.name << "' has non-positive capacitance " << n.cap_ff;
+      complain(os.str());
+    }
+    for (const Pin& p : n.sinks) {
+      if (p.cell >= cells_.size()) {
+        complain("net '" + n.name + "' has sink on unknown cell");
+        continue;
+      }
+      const Cell& c = cells_[p.cell];
+      if (p.pin < 0 || p.pin >= static_cast<int>(c.inputs.size()) ||
+          c.inputs[static_cast<std::size_t>(p.pin)] != i)
+        complain("net '" + n.name + "' sink pin inconsistent with cell '" +
+                 c.name + "'");
+    }
+  }
+
+  for (CellId i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    if (static_cast<int>(c.inputs.size()) != info(c.kind).num_inputs)
+      complain("cell '" + c.name + "' arity mismatch");
+    if (c.kind != CellKind::Output && c.output == kNoNet)
+      complain("cell '" + c.name + "' drives no net");
+    if (c.output != kNoNet) {
+      if (c.output >= nets_.size())
+        complain("cell '" + c.name + "' drives unknown net");
+      else if (nets_[c.output].driver != i)
+        complain("cell '" + c.name + "' driver link broken on net '" +
+                 nets_[c.output].name + "'");
+    }
+  }
+
+  for (const Channel& ch : channels_) {
+    for (NetId r : ch.rails)
+      if (r >= nets_.size())
+        complain("channel '" + ch.name + "' references unknown rail net");
+    if (ch.ack != kNoNet && ch.ack >= nets_.size())
+      complain("channel '" + ch.name + "' references unknown ack net");
+    if (ch.rails.size() < 2)
+      complain("channel '" + ch.name + "' has fewer than 2 rails");
+  }
+  return issues;
+}
+
+}  // namespace qdi::netlist

@@ -1,0 +1,155 @@
+#include "qdi/netlist/symmetry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace qdi::netlist {
+
+namespace {
+
+/// Canonical structural signature of a cell's fanin cone, computed
+/// bottom-up with memoization. Two cones are isomorphic iff their root
+/// signatures are equal. Inputs are canonicalized by arrival order of
+/// sorted child signatures, so pin permutations of commutative gates do
+/// not break the match (all gates in the QDI library are commutative
+/// except the reset pin of Muller*R, which is kept positional).
+class ConeSignature {
+ public:
+  ConeSignature(const Graph& g) : g_(g) {}
+
+  const std::string& signature(CellId c) {
+    auto it = memo_.find(c);
+    if (it != memo_.end()) return it->second;
+    // Mark in-progress to terminate on feedback loops: a cycle back into
+    // an in-progress cell contributes a fixed token.
+    auto [slot, inserted] = memo_.emplace(c, "@cycle");
+    if (!inserted) return slot->second;
+
+    const Cell& cell = g_.netlist().cell(c);
+    std::ostringstream os;
+    os << name(cell.kind);
+    if (cell.kind == CellKind::Input) {
+      // Primary inputs are leaves; they match any other primary input so
+      // that e.g. (a0,b0) cone matches (a1,b1) cone.
+      os << "()";
+      slot->second = os.str();
+      return slot->second;
+    }
+
+    std::vector<std::string> kids;
+    const bool has_reset = info(cell.kind).has_reset;
+    const std::size_t data_pins =
+        cell.inputs.size() - (has_reset ? 1u : 0u);
+    for (std::size_t pin = 0; pin < data_pins; ++pin) {
+      const CellId drv = g_.netlist().net(cell.inputs[pin]).driver;
+      // Only descend monotonically in level (feedback edges excluded),
+      // mirroring Graph::fanin_cone.
+      if (drv == kNoCell) {
+        kids.emplace_back("@undriven");
+      } else if (g_.level(drv) <= g_.level(c)) {
+        kids.push_back(signature(drv));
+      } else {
+        kids.emplace_back("@feedback");
+      }
+    }
+    std::sort(kids.begin(), kids.end());
+    os << '(';
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      if (i) os << ',';
+      os << kids[i];
+    }
+    if (has_reset) os << ";rst";
+    os << ')';
+    slot->second = os.str();
+    return slot->second;
+  }
+
+ private:
+  const Graph& g_;
+  std::map<CellId, std::string> memo_;
+};
+
+/// kind -> count histogram per level of the cone.
+std::map<int, std::map<CellKind, std::size_t>> level_histogram(
+    const Graph& g, const std::vector<CellId>& cone) {
+  std::map<int, std::map<CellKind, std::size_t>> h;
+  for (CellId c : cone) {
+    const CellKind k = g.netlist().cell(c).kind;
+    if (is_pseudo(k)) continue;
+    ++h[g.level(c)][k];
+  }
+  return h;
+}
+
+}  // namespace
+
+SymmetryReport check_rail_symmetry(const Graph& g, NetId rail0, NetId rail1) {
+  SymmetryReport rep;
+  const auto cone0 = g.fanin_cone(rail0);
+  const auto cone1 = g.fanin_cone(rail1);
+  rep.cone_size0 = cone0.size();
+  rep.cone_size1 = cone1.size();
+
+  if (cone0.size() != cone1.size()) {
+    std::ostringstream os;
+    os << "cone sizes differ: " << cone0.size() << " vs " << cone1.size();
+    rep.diagnostics.push_back(os.str());
+  }
+
+  const auto h0 = level_histogram(g, cone0);
+  const auto h1 = level_histogram(g, cone1);
+  rep.level_histograms_match = (h0 == h1);
+  if (!rep.level_histograms_match) {
+    for (const auto& [lvl, kinds] : h0) {
+      auto it = h1.find(lvl);
+      if (it == h1.end() || it->second != kinds) {
+        std::ostringstream os;
+        os << "level " << lvl << " gate-kind histograms differ";
+        rep.diagnostics.push_back(os.str());
+      }
+    }
+    for (const auto& [lvl, kinds] : h1) {
+      (void)kinds;
+      if (h0.find(lvl) == h0.end()) {
+        std::ostringstream os;
+        os << "level " << lvl << " present only in rail1 cone";
+        rep.diagnostics.push_back(os.str());
+      }
+    }
+  }
+
+  const CellId d0 = g.netlist().net(rail0).driver;
+  const CellId d1 = g.netlist().net(rail1).driver;
+  if (d0 == kNoCell || d1 == kNoCell) {
+    rep.diagnostics.emplace_back("one of the rails is undriven");
+    rep.isomorphic = false;
+  } else {
+    ConeSignature sig(g);
+    rep.isomorphic = (sig.signature(d0) == sig.signature(d1));
+    if (!rep.isomorphic)
+      rep.diagnostics.emplace_back("cone structural signatures differ");
+  }
+
+  rep.symmetric = rep.level_histograms_match && rep.isomorphic &&
+                  rep.cone_size0 == rep.cone_size1;
+  return rep;
+}
+
+std::vector<SymmetryReport> check_all_channels(const Graph& g) {
+  std::vector<SymmetryReport> out;
+  out.reserve(g.netlist().num_channels());
+  for (const Channel& ch : g.netlist().channels()) {
+    // For 1-of-N channels every rail must be symmetric to rail 0; report
+    // the worst pair.
+    SymmetryReport worst = check_rail_symmetry(g, ch.rails[0], ch.rails[1]);
+    for (std::size_t r = 2; r < ch.rails.size(); ++r) {
+      SymmetryReport rep = check_rail_symmetry(g, ch.rails[0], ch.rails[r]);
+      if (!rep.symmetric && worst.symmetric) worst = rep;
+    }
+    out.push_back(std::move(worst));
+  }
+  return out;
+}
+
+}  // namespace qdi::netlist

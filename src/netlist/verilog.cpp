@@ -1,0 +1,147 @@
+#include "qdi/netlist/verilog.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace qdi::netlist {
+
+std::string verilog_ident(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out += ok ? ch : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), 'n');
+  return out;
+}
+
+namespace {
+
+/// Behavioural models of the QDI cell library. The Muller gates use the
+/// canonical keeper expression Z = XY + Z(X+Y) (fig. 5 of the paper).
+const char* kCellModels = R"(
+// --- QDI cell library (behavioural) ---------------------------------
+module qdi_buf(input a, output z);      assign z = a;        endmodule
+module qdi_inv(input a, output z);      assign z = ~a;       endmodule
+module qdi_and2(input a, b, output z);  assign z = a & b;    endmodule
+module qdi_and3(input a, b, c, output z); assign z = a & b & c; endmodule
+module qdi_or2(input a, b, output z);   assign z = a | b;    endmodule
+module qdi_or3(input a, b, c, output z); assign z = a | b | c; endmodule
+module qdi_or4(input a, b, c, d, output z); assign z = a | b | c | d; endmodule
+module qdi_nor2(input a, b, output z);  assign z = ~(a | b); endmodule
+module qdi_nor3(input a, b, c, output z); assign z = ~(a | b | c); endmodule
+module qdi_nor4(input a, b, c, d, output z); assign z = ~(a | b | c | d); endmodule
+module qdi_nand2(input a, b, output z); assign z = ~(a & b); endmodule
+module qdi_nand3(input a, b, c, output z); assign z = ~(a & b & c); endmodule
+module qdi_xor2(input a, b, output z);  assign z = a ^ b;    endmodule
+module qdi_xnor2(input a, b, output z); assign z = ~(a ^ b); endmodule
+module qdi_muller2(input a, b, output reg z);
+  always @(*) if (a & b) z = 1'b1; else if (~a & ~b) z = 1'b0;
+endmodule
+module qdi_muller3(input a, b, c, output reg z);
+  always @(*) if (a & b & c) z = 1'b1; else if (~a & ~b & ~c) z = 1'b0;
+endmodule
+module qdi_muller4(input a, b, c, d, output reg z);
+  always @(*) if (a & b & c & d) z = 1'b1; else if (~(a | b | c | d)) z = 1'b0;
+endmodule
+module qdi_muller2r(input a, b, rst, output reg z);
+  always @(*) if (rst) z = 1'b0; else if (a & b) z = 1'b1;
+              else if (~a & ~b) z = 1'b0;
+endmodule
+module qdi_muller3r(input a, b, c, rst, output reg z);
+  always @(*) if (rst) z = 1'b0; else if (a & b & c) z = 1'b1;
+              else if (~(a | b | c)) z = 1'b0;
+endmodule
+// ---------------------------------------------------------------------
+)";
+
+const char* module_of(CellKind kind) {
+  switch (kind) {
+    case CellKind::Buf: return "qdi_buf";
+    case CellKind::Inv: return "qdi_inv";
+    case CellKind::And2: return "qdi_and2";
+    case CellKind::And3: return "qdi_and3";
+    case CellKind::Or2: return "qdi_or2";
+    case CellKind::Or3: return "qdi_or3";
+    case CellKind::Or4: return "qdi_or4";
+    case CellKind::Nor2: return "qdi_nor2";
+    case CellKind::Nor3: return "qdi_nor3";
+    case CellKind::Nor4: return "qdi_nor4";
+    case CellKind::Nand2: return "qdi_nand2";
+    case CellKind::Nand3: return "qdi_nand3";
+    case CellKind::Xor2: return "qdi_xor2";
+    case CellKind::Xnor2: return "qdi_xnor2";
+    case CellKind::Muller2: return "qdi_muller2";
+    case CellKind::Muller3: return "qdi_muller3";
+    case CellKind::Muller4: return "qdi_muller4";
+    case CellKind::Muller2R: return "qdi_muller2r";
+    case CellKind::Muller3R: return "qdi_muller3r";
+    case CellKind::Input:
+    case CellKind::Output: return nullptr;
+  }
+  return nullptr;
+}
+
+const char* kPinNames[] = {"a", "b", "c", "d"};
+
+}  // namespace
+
+void write_verilog(std::ostream& os, const Netlist& nl,
+                   const VerilogOptions& opt) {
+  if (opt.emit_cell_models) os << kCellModels << '\n';
+
+  const std::string mod = verilog_ident(nl.name().empty() ? "top" : nl.name());
+  os << "module " << mod << "(";
+  bool first = true;
+  for (NetId in : nl.primary_inputs()) {
+    os << (first ? "" : ", ") << verilog_ident(nl.net(in).name);
+    first = false;
+  }
+  for (NetId out : nl.primary_outputs()) {
+    os << (first ? "" : ", ") << verilog_ident(nl.net(out).name);
+    first = false;
+  }
+  os << ");\n";
+  for (NetId in : nl.primary_inputs())
+    os << "  input " << verilog_ident(nl.net(in).name) << ";\n";
+  for (NetId out : nl.primary_outputs())
+    os << "  output " << verilog_ident(nl.net(out).name) << ";\n";
+
+  // Internal wires (skip ports).
+  std::vector<char> is_port(nl.num_nets(), 0);
+  for (NetId in : nl.primary_inputs()) is_port[in] = 1;
+  for (NetId out : nl.primary_outputs()) is_port[out] = 1;
+  for (NetId i = 0; i < nl.num_nets(); ++i) {
+    if (is_port[i]) continue;
+    os << "  wire " << verilog_ident(nl.net(i).name) << ";";
+    if (opt.emit_cap_comments) os << "  // " << nl.net(i).cap_ff << " fF";
+    os << '\n';
+  }
+
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const Cell& cell = nl.cell(c);
+    const char* module = module_of(cell.kind);
+    if (module == nullptr) continue;  // pseudo-cells are ports
+    os << "  " << module << " " << verilog_ident(cell.name) << " (";
+    const bool has_reset = info(cell.kind).has_reset;
+    const std::size_t data_pins = cell.inputs.size() - (has_reset ? 1 : 0);
+    for (std::size_t p = 0; p < data_pins; ++p) {
+      os << "." << kPinNames[p] << "("
+         << verilog_ident(nl.net(cell.inputs[p]).name) << "), ";
+    }
+    if (has_reset)
+      os << ".rst(" << verilog_ident(nl.net(cell.inputs.back()).name) << "), ";
+    os << ".z(" << verilog_ident(nl.net(cell.output).name) << "));\n";
+  }
+  os << "endmodule\n";
+}
+
+std::string to_verilog(const Netlist& nl, const VerilogOptions& opt) {
+  std::ostringstream os;
+  write_verilog(os, nl, opt);
+  return os.str();
+}
+
+}  // namespace qdi::netlist

@@ -1,0 +1,32 @@
+#include "qdi/pnr/extraction.hpp"
+
+#include <algorithm>
+
+namespace qdi::pnr {
+
+ExtractionSummary extract(netlist::Netlist& nl, const Placement& placement,
+                          const ExtractionParams& params) {
+  ExtractionSummary s;
+  const std::size_t n = nl.num_nets();
+  for (netlist::NetId i = 0; i < n; ++i) {
+    netlist::Net& net = nl.net(i);
+    const double wl = net_hpwl_um(nl, placement, i);
+    double driver_wl = wl;
+    if (params.repeater_distance_um > 0.0)
+      driver_wl = std::min(driver_wl, params.repeater_distance_um);
+    const double cap = std::max(
+        params.min_cap_ff,
+        params.cap_per_um_ff * driver_wl +
+            params.pin_cap_ff * static_cast<double>(net.sinks.size()) +
+            params.driver_cap_ff);
+    net.wirelength_um = wl;
+    net.cap_ff = cap;
+    s.total_wirelength_um += wl;
+    s.total_cap_ff += cap;
+    s.max_net_cap_ff = std::max(s.max_net_cap_ff, cap);
+  }
+  if (n > 0) s.mean_net_cap_ff = s.total_cap_ff / static_cast<double>(n);
+  return s;
+}
+
+}  // namespace qdi::pnr

@@ -1,0 +1,35 @@
+// Net-capacitance extraction: back-annotates every net of the netlist
+// with C = Cl(wire) + Cl(pins) from the placement's half-perimeter
+// wirelength estimate. This closes the loop of the paper's fig. 5: "these
+// annotations after the back end step permit to take into account logical
+// and real physical elements in the graph analysis".
+#pragma once
+
+#include "qdi/netlist/netlist.hpp"
+#include "qdi/pnr/placement.hpp"
+
+namespace qdi::pnr {
+
+struct ExtractionParams {
+  double cap_per_um_ff = 0.20;  ///< routing capacitance per µm of HPWL
+  double pin_cap_ff = 2.0;      ///< gate capacitance per sink pin (0.13 µm)
+  double driver_cap_ff = 1.5;   ///< driver diffusion capacitance
+  double min_cap_ff = 1.0;      ///< floor (every physical net has some C)
+  /// Repeater model: routers buffer long wires, so the capacitance seen
+  /// by the driving gate saturates at this wirelength (the rest of the
+  /// route is driven by inserted repeaters). 0 disables the cap.
+  double repeater_distance_um = 250.0;
+};
+
+struct ExtractionSummary {
+  double total_wirelength_um = 0.0;
+  double total_cap_ff = 0.0;
+  double max_net_cap_ff = 0.0;
+  double mean_net_cap_ff = 0.0;
+};
+
+/// Annotate nl's nets (cap_ff, wirelength_um) from the placement.
+ExtractionSummary extract(netlist::Netlist& nl, const Placement& placement,
+                          const ExtractionParams& params = {});
+
+}  // namespace qdi::pnr

@@ -1,0 +1,98 @@
+// Placement engine reproducing the two flows compared in section VI:
+//
+//   * flat: the whole netlist is annealed over the entire die — the
+//     conventional flow where "the tool performs multiple random runs to
+//     optimize the design, in which the designer has no control on the
+//     net capacitances";
+//   * hierarchical: cells are grouped by hierarchical block, each block
+//     is assigned a floorplan region (fig. 9) by recursive area
+//     bisection, and annealing moves are confined to the block's region —
+//     "the cells that implement a given function are gathered in a
+//     specified physical area which limits net length and dispersion".
+//
+// The placer is a classic site-grid simulated-annealing HPWL minimizer:
+// cells occupy sites of a uniform grid, moves are cell relocations or
+// swaps, cost is total half-perimeter wirelength. It is intentionally
+// seed-sensitive — Table 2's observation that "the most sensitive
+// channels are never the same from one place and route to another" is a
+// property of exactly this randomness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qdi/netlist/netlist.hpp"
+#include "qdi/util/rng.hpp"
+
+namespace qdi::pnr {
+
+enum class FlowMode {
+  Flat,          ///< AES_v2 of the paper
+  Hierarchical,  ///< AES_v1 of the paper
+};
+
+struct PlacerOptions {
+  FlowMode mode = FlowMode::Flat;
+  std::uint64_t seed = 1;
+
+  double row_height_um = 3.7;        ///< standard-cell row height (0.13 µm class)
+  double site_pitch_um = 4.0;        ///< uniform site width
+  double target_utilization = 0.65;  ///< die sizing: cell sites / total sites
+  /// Extra area factor applied to every floorplan region in hierarchical
+  /// mode (the paper reports ~20% area overhead for the constrained flow).
+  double region_padding = 1.20;
+
+  /// How many hierarchical path components define a region ("aes_core/
+  /// bytesub" with depth 2). Cells with shorter paths use what they have.
+  int region_depth = 2;
+
+  // --- annealing schedule ---
+  int moves_per_cell = 40;  ///< total move budget = moves_per_cell * cells
+  double t_initial_sites = 8.0;  ///< initial temperature, in units of site pitch
+  double t_final_sites = 0.05;
+  int stages = 60;  ///< geometric cooling steps
+};
+
+struct Region {
+  std::string name;
+  // Site-coordinate rectangle [c0, c1) x [r0, r1).
+  int c0 = 0, r0 = 0, c1 = 0, r1 = 0;
+
+  int width() const noexcept { return c1 - c0; }
+  int height() const noexcept { return r1 - r0; }
+  long capacity() const noexcept {
+    return static_cast<long>(width()) * height();
+  }
+};
+
+struct Placement {
+  struct Pos {
+    double x_um = 0.0;
+    double y_um = 0.0;
+  };
+
+  std::vector<Pos> cell_pos;  ///< indexed by CellId
+  double die_w_um = 0.0;
+  double die_h_um = 0.0;
+  std::vector<Region> regions;             ///< one entry in flat mode
+  std::vector<int> region_of_cell;         ///< region index per cell
+  double total_hpwl_um = 0.0;              ///< final cost
+  std::uint64_t seed = 0;
+  FlowMode mode = FlowMode::Flat;
+
+  double core_area_um2() const noexcept { return die_w_um * die_h_um; }
+};
+
+/// Half-perimeter wirelength of one net under a placement.
+double net_hpwl_um(const netlist::Netlist& nl, const Placement& p,
+                   netlist::NetId net);
+
+/// Run the placer.
+Placement place(const netlist::Netlist& nl, const PlacerOptions& opt);
+
+/// Region key of a cell under the given depth ("" for unhierarchized cells).
+std::string region_key(const netlist::Cell& cell, int depth);
+
+}  // namespace qdi::pnr

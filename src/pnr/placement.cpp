@@ -1,0 +1,359 @@
+#include "qdi/pnr/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "qdi/util/log.hpp"
+
+namespace qdi::pnr {
+
+using netlist::CellId;
+using netlist::kNoCell;
+using netlist::Netlist;
+using netlist::NetId;
+
+std::string region_key(const netlist::Cell& cell, int depth) {
+  if (cell.hier.empty()) return {};
+  std::size_t pos = 0;
+  for (int d = 0; d < depth; ++d) {
+    const std::size_t next = cell.hier.find('/', pos);
+    if (next == std::string::npos) return cell.hier;
+    pos = next + 1;
+  }
+  return cell.hier.substr(0, pos == 0 ? std::string::npos : pos - 1);
+}
+
+namespace {
+
+struct Rect {
+  double x0, y0, x1, y1;
+  double w() const noexcept { return x1 - x0; }
+  double h() const noexcept { return y1 - y0; }
+};
+
+/// Recursive area bisection of `rect` among items (name, weight); appends
+/// (item index -> sub-rect) assignments.
+void bisect(const Rect& rect, std::vector<std::pair<std::size_t, double>>& items,
+            std::size_t lo, std::size_t hi, std::vector<Rect>& out) {
+  if (hi - lo == 1) {
+    out[items[lo].first] = rect;
+    return;
+  }
+  // Split the item range at roughly half the total weight.
+  double total = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) total += items[i].second;
+  double acc = 0.0;
+  std::size_t cut = lo + 1;
+  for (std::size_t i = lo; i < hi - 1; ++i) {
+    acc += items[i].second;
+    if (acc >= total / 2.0) {
+      cut = i + 1;
+      break;
+    }
+    cut = i + 2;
+  }
+  cut = std::min(cut, hi - 1);
+  double w_lo = 0.0;
+  for (std::size_t i = lo; i < cut; ++i) w_lo += items[i].second;
+  const double frac = total > 0.0 ? w_lo / total : 0.5;
+
+  Rect a = rect, b = rect;
+  if (rect.w() >= rect.h()) {
+    const double xm = rect.x0 + rect.w() * frac;
+    a.x1 = xm;
+    b.x0 = xm;
+  } else {
+    const double ym = rect.y0 + rect.h() * frac;
+    a.y1 = ym;
+    b.y0 = ym;
+  }
+  bisect(a, items, lo, cut, out);
+  bisect(b, items, cut, hi, out);
+}
+
+class Annealer {
+ public:
+  Annealer(const Netlist& nl, const PlacerOptions& opt)
+      : nl_(nl), opt_(opt), rng_(opt.seed) {}
+
+  Placement run() {
+    build_regions();
+    initial_place();
+    anneal();
+    return export_placement();
+  }
+
+ private:
+  // --- geometry ------------------------------------------------------------
+
+  double site_x(int col) const noexcept {
+    return (static_cast<double>(col) + 0.5) * opt_.site_pitch_um;
+  }
+  double site_y(int row) const noexcept {
+    return (static_cast<double>(row) + 0.5) * opt_.row_height_um;
+  }
+  long site_index(int col, int row) const noexcept {
+    return static_cast<long>(row) * cols_ + col;
+  }
+
+  void build_regions() {
+    const std::size_t n = nl_.num_cells();
+    // Die sizing: enough sites for all cells at target utilization, padded
+    // in hierarchical mode.
+    double sites_needed = static_cast<double>(n) / opt_.target_utilization;
+    if (opt_.mode == FlowMode::Hierarchical) sites_needed *= opt_.region_padding;
+    // Near-square aspect with the differing pitches.
+    const double area =
+        sites_needed * opt_.site_pitch_um * opt_.row_height_um;
+    const double side = std::sqrt(area);
+    cols_ = std::max(2, static_cast<int>(std::ceil(side / opt_.site_pitch_um)));
+    rows_ = std::max(2, static_cast<int>(std::ceil(side / opt_.row_height_um)));
+
+    region_of_cell_.assign(n, 0);
+    if (opt_.mode == FlowMode::Flat) {
+      regions_.push_back(Region{"die", 0, 0, cols_, rows_});
+      return;
+    }
+
+    // Group cells by region key.
+    std::map<std::string, std::vector<CellId>> groups;
+    for (CellId c = 0; c < n; ++c)
+      groups[region_key(nl_.cell(c), opt_.region_depth)].push_back(c);
+
+    std::vector<std::pair<std::size_t, double>> items;
+    std::vector<std::string> names;
+    std::vector<std::vector<CellId>> members;
+    for (auto& [key, cells] : groups) {
+      items.emplace_back(items.size(), static_cast<double>(cells.size()));
+      names.push_back(key.empty() ? "top" : key);
+      members.push_back(std::move(cells));
+    }
+    // Largest blocks first gives better split balance.
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+
+    std::vector<Rect> rects(items.size());
+    bisect(Rect{0.0, 0.0, static_cast<double>(cols_), static_cast<double>(rows_)},
+           items, 0, items.size(), rects);
+
+    regions_.reserve(items.size());
+    for (std::size_t g = 0; g < rects.size(); ++g) {
+      const Rect& r = rects[g];
+      Region reg;
+      reg.name = names[g];
+      reg.c0 = static_cast<int>(std::floor(r.x0));
+      reg.r0 = static_cast<int>(std::floor(r.y0));
+      reg.c1 = std::max(reg.c0 + 1, static_cast<int>(std::ceil(r.x1)));
+      reg.r1 = std::max(reg.r0 + 1, static_cast<int>(std::ceil(r.y1)));
+      reg.c1 = std::min(reg.c1, cols_);
+      reg.r1 = std::min(reg.r1, rows_);
+      if (reg.capacity() < static_cast<long>(members[g].size()))
+        throw std::runtime_error("placement region '" + reg.name +
+                                 "' too small; increase region_padding");
+      const int idx = static_cast<int>(regions_.size());
+      for (CellId c : members[g]) region_of_cell_[c] = idx;
+      regions_.push_back(reg);
+    }
+  }
+
+  void initial_place() {
+    const std::size_t n = nl_.num_cells();
+    cell_site_.assign(n, -1);
+    site_cell_.assign(static_cast<std::size_t>(cols_) * rows_, kNoCell);
+
+    // Random initial assignment, region by region.
+    std::vector<std::vector<CellId>> by_region(regions_.size());
+    for (CellId c = 0; c < n; ++c)
+      by_region[static_cast<std::size_t>(region_of_cell_[c])].push_back(c);
+
+    for (std::size_t g = 0; g < regions_.size(); ++g) {
+      const Region& reg = regions_[g];
+      std::vector<long> sites;
+      sites.reserve(static_cast<std::size_t>(reg.capacity()));
+      for (int r = reg.r0; r < reg.r1; ++r)
+        for (int c = reg.c0; c < reg.c1; ++c) sites.push_back(site_index(c, r));
+      // Fisher-Yates shuffle.
+      for (std::size_t i = sites.size(); i > 1; --i)
+        std::swap(sites[i - 1], sites[rng_.below(i)]);
+      assert(sites.size() >= by_region[g].size());
+      for (std::size_t i = 0; i < by_region[g].size(); ++i) {
+        const CellId c = by_region[g][i];
+        cell_site_[c] = sites[i];
+        site_cell_[static_cast<std::size_t>(sites[i])] = c;
+      }
+    }
+
+    // Net HPWL cache.
+    net_hpwl_.assign(nl_.num_nets(), 0.0);
+    total_hpwl_ = 0.0;
+    for (NetId i = 0; i < nl_.num_nets(); ++i) {
+      net_hpwl_[i] = compute_hpwl(i);
+      total_hpwl_ += net_hpwl_[i];
+    }
+  }
+
+  double cell_x(CellId c) const noexcept {
+    return site_x(static_cast<int>(cell_site_[c] % cols_));
+  }
+  double cell_y(CellId c) const noexcept {
+    return site_y(static_cast<int>(cell_site_[c] / cols_));
+  }
+
+  double compute_hpwl(NetId i) const {
+    const netlist::Net& net = nl_.net(i);
+    if (net.driver == kNoCell && net.sinks.empty()) return 0.0;
+    double x0 = 1e18, x1 = -1e18, y0 = 1e18, y1 = -1e18;
+    auto acc = [&](CellId c) {
+      const double x = cell_x(c), y = cell_y(c);
+      x0 = std::min(x0, x);
+      x1 = std::max(x1, x);
+      y0 = std::min(y0, y);
+      y1 = std::max(y1, y);
+    };
+    if (net.driver != kNoCell) acc(net.driver);
+    for (const netlist::Pin& p : net.sinks) acc(p.cell);
+    if (x1 < x0) return 0.0;
+    return (x1 - x0) + (y1 - y0);
+  }
+
+  /// Nets incident to a cell (driver output + each input), deduplicated
+  /// into `scratch_nets_`.
+  void collect_nets(CellId c) {
+    const netlist::Cell& cell = nl_.cell(c);
+    if (cell.output != netlist::kNoNet) push_net(cell.output);
+    for (NetId i : cell.inputs) push_net(i);
+  }
+  void push_net(NetId i) {
+    if (net_mark_[i] == mark_token_) return;
+    net_mark_[i] = mark_token_;
+    scratch_nets_.push_back(i);
+  }
+
+  void anneal() {
+    const std::size_t n = nl_.num_cells();
+    if (n < 2) return;
+    net_mark_.assign(nl_.num_nets(), 0);
+    mark_token_ = 0;
+
+    const long total_moves =
+        static_cast<long>(opt_.moves_per_cell) * static_cast<long>(n);
+    const long moves_per_stage = std::max<long>(1, total_moves / opt_.stages);
+    const double pitch = opt_.site_pitch_um;
+    double temp = opt_.t_initial_sites * pitch;
+    const double t_final = opt_.t_final_sites * pitch;
+    const double alpha =
+        std::pow(t_final / temp, 1.0 / std::max(1, opt_.stages - 1));
+
+    for (int stage = 0; stage < opt_.stages; ++stage, temp *= alpha) {
+      for (long m = 0; m < moves_per_stage; ++m) {
+        const CellId a = static_cast<CellId>(rng_.below(n));
+        const Region& reg = regions_[static_cast<std::size_t>(region_of_cell_[a])];
+        const int tc = reg.c0 + static_cast<int>(rng_.below(
+                                    static_cast<std::uint64_t>(reg.width())));
+        const int tr = reg.r0 + static_cast<int>(rng_.below(
+                                    static_cast<std::uint64_t>(reg.height())));
+        const long target = site_index(tc, tr);
+        if (target == cell_site_[a]) continue;
+        const CellId bcell = site_cell_[static_cast<std::size_t>(target)];
+        if (bcell != kNoCell &&
+            region_of_cell_[bcell] != region_of_cell_[a])
+          continue;  // can't displace a cell into a foreign region
+
+        // Affected nets.
+        ++mark_token_;
+        scratch_nets_.clear();
+        collect_nets(a);
+        if (bcell != kNoCell) collect_nets(bcell);
+
+        double before = 0.0;
+        for (NetId i : scratch_nets_) before += net_hpwl_[i];
+
+        const long src = cell_site_[a];
+        apply_move(a, bcell, target);
+
+        double after = 0.0;
+        for (NetId i : scratch_nets_) after += compute_hpwl(i);
+
+        const double delta = after - before;
+        if (delta <= 0.0 || rng_.uniform() < std::exp(-delta / temp)) {
+          for (NetId i : scratch_nets_) {
+            total_hpwl_ += compute_hpwl(i) - net_hpwl_[i];
+            net_hpwl_[i] = compute_hpwl(i);
+          }
+        } else {
+          apply_move(a, bcell, src);  // revert the relocation/swap
+        }
+      }
+    }
+  }
+
+  /// Move cell a to `target`; if `bcell` occupies it, swap.
+  void apply_move(CellId a, CellId bcell, long target) {
+    const long src = cell_site_[a];
+    site_cell_[static_cast<std::size_t>(src)] = bcell;
+    if (bcell != kNoCell) cell_site_[bcell] = src;
+    site_cell_[static_cast<std::size_t>(target)] = a;
+    cell_site_[a] = target;
+  }
+
+  Placement export_placement() {
+    Placement p;
+    p.mode = opt_.mode;
+    p.seed = opt_.seed;
+    p.die_w_um = static_cast<double>(cols_) * opt_.site_pitch_um;
+    p.die_h_um = static_cast<double>(rows_) * opt_.row_height_um;
+    p.cell_pos.resize(nl_.num_cells());
+    for (CellId c = 0; c < nl_.num_cells(); ++c)
+      p.cell_pos[c] = Placement::Pos{cell_x(c), cell_y(c)};
+    p.regions = regions_;
+    p.region_of_cell = region_of_cell_;
+    // Recompute the final cost exactly (the incremental sum drifts by ulps).
+    p.total_hpwl_um = 0.0;
+    for (NetId i = 0; i < nl_.num_nets(); ++i)
+      p.total_hpwl_um += compute_hpwl(i);
+    return p;
+  }
+
+  const Netlist& nl_;
+  PlacerOptions opt_;
+  util::Rng rng_;
+
+  int cols_ = 0, rows_ = 0;
+  std::vector<Region> regions_;
+  std::vector<int> region_of_cell_;
+  std::vector<long> cell_site_;
+  std::vector<CellId> site_cell_;
+  std::vector<double> net_hpwl_;
+  double total_hpwl_ = 0.0;
+
+  std::vector<NetId> scratch_nets_;
+  std::vector<std::uint64_t> net_mark_;
+  std::uint64_t mark_token_ = 0;
+};
+
+}  // namespace
+
+double net_hpwl_um(const Netlist& nl, const Placement& p, NetId net) {
+  const netlist::Net& n = nl.net(net);
+  double x0 = 1e18, x1 = -1e18, y0 = 1e18, y1 = -1e18;
+  auto acc = [&](CellId c) {
+    x0 = std::min(x0, p.cell_pos[c].x_um);
+    x1 = std::max(x1, p.cell_pos[c].x_um);
+    y0 = std::min(y0, p.cell_pos[c].y_um);
+    y1 = std::max(y1, p.cell_pos[c].y_um);
+  };
+  if (n.driver != kNoCell) acc(n.driver);
+  for (const netlist::Pin& pin : n.sinks) acc(pin.cell);
+  if (x1 < x0) return 0.0;
+  return (x1 - x0) + (y1 - y0);
+}
+
+Placement place(const Netlist& nl, const PlacerOptions& opt) {
+  Annealer annealer(nl, opt);
+  return annealer.run();
+}
+
+}  // namespace qdi::pnr

@@ -1,0 +1,62 @@
+// Behavioural current synthesis — the reproduction's substitute for the
+// paper's transistor-level Eldo simulation (section V).
+//
+// Model (section III of the paper): each committed net transition
+// charges or discharges the switched node's total capacitance
+// C = Cl + Cpar + Csc through the driving gate, drawing the charge
+// Q = C·Vdd from the supply over the charge time Δt(C):
+//
+//     I(t) = C · dV/dt,   ∫ I dt = C·Vdd,   support width Δt(C).
+//
+// We synthesize each transition as a triangular pulse of width Δt and
+// area Q, accumulate all pulses into sample bins charge-exactly, and
+// optionally add the Gaussian measurement noise P_dn of eq. 5. Rising
+// edges (charging from Vdd) appear at full weight in the supply current;
+// falling edges (discharge to ground) at a reduced weight — only the
+// short-circuit component is visible on the supply rail.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "qdi/power/trace.hpp"
+#include "qdi/sim/simulator.hpp"
+#include "qdi/util/rng.hpp"
+
+namespace qdi::power {
+
+struct PowerModelParams {
+  double vdd = 1.2;              ///< supply voltage (HCMOS9 0.13 µm class)
+  double sample_period_ps = 10;  ///< acquisition sampling step
+  double cpar_ff = 1.5;          ///< parasitic capacitance added per node
+  double csc_ff = 0.8;           ///< short-circuit equivalent capacitance
+  double rise_weight = 1.0;      ///< supply visibility of charging edges
+  double fall_weight = 0.35;     ///< supply visibility of discharging edges
+  double noise_sigma_ua = 0.0;   ///< Gaussian current noise per sample, µA
+
+  /// Total switched capacitance for a net of load `cap_ff`:
+  /// C = Cl + Cpar + Csc (section III).
+  double total_cap_ff(double cap_ff) const noexcept {
+    return cap_ff + cpar_ff + csc_ff;
+  }
+};
+
+/// Accumulate the given transitions into a trace covering
+/// [window_t0_ps, window_t0_ps + window_ps). Transitions outside the
+/// window contribute their overlapping part only. If `noise` is provided
+/// and noise_sigma_ua > 0, adds i.i.d. Gaussian noise per sample.
+PowerTrace synthesize(const std::vector<sim::Transition>& transitions,
+                      double window_t0_ps, double window_ps,
+                      const PowerModelParams& params,
+                      util::Rng* noise = nullptr);
+
+/// Charge of one transition as seen on the supply rail (µA·ps = fC):
+/// weight(edge) · C_total · Vdd.
+double transition_charge_fc(const sim::Transition& t,
+                            const PowerModelParams& params) noexcept;
+
+/// Fraction of a triangular pulse spanning [start, start+width) that
+/// falls inside [a, b). Exposed for tests (must integrate to 1).
+double triangle_overlap(double start, double width, double a, double b) noexcept;
+
+}  // namespace qdi::power

@@ -1,0 +1,47 @@
+// Sampled current trace containers. A PowerTrace is the discrete-time
+// power signal S_ij of the paper's DPA formalization (section IV): sample
+// j of acquisition i. Units: time in picoseconds, current in microamperes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qdi::power {
+
+class PowerTrace {
+ public:
+  PowerTrace() = default;
+  PowerTrace(double t0_ps, double dt_ps, std::size_t num_samples)
+      : t0_(t0_ps), dt_(dt_ps), samples_(num_samples, 0.0) {}
+
+  double t0_ps() const noexcept { return t0_; }
+  double dt_ps() const noexcept { return dt_; }
+  std::size_t size() const noexcept { return samples_.size(); }
+
+  double& operator[](std::size_t j) { return samples_[j]; }
+  double operator[](std::size_t j) const { return samples_[j]; }
+
+  std::span<const double> samples() const noexcept { return samples_; }
+  std::span<double> samples() noexcept { return samples_; }
+
+  /// Time at the center of sample bin j.
+  double time_of(std::size_t j) const noexcept {
+    return t0_ + (static_cast<double>(j) + 0.5) * dt_;
+  }
+
+  /// Total charge (µA·ps = fC) under the trace.
+  double total_charge_fc() const noexcept;
+
+  /// In-place addition of another trace with identical geometry.
+  PowerTrace& operator+=(const PowerTrace& other);
+  PowerTrace& operator-=(const PowerTrace& other);
+  PowerTrace& operator*=(double k) noexcept;
+
+ private:
+  double t0_ = 0.0;
+  double dt_ = 1.0;
+  std::vector<double> samples_;
+};
+
+}  // namespace qdi::power

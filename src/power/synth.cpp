@@ -1,0 +1,74 @@
+#include "qdi/power/synth.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qdi::power {
+
+double triangle_overlap(double start, double width, double a, double b) noexcept {
+  if (width <= 0.0) {
+    // Degenerate impulse: all charge at `start`.
+    return (start >= a && start < b) ? 1.0 : 0.0;
+  }
+  // Normalized triangle on [0,1] with apex at 1/2, pdf f(u) = 4u on
+  // [0,1/2], 4(1-u) on [1/2,1]. CDF:
+  auto cdf = [](double u) noexcept {
+    if (u <= 0.0) return 0.0;
+    if (u >= 1.0) return 1.0;
+    if (u <= 0.5) return 2.0 * u * u;
+    const double v = 1.0 - u;
+    return 1.0 - 2.0 * v * v;
+  };
+  const double ua = (a - start) / width;
+  const double ub = (b - start) / width;
+  return cdf(ub) - cdf(ua);
+}
+
+double transition_charge_fc(const sim::Transition& t,
+                            const PowerModelParams& params) noexcept {
+  const double weight = t.rising ? params.rise_weight : params.fall_weight;
+  return weight * params.total_cap_ff(t.cap_ff) * params.vdd;
+}
+
+PowerTrace synthesize(const std::vector<sim::Transition>& transitions,
+                      double window_t0_ps, double window_ps,
+                      const PowerModelParams& params, util::Rng* noise) {
+  const double dt = params.sample_period_ps;
+  assert(dt > 0.0);
+  const std::size_t n = static_cast<std::size_t>(std::ceil(window_ps / dt));
+  PowerTrace trace(window_t0_ps, dt, n);
+
+  for (const sim::Transition& t : transitions) {
+    const double q = transition_charge_fc(t, params);
+    if (q == 0.0) continue;
+    // Charge flows while the output node swings: pulse spans
+    // [t_commit - Δt, t_commit] — the commit time is the end of the swing.
+    const double width = std::max(t.slew_ps, 1e-3);
+    const double start = t.t_ps - width;
+    // Clip to the window quickly.
+    if (start >= window_t0_ps + window_ps || start + width <= window_t0_ps)
+      continue;
+    const std::size_t j_lo = static_cast<std::size_t>(std::max(
+        0.0, std::floor((start - window_t0_ps) / dt)));
+    const std::size_t j_hi = std::min(
+        n, static_cast<std::size_t>(
+               std::ceil((start + width - window_t0_ps) / dt)) + 1);
+    for (std::size_t j = j_lo; j < j_hi; ++j) {
+      const double bin_a = window_t0_ps + static_cast<double>(j) * dt;
+      const double frac = triangle_overlap(start, width, bin_a, bin_a + dt);
+      if (frac > 0.0) trace[j] += q * frac / dt;  // fC/ps·1000 = µA... see below
+    }
+  }
+  // Unit bookkeeping: q is in fC, bins in ps, so q/dt is fC/ps = mA.
+  // Scale to µA for friendlier magnitudes.
+  trace *= 1000.0;
+
+  if (noise != nullptr && params.noise_sigma_ua > 0.0) {
+    for (std::size_t j = 0; j < trace.size(); ++j)
+      trace[j] += noise->gaussian(0.0, params.noise_sigma_ua);
+  }
+  return trace;
+}
+
+}  // namespace qdi::power

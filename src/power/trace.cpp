@@ -1,0 +1,30 @@
+#include "qdi/power/trace.hpp"
+
+#include <cassert>
+
+namespace qdi::power {
+
+double PowerTrace::total_charge_fc() const noexcept {
+  double q = 0.0;
+  for (double s : samples_) q += s * dt_;
+  return q;
+}
+
+PowerTrace& PowerTrace::operator+=(const PowerTrace& other) {
+  assert(size() == other.size() && t0_ == other.t0_ && dt_ == other.dt_);
+  for (std::size_t j = 0; j < samples_.size(); ++j) samples_[j] += other.samples_[j];
+  return *this;
+}
+
+PowerTrace& PowerTrace::operator-=(const PowerTrace& other) {
+  assert(size() == other.size() && t0_ == other.t0_ && dt_ == other.dt_);
+  for (std::size_t j = 0; j < samples_.size(); ++j) samples_[j] -= other.samples_[j];
+  return *this;
+}
+
+PowerTrace& PowerTrace::operator*=(double k) noexcept {
+  for (double& s : samples_) s *= k;
+  return *this;
+}
+
+}  // namespace qdi::power

@@ -1,0 +1,443 @@
+#include "qdi/gates/aes_datapath.hpp"
+
+#include <array>
+#include <cassert>
+
+#include "qdi/gates/sbox.hpp"
+
+namespace qdi::gates {
+
+std::vector<DualRail> xor_bus(Builder& b, std::span<const DualRail> a,
+                              std::span<const DualRail> b_in,
+                              const std::string& name) {
+  assert(a.size() == b_in.size());
+  std::vector<DualRail> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.push_back(b.dr_xor(a[i], b_in[i], name + std::to_string(i)));
+  return out;
+}
+
+std::vector<DualRail> xtime_byte(Builder& b, std::span<const DualRail> a,
+                                 const std::string& name) {
+  assert(a.size() == 8);
+  // xtime(a) = (a << 1) ^ (a7 ? 0x1b : 0); 0x1b = bits {0,1,3,4}.
+  // Bit 0 is a7 itself (shift feeds 0, xor with a7) — pure wiring.
+  std::vector<DualRail> out(8);
+  out[0] = a[7];
+  out[1] = b.dr_xor(a[0], a[7], name + "_b1");
+  out[2] = a[1];
+  out[3] = b.dr_xor(a[2], a[7], name + "_b3");
+  out[4] = b.dr_xor(a[3], a[7], name + "_b4");
+  out[5] = a[4];
+  out[6] = a[5];
+  out[7] = a[6];
+  return out;
+}
+
+namespace {
+std::span<const DualRail> byte_of(std::span<const DualRail> bus, std::size_t i) {
+  return bus.subspan(8 * i, 8);
+}
+
+std::vector<DualRail> byte_xor(Builder& b, std::span<const DualRail> x,
+                               std::span<const DualRail> y,
+                               const std::string& name) {
+  return xor_bus(b, x, y, name + "_bit");
+}
+}  // namespace
+
+std::vector<DualRail> mixcolumn_column(Builder& b, std::span<const DualRail> col,
+                                       const std::string& name) {
+  assert(col.size() == 32);
+  Builder::HierScope scope(b, name);
+
+  // tmp_i = a_i ^ a_{i+1};  t = a0^a1^a2^a3 = tmp0 ^ tmp2;
+  // out_i = a_i ^ t ^ xtime(tmp_i).
+  std::array<std::vector<DualRail>, 4> tmp;
+  for (std::size_t i = 0; i < 4; ++i)
+    tmp[i] = byte_xor(b, byte_of(col, i), byte_of(col, (i + 1) % 4),
+                      "tmp" + std::to_string(i));
+  const std::vector<DualRail> t = byte_xor(b, tmp[0], tmp[2], "t");
+
+  std::vector<DualRail> out;
+  out.reserve(32);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::vector<DualRail> xt = xtime_byte(b, tmp[i], "xt" + std::to_string(i));
+    const std::vector<DualRail> at = byte_xor(b, byte_of(col, i), t, "at" + std::to_string(i));
+    const std::vector<DualRail> o = byte_xor(b, at, xt, "o" + std::to_string(i));
+    out.insert(out.end(), o.begin(), o.end());
+  }
+  return out;
+}
+
+std::vector<DualRail> mux2_bus(Builder& b, const DualRail& sel,
+                               std::span<const DualRail> a,
+                               std::span<const DualRail> b_in,
+                               const std::string& name) {
+  assert(a.size() == b_in.size());
+  std::vector<DualRail> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.push_back(b.dr_mux2(sel, a[i], b_in[i], name + std::to_string(i)));
+  return out;
+}
+
+std::vector<std::vector<DualRail>> demux4_bus(Builder& b, const OneOfN& sel,
+                                              std::span<const DualRail> in,
+                                              const std::string& name) {
+  assert(sel.rails.size() == 4);
+  std::vector<std::vector<DualRail>> out(4);
+  for (std::size_t w = 0; w < 4; ++w) {
+    out[w].reserve(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const std::string cn = name + std::to_string(w) + "_" + std::to_string(i);
+      const NetId r0 = b.muller2(sel.rails[w], in[i].r0, cn + "_0");
+      const NetId r1 = b.muller2(sel.rails[w], in[i].r1, cn + "_1");
+      out[w].push_back(b.as_dual_rail(r0, r1, cn));
+    }
+  }
+  return out;
+}
+
+std::vector<DualRail> mux4_bus(Builder& b, const OneOfN& sel,
+                               std::span<const std::vector<DualRail>> choices,
+                               const std::string& name) {
+  assert(sel.rails.size() == 4 && choices.size() == 4);
+  const std::size_t width = choices[0].size();
+  std::vector<DualRail> out;
+  out.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::string cn = name + std::to_string(i);
+    std::array<NetId, 4> t0{}, t1{};
+    for (std::size_t w = 0; w < 4; ++w) {
+      t0[w] = b.muller2(sel.rails[w], choices[w][i].r0,
+                        cn + "_c0" + std::to_string(w));
+      t1[w] = b.muller2(sel.rails[w], choices[w][i].r1,
+                        cn + "_c1" + std::to_string(w));
+    }
+    const NetId r0 = b.or_tree(std::span<const NetId>(t0.data(), 4), cn + "_0t");
+    const NetId r1 = b.or_tree(std::span<const NetId>(t1.data(), 4), cn + "_1t");
+    out.push_back(b.as_dual_rail(r0, r1, cn));
+  }
+  return out;
+}
+
+std::vector<DualRail> bytesub32(Builder& b, std::span<const DualRail> in,
+                                const std::string& name) {
+  assert(in.size() == 32);
+  std::vector<DualRail> out;
+  out.reserve(32);
+  for (std::size_t byte = 0; byte < 4; ++byte) {
+    const LutResult lut =
+        build_aes_sbox(b, byte_of(in, byte), name + "_s" + std::to_string(byte));
+    out.insert(out.end(), lut.outputs.begin(), lut.outputs.end());
+  }
+  return out;
+}
+
+namespace {
+
+/// 32-wide dual-rail primary-input bus.
+std::vector<DualRail> bus_input(Builder& b, const std::string& name,
+                                std::size_t width) {
+  std::vector<DualRail> bus;
+  bus.reserve(width);
+  for (std::size_t i = 0; i < width; ++i)
+    bus.push_back(b.dr_input(name + std::to_string(i)));
+  return bus;
+}
+
+void bus_output(Builder& b, std::span<const DualRail> bus,
+                const std::string& name) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    b.dr_output(bus[i], name + std::to_string(i));
+}
+
+std::vector<netlist::ChannelId> channels_of(std::span<const DualRail> bus) {
+  std::vector<netlist::ChannelId> chs;
+  chs.reserve(bus.size());
+  for (const DualRail& d : bus) chs.push_back(d.ch);
+  return chs;
+}
+
+}  // namespace
+
+AesCoreNetlist build_aes_core(const AesCoreParams& params) {
+  AesCoreNetlist result;
+  result.nl.set_name("aes_crypto_processor");
+  Builder b(result.nl);
+  b.reset_net();
+
+  // Shared testbench acknowledge for all half-buffer stages.
+  const NetId gack = result.nl.add_input("gack");
+
+  // ======================= AES_KEY region =================================
+  std::vector<DualRail> subkey;
+  if (params.include_key_path) {
+    Builder::HierScope key_scope(b, "aes_key");
+
+    std::vector<DualRail> key_in;
+    {
+      Builder::HierScope s(b, "lecture");
+      key_in = bus_input(b, "key", 32);
+    }
+    DualRail sel_key;
+    OneOfN ctrl_key;
+    {
+      Builder::HierScope s(b, "controle_key");
+      sel_key = b.dr_input("sel");
+      ctrl_key = b.one_of_n_input("cnt", 4);
+      // Control distribution pipeline (one HB on the select channel).
+      std::vector<DualRail> v = b.latch_stage(std::span(&sel_key, 1), gack, "selq");
+      sel_key = v[0];
+    }
+
+    // mux9_1_key modeled as the 2:1 recirculation mux of the key loop.
+    std::vector<DualRail> key_loop_placeholder;  // filled after xor_key
+    std::vector<DualRail> mux_key_out;
+    {
+      Builder::HierScope s(b, "mux9_1_key");
+      // The loopback channel physically exists after xor_key; to keep the
+      // generator single-pass the recirculated operand is the FIFO head,
+      // wired below — here the mux merges key_in with a staged copy.
+      std::vector<DualRail> staged = b.latch_stage(key_in, gack, "stage");
+      mux_key_out = mux2_bus(b, sel_key, key_in, staged, "mx");
+    }
+
+    // FIFO of half-buffer stages (fig. 8 block 8).
+    std::vector<DualRail> fifo_out = mux_key_out;
+    {
+      Builder::HierScope s(b, "fifo");
+      for (int d = 0; d < params.fifo_depth; ++d)
+        fifo_out = b.latch_stage(fifo_out, gack, "f" + std::to_string(d));
+    }
+
+    // demux1_3_xor: steer FIFO head to the S-Box path / RC path / output.
+    std::vector<DualRail> to_sbox, to_rc, to_out;
+    {
+      Builder::HierScope s(b, "demux1_3_xor");
+      OneOfN sel3 = b.one_of_n_input("sel3", 4);  // 1-of-4, 3 ways used
+      auto ways = demux4_bus(b, sel3, fifo_out, "w");
+      to_sbox = std::move(ways[0]);
+      to_rc = std::move(ways[1]);
+      to_out = std::move(ways[2]);
+    }
+
+    // mux2_1_sbox + ByteSub (RotWord is rail wiring upstream of the boxes).
+    std::vector<DualRail> sbox_out;
+    {
+      Builder::HierScope s(b, "mux2_1_sbox");
+      // Rotate bytes: RotWord on the 32-bit word — wiring only.
+      std::vector<DualRail> rot(to_sbox.begin() + 8, to_sbox.end());
+      rot.insert(rot.end(), to_sbox.begin(), to_sbox.begin() + 8);
+      to_sbox = mux2_bus(b, sel_key, to_sbox, rot, "mx");
+    }
+    {
+      Builder::HierScope s(b, "bytesub");
+      sbox_out = bytesub32(b, to_sbox, "bs");
+    }
+
+    // xor_rc: round constant on the first byte.
+    std::vector<DualRail> rc_applied;
+    {
+      Builder::HierScope s(b, "xor_rc");
+      std::vector<DualRail> rc = bus_input(b, "rc", 8);
+      std::vector<DualRail> first(sbox_out.begin(), sbox_out.begin() + 8);
+      std::vector<DualRail> x = xor_bus(b, first, rc, "x");
+      rc_applied = x;
+      rc_applied.insert(rc_applied.end(), sbox_out.begin() + 8, sbox_out.end());
+      // to_rc path merges here (demux1_2_rc counterpart).
+      Builder::HierScope s2(b, "demux1_2_rc");
+      rc_applied = xor_bus(b, rc_applied, to_rc, "merge");
+    }
+
+    // xor_key: w_i = w_{i-4} ^ temp (fig. 8 block 14) + duplication.
+    {
+      Builder::HierScope s(b, "xor_key");
+      subkey = xor_bus(b, rc_applied, to_out, "xk");
+    }
+    {
+      Builder::HierScope s(b, "duplicateur");
+      subkey = b.latch_stage(subkey, gack, "dup");
+    }
+    {
+      Builder::HierScope s(b, "duplic_nk");
+      std::vector<DualRail> nk = b.latch_stage(subkey, gack, "nk");
+      bus_output(b, nk, "nk_out");
+    }
+    (void)key_loop_placeholder;
+  } else {
+    Builder::HierScope s(b, "aes_key");
+    subkey = bus_input(b, "subkey", 32);
+  }
+  result.subkey_channels = channels_of(subkey);
+
+  // ======================= Interface ======================================
+  std::vector<DualRail> data_in;
+  {
+    Builder::HierScope s(b, params.include_interface ? "interface/sa_interface2"
+                                                     : "interface");
+    data_in = bus_input(b, "data", 32);
+    if (params.include_interface) data_in = b.latch_stage(data_in, gack, "ib");
+  }
+  OneOfN round_sel;
+  DualRail path_sel;
+  {
+    Builder::HierScope s(b, "interface/controle_interface");
+    round_sel = b.one_of_n_input("round", 4);
+    path_sel = b.dr_input("path");
+    if (params.include_interface) {
+      std::vector<DualRail> v = b.latch_stage(std::span(&path_sel, 1), gack, "pq");
+      path_sel = v[0];
+    }
+  }
+
+  // ======================= AES_CORE region ================================
+  {
+    Builder::HierScope core_scope(b, "aes_core");
+
+    // Controller blocks (fig. 8: CONTROLE, COMPTEUR4, Canal_controle).
+    DualRail loop_sel;
+    OneOfN bank_sel;
+    {
+      Builder::HierScope s(b, "controle");
+      loop_sel = b.dr_input("loop");
+      std::vector<DualRail> v = b.latch_stage(std::span(&loop_sel, 1), gack, "lq");
+      loop_sel = v[0];
+    }
+    {
+      Builder::HierScope s(b, "compteur4");
+      bank_sel = b.one_of_n_input("bank", 4);
+    }
+    {
+      Builder::HierScope s(b, "canal_controle");
+      std::vector<DualRail> v = b.latch_stage(std::span(&path_sel, 1), gack, "cq");
+      path_sel = v[0];
+    }
+
+    // Dmuxkey: distribute the sub-key to the three consumers through a
+    // half-buffer (real designs duplicate the channel; we stage it).
+    std::vector<DualRail> subkey_c;
+    {
+      Builder::HierScope s(b, "dmuxkey");
+      subkey_c = b.latch_stage(subkey, gack, "skq");
+    }
+
+    // Addkey0: initial key addition (fig. 8 block 7).
+    std::vector<DualRail> addkey0_out;
+    {
+      Builder::HierScope s(b, "addkey0");
+      addkey0_out = xor_bus(b, data_in, subkey_c, "ak");
+    }
+
+    // Round-loop state registers C0..C3 (32-bit half-buffer banks) —
+    // these are the "HB block of the AES core" channels cited in Table 2.
+    // Built before the loop mux so their outputs can recirculate.
+    // The loop is closed structurally: HB inputs come from the round
+    // demux below; one builder pass is kept by creating the bank inputs
+    // as explicit channels now and wiring their drivers later would
+    // require net merging, so instead the banks latch the mux4 output of
+    // the previous iteration stage, i.e. the recirculation is
+    // HB -> shiftrow wiring -> mux4_1 -> round logic -> dmux1_4 -> HB'
+    // with HB' a second rank (C2/C3), matching the two-rank structure of
+    // the reference architecture.
+    std::vector<DualRail> mux_in = addkey0_out;
+
+    std::vector<DualRail> mux_out;
+    {
+      Builder::HierScope s(b, "mux");
+      // Entry mux: first round takes addkey0, later rounds the loop value;
+      // at build time the loop value is the C-bank output created below —
+      // to keep one pass, stage addkey0 into C0/C1 first.
+      std::vector<DualRail> c0, c1;
+      {
+        Builder::HierScope s2(b, "c0");
+        c0 = b.latch_stage(mux_in, gack, "r");
+      }
+      {
+        Builder::HierScope s2(b, "c1");
+        c1 = b.latch_stage(c0, gack, "r");
+      }
+      mux_out = mux2_bus(b, loop_sel, mux_in, c1, "mx");
+    }
+
+    // ByteSub: 4 S-Boxes (fig. 8 block 10).
+    std::vector<DualRail> bs_out;
+    {
+      Builder::HierScope s(b, "bytesub");
+      result.bytesub_in_channels = channels_of(mux_out);
+      bs_out = bytesub32(b, mux_out, "bs");
+    }
+
+    // ShiftRow (fig. 8: Shiftrow feeding ByteSub outputs onward): byte-lane
+    // rotation across the word — wiring only, but the nets cross block
+    // regions, which is where flat P&R creates dissymmetry.
+    std::vector<DualRail> sr_out;
+    {
+      std::vector<DualRail> tmp;
+      tmp.reserve(32);
+      for (std::size_t byte = 0; byte < 4; ++byte) {
+        const std::size_t src = (byte + 1) % 4;  // rotate byte lanes
+        for (std::size_t bit = 0; bit < 8; ++bit)
+          tmp.push_back(bs_out[8 * src + bit]);
+      }
+      sr_out = std::move(tmp);
+    }
+
+    // Dmux (fig. 8 block 11): steer to MixColumn (rounds 1..9) or to
+    // AddLastKey (round 10).
+    std::vector<DualRail> to_mix, to_last;
+    {
+      Builder::HierScope s(b, "dmux");
+      OneOfN dsel = b.one_of_n_input("dsel", 4);
+      auto ways = demux4_bus(b, dsel, sr_out, "w");
+      to_mix = std::move(ways[0]);
+      to_last = std::move(ways[1]);
+    }
+
+    // MixColumn (fig. 8 block 14).
+    std::vector<DualRail> mix_out = mixcolumn_column(b, to_mix, "mixcolumn");
+
+    // AddRoundKey (fig. 8 block 13).
+    std::vector<DualRail> ark_out;
+    {
+      Builder::HierScope s(b, "addroundkey");
+      ark_out = xor_bus(b, mix_out, subkey_c, "ark");
+    }
+
+    // Dmux1_4 into the C2/C3 register banks, then Mux4_1 recirculation.
+    std::vector<std::vector<DualRail>> banks;
+    {
+      Builder::HierScope s(b, "dmux1_4");
+      banks = demux4_bus(b, bank_sel, ark_out, "w");
+    }
+    std::vector<std::vector<DualRail>> bank_q(4);
+    for (std::size_t w = 0; w < 4; ++w) {
+      Builder::HierScope s(b, "c" + std::to_string(2 + w / 2));
+      bank_q[w] = b.latch_stage(banks[w], gack, "q" + std::to_string(w));
+    }
+    std::vector<DualRail> recirc;
+    {
+      Builder::HierScope s(b, "mux4_1");
+      recirc = mux4_bus(b, round_sel,
+                        std::span<const std::vector<DualRail>>(bank_q.data(), 4),
+                        "mx");
+    }
+
+    // AddLastKey and primary output (fig. 8 block 4).
+    {
+      Builder::HierScope s(b, "addlastkey");
+      std::vector<DualRail> out = xor_bus(b, to_last, subkey_c, "alk");
+      // Merge the recirculation tail so every path terminates at a port.
+      std::vector<DualRail> merged = xor_bus(b, out, recirc, "fin");
+      bus_output(b, merged, "data_out");
+    }
+  }
+
+  result.num_cells = result.nl.num_cells();
+  result.num_channels = result.nl.num_channels();
+  return result;
+}
+
+}  // namespace qdi::gates

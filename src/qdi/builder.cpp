@@ -1,0 +1,373 @@
+#include "qdi/gates/builder.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace qdi::gates {
+
+using netlist::CellKind;
+
+Builder::Builder(Netlist& nl, std::string top_hier)
+    : nl_(&nl), hier_(std::move(top_hier)) {}
+
+NetId Builder::reset_net() {
+  if (reset_ == kNoNet) reset_ = nl_->add_input("rst");
+  return reset_;
+}
+
+Builder::HierScope::HierScope(Builder& b, const std::string& name)
+    : b_(&b), saved_(b.hier_) {
+  if (b_->hier_.empty())
+    b_->hier_ = name;
+  else
+    b_->hier_ += "/" + name;
+}
+
+Builder::HierScope::~HierScope() { b_->hier_ = std::move(saved_); }
+
+std::string Builder::qualify(const std::string& name) const {
+  return hier_.empty() ? name : hier_ + "/" + name;
+}
+
+std::string Builder::autoname(const std::string& stem) {
+  return qualify(stem + "#" + std::to_string(counter_++));
+}
+
+NetId Builder::fresh(const std::string& stem) {
+  return nl_->add_net(autoname(stem));
+}
+
+NetId Builder::input(const std::string& name) {
+  return nl_->add_input(qualify(name), hier_);
+}
+
+void Builder::output(NetId net, const std::string& name) {
+  nl_->mark_output(net, qualify(name), hier_);
+}
+
+DualRail Builder::dr_input(const std::string& name) {
+  const NetId r0 = nl_->add_input(qualify(name + "_0"), hier_);
+  const NetId r1 = nl_->add_input(qualify(name + "_1"), hier_);
+  return as_dual_rail(r0, r1, name);
+}
+
+void Builder::dr_output(const DualRail& d, const std::string& name) {
+  nl_->mark_output(d.r0, qualify(name + "_0"), hier_);
+  nl_->mark_output(d.r1, qualify(name + "_1"), hier_);
+}
+
+OneOfN Builder::one_of_n_input(const std::string& name, std::size_t n) {
+  OneOfN q;
+  q.rails.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    q.rails.push_back(nl_->add_input(qualify(name + "_" + std::to_string(i)), hier_));
+  q.ch = nl_->add_channel(qualify(name), q.rails);
+  return q;
+}
+
+namespace {
+std::string stem_or(const std::string& name, const char* stem) {
+  return name.empty() ? stem : name;
+}
+}  // namespace
+
+NetId Builder::inv(NetId a, const std::string& name) {
+  const NetId out = fresh(stem_or(name, "inv"));
+  nl_->add_cell(CellKind::Inv, nl_->net(out).name + ".g", {a}, out, hier_);
+  return out;
+}
+
+NetId Builder::buf(NetId a, const std::string& name) {
+  const NetId out = fresh(stem_or(name, "buf"));
+  nl_->add_cell(CellKind::Buf, nl_->net(out).name + ".g", {a}, out, hier_);
+  return out;
+}
+
+NetId Builder::or2(NetId a, NetId b, const std::string& name) {
+  const NetId out = fresh(stem_or(name, "or"));
+  nl_->add_cell(CellKind::Or2, nl_->net(out).name + ".g", {a, b}, out, hier_);
+  return out;
+}
+
+NetId Builder::and2(NetId a, NetId b, const std::string& name) {
+  const NetId out = fresh(stem_or(name, "and"));
+  nl_->add_cell(CellKind::And2, nl_->net(out).name + ".g", {a, b}, out, hier_);
+  return out;
+}
+
+NetId Builder::nor2(NetId a, NetId b, const std::string& name) {
+  const NetId out = fresh(stem_or(name, "nor"));
+  nl_->add_cell(CellKind::Nor2, nl_->net(out).name + ".g", {a, b}, out, hier_);
+  return out;
+}
+
+NetId Builder::muller2(NetId a, NetId b, const std::string& name) {
+  const NetId out = fresh(stem_or(name, "c"));
+  nl_->add_cell(CellKind::Muller2, nl_->net(out).name + ".g", {a, b}, out, hier_);
+  return out;
+}
+
+NetId Builder::muller3(NetId a, NetId b, NetId c, const std::string& name) {
+  const NetId out = fresh(stem_or(name, "c3"));
+  nl_->add_cell(CellKind::Muller3, nl_->net(out).name + ".g", {a, b, c}, out, hier_);
+  return out;
+}
+
+NetId Builder::muller2r(NetId a, NetId b, const std::string& name) {
+  const NetId out = fresh(stem_or(name, "cr"));
+  nl_->add_cell(CellKind::Muller2R, nl_->net(out).name + ".g",
+                {a, b, reset_net()}, out, hier_);
+  return out;
+}
+
+NetId Builder::or_tree(std::span<const NetId> nets, const std::string& name) {
+  assert(!nets.empty());
+  if (nets.size() == 1) return buf(nets[0], name);
+  std::vector<NetId> layer(nets.begin(), nets.end());
+  while (layer.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve((layer.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(or2(layer[i], layer[i + 1], name));
+    if (layer.size() % 2 != 0) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+NetId Builder::muller_tree(std::span<const NetId> nets, const std::string& name) {
+  assert(!nets.empty());
+  if (nets.size() == 1) return buf(nets[0], name);
+  std::vector<NetId> layer(nets.begin(), nets.end());
+  while (layer.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve((layer.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(muller2(layer[i], layer[i + 1], name));
+    if (layer.size() % 2 != 0) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+DualRail Builder::or_tree_pair(std::span<const NetId> zeros,
+                               std::span<const NetId> ones,
+                               const std::string& name) {
+  assert(!zeros.empty() && zeros.size() == ones.size() &&
+         (zeros.size() & (zeros.size() - 1)) == 0 &&
+         "or_tree_pair requires equal power-of-two rail sets");
+  std::vector<NetId> l0(zeros.begin(), zeros.end());
+  std::vector<NetId> l1(ones.begin(), ones.end());
+  int layer = 0;
+  while (l0.size() > 1) {
+    std::vector<NetId> n0, n1, group;
+    n0.reserve(l0.size() / 2);
+    n1.reserve(l1.size() / 2);
+    for (std::size_t i = 0; i + 1 < l0.size(); i += 2) {
+      n0.push_back(or2(l0[i], l0[i + 1], name + "_t0"));
+      n1.push_back(or2(l1[i], l1[i + 1], name + "_t1"));
+    }
+    group.insert(group.end(), n0.begin(), n0.end());
+    group.insert(group.end(), n1.begin(), n1.end());
+    // One node of the whole layer (across both rails) fires per token.
+    nl_->add_channel(qualify(name + "_l" + std::to_string(layer)), group);
+    l0 = std::move(n0);
+    l1 = std::move(n1);
+    ++layer;
+  }
+  return as_dual_rail(l0[0], l1[0], name);
+}
+
+DualRail Builder::as_dual_rail(NetId r0, NetId r1, const std::string& name,
+                               NetId ack) {
+  DualRail d;
+  d.r0 = r0;
+  d.r1 = r1;
+  d.ch = nl_->add_channel(qualify(name), {r0, r1}, ack);
+  return d;
+}
+
+DualRail Builder::dr_not(const DualRail& a) {
+  // Same physical nets, complementary interpretation. A derived registry
+  // entry keeps read-out and criterion evaluation coherent with the
+  // handle's rail order.
+  return as_dual_rail(a.r1, a.r0, nl_->channel(a.ch).name + "_n");
+}
+
+DualRail Builder::dr_xor(const DualRail& a, const DualRail& b,
+                         const std::string& name) {
+  // Fig. 4 structure: minterm Muller layer then per-rail OR merge.
+  //   xor = 0 : (a0,b0) or (a1,b1);   xor = 1 : (a1,b0) or (a0,b1).
+  const NetId m1 = muller2(a.r0, b.r0, name + "_m1");
+  const NetId m2 = muller2(a.r1, b.r1, name + "_m2");
+  const NetId m3 = muller2(a.r1, b.r0, name + "_m3");
+  const NetId m4 = muller2(a.r0, b.r1, name + "_m4");
+  // The minterm layer is a 1-of-4 code group: registering it lets the
+  // criterion and the repair pass equalize its capacitances (otherwise
+  // the per-minterm charge fingerprints the input pair).
+  nl_->add_channel(qualify(name + "_mt"), {m1, m2, m3, m4});
+  const NetId s0 = or2(m1, m2, name + "_0");
+  const NetId s1 = or2(m3, m4, name + "_1");
+  return as_dual_rail(s0, s1, name);
+}
+
+DualRail Builder::dr_xnor(const DualRail& a, const DualRail& b,
+                          const std::string& name) {
+  return dr_not(dr_xor(a, b, name));
+}
+
+DualRail Builder::dr_and(const DualRail& a, const DualRail& b,
+                         const std::string& name) {
+  // and = 1 only for (1,1); the three remaining minterms merge into rail 0.
+  // Every minterm path is padded to the same depth (m10 goes through a
+  // buffer, rail 1 through two) so the number of transitions per
+  // computation is constant for all input values — section II's
+  // balanced-path requirement ("the gate structure is modified to ensure
+  // that all data paths ... involve a constant number of transitions").
+  const NetId m00 = muller2(a.r0, b.r0, name + "_m00");
+  const NetId m01 = muller2(a.r0, b.r1, name + "_m01");
+  const NetId m10 = muller2(a.r1, b.r0, name + "_m10");
+  const NetId m11 = muller2(a.r1, b.r1, name + "_m11");
+  nl_->add_channel(qualify(name + "_mt"), {m00, m01, m10, m11});
+  const NetId s0a = or2(m00, m01, name + "_0a");
+  const NetId s0b = buf(m10, name + "_0b");
+  const NetId s0 = or2(s0a, s0b, name + "_0");
+  const NetId s1a = buf(m11, name + "_1a");
+  const NetId s1 = buf(s1a, name + "_1");
+  // Mid-layer group: exactly one of (s0a, s0b, s1a) fires per token.
+  nl_->add_channel(qualify(name + "_ml"), {s0a, s0b, s1a});
+  return as_dual_rail(s0, s1, name);
+}
+
+DualRail Builder::dr_or(const DualRail& a, const DualRail& b,
+                        const std::string& name) {
+  // De Morgan on the rails: or(a,b) = not(and(not a, not b)) — rail swaps
+  // are free, so OR is the AND structure with rails exchanged.
+  return dr_not(dr_and(dr_not(a), dr_not(b), name));
+}
+
+DualRail Builder::dr_mux2(const DualRail& sel, const DualRail& a,
+                          const DualRail& b, const std::string& name) {
+  // out_r = (sel=0 and a=r) or (sel=1 and b=r).
+  const NetId m0a = muller2(sel.r0, a.r0, name + "_m0a");
+  const NetId m0b = muller2(sel.r1, b.r0, name + "_m0b");
+  const NetId m1a = muller2(sel.r0, a.r1, name + "_m1a");
+  const NetId m1b = muller2(sel.r1, b.r1, name + "_m1b");
+  nl_->add_channel(qualify(name + "_mt"), {m0a, m0b, m1a, m1b});
+  const NetId s0 = or2(m0a, m0b, name + "_0");
+  const NetId s1 = or2(m1a, m1b, name + "_1");
+  return as_dual_rail(s0, s1, name);
+}
+
+std::vector<DualRail> Builder::latch_stage(std::span<const DualRail> data,
+                                           NetId ack_in,
+                                           const std::string& name) {
+  // Shared inverter: the Cr latches open while the downstream consumer
+  // has not acknowledged (ack low -> nack high), per the WCHB template.
+  const NetId nack = inv(ack_in, name + "_nack");
+  std::vector<DualRail> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::string ch_name = name + "_q" + std::to_string(i);
+    const NetId q0 = muller2r(data[i].r0, nack, ch_name + "_0");
+    const NetId q1 = muller2r(data[i].r1, nack, ch_name + "_1");
+    out.push_back(as_dual_rail(q0, q1, ch_name));
+  }
+  return out;
+}
+
+NetId Builder::completion(std::span<const DualRail> data, CompletionStyle style,
+                          const std::string& name) {
+  assert(!data.empty());
+  if (data.size() == 1 && style == CompletionStyle::EmptyHigh) {
+    // Degenerate case: exactly fig. 4's NOR over the two output rails.
+    return nor2(data[0].r0, data[0].r1, name);
+  }
+  std::vector<NetId> valid;
+  valid.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    valid.push_back(or2(data[i].r0, data[i].r1, name + "_v" + std::to_string(i)));
+  const NetId all = muller_tree(valid, name + "_t");
+  if (style == CompletionStyle::ValidHigh) return all;
+  return inv(all, name + "_n");
+}
+
+OneOfN Builder::to_one_of_four(const DualRail& lo, const DualRail& hi,
+                               const std::string& name) {
+  OneOfN q;
+  q.rails = {
+      muller2(hi.r0, lo.r0, name + "_q0"),
+      muller2(hi.r0, lo.r1, name + "_q1"),
+      muller2(hi.r1, lo.r0, name + "_q2"),
+      muller2(hi.r1, lo.r1, name + "_q3"),
+  };
+  q.ch = nl_->add_channel(qualify(name), q.rails);
+  return q;
+}
+
+OneOfN Builder::q4_xor(const OneOfN& a, const OneOfN& b,
+                       const std::string& name) {
+  assert(a.rails.size() == 4 && b.rails.size() == 4);
+  // Minterm layer: one C-element per (i, j) pair; registered as a
+  // 1-of-16 group channel for the criterion/repair passes.
+  std::array<std::array<NetId, 4>, 4> m{};
+  std::vector<NetId> group;
+  group.reserve(16);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          muller2(a.rails[static_cast<std::size_t>(i)],
+                  b.rails[static_cast<std::size_t>(j)],
+                  name + "_m" + std::to_string(i) + std::to_string(j));
+      group.push_back(m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    }
+  }
+  nl_->add_channel(qualify(name + "_mt"), group);
+
+  OneOfN out;
+  out.rails.resize(4);
+  for (int v = 0; v < 4; ++v) {
+    std::array<NetId, 4> terms{};
+    int t = 0;
+    for (int i = 0; i < 4; ++i)
+      terms[static_cast<std::size_t>(t++)] =
+          m[static_cast<std::size_t>(i)][static_cast<std::size_t>(i ^ v)];
+    out.rails[static_cast<std::size_t>(v)] =
+        or_tree(std::span<const NetId>(terms.data(), 4),
+                name + "_v" + std::to_string(v));
+  }
+  out.ch = nl_->add_channel(qualify(name), out.rails);
+  return out;
+}
+
+std::vector<OneOfN> Builder::latch_stage_1ofn(std::span<const OneOfN> data,
+                                              NetId ack_in,
+                                              const std::string& name) {
+  const NetId nack = inv(ack_in, name + "_nack");
+  std::vector<OneOfN> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::string ch_name = name + "_q" + std::to_string(i);
+    OneOfN q;
+    q.rails.reserve(data[i].rails.size());
+    for (std::size_t r = 0; r < data[i].rails.size(); ++r)
+      q.rails.push_back(muller2r(data[i].rails[r], nack,
+                                 ch_name + "_" + std::to_string(r)));
+    q.ch = nl_->add_channel(qualify(ch_name), q.rails);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::pair<DualRail, DualRail> Builder::from_one_of_four(const OneOfN& q,
+                                                        const std::string& name) {
+  assert(q.rails.size() == 4);
+  const NetId lo0 = or2(q.rails[0], q.rails[2], name + "_lo0");
+  const NetId lo1 = or2(q.rails[1], q.rails[3], name + "_lo1");
+  const NetId hi0 = or2(q.rails[0], q.rails[1], name + "_hi0");
+  const NetId hi1 = or2(q.rails[2], q.rails[3], name + "_hi1");
+  return {as_dual_rail(lo0, lo1, name + "_lo"),
+          as_dual_rail(hi0, hi1, name + "_hi")};
+}
+
+}  // namespace qdi::gates

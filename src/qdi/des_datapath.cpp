@@ -1,0 +1,91 @@
+#include "qdi/gates/des_datapath.hpp"
+
+#include "qdi/crypto/des.hpp"
+#include "qdi/gates/sbox.hpp"
+
+namespace qdi::gates {
+
+DesRoundSlice build_des_round_slice(double period_ps) {
+  DesRoundSlice c;
+  c.nl.set_name("des_round");
+  Builder b(c.nl, "des_round");
+  c.reset = b.reset_net();
+
+  for (int i = 0; i < 32; ++i)
+    c.l[static_cast<std::size_t>(i)] = b.dr_input("l" + std::to_string(i));
+  for (int i = 0; i < 32; ++i)
+    c.r[static_cast<std::size_t>(i)] = b.dr_input("r" + std::to_string(i));
+  for (int i = 0; i < 48; ++i)
+    c.k[static_cast<std::size_t>(i)] = b.dr_input("k" + std::to_string(i));
+
+  // Expansion E: 48 channels, pure wiring from the right half.
+  std::array<DualRail, 48> expanded{};
+  {
+    const auto table = crypto::des_expansion_table();
+    for (int j = 0; j < 48; ++j)
+      expanded[static_cast<std::size_t>(j)] =
+          c.r[static_cast<std::size_t>(table[static_cast<std::size_t>(j)] - 1)];
+  }
+
+  // Key addition: 48 fig. 4 XOR gates.
+  std::array<DualRail, 48> keyed{};
+  {
+    Builder::HierScope s(b, "keyxor");
+    for (int j = 0; j < 48; ++j)
+      keyed[static_cast<std::size_t>(j)] =
+          b.dr_xor(expanded[static_cast<std::size_t>(j)],
+                   c.k[static_cast<std::size_t>(j)], "kx" + std::to_string(j));
+  }
+
+  // Eight balanced S-Boxes: 6 channels in, 4 out each. Bus position
+  // 6*box is the MSB (b5) of the S-Box input; our LUT generator indexes
+  // minterms by in[bit] = bit `bit` of the line index (LSB first), so the
+  // input span is reversed.
+  std::array<DualRail, 32> sboxed{};
+  for (int box = 0; box < 8; ++box) {
+    Builder::HierScope s(b, "sbox" + std::to_string(box));
+    std::array<DualRail, 6> in{};
+    for (int bit = 0; bit < 6; ++bit) {
+      // LUT input k is weight-2^k: S-Box input b0 is bus position 6box+5.
+      in[static_cast<std::size_t>(bit)] =
+          keyed[static_cast<std::size_t>(6 * box + 5 - bit)];
+    }
+    const LutResult lut = build_des_sbox(b, box, in, "s");
+    // Output bit 3 (MSB) goes to bus position 4*box.
+    for (int bit = 0; bit < 4; ++bit)
+      sboxed[static_cast<std::size_t>(4 * box + 3 - bit)] =
+          lut.outputs[static_cast<std::size_t>(bit)];
+  }
+
+  // Permutation P: wiring.
+  std::array<DualRail, 32> permuted{};
+  {
+    const auto table = crypto::des_p_table();
+    for (int j = 0; j < 32; ++j)
+      permuted[static_cast<std::size_t>(j)] =
+          sboxed[static_cast<std::size_t>(table[static_cast<std::size_t>(j)] - 1)];
+  }
+
+  // Feistel output: out_r = l xor P(...); out_l = r (wiring).
+  {
+    Builder::HierScope s(b, "lxor");
+    for (int j = 0; j < 32; ++j)
+      c.out_r[static_cast<std::size_t>(j)] =
+          b.dr_xor(c.l[static_cast<std::size_t>(j)],
+                   permuted[static_cast<std::size_t>(j)], "lx" + std::to_string(j));
+  }
+  c.out_l = c.r;
+
+  for (int j = 0; j < 32; ++j)
+    b.dr_output(c.out_r[static_cast<std::size_t>(j)], "outr" + std::to_string(j));
+
+  for (const auto& d : c.l) c.env.inputs.push_back(d.ch);
+  for (const auto& d : c.r) c.env.inputs.push_back(d.ch);
+  for (const auto& d : c.k) c.env.inputs.push_back(d.ch);
+  for (const auto& d : c.out_r) c.env.outputs.push_back(d.ch);
+  c.env.reset = c.reset;
+  c.env.period_ps = period_ps;
+  return c;
+}
+
+}  // namespace qdi::gates

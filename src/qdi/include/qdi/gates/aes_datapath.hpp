@@ -1,0 +1,80 @@
+// Structural generator for the secured QDI AES crypto-processor of
+// fig. 8 / fig. 9 of the paper: a 32-bit iterative architecture with a
+// ciphering data path (AES_CORE), a sub-key computation data path
+// (AES_KEY) synchronized through the Sub-key channel, and an interface.
+//
+// Every block named in fig. 8's legend exists as a hierarchical region
+// tag ("aes_core/bytesub", "aes_key/fifo", ...), built from real balanced
+// dual-rail gate structures (DIMS S-Boxes, fig. 4 XOR banks, WCHB
+// half-buffers, DIMS mux/demux steering). The generator's purpose is the
+// place-and-route study of section VI (Table 2): tens of thousands of
+// cells, thousands of registered dual-rail channels, and a two-level
+// hierarchy for the constrained floorplan. Functional round-loop control
+// is not exercised in simulation at this scale — the functional DPA
+// experiments use the byte-slice circuits of testbench.hpp, which share
+// the same gate structures.
+//
+// Latch-stage acknowledges are tied to a single environment-driven "gack"
+// input (testbench convention), keeping the netlist structurally closed.
+#pragma once
+
+#include <vector>
+
+#include "qdi/gates/builder.hpp"
+
+namespace qdi::gates {
+
+struct AesCoreParams {
+  bool include_key_path = true;   ///< build the AES_KEY region
+  bool include_interface = true;  ///< build the interface HB chains
+  int fifo_depth = 4;             ///< AES_KEY FIFO depth (32-bit stages)
+};
+
+struct AesCoreNetlist {
+  netlist::Netlist nl;
+  /// Channels of the ciphering data path's round-loop buses, useful for
+  /// focused reporting.
+  std::vector<netlist::ChannelId> subkey_channels;   ///< AES_KEY -> AES_CORE
+  std::vector<netlist::ChannelId> bytesub_in_channels;
+  std::size_t num_cells = 0;
+  std::size_t num_channels = 0;
+};
+
+AesCoreNetlist build_aes_core(const AesCoreParams& params = {});
+
+// --- reusable bus-level helpers (exposed for tests) -----------------------
+
+/// 32-wide (or arbitrary) XOR bank: out[i] = a[i] ^ b[i] (fig. 4 gates).
+std::vector<DualRail> xor_bus(Builder& b, std::span<const DualRail> a,
+                              std::span<const DualRail> b_in,
+                              const std::string& name);
+
+/// GF(2^8) xtime over one byte (LSB-first): wiring plus three XOR gates.
+std::vector<DualRail> xtime_byte(Builder& b, std::span<const DualRail> a,
+                                 const std::string& name);
+
+/// One MixColumns column over 4 bytes (32 channels in, 32 out).
+std::vector<DualRail> mixcolumn_column(Builder& b, std::span<const DualRail> col,
+                                       const std::string& name);
+
+/// DIMS 2:1 mux bank steered by one dual-rail select channel.
+std::vector<DualRail> mux2_bus(Builder& b, const DualRail& sel,
+                               std::span<const DualRail> a,
+                               std::span<const DualRail> b_in,
+                               const std::string& name);
+
+/// DIMS 1:4 demux bank steered by a 1-of-4 channel.
+std::vector<std::vector<DualRail>> demux4_bus(Builder& b, const OneOfN& sel,
+                                              std::span<const DualRail> in,
+                                              const std::string& name);
+
+/// DIMS 4:1 mux bank steered by a 1-of-4 channel.
+std::vector<DualRail> mux4_bus(Builder& b, const OneOfN& sel,
+                               std::span<const std::vector<DualRail>> choices,
+                               const std::string& name);
+
+/// ByteSub over a 32-bit bus: four balanced AES S-Boxes.
+std::vector<DualRail> bytesub32(Builder& b, std::span<const DualRail> in,
+                                const std::string& name);
+
+}  // namespace qdi::gates

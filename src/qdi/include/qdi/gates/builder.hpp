@@ -1,0 +1,187 @@
+// Dual-rail / 1-of-N circuit construction API.
+//
+// The Builder wraps a Netlist with the idioms of secured QDI design from
+// section II of the paper:
+//   * dual-rail channels (table 1) registered in the netlist's channel
+//     registry so the dissymmetry criterion of section VI can be applied,
+//   * DIMS-style function blocks (Muller C-element minterm layer + OR
+//     rail-merge layer — the structure of fig. 4),
+//   * Cr output latches (resettable C-elements) and completion/ack
+//     generation (the NOR of fig. 4),
+//   * hierarchical naming, so the hierarchical place-and-route flow can
+//     constrain each block into its own region (fig. 9).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qdi/netlist/netlist.hpp"
+
+namespace qdi::gates {
+
+using netlist::ChannelId;
+using netlist::kNoNet;
+using netlist::Netlist;
+using netlist::NetId;
+
+/// Handle to a dual-rail channel: rail r0 carries "value 0", r1 "value 1"
+/// (table 1 of the paper). `ch` is the registry entry used for the
+/// dissymmetry criterion.
+struct DualRail {
+  NetId r0 = kNoNet;
+  NetId r1 = kNoNet;
+  ChannelId ch = 0;
+
+  NetId rail(int v) const { return v ? r1 : r0; }
+};
+
+/// Handle to a 1-of-N channel.
+struct OneOfN {
+  std::vector<NetId> rails;
+  ChannelId ch = 0;
+};
+
+/// Completion-detector polarity (fig. 4 uses a NOR: high = channel empty).
+enum class CompletionStyle {
+  ValidHigh,  ///< OR-based: output high when data valid
+  EmptyHigh,  ///< NOR-based (paper's fig. 4): output high when empty
+};
+
+class Builder {
+ public:
+  explicit Builder(Netlist& nl, std::string top_hier = {});
+
+  Netlist& netlist() noexcept { return *nl_; }
+  const Netlist& netlist() const noexcept { return *nl_; }
+
+  /// Global active-high reset input net; created on first use.
+  NetId reset_net();
+  /// True if a reset net has been created.
+  bool has_reset() const noexcept { return reset_ != kNoNet; }
+
+  // ---- hierarchy ---------------------------------------------------------
+
+  /// RAII scope: all cells created while alive carry "outer/name" as their
+  /// hierarchical path.
+  class HierScope {
+   public:
+    HierScope(Builder& b, const std::string& name);
+    ~HierScope();
+    HierScope(const HierScope&) = delete;
+    HierScope& operator=(const HierScope&) = delete;
+
+   private:
+    Builder* b_;
+    std::string saved_;  ///< full prefix to restore (names may contain '/')
+  };
+  const std::string& hier() const noexcept { return hier_; }
+
+  // ---- ports -------------------------------------------------------------
+
+  NetId input(const std::string& name);
+  void output(NetId net, const std::string& name);
+  DualRail dr_input(const std::string& name);
+  void dr_output(const DualRail& d, const std::string& name);
+  OneOfN one_of_n_input(const std::string& name, std::size_t n);
+
+  // ---- raw single-rail gates ----------------------------------------------
+
+  NetId inv(NetId a, const std::string& name = {});
+  NetId buf(NetId a, const std::string& name = {});
+  NetId or2(NetId a, NetId b, const std::string& name = {});
+  NetId and2(NetId a, NetId b, const std::string& name = {});
+  NetId nor2(NetId a, NetId b, const std::string& name = {});
+  NetId muller2(NetId a, NetId b, const std::string& name = {});
+  NetId muller3(NetId a, NetId b, NetId c, const std::string& name = {});
+  /// Resettable C-element; the reset pin is wired to reset_net().
+  NetId muller2r(NetId a, NetId b, const std::string& name = {});
+
+  /// Balanced binary OR tree (depth ceil(log2(n))); single input passes
+  /// through a Buf so every tree has at least one gate (constant Nt).
+  NetId or_tree(std::span<const NetId> nets, const std::string& name = {});
+  /// Balanced binary Muller tree — the multi-bit completion combiner.
+  NetId muller_tree(std::span<const NetId> nets, const std::string& name = {});
+
+  /// Paired OR trees over the two rails' minterm sets of one output bit
+  /// (the S-Box re-encode structure). Both sets must have the same
+  /// power-of-two size so the trees are perfect and shape-identical.
+  /// Every tree layer is registered as a 1-of-N *group channel* spanning
+  /// both trees: per computation exactly one node per layer fires, so
+  /// equalizing the group's capacitances (criterion/repair) makes the
+  /// layer's charge data-independent.
+  DualRail or_tree_pair(std::span<const NetId> zeros,
+                        std::span<const NetId> ones, const std::string& name);
+
+  // ---- dual-rail channels --------------------------------------------------
+
+  /// Register two existing nets as a dual-rail channel.
+  DualRail as_dual_rail(NetId r0, NetId r1, const std::string& name,
+                        NetId ack = kNoNet);
+
+  /// Logical NOT: swaps rails. Zero gates, zero transitions — the
+  /// canonical QDI trick. Registers a derived channel with the swapped
+  /// rail order so that decoding (and the criterion) see a coherent view.
+  DualRail dr_not(const DualRail& a);
+
+  // DIMS combinational function blocks (minterm C-layer + OR layer, no
+  // output latch). All are balanced: exactly one C-element and one OR
+  // fire per rail-resolution regardless of the data values.
+  DualRail dr_xor(const DualRail& a, const DualRail& b, const std::string& name);
+  DualRail dr_xnor(const DualRail& a, const DualRail& b, const std::string& name);
+  DualRail dr_and(const DualRail& a, const DualRail& b, const std::string& name);
+  DualRail dr_or(const DualRail& a, const DualRail& b, const std::string& name);
+
+  /// DIMS 2-way multiplexer: out = sel ? b : a. Both data inputs must be
+  /// valid before the output resolves (strongly-indicating mux).
+  DualRail dr_mux2(const DualRail& sel, const DualRail& a, const DualRail& b,
+                   const std::string& name);
+
+  /// WCHB half-buffer stage over a set of channels: per rail a Muller2R
+  /// latch gated by the inverted downstream acknowledge; returns the
+  /// latched channels. One shared inverter per stage.
+  /// `ack_in` is the downstream acknowledge (active high, as in fig. 2).
+  std::vector<DualRail> latch_stage(std::span<const DualRail> data, NetId ack_in,
+                                    const std::string& name);
+
+  /// Completion detection over channels: per-channel OR (validity), then
+  /// a Muller tree; final polarity per `style` (EmptyHigh appends the
+  /// paper's NOR-equivalent inverter). For a single dual-rail channel
+  /// with EmptyHigh this degenerates to fig. 4's single NOR gate.
+  NetId completion(std::span<const DualRail> data, CompletionStyle style,
+                   const std::string& name);
+
+  // ---- 1-of-4 re-encoding (section II: "easily extended to N rails") -------
+
+  /// Two dual-rail channels -> one 1-of-4 channel (4 C-elements).
+  OneOfN to_one_of_four(const DualRail& lo, const DualRail& hi,
+                        const std::string& name);
+  /// 1-of-4 -> two dual-rail channels (4 OR gates).
+  std::pair<DualRail, DualRail> from_one_of_four(const OneOfN& q,
+                                                 const std::string& name);
+
+  /// DIMS XOR directly on 1-of-4 codes: out[i^j] fires when a=i, b=j
+  /// (16 minterm C-elements + four OR merges). Computing in the 1-of-4
+  /// domain halves the transitions per 2-bit operation versus two
+  /// dual-rail XORs — section II's power argument for 1-of-N encoding.
+  OneOfN q4_xor(const OneOfN& a, const OneOfN& b, const std::string& name);
+
+  /// WCHB half-buffer stage over 1-of-N channels (one Muller2R per rail,
+  /// shared inverted acknowledge).
+  std::vector<OneOfN> latch_stage_1ofn(std::span<const OneOfN> data,
+                                       NetId ack_in, const std::string& name);
+
+  /// Fresh internal net with an auto-generated unique name.
+  NetId fresh(const std::string& stem);
+
+ private:
+  std::string qualify(const std::string& name) const;
+  std::string autoname(const std::string& stem);
+
+  Netlist* nl_;
+  std::string hier_;
+  NetId reset_ = kNoNet;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace qdi::gates

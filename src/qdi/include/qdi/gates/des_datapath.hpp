@@ -1,0 +1,36 @@
+// Gate-level QDI DES round datapath — the workload family of the
+// authors' companion study ("DPA on Quasi Delay Insensitive Asynchronous
+// circuits: Concrete Results", ref. [5] of the paper), which analysed
+// three QDI DES architectures.
+//
+// One Feistel round: (L, R) -> (R, L xor P(S(E(R) xor K))). The
+// expansion E and permutation P are pure channel wiring; the key
+// addition is a fig. 4 XOR bank; the eight S-Boxes are balanced DIMS
+// lookups (6 dual-rail in, 4 out). Bus convention: index i carries DES
+// bit position i+1 (1 = MSB), matching the FIPS tables directly.
+#pragma once
+
+#include <array>
+
+#include "qdi/gates/builder.hpp"
+#include "qdi/sim/environment.hpp"
+
+namespace qdi::gates {
+
+struct DesRoundSlice {
+  netlist::Netlist nl;
+
+  std::array<DualRail, 32> l{};   ///< left half input
+  std::array<DualRail, 32> r{};   ///< right half input
+  std::array<DualRail, 48> k{};   ///< 48-bit round key input
+  std::array<DualRail, 32> out_l{};  ///< = r (wiring)
+  std::array<DualRail, 32> out_r{};  ///< = l ^ f(r, k)
+  netlist::NetId reset = netlist::kNoNet;
+
+  sim::EnvSpec env;  ///< inputs {l, r, k}, outputs {out_r} (out_l = r)
+};
+
+/// Build the full round (eight S-Boxes, ~4k gates).
+DesRoundSlice build_des_round_slice(double period_ps = 30000.0);
+
+}  // namespace qdi::gates

@@ -1,0 +1,31 @@
+// WCHB (weak-condition half-buffer) pipelines with *real* internal
+// acknowledge wiring: stage i's ack comes from stage i+1's completion
+// detector, the last stage is acknowledged by the environment. Used by
+// the pipeline example and by throughput/property tests (tokens must flow
+// FIFO, one per four-phase cycle, with constant transition counts).
+#pragma once
+
+#include <vector>
+
+#include "qdi/gates/builder.hpp"
+#include "qdi/sim/environment.hpp"
+
+namespace qdi::gates {
+
+struct WchbFifo {
+  netlist::Netlist nl;
+  std::vector<DualRail> in;    ///< producer-side channels (env drives)
+  std::vector<DualRail> out;   ///< consumer-side channels (env observes)
+  NetId ack_in = kNoNet;       ///< consumer acknowledge (env drives)
+  NetId ack_out = kNoNet;      ///< producer-side acknowledge (observed)
+  NetId reset = kNoNet;
+  sim::EnvSpec env;
+};
+
+/// Build a `depth`-stage, `width`-channel WCHB FIFO. The internal acks
+/// use ValidHigh completion (ack rises when the downstream stage holds
+/// data), matching the four-phase protocol of fig. 2.
+WchbFifo build_wchb_fifo(std::size_t width, std::size_t depth,
+                         double period_ps = 8000.0);
+
+}  // namespace qdi::gates

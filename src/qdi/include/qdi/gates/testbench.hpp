@@ -1,0 +1,75 @@
+// Self-contained experiment circuits, each bundling a netlist, the port
+// handles, and a ready-to-use four-phase environment spec.
+//
+// XorStage reproduces fig. 4/5 of the paper *exactly*: four Muller
+// minterm gates (level 1), two OR rail-merges (level 2), two Cr output
+// latches (level 3), and the NOR completion/acknowledge gate (level 4).
+// The internal net handles are exposed so the fig. 6/7 experiments can
+// inject load-capacitance imbalances on specific Cl_ij:
+//   Cl11..Cl14 -> m[0..3]   (level-1 gate outputs, m1..m4)
+//   Cl21,Cl22  -> s0, s1    (level-2 OR outputs)
+//   Cl31,Cl32  -> co0, co1  (level-3 Cr outputs, the block outputs)
+#pragma once
+
+#include <array>
+
+#include "qdi/gates/builder.hpp"
+#include "qdi/sim/environment.hpp"
+
+namespace qdi::gates {
+
+struct XorStage {
+  netlist::Netlist nl;
+
+  DualRail a, b;             ///< dual-rail inputs
+  NetId ack_in = kNoNet;     ///< downstream acknowledge (env-driven)
+  NetId reset = kNoNet;
+  std::array<NetId, 4> m{};  ///< level-1 Muller outputs (m1..m4)
+  NetId s0 = kNoNet, s1 = kNoNet;    ///< level-2 OR outputs
+  NetId co0 = kNoNet, co1 = kNoNet;  ///< level-3 Cr outputs (block outputs)
+  NetId ack_out = kNoNet;            ///< level-4 NOR (fig. 4 completion)
+  netlist::ChannelId out_ch = 0;
+
+  sim::EnvSpec env;  ///< inputs {a,b}, outputs {co}, acks {ack_in}
+};
+
+/// Build the fig. 4 dual-rail XOR pipeline stage.
+XorStage build_xor_stage(double period_ps = 4000.0);
+
+/// First-round AES byte slice: co = SBOX(p xor k), with an output latch
+/// stage and fig. 4-style completion. This is the circuit the paper's
+/// AES selection function D(C1, P8, K8) targets (section IV).
+struct AesByteSlice {
+  netlist::Netlist nl;
+
+  std::array<DualRail, 8> p{};  ///< plaintext byte (LSB first)
+  std::array<DualRail, 8> k{};  ///< key byte
+  std::array<DualRail, 8> x{};  ///< AddRoundKey outputs p^k (attack target)
+  std::array<DualRail, 8> q{};  ///< latched S-Box outputs
+  NetId ack_in = kNoNet;
+  NetId reset = kNoNet;
+  NetId ack_out = kNoNet;
+
+  sim::EnvSpec env;  ///< inputs {p,k}, outputs {q}, acks {ack_in}
+};
+
+AesByteSlice build_aes_byte_slice(double period_ps = 20000.0);
+
+/// First-round DES S-Box slice: q = SBOX<box>(p6 xor k6) (4 bits out).
+struct DesSboxSlice {
+  netlist::Netlist nl;
+
+  std::array<DualRail, 6> p{};
+  std::array<DualRail, 6> k{};
+  std::array<DualRail, 6> x{};  ///< p ^ k
+  std::array<DualRail, 4> q{};  ///< latched S-Box outputs
+  NetId ack_in = kNoNet;
+  NetId reset = kNoNet;
+  NetId ack_out = kNoNet;
+
+  sim::EnvSpec env;
+};
+
+DesSboxSlice build_des_sbox_slice(int box, double period_ps = 20000.0);
+
+}  // namespace qdi::gates

@@ -1,0 +1,79 @@
+#include "qdi/gates/pipeline.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace qdi::gates {
+
+using netlist::CellKind;
+
+WchbFifo build_wchb_fifo(std::size_t width, std::size_t depth,
+                         double period_ps) {
+  assert(width >= 1 && depth >= 1);
+  WchbFifo f;
+  f.nl.set_name("wchb_fifo");
+  Builder b(f.nl, "fifo");
+  f.reset = b.reset_net();
+  f.ack_in = b.input("ack_in");
+
+  // Producer-side channels.
+  f.in.reserve(width);
+  for (std::size_t c = 0; c < width; ++c)
+    f.in.push_back(b.dr_input("in" + std::to_string(c)));
+
+  // Pre-create every stage's output rail nets so the backward-flowing
+  // acknowledge wiring can reference later stages before their cells are
+  // instantiated.
+  std::vector<std::vector<DualRail>> q(depth);
+  for (std::size_t s = 0; s < depth; ++s) {
+    q[s].reserve(width);
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::string name =
+          "fifo/q" + std::to_string(s) + "_" + std::to_string(c);
+      const NetId r0 = f.nl.add_net(name + "_0");
+      const NetId r1 = f.nl.add_net(name + "_1");
+      q[s].push_back(b.as_dual_rail(r0, r1, "q" + std::to_string(s) + "_" +
+                                                std::to_string(c)));
+    }
+  }
+
+  // Completion detectors: ackv[s] rises when stage s holds valid data.
+  std::vector<NetId> ackv(depth);
+  for (std::size_t s = 0; s < depth; ++s) {
+    Builder::HierScope scope(b, "cd" + std::to_string(s));
+    ackv[s] = b.completion(q[s], CompletionStyle::ValidHigh,
+                           "cd" + std::to_string(s));
+  }
+
+  // Latch stages: stage s is gated by the inverted acknowledge of stage
+  // s+1 (the environment acknowledges the last stage).
+  for (std::size_t s = 0; s < depth; ++s) {
+    Builder::HierScope scope(b, "st" + std::to_string(s));
+    const NetId ack_next = (s + 1 < depth) ? ackv[s + 1] : f.ack_in;
+    const NetId nack = b.inv(ack_next, "nack" + std::to_string(s));
+    const std::vector<DualRail>& din = (s == 0) ? f.in : q[s - 1];
+    for (std::size_t c = 0; c < width; ++c) {
+      f.nl.add_cell(CellKind::Muller2R,
+                    "fifo/st" + std::to_string(s) + "/l" + std::to_string(c) + "_0",
+                    {din[c].r0, nack, f.reset}, q[s][c].r0, b.hier());
+      f.nl.add_cell(CellKind::Muller2R,
+                    "fifo/st" + std::to_string(s) + "/l" + std::to_string(c) + "_1",
+                    {din[c].r1, nack, f.reset}, q[s][c].r1, b.hier());
+    }
+  }
+
+  f.out = q[depth - 1];
+  f.ack_out = ackv[0];
+  b.output(f.ack_out, "ack_out");
+  for (std::size_t c = 0; c < width; ++c)
+    b.dr_output(f.out[c], "out" + std::to_string(c));
+
+  for (const DualRail& d : f.in) f.env.inputs.push_back(d.ch);
+  for (const DualRail& d : f.out) f.env.outputs.push_back(d.ch);
+  f.env.acks_to_block = {f.ack_in};
+  f.env.reset = f.reset;
+  f.env.period_ps = period_ps;
+  return f;
+}
+
+}  // namespace qdi::gates

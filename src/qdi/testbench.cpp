@@ -1,0 +1,138 @@
+#include "qdi/gates/testbench.hpp"
+
+#include <functional>
+
+#include "qdi/crypto/aes.hpp"
+#include "qdi/crypto/des.hpp"
+#include "qdi/gates/sbox.hpp"
+
+namespace qdi::gates {
+
+using netlist::CellKind;
+
+XorStage build_xor_stage(double period_ps) {
+  XorStage c;
+  c.nl.set_name("xor_stage");
+  Builder b(c.nl, "xor");
+
+  c.a = b.dr_input("a");
+  c.b = b.dr_input("b");
+  c.ack_in = b.input("ack_in");
+  c.reset = b.reset_net();
+
+  // Level 1: minterm Muller gates M1..M4 (fig. 5 ordering:
+  // M1=(a0,b0), M2=(a1,b1) -> co0;  M3=(a1,b0), M4=(a0,b1) -> co1).
+  c.m[0] = b.muller2(c.a.r0, c.b.r0, "m1");
+  c.m[1] = b.muller2(c.a.r1, c.b.r1, "m2");
+  c.m[2] = b.muller2(c.a.r1, c.b.r0, "m3");
+  c.m[3] = b.muller2(c.a.r0, c.b.r1, "m4");
+
+  // Level 2: OR rail merges O1, O2.
+  c.s0 = b.or2(c.m[0], c.m[1], "s0");
+  c.s1 = b.or2(c.m[2], c.m[3], "s1");
+
+  // Level 3: Cr output latches H1, H2 (gated by inverted downstream ack).
+  const NetId nack = b.inv(c.ack_in, "nack");
+  c.co0 = b.muller2r(c.s0, nack, "co0");
+  c.co1 = b.muller2r(c.s1, nack, "co1");
+  DualRail out = b.as_dual_rail(c.co0, c.co1, "co");
+  c.out_ch = out.ch;
+
+  // Level 4: the fig. 4 completion NOR N1 (high when the output is empty).
+  c.ack_out = b.nor2(c.co0, c.co1, "ack_out");
+  b.output(c.ack_out, "ack");
+  b.dr_output(out, "co_out");
+
+  c.env.inputs = {c.a.ch, c.b.ch};
+  c.env.outputs = {c.out_ch};
+  c.env.acks_to_block = {c.ack_in};
+  c.env.reset = c.reset;
+  c.env.period_ps = period_ps;
+  return c;
+}
+
+namespace {
+
+/// Common body for the AES/DES first-round slices: x = p ^ k, q =
+/// latch(SBOX(x)), plus completion.
+template <std::size_t NIn, std::size_t NOut>
+void build_slice(Builder& b, std::array<DualRail, NIn>& p,
+                 std::array<DualRail, NIn>& k, std::array<DualRail, NIn>& x,
+                 std::array<DualRail, NOut>& q, NetId& ack_in, NetId& ack_out,
+                 const std::function<unsigned(unsigned)>& table) {
+  for (std::size_t i = 0; i < NIn; ++i)
+    p[i] = b.dr_input("p" + std::to_string(i));
+  for (std::size_t i = 0; i < NIn; ++i)
+    k[i] = b.dr_input("k" + std::to_string(i));
+  ack_in = b.input("ack_in");
+
+  {
+    Builder::HierScope scope(b, "addkey0");
+    for (std::size_t i = 0; i < NIn; ++i)
+      x[i] = b.dr_xor(p[i], k[i], "x" + std::to_string(i));
+  }
+
+  LutResult lut;
+  {
+    Builder::HierScope scope(b, "bytesub");
+    lut = build_balanced_lut(b, std::span<const DualRail>(x.data(), NIn),
+                             static_cast<int>(NOut), table, "sbox");
+  }
+
+  std::vector<DualRail> latched;
+  {
+    Builder::HierScope scope(b, "hb");
+    latched = b.latch_stage(lut.outputs, ack_in, "q");
+    for (std::size_t i = 0; i < NOut; ++i) q[i] = latched[i];
+    ack_out = b.completion(latched, CompletionStyle::EmptyHigh, "cd");
+  }
+  b.output(ack_out, "ack");
+  for (std::size_t i = 0; i < NOut; ++i)
+    b.dr_output(q[i], "q" + std::to_string(i) + "_out");
+}
+
+}  // namespace
+
+AesByteSlice build_aes_byte_slice(double period_ps) {
+  AesByteSlice c;
+  c.nl.set_name("aes_byte_slice");
+  Builder b(c.nl, "slice");
+  c.reset = b.reset_net();
+
+  build_slice<8, 8>(b, c.p, c.k, c.x, c.q, c.ack_in, c.ack_out,
+                    [](unsigned v) {
+                      return static_cast<unsigned>(
+                          crypto::aes_sbox(static_cast<std::uint8_t>(v)));
+                    });
+
+  for (const auto& d : c.p) c.env.inputs.push_back(d.ch);
+  for (const auto& d : c.k) c.env.inputs.push_back(d.ch);
+  for (const auto& d : c.q) c.env.outputs.push_back(d.ch);
+  c.env.acks_to_block = {c.ack_in};
+  c.env.reset = c.reset;
+  c.env.period_ps = period_ps;
+  return c;
+}
+
+DesSboxSlice build_des_sbox_slice(int box, double period_ps) {
+  DesSboxSlice c;
+  c.nl.set_name("des_sbox_slice");
+  Builder b(c.nl, "des");
+  c.reset = b.reset_net();
+
+  build_slice<6, 4>(b, c.p, c.k, c.x, c.q, c.ack_in, c.ack_out,
+                    [box](unsigned v) {
+                      return static_cast<unsigned>(
+                          crypto::des_sbox(box, static_cast<std::uint8_t>(v)));
+                    });
+
+  for (const auto& d : c.p) c.env.inputs.push_back(d.ch);
+  for (const auto& d : c.k) c.env.inputs.push_back(d.ch);
+  for (const auto& d : c.q) c.env.outputs.push_back(d.ch);
+  c.env.acks_to_block = {c.ack_in};
+  c.env.reset = c.reset;
+  c.env.period_ps = period_ps;
+  return c;
+}
+
+}  // namespace qdi::gates

@@ -1,0 +1,133 @@
+#include "qdi/sim/environment.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "qdi/util/log.hpp"
+
+namespace qdi::sim {
+
+using netlist::ChannelId;
+using netlist::kNoNet;
+
+FourPhaseEnv::FourPhaseEnv(Simulator& sim, EnvSpec spec)
+    : sim_(&sim), spec_(std::move(spec)) {
+  for (ChannelId ch : spec_.inputs)
+    assert(ch < sim_->netlist().num_channels());
+  for (ChannelId ch : spec_.outputs)
+    assert(ch < sim_->netlist().num_channels());
+}
+
+void FourPhaseEnv::apply_reset(double pulse_ps) {
+  if (spec_.reset != kNoNet) sim_->drive(spec_.reset, true, sim_->now());
+  // Settle combinational gates (inverters on ack paths etc.) against the
+  // all-zero inputs, with reset asserted.
+  sim_->initialize();
+  sim_->run_until_stable();
+  if (spec_.reset != kNoNet) {
+    sim_->drive(spec_.reset, false, sim_->now() + pulse_ps);
+    sim_->run_until_stable();
+  }
+  // Make sure the environment side is in the all-zero state.
+  for (ChannelId ch : spec_.inputs)
+    for (netlist::NetId rail : sim_->netlist().channel(ch).rails)
+      sim_->drive(rail, false, sim_->now());
+  drive_acks(false, sim_->now());
+  sim_->run_until_stable();
+}
+
+int FourPhaseEnv::read_channel(ChannelId ch) const {
+  const netlist::Channel& c = sim_->netlist().channel(ch);
+  int value = -1;
+  for (std::size_t r = 0; r < c.rails.size(); ++r) {
+    if (sim_->value(c.rails[r])) {
+      if (value != -1) return -1;  // two rails high: protocol violation
+      value = static_cast<int>(r);
+    }
+  }
+  return value;
+}
+
+bool FourPhaseEnv::outputs_valid() const {
+  for (ChannelId ch : spec_.outputs)
+    if (read_channel(ch) < 0) return false;
+  return true;
+}
+
+bool FourPhaseEnv::outputs_empty() const {
+  for (ChannelId ch : spec_.outputs) {
+    const netlist::Channel& c = sim_->netlist().channel(ch);
+    for (netlist::NetId rail : c.rails)
+      if (sim_->value(rail)) return false;
+  }
+  return true;
+}
+
+void FourPhaseEnv::drive_acks(bool value, double at_ps) {
+  for (netlist::NetId ack : spec_.acks_to_block) sim_->drive(ack, value, at_ps);
+}
+
+FourPhaseEnv::CycleResult FourPhaseEnv::send(std::span<const int> values) {
+  assert(values.size() == spec_.inputs.size() &&
+         "send: one value per input channel");
+
+  CycleResult res;
+  const std::size_t before = sim_->transition_count();
+
+  // Align the cycle start on the period grid.
+  const double t0 =
+      std::ceil((sim_->now() + 1e-9) / spec_.period_ps) * spec_.period_ps;
+  sim_->advance_to(t0);
+  res.t_start = t0;
+
+  // Phase 1: drive valid data.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const netlist::Channel& ch = sim_->netlist().channel(spec_.inputs[i]);
+    assert(values[i] >= 0 &&
+           static_cast<std::size_t>(values[i]) < ch.rails.size());
+    sim_->drive(ch.rails[static_cast<std::size_t>(values[i])], true, t0);
+  }
+  sim_->run_until_stable();
+  if (!outputs_valid()) {
+    util::log_warn("FourPhaseEnv: outputs did not become valid");
+    res.ok = false;
+    return res;
+  }
+  res.t_valid = sim_->now();
+  res.outputs.reserve(spec_.outputs.size());
+  for (ChannelId ch : spec_.outputs) res.outputs.push_back(read_channel(ch));
+
+  // Phase 2: consumer acknowledges.
+  drive_acks(true, sim_->now() + spec_.phase_gap_ps);
+  sim_->run_until_stable();
+
+  // Phase 3: return to zero.
+  const double t3 = sim_->now() + spec_.phase_gap_ps;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const netlist::Channel& ch = sim_->netlist().channel(spec_.inputs[i]);
+    sim_->drive(ch.rails[static_cast<std::size_t>(values[i])], false, t3);
+  }
+  sim_->run_until_stable();
+  if (!outputs_empty()) {
+    util::log_warn("FourPhaseEnv: outputs did not return to zero");
+    res.ok = false;
+    return res;
+  }
+  res.t_empty = sim_->now();
+
+  // Phase 4: release acknowledge.
+  drive_acks(false, sim_->now() + spec_.phase_gap_ps);
+  sim_->run_until_stable();
+  res.t_end = sim_->now();
+
+  if (res.t_end - res.t_start >= spec_.period_ps)
+    throw std::runtime_error(
+        "FourPhaseEnv: cycle exceeded the period; increase EnvSpec::period_ps");
+
+  res.transitions = sim_->transition_count() - before;
+  res.ok = true;
+  return res;
+}
+
+}  // namespace qdi::sim

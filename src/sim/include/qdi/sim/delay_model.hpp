@@ -1,0 +1,47 @@
+// Gate timing model. Eq. 12 of the paper hinges on Δt — "the physical
+// time taken by the gate to charge/discharge its output node. This time
+// depends on the value of C." We therefore use the simplest model in
+// which that dependence is first-class:
+//
+//   propagation delay  d(C)  = base + per_input·arity + per_ff·C
+//   charge time        Δt(C) = slew_base + slew_per_ff·C
+//
+// Defaults are loosely calibrated to a 0.13 µm standard-cell library
+// (tens of ps intrinsic delay, a few ps per fF of load) — absolute values
+// are irrelevant to the reproduction, the C-dependence is what matters.
+#pragma once
+
+#include "qdi/netlist/cell_kind.hpp"
+
+namespace qdi::sim {
+
+struct DelayModel {
+  double base_ps = 20.0;       ///< intrinsic gate delay
+  double per_input_ps = 3.0;   ///< stack-depth penalty per input pin
+  double per_ff_ps = 4.0;      ///< delay slope vs output load (ps/fF)
+  double slew_base_ps = 10.0;  ///< minimum charge/discharge time
+  double slew_per_ff_ps = 5.0; ///< Δt slope vs output load (ps/fF)
+
+  /// Propagation delay of a gate of `kind` driving `cap_ff` femtofarads.
+  double delay_ps(netlist::CellKind kind, double cap_ff) const noexcept {
+    return base_ps + per_input_ps * netlist::info(kind).num_inputs +
+           per_ff_ps * cap_ff;
+  }
+
+  /// Output transition (charge/discharge) time Δt for load `cap_ff`.
+  double slew_ps(double cap_ff) const noexcept {
+    return slew_base_ps + slew_per_ff_ps * cap_ff;
+  }
+
+  /// A zero-load-sensitivity model (ablation: with per_ff = slew_per_ff
+  /// = 0 the capacitive leakage channel through *timing* disappears and
+  /// only the charge term of eq. 12 remains).
+  static DelayModel load_insensitive() noexcept {
+    DelayModel m;
+    m.per_ff_ps = 0.0;
+    m.slew_per_ff_ps = 0.0;
+    return m;
+  }
+};
+
+}  // namespace qdi::sim

@@ -1,0 +1,69 @@
+// Four-phase handshake test environment (fig. 2 of the paper):
+//   Phase 1 — environment drives valid data on the input channels,
+//   Phase 2 — downstream acknowledge is asserted,
+//   Phase 3 — inputs return to zero (invalid),
+//   Phase 4 — acknowledge is released.
+//
+// The environment plays both the producer (drives input rails) and the
+// consumer (asserts the block's downstream-ack inputs after observing
+// valid outputs). Cycles are aligned on a fixed period so that power
+// traces from different codewords are sample-aligned for DPA.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qdi/netlist/netlist.hpp"
+#include "qdi/sim/simulator.hpp"
+
+namespace qdi::sim {
+
+struct EnvSpec {
+  std::vector<netlist::ChannelId> inputs;   ///< env-driven channels
+  std::vector<netlist::ChannelId> outputs;  ///< observed channels
+  /// Ack inputs of the block that the environment drives as the consumer
+  /// (asserted in phase 2, released in phase 4).
+  std::vector<netlist::NetId> acks_to_block;
+  netlist::NetId reset = netlist::kNoNet;  ///< active-high reset input
+  double period_ps = 4000.0;  ///< cycle period (trace window length)
+  double phase_gap_ps = 50.0; ///< idle gap the env waits before each phase
+};
+
+class FourPhaseEnv {
+ public:
+  FourPhaseEnv(Simulator& sim, EnvSpec spec);
+
+  const EnvSpec& spec() const noexcept { return spec_; }
+
+  /// Pulse reset: assert, settle, release, settle. Leaves the block empty.
+  void apply_reset(double pulse_ps = 200.0);
+
+  struct CycleResult {
+    double t_start = 0.0;  ///< aligned cycle start
+    double t_valid = 0.0;  ///< all outputs valid (end of phase 1)
+    double t_empty = 0.0;  ///< all outputs returned to zero (end of phase 3)
+    double t_end = 0.0;    ///< end of phase 4
+    std::vector<int> outputs;       ///< decoded output values
+    std::size_t transitions = 0;    ///< net transitions in the whole cycle
+    bool ok = false;                ///< protocol completed correctly
+  };
+
+  /// Run one full four-phase cycle transmitting values[i] on input
+  /// channel i (values are 1-of-N indices). Throws std::runtime_error if
+  /// the cycle does not fit in the period.
+  CycleResult send(std::span<const int> values);
+
+  /// Decoded value of a channel: the index of its single high rail, -1 if
+  /// the channel is invalid (no rail or several rails high).
+  int read_channel(netlist::ChannelId ch) const;
+  bool outputs_valid() const;
+  bool outputs_empty() const;
+
+ private:
+  void drive_acks(bool value, double at_ps);
+
+  Simulator* sim_;
+  EnvSpec spec_;
+};
+
+}  // namespace qdi::sim

@@ -1,0 +1,112 @@
+// Event-driven gate-level simulator for QDI netlists.
+//
+// Inertial-delay semantics: each net has at most one pending event; a
+// re-evaluation that contradicts a pending event cancels it (the would-be
+// glitch is counted — QDI circuits are hazard-free, so a non-zero glitch
+// count on a QDI block is a design bug and tests assert it stays zero).
+//
+// Muller C-elements hold state through their current output net value;
+// reset pins are ordinary inputs (the qdi generators wire them to a reset
+// net driven by the environment).
+//
+// Every committed transition is appended to the transition log together
+// with the switched net's capacitance — exactly the (C, Δt, t) triples the
+// power model of section III needs.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "qdi/netlist/netlist.hpp"
+#include "qdi/sim/delay_model.hpp"
+
+namespace qdi::sim {
+
+struct Transition {
+  double t_ps = 0.0;       ///< commit time
+  netlist::NetId net = netlist::kNoNet;
+  bool rising = false;
+  double cap_ff = 0.0;     ///< net capacitance at switch time
+  double slew_ps = 0.0;    ///< Δt(C) of the driving gate
+};
+
+class Simulator {
+ public:
+  Simulator(const netlist::Netlist& nl, DelayModel model = {});
+
+  const netlist::Netlist& netlist() const noexcept { return *nl_; }
+  const DelayModel& delay_model() const noexcept { return model_; }
+
+  /// Forget all state: all nets low, time zero, logs cleared.
+  void reset_state();
+
+  /// Evaluate every gate once at the current time so that combinational
+  /// outputs inconsistent with the all-zero state (e.g. inverters) settle.
+  /// Call once after reset_state()/drive() of initial input values, then
+  /// run_until_stable().
+  void initialize();
+
+  bool value(netlist::NetId net) const { return values_.at(net); }
+
+  /// Externally drive a net (must be the output of an Input pseudo-cell).
+  /// The change commits at `at_ps` with zero slew attributed to the
+  /// environment (environment transitions carry the net's cap so input
+  /// wire loading is still modeled).
+  void drive(netlist::NetId net, bool value, double at_ps);
+
+  /// Process events until the queue drains. Returns the number of
+  /// committed transitions. Throws std::runtime_error after `max_events`
+  /// commits (runaway oscillation — a ring would otherwise hang).
+  std::size_t run_until_stable(std::size_t max_events = 10'000'000);
+
+  /// Current simulation time = commit time of the latest event.
+  double now() const noexcept { return now_; }
+  /// Move the clock forward (idle gap between handshake phases).
+  void advance_to(double t_ps) noexcept;
+
+  const std::vector<Transition>& log() const noexcept { return log_; }
+  void clear_log() { log_.clear(); }
+
+  /// Count of cancelled pending events (potential glitches). Zero on any
+  /// hazard-free QDI block.
+  std::size_t glitch_count() const noexcept { return glitches_; }
+
+  /// Total committed transitions since reset.
+  std::size_t transition_count() const noexcept { return total_transitions_; }
+
+ private:
+  struct Event {
+    double t_ps;
+    std::uint64_t seq;  // tie-break + lazy-deletion token
+    netlist::NetId net;
+    bool value;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t_ps != b.t_ps) return a.t_ps > b.t_ps;
+      return a.seq > b.seq;
+    }
+  };
+
+  void schedule(netlist::NetId net, bool value, double t_ps, double slew_ps);
+  void evaluate_cell(netlist::CellId cell, double t_ps);
+  void commit(const Event& ev);
+
+  const netlist::Netlist* nl_;
+  DelayModel model_;
+
+  std::vector<char> values_;          // current net values
+  std::vector<std::uint64_t> pending_seq_;  // seq of live pending event per net (0 = none)
+  std::vector<char> pending_value_;
+  std::vector<double> pending_slew_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t next_seq_ = 1;
+
+  double now_ = 0.0;
+  std::vector<Transition> log_;
+  std::size_t glitches_ = 0;
+  std::size_t total_transitions_ = 0;
+};
+
+}  // namespace qdi::sim

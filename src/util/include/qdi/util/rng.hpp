@@ -1,0 +1,106 @@
+// Deterministic, seedable random number generation for reproducible
+// experiments. All stochastic components of the library (placement
+// annealing, noise injection, plaintext generation) take an explicit
+// Rng so that every experiment is replayable from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace qdi::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full generator
+/// state. Passes BigCrush when used directly; here it is only the seeder.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality 64-bit generator.
+/// Satisfies the C++ UniformRandomBitGenerator requirements so it can be
+/// used with <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5eedbead5eedbeadULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method would need
+  /// 128-bit multiply; a rejection loop is simpler and still branch-cheap).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Standard normal via Box-Muller (polar form avoided to stay constexpr-
+  /// friendly is not required; this is the classic trig-free ratio variant).
+  double gaussian() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Random boolean with probability p of being true.
+  constexpr bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Random byte.
+  constexpr std::uint8_t byte() noexcept {
+    return static_cast<std::uint8_t>(next() & 0xff);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace qdi::util

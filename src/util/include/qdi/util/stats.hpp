@@ -1,0 +1,76 @@
+// Small statistics toolkit used by the power model and the DPA engine:
+// streaming mean/variance (Welford), correlation, and the trace-set
+// average/difference operations of Messerges' DPA formalization.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qdi::util {
+
+/// Numerically stable streaming accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n).
+  double variance() const noexcept { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  /// Sample variance (divide by n-1).
+  double sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Element-wise running mean over equal-length vectors ("average power
+/// signal" A[j] of eq. 8). Length is fixed by the first added vector.
+class VectorMean {
+ public:
+  void add(std::span<const double> v);
+  std::size_t count() const noexcept { return n_; }
+  std::size_t size() const noexcept { return sum_.size(); }
+  /// A[j] = (1/n) * sum_i S_ij. Empty if nothing was added.
+  std::vector<double> mean() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> sum_;
+};
+
+double mean(std::span<const double> v) noexcept;
+double variance(std::span<const double> v) noexcept;
+double stddev(std::span<const double> v) noexcept;
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double pearson(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Welch's t statistic between two samples (used for leakage assessment,
+/// a standard side-channel evaluation statistic; 0 if degenerate).
+double welch_t(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// Index of the element with the largest absolute value (0 if empty).
+std::size_t argmax_abs(std::span<const double> v) noexcept;
+
+/// max_j |v[j]| (0 if empty).
+double max_abs(std::span<const double> v) noexcept;
+
+/// Sum of |v[j]| — the "integrated bias" metric reported by the benches.
+double sum_abs(std::span<const double> v) noexcept;
+
+/// a[j] - b[j]; sizes must match (asserted).
+std::vector<double> subtract(std::span<const double> a, std::span<const double> b);
+
+}  // namespace qdi::util

@@ -1,0 +1,41 @@
+// Minimal ASCII table / CSV emitters used by the benches to print the
+// paper's tables (e.g. Table 2) in a readable, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qdi::util {
+
+/// Column-aligned ASCII table. Rows may be added as pre-formatted strings
+/// or via the variadic helper that formats arithmetic values.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the configured precision and
+  /// integers/strings verbatim.
+  void set_precision(int digits) noexcept { precision_ = digits; }
+  int precision() const noexcept { return precision_; }
+
+  std::string format_double(double v) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 4;
+};
+
+/// Escape one CSV field (quotes fields containing separators/quotes).
+std::string csv_escape(const std::string& field);
+
+}  // namespace qdi::util

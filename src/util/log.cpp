@@ -1,0 +1,30 @@
+#include "qdi/util/log.hpp"
+
+#include <cstdio>
+
+namespace qdi::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace qdi::util

@@ -1,0 +1,16 @@
+#include "qdi/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace qdi::util {
+
+double Rng::gaussian() noexcept {
+  // Box-Muller. u1 is kept away from zero so log() is finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace qdi::util

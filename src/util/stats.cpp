@@ -1,0 +1,134 @@
+#include "qdi/util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qdi::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void VectorMean::add(std::span<const double> v) {
+  if (sum_.empty()) sum_.assign(v.size(), 0.0);
+  assert(v.size() == sum_.size() && "VectorMean: inconsistent trace length");
+  for (std::size_t j = 0; j < v.size(); ++j) sum_[j] += v[j];
+  ++n_;
+}
+
+std::vector<double> VectorMean::mean() const {
+  std::vector<double> out(sum_.size(), 0.0);
+  if (n_ == 0) return out;
+  const double inv = 1.0 / static_cast<double>(n_);
+  for (std::size_t j = 0; j < sum_.size(); ++j) out[j] = sum_[j] * inv;
+  return out;
+}
+
+double mean(std::span<const double> v) noexcept {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(std::span<const double> v) noexcept {
+  if (v.empty()) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const double> v) noexcept { return std::sqrt(variance(v)); }
+
+double pearson(std::span<const double> x, std::span<const double> y) noexcept {
+  assert(x.size() == y.size());
+  if (x.empty()) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double welch_t(std::span<const double> a, std::span<const double> b) noexcept {
+  if (a.size() < 2 || b.size() < 2) return 0.0;
+  RunningStats sa, sb;
+  for (double x : a) sa.add(x);
+  for (double x : b) sb.add(x);
+  const double va = sa.sample_variance() / static_cast<double>(a.size());
+  const double vb = sb.sample_variance() / static_cast<double>(b.size());
+  const double denom = std::sqrt(va + vb);
+  if (denom <= 0.0) return 0.0;
+  return (sa.mean() - sb.mean()) / denom;
+}
+
+std::size_t argmax_abs(std::span<const double> v) noexcept {
+  std::size_t best = 0;
+  double best_abs = -1.0;
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    const double a = std::fabs(v[j]);
+    if (a > best_abs) {
+      best_abs = a;
+      best = j;
+    }
+  }
+  return best;
+}
+
+double max_abs(std::span<const double> v) noexcept {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double sum_abs(std::span<const double> v) noexcept {
+  double s = 0.0;
+  for (double x : v) s += std::fabs(x);
+  return s;
+}
+
+std::vector<double> subtract(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (std::size_t j = 0; j < a.size(); ++j) out[j] = a[j] - b[j];
+  return out;
+}
+
+}  // namespace qdi::util

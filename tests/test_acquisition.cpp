@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "qdi/crypto/aes.hpp"
+#include "qdi/crypto/des.hpp"
+#include "qdi/dpa/acquisition.hpp"
+
+namespace qd = qdi::dpa;
+namespace qg = qdi::gates;
+namespace qc = qdi::crypto;
+
+TEST(Acquisition, AesSliceCiphertextsMatchGoldenModel) {
+  qg::AesByteSlice slice = qg::build_aes_byte_slice();
+  qd::Acquisition cfg;
+  cfg.num_traces = 40;
+  cfg.seed = 11;
+  const qd::TraceSet ts = qd::acquire_aes_byte_slice(slice, 0x2b, cfg);
+  ASSERT_EQ(ts.size(), 40u);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const std::uint8_t p = ts.plaintext(i)[0];
+    EXPECT_EQ(ts.ciphertext(i)[0],
+              qc::aes_sbox(static_cast<std::uint8_t>(p ^ 0x2b)))
+        << "trace " << i;
+  }
+}
+
+TEST(Acquisition, TracesHaveUniformGeometryAndActivity) {
+  qg::AesByteSlice slice = qg::build_aes_byte_slice();
+  qd::Acquisition cfg;
+  cfg.num_traces = 10;
+  const qd::TraceSet ts = qd::acquire_aes_byte_slice(slice, 0x00, cfg);
+  const std::size_t n = ts.num_samples();
+  EXPECT_GT(n, 0u);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(ts.trace(i).size(), n);
+    EXPECT_GT(ts.trace(i).total_charge_fc(), 0.0);  // real switching activity
+  }
+}
+
+TEST(Acquisition, DeterministicPerSeed) {
+  qg::AesByteSlice s1 = qg::build_aes_byte_slice();
+  qg::AesByteSlice s2 = qg::build_aes_byte_slice();
+  qd::Acquisition cfg;
+  cfg.num_traces = 6;
+  cfg.seed = 33;
+  cfg.power.noise_sigma_ua = 1.0;
+  const qd::TraceSet a = qd::acquire_aes_byte_slice(s1, 0x55, cfg);
+  const qd::TraceSet b = qd::acquire_aes_byte_slice(s2, 0x55, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.plaintext(i)[0], b.plaintext(i)[0]);
+    for (std::size_t j = 0; j < a.num_samples(); ++j)
+      ASSERT_DOUBLE_EQ(a.trace(i)[j], b.trace(i)[j]);
+  }
+}
+
+TEST(Acquisition, SeedsChangePlaintextSequence) {
+  qg::AesByteSlice s1 = qg::build_aes_byte_slice();
+  qg::AesByteSlice s2 = qg::build_aes_byte_slice();
+  qd::Acquisition c1, c2;
+  c1.num_traces = c2.num_traces = 16;
+  c1.seed = 1;
+  c2.seed = 2;
+  const qd::TraceSet a = qd::acquire_aes_byte_slice(s1, 0x55, c1);
+  const qd::TraceSet b = qd::acquire_aes_byte_slice(s2, 0x55, c2);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a.plaintext(i)[0] != b.plaintext(i)[0]) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Acquisition, DesSliceCiphertextsMatchGoldenModel) {
+  qg::DesSboxSlice slice = qg::build_des_sbox_slice(0);
+  qd::Acquisition cfg;
+  cfg.num_traces = 30;
+  const qd::TraceSet ts = qd::acquire_des_sbox_slice(slice, 0x27, cfg);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const std::uint8_t p = ts.plaintext(i)[0];
+    EXPECT_LT(p, 64);
+    EXPECT_EQ(ts.ciphertext(i)[0],
+              qc::des_sbox(0, static_cast<std::uint8_t>(p ^ 0x27)));
+  }
+}
+
+TEST(Acquisition, XorStageRecordsBothBits) {
+  qg::XorStage x = qg::build_xor_stage();
+  qd::Acquisition cfg;
+  cfg.num_traces = 20;
+  const qd::TraceSet ts = qd::acquire_xor_stage(x, cfg);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_LE(ts.plaintext(i)[0], 1);
+    EXPECT_LE(ts.plaintext(i)[1], 1);
+    EXPECT_EQ(ts.ciphertext(i)[0],
+              ts.plaintext(i)[0] ^ ts.plaintext(i)[1]);
+  }
+}
+
+TEST(Acquisition, BalancedSliceShowsNoKeyDependentCharge) {
+  // With uniform caps (no P&R), total per-trace charge must be identical
+  // across plaintexts — the QDI balance property seen from the power side.
+  qg::AesByteSlice slice = qg::build_aes_byte_slice();
+  qd::Acquisition cfg;
+  cfg.num_traces = 24;
+  const qd::TraceSet ts = qd::acquire_aes_byte_slice(slice, 0x99, cfg);
+  const double q0 = ts.trace(0).total_charge_fc();
+  for (std::size_t i = 1; i < ts.size(); ++i)
+    EXPECT_NEAR(ts.trace(i).total_charge_fc(), q0, q0 * 1e-9);
+}

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qdi/crypto/aes.hpp"
+#include "qdi/gates/aes_datapath.hpp"
+#include "qdi/pnr/placement.hpp"
+#include "qdi/sim/environment.hpp"
+#include "qdi/util/rng.hpp"
+
+namespace qn = qdi::netlist;
+namespace qs = qdi::sim;
+namespace qg = qdi::gates;
+namespace qc = qdi::crypto;
+
+namespace {
+/// Simulation harness around a 32-bit combinational bus function.
+struct Bus32Fixture {
+  qn::Netlist nl{"bus32"};
+  qg::Builder b{nl};
+  std::vector<qg::DualRail> in;
+  std::vector<qg::DualRail> out;
+  qs::EnvSpec spec;
+
+  template <typename Fn>
+  explicit Bus32Fixture(Fn&& fn) {
+    for (int i = 0; i < 32; ++i) in.push_back(b.dr_input("i" + std::to_string(i)));
+    out = fn(b, in);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      b.dr_output(out[i], "o" + std::to_string(i));
+    for (const auto& d : in) spec.inputs.push_back(d.ch);
+    for (const auto& d : out) spec.outputs.push_back(d.ch);
+    spec.period_ps = 40000.0;
+  }
+
+  std::uint32_t run(std::uint32_t word) {
+    qs::Simulator sim(nl);
+    qs::FourPhaseEnv env(sim, spec);
+    env.apply_reset();
+    std::vector<int> v(32);
+    for (int i = 0; i < 32; ++i) v[static_cast<std::size_t>(i)] = (word >> i) & 1;
+    const auto cyc = env.send(v);
+    EXPECT_TRUE(cyc.ok);
+    std::uint32_t r = 0;
+    for (std::size_t i = 0; i < cyc.outputs.size(); ++i)
+      if (cyc.outputs[i] == 1) r |= (1u << i);
+    return r;
+  }
+};
+
+std::uint32_t reference_mixcolumn(std::uint32_t word) {
+  // Bytes LSB-first: byte i = bits [8i, 8i+8).
+  qc::Block s{};
+  for (int i = 0; i < 4; ++i)
+    s[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(word >> (8 * i));
+  qc::mix_columns(s);  // operates column-wise; column 0 = bytes 0..3
+  std::uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) r |= static_cast<std::uint32_t>(s[static_cast<std::size_t>(i)]) << (8 * i);
+  return r;
+}
+}  // namespace
+
+TEST(AesDatapath, XtimeByteMatchesReference) {
+  Bus32Fixture f([](qg::Builder& b, std::vector<qg::DualRail>& in) {
+    std::vector<qg::DualRail> byte(in.begin(), in.begin() + 8);
+    std::vector<qg::DualRail> out = qg::xtime_byte(b, byte, "xt");
+    // Pad to pass through the remaining inputs so every input has a sink.
+    for (std::size_t i = 8; i < in.size(); ++i) out.push_back(in[i]);
+    return out;
+  });
+  qdi::util::Rng rng(3);
+  for (int t = 0; t < 12; ++t) {
+    const std::uint8_t a = rng.byte();
+    const std::uint32_t out = f.run(a);
+    EXPECT_EQ(static_cast<std::uint8_t>(out & 0xff), qc::xtime(a)) << int(a);
+  }
+}
+
+TEST(AesDatapath, MixColumnMatchesFips197) {
+  Bus32Fixture f([](qg::Builder& b, std::vector<qg::DualRail>& in) {
+    return qg::mixcolumn_column(b, in, "mix");
+  });
+  // FIPS-197 example column db 13 53 45 -> 8e 4d a1 bc.
+  EXPECT_EQ(f.run(0x455313dbu), 0xbca14d8eu);
+  qdi::util::Rng rng(4);
+  for (int t = 0; t < 6; ++t) {
+    const std::uint32_t w = static_cast<std::uint32_t>(rng.next());
+    EXPECT_EQ(f.run(w), reference_mixcolumn(w));
+  }
+}
+
+TEST(AesDatapath, XorBusMatchesBitwiseXor) {
+  qn::Netlist nl("xb");
+  qg::Builder b(nl);
+  std::vector<qg::DualRail> a, c;
+  for (int i = 0; i < 8; ++i) a.push_back(b.dr_input("a" + std::to_string(i)));
+  for (int i = 0; i < 8; ++i) c.push_back(b.dr_input("b" + std::to_string(i)));
+  const auto o = qg::xor_bus(b, a, c, "x");
+  qs::EnvSpec spec;
+  for (const auto& d : a) spec.inputs.push_back(d.ch);
+  for (const auto& d : c) spec.inputs.push_back(d.ch);
+  for (const auto& d : o) {
+    b.dr_output(d, "o");
+    spec.outputs.push_back(d.ch);
+  }
+  spec.period_ps = 4000.0;
+  qs::Simulator sim(nl);
+  qs::FourPhaseEnv env(sim, spec);
+  env.apply_reset();
+  qdi::util::Rng rng(5);
+  for (int t = 0; t < 8; ++t) {
+    const std::uint8_t va = rng.byte(), vb = rng.byte();
+    std::vector<int> v;
+    for (int i = 0; i < 8; ++i) v.push_back((va >> i) & 1);
+    for (int i = 0; i < 8; ++i) v.push_back((vb >> i) & 1);
+    const auto cyc = env.send(v);
+    ASSERT_TRUE(cyc.ok);
+    std::uint8_t r = 0;
+    for (int i = 0; i < 8; ++i)
+      if (cyc.outputs[static_cast<std::size_t>(i)] == 1) r |= static_cast<std::uint8_t>(1 << i);
+    EXPECT_EQ(r, va ^ vb);
+  }
+}
+
+TEST(AesCore, NetlistIsSound) {
+  const qg::AesCoreNetlist aes = qg::build_aes_core();
+  const auto issues = aes.nl.check();
+  EXPECT_TRUE(issues.empty()) << (issues.empty() ? "" : issues[0]);
+}
+
+TEST(AesCore, HasPaperScale) {
+  const qg::AesCoreNetlist aes = qg::build_aes_core();
+  // The secured AES of the paper is a multi-10k-gate design with eight
+  // ByteSub S-Boxes (4 cipher path + 4 key path).
+  EXPECT_GT(aes.nl.num_gates(), 20000u);
+  EXPECT_GT(aes.nl.num_channels(), 1000u);
+  EXPECT_EQ(aes.subkey_channels.size(), 32u);
+  EXPECT_EQ(aes.bytesub_in_channels.size(), 32u);
+}
+
+TEST(AesCore, Fig8BlocksPresent) {
+  const qg::AesCoreNetlist aes = qg::build_aes_core();
+  std::set<std::string> regions;
+  for (const auto& cell : aes.nl.cells())
+    regions.insert(qdi::pnr::region_key(cell, 2));
+  for (const char* expected :
+       {"aes_core/bytesub", "aes_core/addkey0", "aes_core/addroundkey",
+        "aes_core/mixcolumn", "aes_core/dmux", "aes_core/mux4_1",
+        "aes_core/dmux1_4", "aes_core/addlastkey", "aes_key/bytesub",
+        "aes_key/fifo", "aes_key/xor_key", "aes_key/xor_rc",
+        "aes_key/duplicateur", "interface/sa_interface2"}) {
+    EXPECT_TRUE(regions.count(expected)) << expected;
+  }
+}
+
+TEST(AesCore, WithoutKeyPathIsSmaller) {
+  qg::AesCoreParams small;
+  small.include_key_path = false;
+  small.include_interface = false;
+  const qg::AesCoreNetlist a = qg::build_aes_core(small);
+  const qg::AesCoreNetlist b = qg::build_aes_core();
+  EXPECT_LT(a.nl.num_gates(), b.nl.num_gates());
+  EXPECT_TRUE(a.nl.check().empty());
+}
+
+TEST(AesCore, ChannelArities) {
+  const qg::AesCoreNetlist aes = qg::build_aes_core();
+  std::size_t dual = 0, groups = 0;
+  for (const auto& ch : aes.nl.channels()) {
+    EXPECT_GE(ch.arity(), 2u);
+    if (ch.arity() == 2)
+      ++dual;
+    else
+      ++groups;
+  }
+  // Dual-rail data channels plus the 1-of-N code-group channels
+  // (minterm layers, decode levels, OR-tree layers).
+  EXPECT_GT(dual, 1000u);
+  EXPECT_GT(groups, 500u);
+}

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qdi/netlist/cell_kind.hpp"
+
+namespace qn = qdi::netlist;
+using qn::CellKind;
+
+namespace {
+bool eval(CellKind k, std::vector<bool> in, bool prev = false) {
+  // std::vector<bool> has no data(); expand into a plain array.
+  bool buf[8];
+  for (std::size_t i = 0; i < in.size(); ++i) buf[i] = in[i];
+  return qn::evaluate(k, std::span<const bool>(buf, in.size()), prev);
+}
+}  // namespace
+
+TEST(CellKindInfo, AritiesAreConsistent) {
+  EXPECT_EQ(qn::info(CellKind::Inv).num_inputs, 1);
+  EXPECT_EQ(qn::info(CellKind::Or2).num_inputs, 2);
+  EXPECT_EQ(qn::info(CellKind::Or4).num_inputs, 4);
+  EXPECT_EQ(qn::info(CellKind::Muller2).num_inputs, 2);
+  // The reset pin counts as an input.
+  EXPECT_EQ(qn::info(CellKind::Muller2R).num_inputs, 3);
+  EXPECT_EQ(qn::info(CellKind::Muller3R).num_inputs, 4);
+}
+
+TEST(CellKindInfo, NamesAreUniqueAndNonEmpty) {
+  std::vector<std::string_view> names;
+  for (int k = 0; k < qn::kNumCellKinds; ++k)
+    names.push_back(qn::name(static_cast<CellKind>(k)));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (std::size_t j = i + 1; j < names.size(); ++j)
+      EXPECT_NE(names[i], names[j]);
+  }
+}
+
+TEST(CellKindInfo, MullerFamilyFlags) {
+  EXPECT_TRUE(qn::is_muller(CellKind::Muller2));
+  EXPECT_TRUE(qn::is_muller(CellKind::Muller2R));
+  EXPECT_TRUE(qn::is_muller(CellKind::Muller4));
+  EXPECT_FALSE(qn::is_muller(CellKind::Or2));
+  EXPECT_TRUE(qn::info(CellKind::Muller2R).has_reset);
+  EXPECT_FALSE(qn::info(CellKind::Muller2).has_reset);
+  EXPECT_TRUE(qn::is_pseudo(CellKind::Input));
+  EXPECT_TRUE(qn::is_pseudo(CellKind::Output));
+  EXPECT_FALSE(qn::is_pseudo(CellKind::Buf));
+}
+
+TEST(Evaluate, BasicGates) {
+  EXPECT_FALSE(eval(CellKind::Inv, {true}));
+  EXPECT_TRUE(eval(CellKind::Inv, {false}));
+  EXPECT_TRUE(eval(CellKind::Buf, {true}));
+  EXPECT_TRUE(eval(CellKind::And2, {true, true}));
+  EXPECT_FALSE(eval(CellKind::And2, {true, false}));
+  EXPECT_TRUE(eval(CellKind::Or2, {false, true}));
+  EXPECT_FALSE(eval(CellKind::Nor2, {false, true}));
+  EXPECT_TRUE(eval(CellKind::Nor2, {false, false}));
+  EXPECT_TRUE(eval(CellKind::Nand2, {true, false}));
+  EXPECT_FALSE(eval(CellKind::Nand2, {true, true}));
+  EXPECT_TRUE(eval(CellKind::Xor2, {true, false}));
+  EXPECT_FALSE(eval(CellKind::Xor2, {true, true}));
+  EXPECT_TRUE(eval(CellKind::Xnor2, {true, true}));
+}
+
+// Fig. 5 of the paper: Z = XY + Z(X+Y). Exhaustive over (X, Y, Zprev).
+struct MullerCase {
+  bool x, y, z_prev, z_expected;
+};
+
+class MullerTruthTable : public ::testing::TestWithParam<MullerCase> {};
+
+TEST_P(MullerTruthTable, MatchesPaperFig5) {
+  const MullerCase& c = GetParam();
+  EXPECT_EQ(eval(CellKind::Muller2, {c.x, c.y}, c.z_prev), c.z_expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInputs, MullerTruthTable,
+    ::testing::Values(MullerCase{false, false, false, false},
+                      MullerCase{false, false, true, false},
+                      MullerCase{false, true, false, false},   // hold Z-1
+                      MullerCase{false, true, true, true},     // hold Z-1
+                      MullerCase{true, false, false, false},   // hold Z-1
+                      MullerCase{true, false, true, true},     // hold Z-1
+                      MullerCase{true, true, false, true},
+                      MullerCase{true, true, true, true}));
+
+TEST(Evaluate, Muller3RequiresConsensus) {
+  EXPECT_TRUE(eval(CellKind::Muller3, {true, true, true}, false));
+  EXPECT_FALSE(eval(CellKind::Muller3, {false, false, false}, true));
+  // Any disagreement holds the previous value.
+  EXPECT_TRUE(eval(CellKind::Muller3, {true, true, false}, true));
+  EXPECT_FALSE(eval(CellKind::Muller3, {true, false, false}, false));
+}
+
+TEST(Evaluate, MullerResetDominates) {
+  // Reset is the last input and forces the output low even on consensus.
+  EXPECT_FALSE(eval(CellKind::Muller2R, {true, true, true}, true));
+  EXPECT_TRUE(eval(CellKind::Muller2R, {true, true, false}, false));
+  // Hold behaviour with reset low.
+  EXPECT_TRUE(eval(CellKind::Muller2R, {true, false, false}, true));
+  EXPECT_FALSE(eval(CellKind::Muller2R, {false, true, false}, false));
+  EXPECT_FALSE(eval(CellKind::Muller3R, {true, true, true, true}, true));
+  EXPECT_TRUE(eval(CellKind::Muller3R, {true, true, true, false}, false));
+}
+
+// Exhaustive N-input property sweep: for every combinational kind, the
+// output must be independent of prev_output.
+class CombinationalIgnoresState
+    : public ::testing::TestWithParam<CellKind> {};
+
+TEST_P(CombinationalIgnoresState, PrevOutputHasNoEffect) {
+  const CellKind k = GetParam();
+  const int n = qn::info(k).num_inputs;
+  for (unsigned m = 0; m < (1u << n); ++m) {
+    std::vector<bool> in(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b) in[static_cast<std::size_t>(b)] = (m >> b) & 1;
+    EXPECT_EQ(eval(k, in, false), eval(k, in, true))
+        << qn::name(k) << " input " << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinational, CombinationalIgnoresState,
+    ::testing::Values(CellKind::Buf, CellKind::Inv, CellKind::And2,
+                      CellKind::And3, CellKind::Or2, CellKind::Or3,
+                      CellKind::Or4, CellKind::Nor2, CellKind::Nor3,
+                      CellKind::Nor4, CellKind::Nand2, CellKind::Nand3,
+                      CellKind::Xor2, CellKind::Xnor2));
+
+// Monotone-consensus property for all Muller kinds: all-high -> 1,
+// all-low -> 0, anything else holds.
+class MullerConsensus : public ::testing::TestWithParam<CellKind> {};
+
+TEST_P(MullerConsensus, HoldsUnlessConsensus) {
+  const CellKind k = GetParam();
+  const bool has_reset = qn::info(k).has_reset;
+  const int n = qn::info(k).num_inputs - (has_reset ? 1 : 0);
+  for (unsigned m = 0; m < (1u << n); ++m) {
+    std::vector<bool> in(static_cast<std::size_t>(n));
+    bool all = true, none = true;
+    for (int b = 0; b < n; ++b) {
+      const bool v = (m >> b) & 1;
+      in[static_cast<std::size_t>(b)] = v;
+      all = all && v;
+      none = none && !v;
+    }
+    if (has_reset) in.push_back(false);
+    for (bool prev : {false, true}) {
+      const bool out = eval(k, in, prev);
+      if (all)
+        EXPECT_TRUE(out) << qn::name(k);
+      else if (none)
+        EXPECT_FALSE(out) << qn::name(k);
+      else
+        EXPECT_EQ(out, prev) << qn::name(k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMuller, MullerConsensus,
+                         ::testing::Values(CellKind::Muller2, CellKind::Muller3,
+                                           CellKind::Muller4, CellKind::Muller2R,
+                                           CellKind::Muller3R));
+
+TEST(Evaluate, TransistorCountsArePositiveForGates) {
+  for (int k = 0; k < qn::kNumCellKinds; ++k) {
+    const CellKind kind = static_cast<CellKind>(k);
+    if (qn::is_pseudo(kind)) continue;
+    EXPECT_GT(qn::info(kind).transistor_count, 0) << qn::name(kind);
+  }
+}

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qdi/core/criterion.hpp"
+#include "qdi/gates/testbench.hpp"
+
+namespace qn = qdi::netlist;
+namespace qc = qdi::core;
+namespace qg = qdi::gates;
+
+TEST(Dissymmetry, ZeroForEqualCaps) {
+  EXPECT_DOUBLE_EQ(qc::dissymmetry(8.0, 8.0), 0.0);
+  EXPECT_DOUBLE_EQ(qc::dissymmetry(123.4, 123.4), 0.0);
+}
+
+TEST(Dissymmetry, PaperExampleValues) {
+  // Table 2 reports e.g. C pairs (23, 46) -> dA = 1.0 and (25, 30)-ish
+  // small values; check the formula directly.
+  EXPECT_DOUBLE_EQ(qc::dissymmetry(23.0, 46.0), 1.0);
+  EXPECT_DOUBLE_EQ(qc::dissymmetry(8.0, 16.0), 1.0);
+  EXPECT_DOUBLE_EQ(qc::dissymmetry(8.0, 32.0), 3.0);
+  EXPECT_NEAR(qc::dissymmetry(20.0, 25.0), 0.25, 1e-12);
+}
+
+class DissymmetryProperties
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(DissymmetryProperties, SymmetricAndScaleInvariant) {
+  const auto [a, b] = GetParam();
+  EXPECT_DOUBLE_EQ(qc::dissymmetry(a, b), qc::dissymmetry(b, a));
+  EXPECT_NEAR(qc::dissymmetry(3.0 * a, 3.0 * b), qc::dissymmetry(a, b), 1e-12);
+  EXPECT_GE(qc::dissymmetry(a, b), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, DissymmetryProperties,
+    ::testing::Values(std::pair{8.0, 8.0}, std::pair{8.0, 9.0},
+                      std::pair{1.0, 100.0}, std::pair{15.0, 14.0},
+                      std::pair{0.5, 2.0}, std::pair{42.0, 41.5}));
+
+TEST(Dissymmetry, MonotoneInImbalance) {
+  double prev = -1.0;
+  for (double hi = 8.0; hi <= 64.0; hi += 4.0) {
+    const double d = qc::dissymmetry(8.0, hi);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(ChannelCriterion, ReadsNetCaps) {
+  qg::XorStage x = qg::build_xor_stage();
+  x.nl.net(x.co0).cap_ff = 10.0;
+  x.nl.net(x.co1).cap_ff = 25.0;
+  const qc::ChannelCriterion c = qc::channel_criterion(x.nl, x.out_ch);
+  EXPECT_DOUBLE_EQ(c.cap_min_ff, 10.0);
+  EXPECT_DOUBLE_EQ(c.cap_max_ff, 25.0);
+  EXPECT_DOUBLE_EQ(c.dA, 1.5);
+}
+
+TEST(ChannelCriterion, OneOfFourUsesWorstPair) {
+  qn::Netlist nl("q");
+  std::vector<qn::NetId> rails;
+  for (int i = 0; i < 4; ++i)
+    rails.push_back(nl.add_input("q_" + std::to_string(i)));
+  nl.net(rails[0]).cap_ff = 10.0;
+  nl.net(rails[1]).cap_ff = 11.0;
+  nl.net(rails[2]).cap_ff = 12.0;
+  nl.net(rails[3]).cap_ff = 30.0;  // outlier rail
+  const qn::ChannelId ch = nl.add_channel("q", rails);
+  const qc::ChannelCriterion c = qc::channel_criterion(nl, ch);
+  EXPECT_DOUBLE_EQ(c.dA, 2.0);  // (30-10)/10
+  EXPECT_DOUBLE_EQ(c.cap_min_ff, 10.0);
+  EXPECT_DOUBLE_EQ(c.cap_max_ff, 30.0);
+}
+
+TEST(EvaluateCriterion, CoversEveryChannel) {
+  qg::XorStage x = qg::build_xor_stage();
+  const auto all = qc::evaluate_criterion(x.nl);
+  EXPECT_EQ(all.size(), x.nl.num_channels());
+  // Default uniform caps: every dA is zero.
+  for (const auto& c : all) EXPECT_DOUBLE_EQ(c.dA, 0.0);
+  EXPECT_DOUBLE_EQ(qc::max_dA(all), 0.0);
+  EXPECT_DOUBLE_EQ(qc::mean_dA(all), 0.0);
+}
+
+TEST(MostCritical, SortsDescendingAndTruncates) {
+  std::vector<qc::ChannelCriterion> rows(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    rows[i].name = "ch" + std::to_string(i);
+    rows[i].dA = static_cast<double>(i) * 0.1;
+  }
+  const auto top = qc::most_critical(rows, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_DOUBLE_EQ(top[0].dA, 0.4);
+  EXPECT_DOUBLE_EQ(top[1].dA, 0.3);
+  EXPECT_DOUBLE_EQ(top[2].dA, 0.2);
+}
+
+TEST(MostCritical, StableForTies) {
+  std::vector<qc::ChannelCriterion> rows(3);
+  rows[0].name = "b";
+  rows[1].name = "a";
+  rows[2].name = "c";
+  for (auto& r : rows) r.dA = 0.5;
+  const auto top = qc::most_critical(rows, 3);
+  EXPECT_EQ(top[0].name, "a");
+  EXPECT_EQ(top[1].name, "b");
+  EXPECT_EQ(top[2].name, "c");
+}
+
+TEST(CriterionTable, RendersRows) {
+  std::vector<qc::ChannelCriterion> rows(2);
+  rows[0].name = "hb/q3";
+  rows[0].cap_min_ff = 23.0;
+  rows[0].cap_max_ff = 46.0;
+  rows[0].dA = 1.0;
+  rows[1].name = "dmux/w1";
+  rows[1].dA = 0.13;
+  const qdi::util::Table t = qc::criterion_table(rows, "AES_v2");
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("AES_v2"), std::string::npos);
+  EXPECT_NE(s.find("hb/q3"), std::string::npos);
+  EXPECT_NE(s.find("1.00"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Dissymmetry, InfiniteWhenOneRailZero) {
+  EXPECT_TRUE(std::isinf(qc::dissymmetry(0.0, 5.0)));
+  EXPECT_DOUBLE_EQ(qc::dissymmetry(0.0, 0.0), 0.0);
+}

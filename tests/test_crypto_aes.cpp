@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "qdi/crypto/aes.hpp"
+#include "qdi/util/rng.hpp"
+
+namespace qc = qdi::crypto;
+
+namespace {
+qc::Block block_from(const std::uint8_t (&bytes)[16]) {
+  qc::Block b;
+  for (int i = 0; i < 16; ++i) b[static_cast<std::size_t>(i)] = bytes[i];
+  return b;
+}
+}  // namespace
+
+TEST(AesSbox, KnownValues) {
+  // FIPS-197 table spot checks.
+  EXPECT_EQ(qc::aes_sbox(0x00), 0x63);
+  EXPECT_EQ(qc::aes_sbox(0x01), 0x7c);
+  EXPECT_EQ(qc::aes_sbox(0x53), 0xed);
+  EXPECT_EQ(qc::aes_sbox(0xff), 0x16);
+}
+
+TEST(AesSbox, IsBijective) {
+  bool seen[256] = {};
+  for (int x = 0; x < 256; ++x) {
+    const std::uint8_t y = qc::aes_sbox(static_cast<std::uint8_t>(x));
+    EXPECT_FALSE(seen[y]);
+    seen[y] = true;
+  }
+}
+
+TEST(AesSbox, InverseRoundTrips) {
+  for (int x = 0; x < 256; ++x) {
+    const std::uint8_t v = static_cast<std::uint8_t>(x);
+    EXPECT_EQ(qc::aes_inv_sbox(qc::aes_sbox(v)), v);
+  }
+}
+
+TEST(AesSbox, OutputBitsAreBalanced) {
+  // Each output bit is 1 for exactly 128 of the 256 inputs — the property
+  // that makes the QDI S-Box OR trees identical on both rails.
+  for (int bit = 0; bit < 8; ++bit) {
+    int ones = 0;
+    for (int x = 0; x < 256; ++x)
+      ones += (qc::aes_sbox(static_cast<std::uint8_t>(x)) >> bit) & 1;
+    EXPECT_EQ(ones, 128) << "bit " << bit;
+  }
+}
+
+TEST(GfMul, KnownProducts) {
+  EXPECT_EQ(qc::gf_mul(0x57, 0x83), 0xc1);  // FIPS-197 example
+  EXPECT_EQ(qc::gf_mul(0x57, 0x13), 0xfe);
+  EXPECT_EQ(qc::xtime(0x57), 0xae);
+  EXPECT_EQ(qc::xtime(0xae), 0x47);
+}
+
+TEST(GfMul, IdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const std::uint8_t v = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(qc::gf_mul(v, 1), v);
+    EXPECT_EQ(qc::gf_mul(v, 0), 0);
+    EXPECT_EQ(qc::gf_mul(1, v), v);
+  }
+}
+
+TEST(GfMul, Commutative) {
+  qdi::util::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint8_t a = rng.byte(), b = rng.byte();
+    EXPECT_EQ(qc::gf_mul(a, b), qc::gf_mul(b, a));
+  }
+}
+
+TEST(Aes128, Fips197AppendixBVector) {
+  const std::uint8_t key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                                0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const std::uint8_t pt[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                               0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const std::uint8_t ct[16] = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                               0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  qc::Aes128Key k;
+  for (int i = 0; i < 16; ++i) k[static_cast<std::size_t>(i)] = key[i];
+  const qc::Aes128 aes(k);
+  EXPECT_EQ(aes.encrypt(block_from(pt)), block_from(ct));
+  EXPECT_EQ(aes.decrypt(block_from(ct)), block_from(pt));
+}
+
+TEST(Aes128, Fips197AppendixCVector) {
+  const std::uint8_t key[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                                0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  const std::uint8_t pt[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                               0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const std::uint8_t ct[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                               0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  qc::Aes128Key k;
+  for (int i = 0; i < 16; ++i) k[static_cast<std::size_t>(i)] = key[i];
+  const qc::Aes128 aes(k);
+  EXPECT_EQ(aes.encrypt(block_from(pt)), block_from(ct));
+  EXPECT_EQ(aes.decrypt(block_from(ct)), block_from(pt));
+}
+
+TEST(Aes128, RoundKey0IsCipherKey) {
+  qc::Aes128Key k;
+  for (int i = 0; i < 16; ++i) k[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i * 7);
+  const qc::Aes128 aes(k);
+  const auto rk0 = aes.round_key(0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rk0[static_cast<std::size_t>(i)], k[static_cast<std::size_t>(i)]);
+}
+
+class AesRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AesRoundTrip, DecryptInvertsEncrypt) {
+  qdi::util::Rng rng(GetParam());
+  qc::Aes128Key k;
+  qc::Block pt;
+  for (auto& b : k) b = rng.byte();
+  for (auto& b : pt) b = rng.byte();
+  const qc::Aes128 aes(k);
+  EXPECT_EQ(aes.decrypt(aes.encrypt(pt)), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, AesRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(AesRounds, ShiftRowsInverse) {
+  qdi::util::Rng rng(77);
+  for (int t = 0; t < 50; ++t) {
+    qc::Block s;
+    for (auto& b : s) b = rng.byte();
+    qc::Block u = s;
+    qc::shift_rows(u);
+    qc::inv_shift_rows(u);
+    EXPECT_EQ(u, s);
+  }
+}
+
+TEST(AesRounds, MixColumnsInverse) {
+  qdi::util::Rng rng(78);
+  for (int t = 0; t < 50; ++t) {
+    qc::Block s;
+    for (auto& b : s) b = rng.byte();
+    qc::Block u = s;
+    qc::mix_columns(u);
+    qc::inv_mix_columns(u);
+    EXPECT_EQ(u, s);
+  }
+}
+
+TEST(AesRounds, MixColumnsKnownColumn) {
+  // FIPS-197 §5.1.3 example column: db 13 53 45 -> 8e 4d a1 bc.
+  qc::Block s{};
+  s[0] = 0xdb;
+  s[1] = 0x13;
+  s[2] = 0x53;
+  s[3] = 0x45;
+  qc::mix_columns(s);
+  EXPECT_EQ(s[0], 0x8e);
+  EXPECT_EQ(s[1], 0x4d);
+  EXPECT_EQ(s[2], 0xa1);
+  EXPECT_EQ(s[3], 0xbc);
+}
+
+TEST(AesRounds, AddRoundKeyIsInvolution) {
+  qdi::util::Rng rng(79);
+  qc::Block s;
+  std::array<std::uint8_t, 16> rk;
+  for (auto& b : s) b = rng.byte();
+  for (auto& b : rk) b = rng.byte();
+  qc::Block u = s;
+  qc::add_round_key(u, rk);
+  qc::add_round_key(u, rk);
+  EXPECT_EQ(u, s);
+}
+
+TEST(Aes128, FirstRoundTargets) {
+  qc::Aes128Key k{};
+  k[0] = 0xa5;
+  const qc::Aes128 aes(k);
+  qc::Block pt{};
+  pt[0] = 0x3c;
+  EXPECT_EQ(aes.first_round_xor(pt)[0], 0x3c ^ 0xa5);
+  EXPECT_EQ(aes.first_round_sbox(pt)[0], qc::aes_sbox(0x3c ^ 0xa5));
+}

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "qdi/crypto/des.hpp"
+#include "qdi/util/rng.hpp"
+
+namespace qc = qdi::crypto;
+
+TEST(DesSbox, KnownEntries) {
+  // S1 row 0 col 0 = 14; input b5..b0 = 000000 -> row 0, col 0.
+  EXPECT_EQ(qc::des_sbox(0, 0x00), 14);
+  // S1 input 111111 -> row 3, col 15 = 13.
+  EXPECT_EQ(qc::des_sbox(0, 0x3f), 13);
+  // S8 input 000000 -> 13.
+  EXPECT_EQ(qc::des_sbox(7, 0x00), 13);
+}
+
+TEST(DesSbox, OutputsAre4Bit) {
+  for (int box = 0; box < 8; ++box)
+    for (int idx = 0; idx < 64; ++idx)
+      EXPECT_LT(qc::des_sbox(box, static_cast<std::uint8_t>(idx)), 16);
+}
+
+TEST(DesSbox, OutputBitsAreBalanced) {
+  // Every DES S-box output bit is 1 for exactly 32 of the 64 inputs —
+  // like AES, this makes the dual-rail OR trees shape-identical.
+  for (int box = 0; box < 8; ++box) {
+    for (int bit = 0; bit < 4; ++bit) {
+      int ones = 0;
+      for (int idx = 0; idx < 64; ++idx)
+        ones += (qc::des_sbox(box, static_cast<std::uint8_t>(idx)) >> bit) & 1;
+      EXPECT_EQ(ones, 32) << "box " << box << " bit " << bit;
+    }
+  }
+}
+
+TEST(DesSbox, EachRowIsPermutation) {
+  for (int box = 0; box < 8; ++box) {
+    for (int row = 0; row < 4; ++row) {
+      bool seen[16] = {};
+      for (int col = 0; col < 16; ++col) {
+        const std::uint8_t idx = static_cast<std::uint8_t>(
+            ((row & 2) << 4) | (col << 1) | (row & 1));
+        const std::uint8_t v = qc::des_sbox(box, idx);
+        EXPECT_FALSE(seen[v]) << box << "/" << row;
+        seen[v] = true;
+      }
+    }
+  }
+}
+
+TEST(Des, ClassicKnownAnswer) {
+  // Widely published vector: key 133457799BBCDFF1, PT 0123456789ABCDEF
+  // -> CT 85E813540F0AB405.
+  const qc::Des des(0x133457799BBCDFF1ULL);
+  EXPECT_EQ(des.encrypt(0x0123456789ABCDEFULL), 0x85E813540F0AB405ULL);
+  EXPECT_EQ(des.decrypt(0x85E813540F0AB405ULL), 0x0123456789ABCDEFULL);
+}
+
+TEST(Des, NistStyleVector) {
+  // Another published pair: key 0E329232EA6D0D73, PT 8787878787878787
+  // -> CT 0000000000000000.
+  const qc::Des des(0x0E329232EA6D0D73ULL);
+  EXPECT_EQ(des.encrypt(0x8787878787878787ULL), 0x0ULL);
+  EXPECT_EQ(des.decrypt(0x0ULL), 0x8787878787878787ULL);
+}
+
+class DesRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DesRoundTrip, DecryptInvertsEncrypt) {
+  qdi::util::Rng rng(GetParam());
+  const qc::DesKey key = rng.next();
+  const qc::DesBlock pt = rng.next();
+  const qc::Des des(key);
+  EXPECT_EQ(des.decrypt(des.encrypt(pt)), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, DesRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(Des, SubkeysAre48Bit) {
+  const qc::Des des(0x133457799BBCDFF1ULL);
+  for (int r = 0; r < 16; ++r)
+    EXPECT_EQ(des.round_key(r) >> 48, 0u) << "round " << r;
+}
+
+TEST(Des, SubkeysDifferAcrossRounds) {
+  const qc::Des des(0x133457799BBCDFF1ULL);
+  int distinct = 0;
+  for (int i = 0; i < 16; ++i) {
+    bool unique = true;
+    for (int j = 0; j < i; ++j)
+      if (des.round_key(i) == des.round_key(j)) unique = false;
+    if (unique) ++distinct;
+  }
+  EXPECT_GE(distinct, 15);
+}
+
+TEST(Des, FirstRoundSboxHelpersConsistent) {
+  const qc::Des des(0x133457799BBCDFF1ULL);
+  const qc::DesBlock pt = 0x0123456789ABCDEFULL;
+  const std::uint32_t outs = des.first_round_sbox_outputs(pt);
+  for (int box = 0; box < 8; ++box) {
+    const std::uint8_t in = des.first_round_sbox_input(pt, box);
+    const std::uint8_t expected = qc::des_sbox(box, in);
+    const std::uint8_t got =
+        static_cast<std::uint8_t>((outs >> (28 - 4 * box)) & 0xf);
+    EXPECT_EQ(got, expected) << "box " << box;
+  }
+}
+
+TEST(Des, ComplementationProperty) {
+  // DES(~k, ~p) == ~DES(k, p) — a classic structural identity; catching
+  // it validates permutations and key schedule jointly.
+  qdi::util::Rng rng(55);
+  for (int t = 0; t < 10; ++t) {
+    const qc::DesKey k = rng.next();
+    const qc::DesBlock p = rng.next();
+    const qc::Des des(k), desc(~k);
+    EXPECT_EQ(desc.encrypt(~p), ~des.encrypt(p));
+  }
+}

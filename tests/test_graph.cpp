@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "qdi/gates/testbench.hpp"
+#include "qdi/netlist/graph.hpp"
+
+namespace qn = qdi::netlist;
+namespace qg = qdi::gates;
+using qn::CellKind;
+
+TEST(Graph, ChainLevels) {
+  qn::Netlist nl("chain");
+  const qn::NetId a = nl.add_input("a");
+  const qn::NetId b = nl.add_net("b");
+  const qn::NetId c = nl.add_net("c");
+  const qn::CellId inv1 = nl.add_cell(CellKind::Inv, "i1", {a}, b);
+  const qn::CellId inv2 = nl.add_cell(CellKind::Inv, "i2", {b}, c);
+  nl.mark_output(c, "c");
+
+  const qn::Graph g(nl);
+  EXPECT_FALSE(g.combinational_cycle());
+  EXPECT_EQ(g.level(inv1), 1);
+  EXPECT_EQ(g.level(inv2), 2);
+  EXPECT_EQ(g.num_levels(), 2);
+}
+
+TEST(Graph, TopoOrderRespectsEdges) {
+  qn::Netlist nl("diamond");
+  const qn::NetId a = nl.add_input("a");
+  const qn::NetId l = nl.add_net("l");
+  const qn::NetId r = nl.add_net("r");
+  const qn::NetId o = nl.add_net("o");
+  nl.add_cell(CellKind::Inv, "il", {a}, l);
+  nl.add_cell(CellKind::Buf, "ir", {a}, r);
+  nl.add_cell(CellKind::And2, "uo", {l, r}, o);
+  nl.mark_output(o, "o");
+
+  const qn::Graph g(nl);
+  std::vector<int> pos(nl.num_cells());
+  for (std::size_t i = 0; i < g.topo_order().size(); ++i)
+    pos[g.topo_order()[i]] = static_cast<int>(i);
+  for (qn::CellId c = 0; c < nl.num_cells(); ++c) {
+    for (qn::CellId s : g.successors(c)) {
+      if (!qn::is_muller(nl.cell(s).kind))
+        EXPECT_LT(pos[c], pos[s]);
+    }
+  }
+}
+
+TEST(Graph, XorStageMatchesPaperFig5) {
+  // The paper reads Nt = Nc = 4 and N1j..N4j = 1 off the fig. 5 graph.
+  qg::XorStage x = qg::build_xor_stage();
+  const qn::Graph g(x.nl);
+  EXPECT_FALSE(g.combinational_cycle());
+  EXPECT_EQ(g.num_levels(), 4);
+
+  // Muller minterm layer at level 1, ORs at level 2, Cr at 3, NOR at 4.
+  for (qn::NetId m : x.m) EXPECT_EQ(g.level(x.nl.net(m).driver), 1);
+  EXPECT_EQ(g.level(x.nl.net(x.s0).driver), 2);
+  EXPECT_EQ(g.level(x.nl.net(x.s1).driver), 2);
+  EXPECT_EQ(g.level(x.nl.net(x.co0).driver), 3);
+  EXPECT_EQ(g.level(x.nl.net(x.co1).driver), 3);
+  EXPECT_EQ(g.level(x.nl.net(x.ack_out).driver), 4);
+}
+
+TEST(Graph, XorStageLevelOccupancy) {
+  qg::XorStage x = qg::build_xor_stage();
+  const qn::Graph g(x.nl);
+  const auto occ = g.level_occupancy();
+  ASSERT_EQ(occ.size(), 4u);
+  // Level 1 holds the four minterm gates plus the ack inverter.
+  EXPECT_EQ(occ[0], 5u);
+  EXPECT_EQ(occ[1], 2u);  // O1, O2
+  EXPECT_EQ(occ[2], 2u);  // H1, H2
+  EXPECT_EQ(occ[3], 1u);  // N1
+}
+
+TEST(Graph, FaninConeOfXorOutput) {
+  qg::XorStage x = qg::build_xor_stage();
+  const qn::Graph g(x.nl);
+  const auto cone = g.fanin_cone(x.co0);
+  // co0's cone: H1, O1, M1, M2, inverter, input pseudo-cells (a0,a1,b0,b1,
+  // ack, rst). M3/M4/O2 must NOT be in it.
+  const qn::CellId o2 = x.nl.net(x.s1).driver;
+  const qn::CellId m3 = x.nl.net(x.m[2]).driver;
+  EXPECT_EQ(std::count(cone.begin(), cone.end(), o2), 0);
+  EXPECT_EQ(std::count(cone.begin(), cone.end(), m3), 0);
+  const qn::CellId o1 = x.nl.net(x.s0).driver;
+  const qn::CellId m1 = x.nl.net(x.m[0]).driver;
+  EXPECT_EQ(std::count(cone.begin(), cone.end(), o1), 1);
+  EXPECT_EQ(std::count(cone.begin(), cone.end(), m1), 1);
+}
+
+TEST(Graph, CombinationalCycleDetected) {
+  qn::Netlist nl("ring");
+  const qn::NetId a = nl.add_net("a");
+  const qn::NetId b = nl.add_net("b");
+  nl.add_cell(CellKind::Inv, "i1", {a}, b);
+  nl.add_cell(CellKind::Inv, "i2", {b}, a);
+  const qn::Graph g(nl);
+  EXPECT_TRUE(g.combinational_cycle());
+}
+
+TEST(Graph, MullerCycleIsAccepted) {
+  // A C-element loop (e.g. a handshake loop) is legal in QDI.
+  qn::Netlist nl("cloop");
+  const qn::NetId x = nl.add_input("x");
+  const qn::NetId a = nl.add_net("a");
+  const qn::NetId b = nl.add_net("b");
+  nl.add_cell(CellKind::Muller2, "c1", {x, b}, a);
+  nl.add_cell(CellKind::Inv, "i1", {a}, b);
+  const qn::Graph g(nl);
+  EXPECT_FALSE(g.combinational_cycle());
+  EXPECT_EQ(g.topo_order().size(), nl.num_cells());
+}
+
+TEST(Graph, DotExportContainsAnnotations) {
+  qg::XorStage x = qg::build_xor_stage();
+  x.nl.net(x.s0).cap_ff = 16.0;
+  const qn::Graph g(x.nl);
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("16fF"), std::string::npos);
+  const std::string cone = g.cone_to_dot(x.co0);
+  EXPECT_NE(cone.find("digraph"), std::string::npos);
+  EXPECT_LT(cone.size(), dot.size());
+}

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "qdi/core/leakage.hpp"
+#include "qdi/gates/testbench.hpp"
+
+namespace qn = qdi::netlist;
+namespace qc = qdi::core;
+namespace qs = qdi::sim;
+namespace qp = qdi::power;
+namespace qg = qdi::gates;
+
+TEST(Leakage, BalancedChannelScoresZero) {
+  qg::XorStage x = qg::build_xor_stage();
+  const qc::ChannelLeakage lk =
+      qc::channel_leakage(x.nl, x.out_ch, qs::DelayModel{}, qp::PowerModelParams{});
+  EXPECT_DOUBLE_EQ(lk.dA, 0.0);
+  EXPECT_DOUBLE_EQ(lk.peak_current_ua, 0.0);
+  EXPECT_DOUBLE_EQ(lk.charge_fc, 0.0);
+  EXPECT_DOUBLE_EQ(lk.score_ua, 0.0);
+}
+
+TEST(Leakage, ScoreGrowsWithImbalance) {
+  double prev = 0.0;
+  for (double cap : {8.0, 12.0, 20.0, 40.0}) {
+    qg::XorStage x = qg::build_xor_stage();
+    x.nl.net(x.co1).cap_ff = cap;
+    const qc::ChannelLeakage lk = qc::channel_leakage(
+        x.nl, x.out_ch, qs::DelayModel{}, qp::PowerModelParams{});
+    EXPECT_GE(lk.score_ua, prev);
+    prev = lk.score_ua;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(Leakage, ChargeTermMatchesEq12) {
+  qg::XorStage x = qg::build_xor_stage();
+  x.nl.net(x.co0).cap_ff = 8.0;
+  x.nl.net(x.co1).cap_ff = 24.0;
+  qp::PowerModelParams pm;
+  const qc::ChannelLeakage lk =
+      qc::channel_leakage(x.nl, x.out_ch, qs::DelayModel{}, pm);
+  // ΔC·Vdd with the parasitic terms identical on both rails: 16 fF · Vdd.
+  EXPECT_NEAR(lk.charge_fc, 16.0 * pm.vdd, 1e-9);
+  EXPECT_GT(lk.peak_current_ua, 0.0);
+}
+
+TEST(Leakage, TimingInsensitiveModelStillHasChargeTerm) {
+  // With Δt independent of C, the peak-current term still differs (same
+  // Δt, different C) but purely through the charge numerator.
+  qg::XorStage x = qg::build_xor_stage();
+  x.nl.net(x.co1).cap_ff = 32.0;
+  const qc::ChannelLeakage lk = qc::channel_leakage(
+      x.nl, x.out_ch, qs::DelayModel::load_insensitive(), qp::PowerModelParams{});
+  EXPECT_GT(lk.peak_current_ua, 0.0);
+  EXPECT_GT(lk.charge_fc, 0.0);
+}
+
+TEST(Leakage, RankingIsSortedAndComplete) {
+  qg::AesByteSlice slice = qg::build_aes_byte_slice();
+  // Unbalance a few channels by different amounts.
+  slice.nl.net(slice.x[0].r1).cap_ff = 30.0;
+  slice.nl.net(slice.q[3].r1).cap_ff = 16.0;
+  const auto ranked =
+      qc::rank_leakage(slice.nl, qs::DelayModel{}, qp::PowerModelParams{});
+  EXPECT_EQ(ranked.size(), slice.nl.num_channels());
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].score_ua, ranked[i].score_ua);
+  // The heaviest-unbalanced channel ranks first.
+  EXPECT_GT(ranked[0].score_ua, 0.0);
+}
+
+TEST(Leakage, TableRendersTopK) {
+  qg::XorStage x = qg::build_xor_stage();
+  x.nl.net(x.co1).cap_ff = 20.0;
+  const auto ranked =
+      qc::rank_leakage(x.nl, qs::DelayModel{}, qp::PowerModelParams{});
+  const auto t = qc::leakage_table(ranked, 2);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_LE(t.rows(), ranked.size());
+}

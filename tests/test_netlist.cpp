@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "qdi/netlist/netlist.hpp"
+
+namespace qn = qdi::netlist;
+using qn::CellKind;
+
+namespace {
+/// a -> inv -> b -> buf -> c, with a as primary input and c as output.
+qn::Netlist tiny_chain() {
+  qn::Netlist nl("chain");
+  const qn::NetId a = nl.add_input("a");
+  const qn::NetId b = nl.add_net("b");
+  const qn::NetId c = nl.add_net("c");
+  nl.add_cell(CellKind::Inv, "u_inv", {a}, b, "top/left");
+  nl.add_cell(CellKind::Buf, "u_buf", {b}, c, "top/right");
+  nl.mark_output(c, "c_out");
+  return nl;
+}
+}  // namespace
+
+TEST(Netlist, BuilderWiresDriversAndSinks) {
+  const qn::Netlist nl = tiny_chain();
+  EXPECT_EQ(nl.num_nets(), 3u);
+  EXPECT_EQ(nl.num_cells(), 4u);  // input pseudo + inv + buf + output pseudo
+  EXPECT_EQ(nl.num_gates(), 2u);
+
+  const qn::NetId a = nl.find_net("a");
+  ASSERT_NE(a, qn::kNoNet);
+  ASSERT_EQ(nl.net(a).sinks.size(), 1u);
+  EXPECT_EQ(nl.cell(nl.net(a).sinks[0].cell).name, "u_inv");
+
+  const qn::NetId b = nl.find_net("b");
+  EXPECT_EQ(nl.cell(nl.net(b).driver).name, "u_inv");
+}
+
+TEST(Netlist, PrimaryPortsTracked) {
+  const qn::Netlist nl = tiny_chain();
+  ASSERT_EQ(nl.primary_inputs().size(), 1u);
+  ASSERT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.net(nl.primary_inputs()[0]).name, "a");
+  EXPECT_EQ(nl.net(nl.primary_outputs()[0]).name, "c");
+}
+
+TEST(Netlist, FindByName) {
+  const qn::Netlist nl = tiny_chain();
+  EXPECT_NE(nl.find_cell("u_inv"), qn::kNoCell);
+  EXPECT_EQ(nl.find_cell("nope"), qn::kNoCell);
+  EXPECT_EQ(nl.find_net("nope"), qn::kNoNet);
+}
+
+TEST(Netlist, DefaultCapIsPaperDefault) {
+  const qn::Netlist nl = tiny_chain();
+  for (const qn::Net& n : nl.nets()) EXPECT_DOUBLE_EQ(n.cap_ff, 8.0);
+}
+
+TEST(Netlist, ResetCapsRestoresDefault) {
+  qn::Netlist nl = tiny_chain();
+  nl.net(0).cap_ff = 99.0;
+  nl.net(0).wirelength_um = 5.0;
+  nl.reset_caps(8.0);
+  EXPECT_DOUBLE_EQ(nl.net(0).cap_ff, 8.0);
+  EXPECT_DOUBLE_EQ(nl.net(0).wirelength_um, 0.0);
+}
+
+TEST(Netlist, CheckCleanOnWellFormed) {
+  const qn::Netlist nl = tiny_chain();
+  EXPECT_TRUE(nl.check().empty());
+}
+
+TEST(Netlist, CheckFlagsUndrivenNet) {
+  qn::Netlist nl("bad");
+  const qn::NetId a = nl.add_net("floating_in");
+  const qn::NetId b = nl.add_net("b");
+  nl.add_cell(CellKind::Buf, "u", {a}, b);
+  const auto issues = nl.check();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].find("no driver"), std::string::npos);
+}
+
+TEST(Netlist, CheckFlagsNonPositiveCap) {
+  qn::Netlist nl = tiny_chain();
+  nl.net(0).cap_ff = 0.0;
+  bool found = false;
+  for (const auto& s : nl.check())
+    if (s.find("capacitance") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Netlist, ChannelRegistry) {
+  qn::Netlist nl("ch");
+  const qn::NetId r0 = nl.add_input("d_0");
+  const qn::NetId r1 = nl.add_input("d_1");
+  const qn::ChannelId ch = nl.add_channel("d", {r0, r1});
+  EXPECT_EQ(nl.num_channels(), 1u);
+  EXPECT_EQ(nl.channel(ch).arity(), 2u);
+  EXPECT_EQ(nl.find_channel("d"), ch);
+  EXPECT_EQ(nl.find_channel("x"), qn::Netlist::kNoChannel);
+  EXPECT_TRUE(nl.check().empty());
+}
+
+TEST(Netlist, OneOfFourChannel) {
+  qn::Netlist nl("q");
+  std::vector<qn::NetId> rails;
+  for (int i = 0; i < 4; ++i)
+    rails.push_back(nl.add_input("q_" + std::to_string(i)));
+  const qn::ChannelId ch = nl.add_channel("q", rails);
+  EXPECT_EQ(nl.channel(ch).arity(), 4u);
+}
+
+TEST(Netlist, KindHistogramAndTransistors) {
+  const qn::Netlist nl = tiny_chain();
+  const auto hist = nl.kind_histogram();
+  EXPECT_EQ(hist[static_cast<int>(CellKind::Inv)], 1u);
+  EXPECT_EQ(hist[static_cast<int>(CellKind::Buf)], 1u);
+  EXPECT_EQ(hist[static_cast<int>(CellKind::Input)], 1u);
+  // inv = 2 transistors, buf = 4.
+  EXPECT_EQ(nl.transistor_count(), 6u);
+}
+
+TEST(Netlist, HierTagsStored) {
+  const qn::Netlist nl = tiny_chain();
+  EXPECT_EQ(nl.cell(nl.find_cell("u_inv")).hier, "top/left");
+  EXPECT_EQ(nl.cell(nl.find_cell("u_buf")).hier, "top/right");
+}

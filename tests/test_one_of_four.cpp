@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "qdi/gates/builder.hpp"
+#include "qdi/sim/environment.hpp"
+
+namespace qn = qdi::netlist;
+namespace qs = qdi::sim;
+namespace qg = qdi::gates;
+
+namespace {
+struct Q4XorFixture {
+  qn::Netlist nl{"q4xor"};
+  qg::Builder b{nl};
+  qg::OneOfN a, c, o;
+  qs::EnvSpec spec;
+
+  Q4XorFixture() {
+    a = b.one_of_n_input("a", 4);
+    c = b.one_of_n_input("b", 4);
+    o = b.q4_xor(a, c, "x");
+    for (std::size_t r = 0; r < o.rails.size(); ++r)
+      b.output(o.rails[r], "o" + std::to_string(r));
+    spec.inputs = {a.ch, c.ch};
+    spec.outputs = {o.ch};
+    spec.period_ps = 4000.0;
+  }
+};
+}  // namespace
+
+TEST(Q4Xor, ExhaustiveTruthTable) {
+  Q4XorFixture f;
+  qs::Simulator sim(f.nl);
+  qs::FourPhaseEnv env(sim, f.spec);
+  env.apply_reset();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const std::vector<int> v{i, j};
+      const auto cyc = env.send(v);
+      ASSERT_TRUE(cyc.ok);
+      EXPECT_EQ(cyc.outputs[0], i ^ j) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(sim.glitch_count(), 0u);
+}
+
+TEST(Q4Xor, TransitionCountConstantAndHalved) {
+  // One 1-of-4 XOR does the work of two dual-rail XORs with fewer
+  // transitions per computation (section II's power claim).
+  Q4XorFixture f;
+  qs::Simulator sim(f.nl);
+  qs::FourPhaseEnv env(sim, f.spec);
+  env.apply_reset();
+  std::size_t q4_transitions = 0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const std::vector<int> v{i, j};
+      const auto cyc = env.send(v);
+      ASSERT_TRUE(cyc.ok);
+      if (q4_transitions == 0)
+        q4_transitions = cyc.transitions;
+      else
+        EXPECT_EQ(cyc.transitions, q4_transitions);
+    }
+  }
+
+  // Reference: two dual-rail XOR gates computing the same 2-bit xor.
+  qn::Netlist nl2("drxor2");
+  qg::Builder b2(nl2);
+  qg::DualRail alo = b2.dr_input("alo"), ahi = b2.dr_input("ahi");
+  qg::DualRail blo = b2.dr_input("blo"), bhi = b2.dr_input("bhi");
+  const qg::DualRail xlo = b2.dr_xor(alo, blo, "xlo");
+  const qg::DualRail xhi = b2.dr_xor(ahi, bhi, "xhi");
+  b2.dr_output(xlo, "xlo");
+  b2.dr_output(xhi, "xhi");
+  qs::EnvSpec spec2;
+  spec2.inputs = {alo.ch, ahi.ch, blo.ch, bhi.ch};
+  spec2.outputs = {xlo.ch, xhi.ch};
+  spec2.period_ps = 4000.0;
+  qs::Simulator sim2(nl2);
+  qs::FourPhaseEnv env2(sim2, spec2);
+  env2.apply_reset();
+  const std::vector<int> v2{1, 0, 0, 1};
+  const auto cyc2 = env2.send(v2);
+  ASSERT_TRUE(cyc2.ok);
+
+  EXPECT_LT(q4_transitions, cyc2.transitions);
+}
+
+TEST(Q4Xor, MintermGroupRegistered) {
+  Q4XorFixture f;
+  const qn::ChannelId mt = f.nl.find_channel("x_mt");
+  ASSERT_NE(mt, qn::Netlist::kNoChannel);
+  EXPECT_EQ(f.nl.channel(mt).arity(), 16u);
+}
+
+TEST(LatchStage1ofN, HoldsAndClears) {
+  qn::Netlist nl("l4");
+  qg::Builder b(nl);
+  qg::OneOfN d = b.one_of_n_input("d", 4);
+  const qn::NetId ack = b.input("ack");
+  std::vector<qg::OneOfN> in{d};
+  const auto q = b.latch_stage_1ofn(in, ack, "q");
+  ASSERT_EQ(q.size(), 1u);
+  ASSERT_EQ(q[0].rails.size(), 4u);
+  for (std::size_t r = 0; r < 4; ++r)
+    b.output(q[0].rails[r], "q" + std::to_string(r));
+
+  qs::Simulator sim(nl);
+  sim.drive(b.reset_net(), true, 0.0);
+  sim.initialize();
+  sim.run_until_stable();
+  sim.drive(b.reset_net(), false, sim.now() + 50);
+  sim.run_until_stable();
+
+  sim.drive(d.rails[2], true, sim.now() + 10);
+  sim.run_until_stable();
+  EXPECT_TRUE(sim.value(q[0].rails[2]));
+  for (std::size_t r = 0; r < 4; ++r)
+    if (r != 2) EXPECT_FALSE(sim.value(q[0].rails[r]));
+
+  sim.drive(ack, true, sim.now() + 10);
+  sim.run_until_stable();
+  sim.drive(d.rails[2], false, sim.now() + 10);
+  sim.run_until_stable();
+  EXPECT_FALSE(sim.value(q[0].rails[2]));
+}
+
+TEST(Q4Xor, FourPhasePipelineWithLatch) {
+  // q4_xor + 1-of-4 latch, full handshake cycles.
+  qn::Netlist nl("q4p");
+  qg::Builder b(nl);
+  qg::OneOfN a = b.one_of_n_input("a", 4);
+  qg::OneOfN c = b.one_of_n_input("b", 4);
+  const qg::OneOfN x = b.q4_xor(a, c, "x");
+  const qn::NetId ack = b.input("ack");
+  std::vector<qg::OneOfN> xs{x};
+  const auto q = b.latch_stage_1ofn(xs, ack, "q");
+  for (std::size_t r = 0; r < 4; ++r)
+    b.output(q[0].rails[r], "q" + std::to_string(r));
+  qs::EnvSpec spec;
+  spec.inputs = {a.ch, c.ch};
+  spec.outputs = {q[0].ch};
+  spec.acks_to_block = {ack};
+  spec.reset = b.reset_net();
+  spec.period_ps = 4000.0;
+
+  qs::Simulator sim(nl);
+  qs::FourPhaseEnv env(sim, spec);
+  env.apply_reset();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const std::vector<int> v{i, j};
+      const auto cyc = env.send(v);
+      ASSERT_TRUE(cyc.ok);
+      EXPECT_EQ(cyc.outputs[0], i ^ j);
+    }
+  }
+}

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "qdi/gates/testbench.hpp"
+#include "qdi/pnr/extraction.hpp"
+#include "qdi/pnr/placement.hpp"
+
+namespace qn = qdi::netlist;
+namespace qp = qdi::pnr;
+namespace qg = qdi::gates;
+
+namespace {
+qn::Netlist medium_circuit() {
+  return qg::build_aes_byte_slice().nl;  // ~2.5k cells with hierarchy
+}
+
+qp::PlacerOptions fast_options(qp::FlowMode mode, std::uint64_t seed) {
+  qp::PlacerOptions opt;
+  opt.mode = mode;
+  opt.seed = seed;
+  opt.moves_per_cell = 10;  // keep unit tests quick
+  opt.stages = 20;
+  return opt;
+}
+}  // namespace
+
+TEST(RegionKey, TruncatesAtDepth) {
+  qn::Cell cell;
+  cell.hier = "aes_core/bytesub/sbox0";
+  EXPECT_EQ(qp::region_key(cell, 1), "aes_core");
+  EXPECT_EQ(qp::region_key(cell, 2), "aes_core/bytesub");
+  EXPECT_EQ(qp::region_key(cell, 3), "aes_core/bytesub/sbox0");
+  EXPECT_EQ(qp::region_key(cell, 5), "aes_core/bytesub/sbox0");
+  cell.hier = "";
+  EXPECT_EQ(qp::region_key(cell, 2), "");
+}
+
+TEST(Placement, AllCellsInsideDie) {
+  const qn::Netlist nl = medium_circuit();
+  const qp::Placement p = qp::place(nl, fast_options(qp::FlowMode::Flat, 1));
+  ASSERT_EQ(p.cell_pos.size(), nl.num_cells());
+  for (const auto& pos : p.cell_pos) {
+    EXPECT_GE(pos.x_um, 0.0);
+    EXPECT_GE(pos.y_um, 0.0);
+    EXPECT_LE(pos.x_um, p.die_w_um);
+    EXPECT_LE(pos.y_um, p.die_h_um);
+  }
+}
+
+TEST(Placement, NoTwoCellsShareASite) {
+  const qn::Netlist nl = medium_circuit();
+  const qp::Placement p = qp::place(nl, fast_options(qp::FlowMode::Flat, 2));
+  std::set<std::pair<long, long>> sites;
+  for (const auto& pos : p.cell_pos) {
+    const auto key = std::make_pair(static_cast<long>(pos.x_um * 100),
+                                    static_cast<long>(pos.y_um * 100));
+    EXPECT_TRUE(sites.insert(key).second) << "overlap at " << pos.x_um << ","
+                                          << pos.y_um;
+  }
+}
+
+TEST(Placement, DeterministicPerSeed) {
+  const qn::Netlist nl = medium_circuit();
+  const qp::Placement a = qp::place(nl, fast_options(qp::FlowMode::Flat, 7));
+  const qp::Placement b = qp::place(nl, fast_options(qp::FlowMode::Flat, 7));
+  ASSERT_EQ(a.cell_pos.size(), b.cell_pos.size());
+  for (std::size_t i = 0; i < a.cell_pos.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cell_pos[i].x_um, b.cell_pos[i].x_um);
+    EXPECT_DOUBLE_EQ(a.cell_pos[i].y_um, b.cell_pos[i].y_um);
+  }
+  EXPECT_DOUBLE_EQ(a.total_hpwl_um, b.total_hpwl_um);
+}
+
+TEST(Placement, SeedsProduceDifferentLayouts) {
+  const qn::Netlist nl = medium_circuit();
+  const qp::Placement a = qp::place(nl, fast_options(qp::FlowMode::Flat, 1));
+  const qp::Placement b = qp::place(nl, fast_options(qp::FlowMode::Flat, 2));
+  EXPECT_NE(a.total_hpwl_um, b.total_hpwl_um);
+}
+
+TEST(Placement, AnnealingImprovesWirelength) {
+  const qn::Netlist nl = medium_circuit();
+  qp::PlacerOptions barely = fast_options(qp::FlowMode::Flat, 3);
+  barely.moves_per_cell = 0;  // ~no optimization: near-random placement
+  qp::PlacerOptions real = fast_options(qp::FlowMode::Flat, 3);
+  real.moves_per_cell = 20;
+  const qp::Placement random_p = qp::place(nl, barely);
+  const qp::Placement opt_p = qp::place(nl, real);
+  EXPECT_LT(opt_p.total_hpwl_um, 0.8 * random_p.total_hpwl_um);
+}
+
+TEST(Placement, HierarchicalKeepsCellsInRegions) {
+  const qn::Netlist nl = medium_circuit();
+  const qp::Placement p =
+      qp::place(nl, fast_options(qp::FlowMode::Hierarchical, 4));
+  EXPECT_GT(p.regions.size(), 1u);
+  qp::PlacerOptions opt = fast_options(qp::FlowMode::Hierarchical, 4);
+  for (qn::CellId c = 0; c < nl.num_cells(); ++c) {
+    const qp::Region& reg = p.regions[static_cast<std::size_t>(p.region_of_cell[c])];
+    const double x = p.cell_pos[c].x_um;
+    const double y = p.cell_pos[c].y_um;
+    EXPECT_GE(x, reg.c0 * opt.site_pitch_um);
+    EXPECT_LE(x, reg.c1 * opt.site_pitch_um);
+    EXPECT_GE(y, reg.r0 * opt.row_height_um);
+    EXPECT_LE(y, reg.r1 * opt.row_height_um);
+  }
+}
+
+TEST(Placement, HierarchicalRegionsMatchHierKeys) {
+  const qn::Netlist nl = medium_circuit();
+  const qp::Placement p =
+      qp::place(nl, fast_options(qp::FlowMode::Hierarchical, 5));
+  std::set<std::string> names;
+  for (const auto& r : p.regions) names.insert(r.name);
+  EXPECT_TRUE(names.count("slice/addkey0"));
+  EXPECT_TRUE(names.count("slice/bytesub"));
+  EXPECT_TRUE(names.count("slice/hb"));
+}
+
+TEST(Placement, HierarchicalCostsArea) {
+  // The paper reports ~20% core-area overhead for the constrained flow.
+  const qn::Netlist nl = medium_circuit();
+  const qp::Placement flat = qp::place(nl, fast_options(qp::FlowMode::Flat, 6));
+  const qp::Placement hier =
+      qp::place(nl, fast_options(qp::FlowMode::Hierarchical, 6));
+  EXPECT_GT(hier.core_area_um2(), 1.1 * flat.core_area_um2());
+  EXPECT_LT(hier.core_area_um2(), 1.45 * flat.core_area_um2());
+}
+
+TEST(NetHpwl, MatchesManualBoundingBox) {
+  qn::Netlist nl("h");
+  const qn::NetId a = nl.add_input("a");
+  const qn::NetId o = nl.add_net("o");
+  nl.add_cell(qn::CellKind::Buf, "u1", {a}, o);
+  nl.add_cell(qn::CellKind::Output, "po", {o}, qn::kNoNet);
+  qp::Placement p;
+  p.cell_pos = {{0.0, 0.0}, {30.0, 40.0}, {10.0, 5.0}};
+  // net a: input cell(0,0) -> buf(30,40): HPWL 70. net o: buf -> output.
+  EXPECT_DOUBLE_EQ(qp::net_hpwl_um(nl, p, a), 70.0);
+  EXPECT_DOUBLE_EQ(qp::net_hpwl_um(nl, p, o), 20.0 + 35.0);
+}
+
+TEST(Extraction, CapsAreBackAnnotated) {
+  qn::Netlist nl = medium_circuit();
+  const qp::Placement p = qp::place(nl, fast_options(qp::FlowMode::Flat, 8));
+  const qp::ExtractionSummary s = qp::extract(nl, p);
+  EXPECT_GT(s.total_wirelength_um, 0.0);
+  EXPECT_GT(s.mean_net_cap_ff, 0.0);
+  EXPECT_GE(s.max_net_cap_ff, s.mean_net_cap_ff);
+  for (const qn::Net& n : nl.nets()) EXPECT_GT(n.cap_ff, 0.0);
+  EXPECT_TRUE(nl.check().empty());
+}
+
+TEST(Extraction, CapGrowsWithFanoutAndLength) {
+  qn::Netlist nl("f");
+  const qn::NetId a = nl.add_input("a");
+  const qn::NetId b1 = nl.add_net("b1");
+  const qn::NetId b2 = nl.add_net("b2");
+  nl.add_cell(qn::CellKind::Buf, "u1", {a}, b1);
+  nl.add_cell(qn::CellKind::Buf, "u2", {a}, b2);  // `a` has fanout 2
+  nl.mark_output(b1, "o1");
+  nl.mark_output(b2, "o2");
+
+  qp::Placement p;
+  p.cell_pos = {{0, 0}, {100, 0}, {200, 0}, {210, 0}, {220, 0}};
+  qp::ExtractionParams params;
+  qp::extract(nl, p, params);
+  // Net a spans 200 µm with 2 sinks; nets b1/b2 are short with 1 sink.
+  EXPECT_GT(nl.net(a).cap_ff, nl.net(b1).cap_ff);
+  EXPECT_GT(nl.net(a).wirelength_um, nl.net(b1).wirelength_um);
+}
+
+TEST(Extraction, MinCapFloor) {
+  qn::Netlist nl("m");
+  const qn::NetId a = nl.add_input("a");
+  nl.mark_output(a, "o");
+  qp::Placement p;
+  p.cell_pos = {{5.0, 5.0}, {5.0, 5.0}};  // zero-length net
+  qp::ExtractionParams params;
+  params.pin_cap_ff = 0.0;
+  params.driver_cap_ff = 0.0;
+  params.min_cap_ff = 0.7;
+  qp::extract(nl, p, params);
+  EXPECT_DOUBLE_EQ(nl.net(a).cap_ff, 0.7);
+}
+
+TEST(Placement, RegionCapacityGuard) {
+  // An absurd padding below 1.0 with depth so deep each cell is alone
+  // should still either succeed or throw a clear error, not corrupt.
+  const qn::Netlist nl = medium_circuit();
+  qp::PlacerOptions opt = fast_options(qp::FlowMode::Hierarchical, 9);
+  opt.target_utilization = 0.99;
+  opt.region_padding = 1.0;
+  try {
+    const qp::Placement p = qp::place(nl, opt);
+    EXPECT_EQ(p.cell_pos.size(), nl.num_cells());
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("region"), std::string::npos);
+  }
+}

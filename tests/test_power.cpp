@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qdi/gates/testbench.hpp"
+#include "qdi/power/synth.hpp"
+#include "qdi/sim/environment.hpp"
+
+namespace qp = qdi::power;
+namespace qs = qdi::sim;
+namespace qg = qdi::gates;
+
+TEST(TriangleOverlap, IntegratesToOne) {
+  for (double width : {1.0, 7.5, 40.0}) {
+    double total = 0.0;
+    const double bin = 3.0;
+    for (double a = -10.0; a < 60.0; a += bin)
+      total += qp::triangle_overlap(0.0, width, a, a + bin);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "width " << width;
+  }
+}
+
+TEST(TriangleOverlap, SymmetricAroundApex) {
+  const double w = 10.0;
+  const double left = qp::triangle_overlap(0.0, w, 0.0, 5.0);
+  const double right = qp::triangle_overlap(0.0, w, 5.0, 10.0);
+  EXPECT_NEAR(left, right, 1e-12);
+  EXPECT_NEAR(left, 0.5, 1e-12);
+}
+
+TEST(TriangleOverlap, OutsideSupportIsZero) {
+  EXPECT_DOUBLE_EQ(qp::triangle_overlap(100.0, 10.0, 0.0, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(qp::triangle_overlap(100.0, 10.0, 120.0, 130.0), 0.0);
+}
+
+TEST(TriangleOverlap, DegenerateImpulse) {
+  EXPECT_DOUBLE_EQ(qp::triangle_overlap(5.0, 0.0, 0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(qp::triangle_overlap(15.0, 0.0, 0.0, 10.0), 0.0);
+}
+
+TEST(PowerTrace, ArithmeticAndCharge) {
+  qp::PowerTrace a(0.0, 2.0, 4);
+  a[0] = 1.0;
+  a[1] = 3.0;
+  qp::PowerTrace b(0.0, 2.0, 4);
+  b[0] = 0.5;
+  b += a;
+  EXPECT_DOUBLE_EQ(b[0], 1.5);
+  EXPECT_DOUBLE_EQ(b[1], 3.0);
+  b -= a;
+  EXPECT_DOUBLE_EQ(b[0], 0.5);
+  b *= 2.0;
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.total_charge_fc(), (1.0 + 3.0) * 2.0);
+  EXPECT_DOUBLE_EQ(a.time_of(0), 1.0);
+}
+
+namespace {
+std::vector<qs::Transition> one_transition(double t, bool rising, double cap,
+                                           double slew) {
+  qs::Transition tr;
+  tr.t_ps = t;
+  tr.net = 0;
+  tr.rising = rising;
+  tr.cap_ff = cap;
+  tr.slew_ps = slew;
+  return {tr};
+}
+}  // namespace
+
+TEST(Synthesize, ChargeExactness) {
+  // One rising transition: integral of the trace = weight * C_total * Vdd,
+  // in µA·ps after the mA -> µA scaling (x1000 cancels against fC units).
+  qp::PowerModelParams pm;
+  pm.sample_period_ps = 5.0;
+  const auto trs = one_transition(200.0, true, 8.0, 50.0);
+  const qp::PowerTrace trace = qp::synthesize(trs, 0.0, 1000.0, pm, nullptr);
+  const double q_expected = 1000.0 * pm.total_cap_ff(8.0) * pm.vdd;  // µA·ps
+  EXPECT_NEAR(trace.total_charge_fc(), q_expected, 1e-9);
+}
+
+TEST(Synthesize, FallingEdgeIsWeighted) {
+  qp::PowerModelParams pm;
+  const qp::PowerTrace up =
+      qp::synthesize(one_transition(200.0, true, 8.0, 50.0), 0.0, 500.0, pm, nullptr);
+  const qp::PowerTrace dn =
+      qp::synthesize(one_transition(200.0, false, 8.0, 50.0), 0.0, 500.0, pm, nullptr);
+  EXPECT_NEAR(dn.total_charge_fc() / up.total_charge_fc(),
+              pm.fall_weight / pm.rise_weight, 1e-9);
+}
+
+TEST(Synthesize, PulseEndsAtCommitTime) {
+  qp::PowerModelParams pm;
+  pm.sample_period_ps = 1.0;
+  const auto trs = one_transition(300.0, true, 8.0, 40.0);
+  const qp::PowerTrace trace = qp::synthesize(trs, 0.0, 600.0, pm, nullptr);
+  // All charge must lie in [260, 300].
+  for (std::size_t j = 0; j < trace.size(); ++j) {
+    const double t = trace.time_of(j);
+    if (t < 259.0 || t > 301.0) EXPECT_EQ(trace[j], 0.0) << t;
+  }
+  EXPECT_GT(trace[280], 0.0);
+}
+
+TEST(Synthesize, WindowClipping) {
+  qp::PowerModelParams pm;
+  // Transition entirely before the window contributes nothing.
+  const qp::PowerTrace t1 =
+      qp::synthesize(one_transition(100.0, true, 8.0, 20.0), 500.0, 300.0, pm, nullptr);
+  EXPECT_DOUBLE_EQ(t1.total_charge_fc(), 0.0);
+  // Transition straddling the window start contributes partially.
+  const qp::PowerTrace t2 =
+      qp::synthesize(one_transition(510.0, true, 8.0, 40.0), 500.0, 300.0, pm, nullptr);
+  EXPECT_GT(t2.total_charge_fc(), 0.0);
+  const double full = 1000.0 * pm.total_cap_ff(8.0) * pm.vdd;
+  EXPECT_LT(t2.total_charge_fc(), full);
+}
+
+TEST(Synthesize, BiggerCapMeansMoreChargeAndWiderPulse) {
+  qp::PowerModelParams pm;
+  pm.sample_period_ps = 1.0;
+  const qp::PowerTrace small =
+      qp::synthesize(one_transition(200.0, true, 4.0, 30.0), 0.0, 400.0, pm, nullptr);
+  const qp::PowerTrace big =
+      qp::synthesize(one_transition(200.0, true, 40.0, 210.0), 0.0, 400.0, pm, nullptr);
+  EXPECT_GT(big.total_charge_fc(), small.total_charge_fc());
+  // Wider pulse: the big-cap trace has more non-zero samples.
+  std::size_t nz_small = 0, nz_big = 0;
+  for (std::size_t j = 0; j < small.size(); ++j) {
+    if (small[j] > 0.0) ++nz_small;
+    if (big[j] > 0.0) ++nz_big;
+  }
+  EXPECT_GT(nz_big, nz_small);
+}
+
+TEST(Synthesize, NoiseIsSeededAndZeroMean) {
+  qp::PowerModelParams pm;
+  pm.noise_sigma_ua = 2.0;
+  const std::vector<qs::Transition> none;
+  qdi::util::Rng r1(99), r2(99), r3(100);
+  const qp::PowerTrace a = qp::synthesize(none, 0.0, 10000.0, pm, &r1);
+  const qp::PowerTrace b = qp::synthesize(none, 0.0, 10000.0, pm, &r2);
+  const qp::PowerTrace c = qp::synthesize(none, 0.0, 10000.0, pm, &r3);
+  for (std::size_t j = 0; j < a.size(); ++j) EXPECT_DOUBLE_EQ(a[j], b[j]);
+  bool differs = false;
+  for (std::size_t j = 0; j < a.size(); ++j)
+    if (a[j] != c[j]) differs = true;
+  EXPECT_TRUE(differs);
+  // Mean near zero.
+  double mean = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) mean += a[j];
+  mean /= static_cast<double>(a.size());
+  EXPECT_NEAR(mean, 0.0, 0.3);
+}
+
+TEST(Synthesize, ZeroNoiseWithoutRng) {
+  qp::PowerModelParams pm;
+  pm.noise_sigma_ua = 5.0;  // ignored without an Rng
+  const std::vector<qs::Transition> none;
+  const qp::PowerTrace t = qp::synthesize(none, 0.0, 1000.0, pm, nullptr);
+  for (std::size_t j = 0; j < t.size(); ++j) EXPECT_DOUBLE_EQ(t[j], 0.0);
+}
+
+TEST(Synthesize, XorCycleTraceHasBothPhases) {
+  // Integration: the fig. 6 setup — a full XOR cycle produces current
+  // activity in the evaluation phase and in the return-to-zero phase.
+  qg::XorStage x = qg::build_xor_stage();
+  qs::Simulator sim(x.nl);
+  qs::FourPhaseEnv env(sim, x.env);
+  env.apply_reset();
+  sim.clear_log();
+  const std::vector<int> v{1, 0};
+  const auto cyc = env.send(v);
+  ASSERT_TRUE(cyc.ok);
+  qp::PowerModelParams pm;
+  const qp::PowerTrace trace =
+      qp::synthesize(sim.log(), cyc.t_start, x.env.period_ps, pm, nullptr);
+  // Charge in the evaluation window and in the RTZ window must both be
+  // strictly positive.
+  double q_eval = 0.0, q_rtz = 0.0;
+  for (std::size_t j = 0; j < trace.size(); ++j) {
+    const double t = trace.time_of(j);
+    if (t <= cyc.t_valid)
+      q_eval += trace[j];
+    else if (t >= cyc.t_valid && t <= cyc.t_empty)
+      q_rtz += trace[j];
+  }
+  EXPECT_GT(q_eval, 0.0);
+  EXPECT_GT(q_rtz, 0.0);
+}

@@ -1,0 +1,184 @@
+// Property-based fuzzing of the dual-rail circuit builder: random
+// expression DAGs built from the DIMS gate set must, for EVERY input
+// assignment,
+//   * compute the same value as the software evaluation of the DAG,
+//   * complete the four-phase protocol (valid then empty),
+//   * fire a constant number of transitions (the QDI balance invariant),
+//   * stay glitch-free.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "qdi/gates/builder.hpp"
+#include "qdi/sim/environment.hpp"
+#include "qdi/util/rng.hpp"
+
+namespace qn = qdi::netlist;
+namespace qs = qdi::sim;
+namespace qg = qdi::gates;
+namespace qu = qdi::util;
+
+namespace {
+
+enum class Op { Xor, And, Or, Xnor, Mux, Not };
+
+struct Node {
+  Op op;
+  int a = -1, b = -1, s = -1;  ///< operand node ids (-1 for unused)
+};
+
+/// A random DAG over `num_inputs` leaves; node i only references earlier
+/// nodes, so evaluation order is the vector order.
+struct ExprDag {
+  int num_inputs;
+  std::vector<Node> nodes;  ///< ids num_inputs.. follow the leaves
+  int root;
+
+  int eval(unsigned input_bits) const {
+    std::vector<int> value(static_cast<std::size_t>(num_inputs) + nodes.size());
+    for (int i = 0; i < num_inputs; ++i)
+      value[static_cast<std::size_t>(i)] = (input_bits >> i) & 1;
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      const Node& node = nodes[n];
+      const int va = value[static_cast<std::size_t>(node.a)];
+      const int vb = node.b >= 0 ? value[static_cast<std::size_t>(node.b)] : 0;
+      int out = 0;
+      switch (node.op) {
+        case Op::Xor: out = va ^ vb; break;
+        case Op::And: out = va & vb; break;
+        case Op::Or: out = va | vb; break;
+        case Op::Xnor: out = 1 - (va ^ vb); break;
+        case Op::Not: out = 1 - va; break;
+        case Op::Mux:
+          out = value[static_cast<std::size_t>(node.s)] ? vb : va;
+          break;
+      }
+      value[static_cast<std::size_t>(num_inputs) + n] = out;
+    }
+    return value[static_cast<std::size_t>(root)];
+  }
+};
+
+ExprDag random_dag(qu::Rng& rng, int num_inputs, int num_nodes) {
+  ExprDag dag;
+  dag.num_inputs = num_inputs;
+  for (int n = 0; n < num_nodes; ++n) {
+    Node node;
+    const int id_limit = num_inputs + n;
+    node.a = static_cast<int>(rng.below(static_cast<std::uint64_t>(id_limit)));
+    node.b = static_cast<int>(rng.below(static_cast<std::uint64_t>(id_limit)));
+    switch (rng.below(6)) {
+      case 0: node.op = Op::Xor; break;
+      case 1: node.op = Op::And; break;
+      case 2: node.op = Op::Or; break;
+      case 3: node.op = Op::Xnor; break;
+      case 4: node.op = Op::Not; node.b = -1; break;
+      default:
+        node.op = Op::Mux;
+        node.s = static_cast<int>(rng.below(static_cast<std::uint64_t>(id_limit)));
+        break;
+    }
+    dag.nodes.push_back(node);
+  }
+  dag.root = num_inputs + num_nodes - 1;
+  return dag;
+}
+
+/// Instantiate the DAG as dual-rail hardware.
+struct Hardware {
+  qn::Netlist nl{"fuzz"};
+  std::vector<qg::DualRail> inputs;
+  qs::EnvSpec spec;
+
+  explicit Hardware(const ExprDag& dag) {
+    qg::Builder b(nl);
+    std::vector<qg::DualRail> value;
+    for (int i = 0; i < dag.num_inputs; ++i) {
+      const qg::DualRail in = b.dr_input("i" + std::to_string(i));
+      inputs.push_back(in);
+      value.push_back(in);
+    }
+    for (std::size_t n = 0; n < dag.nodes.size(); ++n) {
+      const Node& node = dag.nodes[n];
+      const std::string name = "n" + std::to_string(n);
+      const qg::DualRail a = value[static_cast<std::size_t>(node.a)];
+      const qg::DualRail c =
+          node.b >= 0 ? value[static_cast<std::size_t>(node.b)] : a;
+      qg::DualRail out;
+      switch (node.op) {
+        case Op::Xor: out = b.dr_xor(a, c, name); break;
+        case Op::And: out = b.dr_and(a, c, name); break;
+        case Op::Or: out = b.dr_or(a, c, name); break;
+        case Op::Xnor: out = b.dr_xnor(a, c, name); break;
+        case Op::Not: out = b.dr_not(a); break;
+        case Op::Mux:
+          out = b.dr_mux2(value[static_cast<std::size_t>(node.s)], a, c, name);
+          break;
+      }
+      value.push_back(out);
+    }
+    const qg::DualRail root = value[static_cast<std::size_t>(dag.root)];
+    b.dr_output(root, "out");
+    for (const auto& d : inputs) spec.inputs.push_back(d.ch);
+    spec.outputs = {root.ch};
+    spec.period_ps = 30000.0;
+  }
+};
+
+}  // namespace
+
+class FuzzDag : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzDag, FunctionalAndBalanced) {
+  qu::Rng rng(GetParam());
+  const int num_inputs = 3 + static_cast<int>(rng.below(3));  // 3..5
+  const int num_nodes = 4 + static_cast<int>(rng.below(9));   // 4..12
+  const ExprDag dag = random_dag(rng, num_inputs, num_nodes);
+  Hardware hw(dag);
+  ASSERT_TRUE(hw.nl.check().empty());
+
+  qs::Simulator sim(hw.nl);
+  qs::FourPhaseEnv env(sim, hw.spec);
+  env.apply_reset();
+
+  std::size_t expected_transitions = 0;
+  for (unsigned bits = 0; bits < (1u << num_inputs); ++bits) {
+    std::vector<int> values(static_cast<std::size_t>(num_inputs));
+    for (int i = 0; i < num_inputs; ++i)
+      values[static_cast<std::size_t>(i)] = (bits >> i) & 1;
+    const auto cyc = env.send(values);
+    ASSERT_TRUE(cyc.ok) << "seed " << GetParam() << " bits " << bits;
+    EXPECT_EQ(cyc.outputs.at(0), dag.eval(bits))
+        << "seed " << GetParam() << " bits " << bits;
+    if (expected_transitions == 0)
+      expected_transitions = cyc.transitions;
+    else
+      EXPECT_EQ(cyc.transitions, expected_transitions)
+          << "seed " << GetParam() << " bits " << bits;
+  }
+  EXPECT_EQ(sim.glitch_count(), 0u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, FuzzDag,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+class FuzzSymmetry : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSymmetry, RegisteredChannelsHaveValidRails) {
+  // Structural fuzz: every registered channel's rails are distinct,
+  // driven nets.
+  qu::Rng rng(GetParam() + 1000);
+  const ExprDag dag = random_dag(rng, 4, 8);
+  Hardware hw(dag);
+  for (const qn::Channel& ch : hw.nl.channels()) {
+    for (std::size_t i = 0; i < ch.rails.size(); ++i) {
+      EXPECT_NE(hw.nl.net(ch.rails[i]).driver, qn::kNoCell) << ch.name;
+      for (std::size_t j = i + 1; j < ch.rails.size(); ++j)
+        EXPECT_NE(ch.rails[i], ch.rails[j]) << ch.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, FuzzSymmetry,
+                         ::testing::Range<std::uint64_t>(0, 10));

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include "qdi/gates/builder.hpp"
+#include "qdi/sim/environment.hpp"
+
+namespace qn = qdi::netlist;
+namespace qs = qdi::sim;
+namespace qg = qdi::gates;
+
+namespace {
+
+/// Harness for a 2-input combinational dual-rail gate.
+struct Gate2Fixture {
+  qn::Netlist nl{"g2"};
+  qg::Builder b{nl};
+  qg::DualRail a, c, o;
+  qs::EnvSpec spec;
+
+  template <typename Fn>
+  explicit Gate2Fixture(Fn&& fn) {
+    a = b.dr_input("a");
+    c = b.dr_input("b");
+    o = fn(b, a, c);
+    b.dr_output(o, "o");
+    spec.inputs = {a.ch, c.ch};
+    spec.outputs = {o.ch};
+    spec.period_ps = 2000.0;
+  }
+
+  int run(int va, int vb) {
+    qs::Simulator sim(nl);
+    qs::FourPhaseEnv env(sim, spec);
+    env.apply_reset();
+    const std::vector<int> v{va, vb};
+    const auto cyc = env.send(v);
+    EXPECT_TRUE(cyc.ok);
+    return cyc.outputs.at(0);
+  }
+};
+
+}  // namespace
+
+TEST(DualRailGates, XorTruthTable) {
+  Gate2Fixture f([](qg::Builder& b, auto& x, auto& y) { return b.dr_xor(x, y, "o"); });
+  for (int a = 0; a < 2; ++a)
+    for (int c = 0; c < 2; ++c) EXPECT_EQ(f.run(a, c), a ^ c);
+}
+
+TEST(DualRailGates, XnorTruthTable) {
+  Gate2Fixture f([](qg::Builder& b, auto& x, auto& y) { return b.dr_xnor(x, y, "o"); });
+  for (int a = 0; a < 2; ++a)
+    for (int c = 0; c < 2; ++c) EXPECT_EQ(f.run(a, c), 1 - (a ^ c));
+}
+
+TEST(DualRailGates, AndTruthTable) {
+  Gate2Fixture f([](qg::Builder& b, auto& x, auto& y) { return b.dr_and(x, y, "o"); });
+  for (int a = 0; a < 2; ++a)
+    for (int c = 0; c < 2; ++c) EXPECT_EQ(f.run(a, c), a & c);
+}
+
+TEST(DualRailGates, OrTruthTable) {
+  Gate2Fixture f([](qg::Builder& b, auto& x, auto& y) { return b.dr_or(x, y, "o"); });
+  for (int a = 0; a < 2; ++a)
+    for (int c = 0; c < 2; ++c) EXPECT_EQ(f.run(a, c), a | c);
+}
+
+TEST(DualRailGates, NotIsFreeRailSwap) {
+  qn::Netlist nl("n");
+  qg::Builder b(nl);
+  const qg::DualRail a = b.dr_input("a");
+  const std::size_t gates_before = nl.num_gates();
+  const qg::DualRail na = b.dr_not(a);
+  EXPECT_EQ(nl.num_gates(), gates_before);  // zero cost
+  EXPECT_EQ(na.r0, a.r1);
+  EXPECT_EQ(na.r1, a.r0);
+}
+
+TEST(DualRailGates, TransitionCountDataIndependentPerGate) {
+  // Each DIMS gate must fire the same number of transitions per cycle for
+  // every input pair (section II's balanced-path requirement).
+  for (auto make : {+[](qg::Builder& b, qg::DualRail& x, qg::DualRail& y) {
+                      return b.dr_xor(x, y, "o");
+                    },
+                    +[](qg::Builder& b, qg::DualRail& x, qg::DualRail& y) {
+                      return b.dr_and(x, y, "o");
+                    },
+                    +[](qg::Builder& b, qg::DualRail& x, qg::DualRail& y) {
+                      return b.dr_or(x, y, "o");
+                    }}) {
+    qn::Netlist nl("t");
+    qg::Builder b(nl);
+    qg::DualRail a = b.dr_input("a");
+    qg::DualRail c = b.dr_input("b");
+    const qg::DualRail o = make(b, a, c);
+    b.dr_output(o, "o");
+    qs::EnvSpec spec;
+    spec.inputs = {a.ch, c.ch};
+    spec.outputs = {o.ch};
+    spec.period_ps = 2000.0;
+    qs::Simulator sim(nl);
+    qs::FourPhaseEnv env(sim, spec);
+    env.apply_reset();
+    std::size_t expected = 0;
+    for (int va = 0; va < 2; ++va) {
+      for (int vb = 0; vb < 2; ++vb) {
+        const std::vector<int> v{va, vb};
+        const auto cyc = env.send(v);
+        ASSERT_TRUE(cyc.ok);
+        if (expected == 0)
+          expected = cyc.transitions;
+        else
+          EXPECT_EQ(cyc.transitions, expected) << nl.name();
+      }
+    }
+  }
+}
+
+TEST(DualRailGates, Mux2SelectsBetweenInputs) {
+  qn::Netlist nl("mux");
+  qg::Builder b(nl);
+  qg::DualRail sel = b.dr_input("s");
+  qg::DualRail a = b.dr_input("a");
+  qg::DualRail c = b.dr_input("b");
+  const qg::DualRail o = b.dr_mux2(sel, a, c, "o");
+  b.dr_output(o, "o");
+  qs::EnvSpec spec;
+  spec.inputs = {sel.ch, a.ch, c.ch};
+  spec.outputs = {o.ch};
+  spec.period_ps = 2000.0;
+  qs::Simulator sim(nl);
+  qs::FourPhaseEnv env(sim, spec);
+  env.apply_reset();
+  for (int s = 0; s < 2; ++s) {
+    for (int va = 0; va < 2; ++va) {
+      for (int vb = 0; vb < 2; ++vb) {
+        const std::vector<int> v{s, va, vb};
+        const auto cyc = env.send(v);
+        ASSERT_TRUE(cyc.ok);
+        EXPECT_EQ(cyc.outputs[0], s ? vb : va);
+      }
+    }
+  }
+}
+
+TEST(DualRailGates, OneOfFourRoundTrip) {
+  qn::Netlist nl("q4");
+  qg::Builder b(nl);
+  qg::DualRail lo = b.dr_input("lo");
+  qg::DualRail hi = b.dr_input("hi");
+  const qg::OneOfN q = b.to_one_of_four(lo, hi, "q");
+  auto [lo2, hi2] = b.from_one_of_four(q, "d");
+  b.dr_output(lo2, "lo2");
+  b.dr_output(hi2, "hi2");
+  qs::EnvSpec spec;
+  spec.inputs = {lo.ch, hi.ch};
+  spec.outputs = {q.ch, lo2.ch, hi2.ch};
+  spec.period_ps = 2000.0;
+  qs::Simulator sim(nl);
+  qs::FourPhaseEnv env(sim, spec);
+  env.apply_reset();
+  for (int vl = 0; vl < 2; ++vl) {
+    for (int vh = 0; vh < 2; ++vh) {
+      const std::vector<int> v{vl, vh};
+      const auto cyc = env.send(v);
+      ASSERT_TRUE(cyc.ok);
+      EXPECT_EQ(cyc.outputs[0], 2 * vh + vl);  // 1-of-4 code index
+      EXPECT_EQ(cyc.outputs[1], vl);           // decoded back
+      EXPECT_EQ(cyc.outputs[2], vh);
+    }
+  }
+}
+
+TEST(Completion, ValidHighTracksAllChannels) {
+  qn::Netlist nl("cd");
+  qg::Builder b(nl);
+  qg::DualRail a = b.dr_input("a");
+  qg::DualRail c = b.dr_input("b");
+  std::vector<qg::DualRail> chans{a, c};
+  const qn::NetId done = b.completion(chans, qg::CompletionStyle::ValidHigh, "cd");
+  b.output(done, "done");
+
+  qs::Simulator sim(nl);
+  sim.initialize();
+  sim.run_until_stable();
+  EXPECT_FALSE(sim.value(done));
+  sim.drive(a.r1, true, sim.now() + 10);
+  sim.run_until_stable();
+  EXPECT_FALSE(sim.value(done));  // only one channel valid
+  sim.drive(c.r0, true, sim.now() + 10);
+  sim.run_until_stable();
+  EXPECT_TRUE(sim.value(done));  // both valid
+  sim.drive(a.r1, false, sim.now() + 10);
+  sim.run_until_stable();
+  EXPECT_TRUE(sim.value(done));  // Muller tree holds until ALL empty
+  sim.drive(c.r0, false, sim.now() + 10);
+  sim.run_until_stable();
+  EXPECT_FALSE(sim.value(done));
+}
+
+TEST(Completion, EmptyHighSingleChannelIsNor) {
+  // Fig. 4 degenerate case: one dual-rail channel -> a single NOR gate.
+  qn::Netlist nl("nor");
+  qg::Builder b(nl);
+  qg::DualRail a = b.dr_input("a");
+  std::vector<qg::DualRail> chans{a};
+  const std::size_t before = nl.num_gates();
+  const qn::NetId empty = b.completion(chans, qg::CompletionStyle::EmptyHigh, "cd");
+  EXPECT_EQ(nl.num_gates(), before + 1);  // exactly one gate
+  b.output(empty, "empty");
+  qs::Simulator sim(nl);
+  sim.initialize();
+  sim.run_until_stable();
+  EXPECT_TRUE(sim.value(empty));
+  sim.drive(a.r0, true, sim.now() + 10);
+  sim.run_until_stable();
+  EXPECT_FALSE(sim.value(empty));
+}
+
+TEST(Builder, HierScopesNest) {
+  qn::Netlist nl("h");
+  qg::Builder b(nl, "top");
+  {
+    qg::Builder::HierScope s1(b, "block");
+    EXPECT_EQ(b.hier(), "top/block");
+    {
+      qg::Builder::HierScope s2(b, "sub");
+      EXPECT_EQ(b.hier(), "top/block/sub");
+      b.dr_input("x");
+    }
+    EXPECT_EQ(b.hier(), "top/block");
+  }
+  EXPECT_EQ(b.hier(), "top");
+  // The cell created inside carries the nested path.
+  bool found = false;
+  for (const auto& cell : nl.cells())
+    if (cell.hier == "top/block/sub") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Builder, OrTreeDepthAndFunction) {
+  qn::Netlist nl("ot");
+  qg::Builder b(nl);
+  std::vector<qn::NetId> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const qn::NetId root = b.or_tree(ins, "t");
+  b.output(root, "o");
+  qs::Simulator sim(nl);
+  sim.initialize();
+  sim.run_until_stable();
+  EXPECT_FALSE(sim.value(root));
+  sim.drive(ins[4], true, sim.now() + 10);
+  sim.run_until_stable();
+  EXPECT_TRUE(sim.value(root));
+  sim.drive(ins[4], false, sim.now() + 10);
+  sim.run_until_stable();
+  EXPECT_FALSE(sim.value(root));
+}
+
+TEST(Builder, MullerTreeRequiresAll) {
+  qn::Netlist nl("mt");
+  qg::Builder b(nl);
+  std::vector<qn::NetId> ins;
+  for (int i = 0; i < 4; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const qn::NetId root = b.muller_tree(ins, "t");
+  b.output(root, "o");
+  qs::Simulator sim(nl);
+  sim.initialize();
+  sim.run_until_stable();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(sim.value(root));
+    sim.drive(ins[static_cast<std::size_t>(i)], true, sim.now() + 10);
+    sim.run_until_stable();
+  }
+  EXPECT_TRUE(sim.value(root));
+}
+
+TEST(Builder, LatchStageGatesOnAck) {
+  qn::Netlist nl("ls");
+  qg::Builder b(nl);
+  qg::DualRail d = b.dr_input("d");
+  const qn::NetId ack = b.input("ack");
+  std::vector<qg::DualRail> in{d};
+  const auto q = b.latch_stage(in, ack, "q");
+  ASSERT_EQ(q.size(), 1u);
+  b.dr_output(q[0], "q");
+  qs::Simulator sim(nl);
+  sim.drive(b.reset_net(), true, 0.0);
+  sim.initialize();
+  sim.run_until_stable();
+  sim.drive(b.reset_net(), false, sim.now() + 50);
+  sim.run_until_stable();
+  // ack low -> latch transparent for rising data.
+  sim.drive(d.r1, true, sim.now() + 10);
+  sim.run_until_stable();
+  EXPECT_TRUE(sim.value(q[0].r1));
+  // With ack asserted (consumer busy) and input RTZ, the latch clears.
+  sim.drive(ack, true, sim.now() + 10);
+  sim.run_until_stable();
+  sim.drive(d.r1, false, sim.now() + 10);
+  sim.run_until_stable();
+  EXPECT_FALSE(sim.value(q[0].r1));
+  // ack released, new data with opposite value.
+  sim.drive(ack, false, sim.now() + 10);
+  sim.drive(d.r0, true, sim.now() + 30);
+  sim.run_until_stable();
+  EXPECT_TRUE(sim.value(q[0].r0));
+  EXPECT_FALSE(sim.value(q[0].r1));
+}

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "qdi/gates/builder.hpp"
+#include "qdi/gates/sbox.hpp"
+#include "qdi/gates/testbench.hpp"
+#include "qdi/netlist/symmetry.hpp"
+
+namespace qn = qdi::netlist;
+namespace qg = qdi::gates;
+
+TEST(Symmetry, XorStageRailsAreSymmetric) {
+  qg::XorStage x = qg::build_xor_stage();
+  const qn::Graph g(x.nl);
+  const auto rep = qn::check_rail_symmetry(g, x.co0, x.co1);
+  EXPECT_TRUE(rep.symmetric) << (rep.diagnostics.empty() ? "" : rep.diagnostics[0]);
+  EXPECT_TRUE(rep.isomorphic);
+  EXPECT_TRUE(rep.level_histograms_match);
+  EXPECT_EQ(rep.cone_size0, rep.cone_size1);
+}
+
+TEST(Symmetry, XorCombRailsAreSymmetric) {
+  qn::Netlist nl("x");
+  qg::Builder b(nl);
+  const qg::DualRail a = b.dr_input("a");
+  const qg::DualRail c = b.dr_input("b");
+  const qg::DualRail o = b.dr_xor(a, c, "x");
+  const qn::Graph g(nl);
+  EXPECT_TRUE(qn::check_rail_symmetry(g, o.r0, o.r1).symmetric);
+}
+
+TEST(Symmetry, AndGateRailsAreAsymmetric) {
+  // dr_and merges three minterms into rail 0 through ORs and buffers
+  // rail 1: logically balanced in transitions, structurally asymmetric —
+  // the checker must report that truthfully.
+  qn::Netlist nl("a");
+  qg::Builder b(nl);
+  const qg::DualRail a = b.dr_input("a");
+  const qg::DualRail c = b.dr_input("b");
+  const qg::DualRail o = b.dr_and(a, c, "and");
+  const qn::Graph g(nl);
+  const auto rep = qn::check_rail_symmetry(g, o.r0, o.r1);
+  EXPECT_FALSE(rep.symmetric);
+  EXPECT_FALSE(rep.diagnostics.empty());
+}
+
+TEST(Symmetry, BrokenRailDetected) {
+  // Replace one OR of the xor structure by a gate of another kind — the
+  // histogram check must flag it.
+  qn::Netlist nl("broken");
+  qg::Builder b(nl);
+  const qg::DualRail a = b.dr_input("a");
+  const qg::DualRail c = b.dr_input("b");
+  const qn::NetId m1 = b.muller2(a.r0, c.r0);
+  const qn::NetId m2 = b.muller2(a.r1, c.r1);
+  const qn::NetId m3 = b.muller2(a.r1, c.r0);
+  const qn::NetId m4 = b.muller2(a.r0, c.r1);
+  const qn::NetId s0 = b.or2(m1, m2);
+  const qn::NetId s1 = b.nor2(m3, m4);  // wrong gate kind on rail 1
+  b.as_dual_rail(s0, s1, "o");
+  const qn::Graph g(nl);
+  const auto rep = qn::check_rail_symmetry(g, s0, s1);
+  EXPECT_FALSE(rep.symmetric);
+  EXPECT_FALSE(rep.isomorphic);
+}
+
+TEST(Symmetry, UndrivenRailIsReported) {
+  qn::Netlist nl("u");
+  qg::Builder b(nl);
+  const qg::DualRail a = b.dr_input("a");
+  const qn::NetId dangling = nl.add_net("dangling");
+  const qn::Graph g(nl);
+  const auto rep = qn::check_rail_symmetry(g, a.r0, dangling);
+  EXPECT_FALSE(rep.symmetric);
+}
+
+TEST(Symmetry, SboxOutputsAreIsomorphic) {
+  // The DIMS S-Box OR trees of both rails merge 128 lines each, and every
+  // minterm line has an identical decode structure -> the rails of every
+  // output channel are structurally isomorphic. (Full cone-size equality
+  // is intentionally NOT required: the decode tree is *shared* logic, and
+  // how many distinct ancestors each rail's lines have depends on the
+  // table — sharing does not unbalance transition counts.)
+  qn::Netlist nl("sb");
+  qg::Builder b(nl);
+  std::vector<qg::DualRail> in;
+  for (int i = 0; i < 8; ++i) in.push_back(b.dr_input("i" + std::to_string(i)));
+  const qg::LutResult lut = qg::build_aes_sbox(b, in, "sbox");
+  const qn::Graph g(nl);
+  for (const qg::DualRail& out : lut.outputs) {
+    const auto rep = qn::check_rail_symmetry(g, out.r0, out.r1);
+    EXPECT_TRUE(rep.isomorphic);
+  }
+}
+
+TEST(Symmetry, CheckAllChannelsCoversRegistry) {
+  qg::XorStage x = qg::build_xor_stage();
+  const qn::Graph g(x.nl);
+  const auto reps = qn::check_all_channels(g);
+  EXPECT_EQ(reps.size(), x.nl.num_channels());
+}

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "qdi/core/timing.hpp"
+#include "qdi/gates/testbench.hpp"
+#include "qdi/sim/environment.hpp"
+
+namespace qn = qdi::netlist;
+namespace qc = qdi::core;
+namespace qs = qdi::sim;
+namespace qg = qdi::gates;
+
+TEST(Timing, XorStageCriticalPathEndsAtCompletion) {
+  qg::XorStage x = qg::build_xor_stage();
+  const qn::Graph g(x.nl);
+  const qc::TimingReport rep = qc::analyze_timing(g, qs::DelayModel{});
+  ASSERT_FALSE(rep.critical_path.empty());
+  // Path: input -> M -> O -> Cr -> NOR; last step is the level-4 NOR.
+  EXPECT_EQ(rep.critical_path.back().level, 4);
+  EXPECT_EQ(rep.critical_path.back().kind, "nor2");
+  EXPECT_EQ(rep.critical_path.front().level, 0);  // starts at an input
+  EXPECT_GT(rep.critical_arrival_ps, 0.0);
+}
+
+TEST(Timing, ArrivalsIncreaseAlongThePath) {
+  qg::XorStage x = qg::build_xor_stage();
+  const qn::Graph g(x.nl);
+  const qc::TimingReport rep = qc::analyze_timing(g, qs::DelayModel{});
+  for (std::size_t i = 1; i < rep.critical_path.size(); ++i)
+    EXPECT_GE(rep.critical_path[i].arrival_ps,
+              rep.critical_path[i - 1].arrival_ps);
+  EXPECT_DOUBLE_EQ(rep.critical_path.back().arrival_ps, rep.critical_arrival_ps);
+}
+
+TEST(Timing, LevelArrivalsAreMonotone) {
+  qg::XorStage x = qg::build_xor_stage();
+  const qn::Graph g(x.nl);
+  const qc::TimingReport rep = qc::analyze_timing(g, qs::DelayModel{});
+  ASSERT_EQ(rep.level_arrival_ps.size(), 5u);
+  for (std::size_t l = 2; l < rep.level_arrival_ps.size(); ++l)
+    EXPECT_GT(rep.level_arrival_ps[l], rep.level_arrival_ps[l - 1]);
+}
+
+TEST(Timing, CapacitanceSlowsTheCriticalPath) {
+  qg::XorStage x = qg::build_xor_stage();
+  const qc::TimingReport before =
+      qc::analyze_timing(qn::Graph(x.nl), qs::DelayModel{});
+  for (auto& net : const_cast<std::vector<qn::Net>&>(x.nl.nets())) (void)net;
+  x.nl.net(x.s0).cap_ff = 64.0;
+  x.nl.net(x.s1).cap_ff = 64.0;
+  const qc::TimingReport after =
+      qc::analyze_timing(qn::Graph(x.nl), qs::DelayModel{});
+  EXPECT_GT(after.critical_arrival_ps, before.critical_arrival_ps);
+  EXPECT_GT(after.cycle_estimate_ps, before.cycle_estimate_ps);
+}
+
+TEST(Timing, StaticEstimateTracksSimulatedLatency) {
+  // The analytic critical arrival must approximate (and never exceed by
+  // much / fall far below) the event-driven time-to-valid.
+  qg::XorStage x = qg::build_xor_stage();
+  const qc::TimingReport rep =
+      qc::analyze_timing(qn::Graph(x.nl), qs::DelayModel{});
+
+  qs::Simulator sim(x.nl);
+  qs::FourPhaseEnv env(sim, x.env);
+  env.apply_reset();
+  const std::vector<int> v{1, 0};
+  const auto cyc = env.send(v);
+  const double simulated = cyc.t_valid - cyc.t_start;
+  EXPECT_NEAR(rep.critical_arrival_ps, simulated, simulated * 0.25);
+}
+
+TEST(Timing, TableRendersPath) {
+  qg::XorStage x = qg::build_xor_stage();
+  const qc::TimingReport rep =
+      qc::analyze_timing(qn::Graph(x.nl), qs::DelayModel{});
+  const qdi::util::Table t = qc::timing_table(rep);
+  EXPECT_EQ(t.rows(), rep.critical_path.size());
+  EXPECT_NE(t.to_string().find("nor2"), std::string::npos);
+}
+
+TEST(Timing, SliceDepthMatchesStructure) {
+  // AddRoundKey (2 levels) + decode (7) + OR trees (7) + latch +
+  // completion: the slice's critical path is deep.
+  qg::AesByteSlice slice = qg::build_aes_byte_slice();
+  const qc::TimingReport rep =
+      qc::analyze_timing(qn::Graph(slice.nl), qs::DelayModel{});
+  EXPECT_GE(rep.critical_path.size(), 15u);
+}

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "qdi/gates/testbench.hpp"
+#include "qdi/netlist/verilog.hpp"
+
+namespace qn = qdi::netlist;
+namespace qg = qdi::gates;
+
+TEST(VerilogIdent, SanitizesNames) {
+  EXPECT_EQ(qn::verilog_ident("xor/a_0"), "xor_a_0");
+  EXPECT_EQ(qn::verilog_ident("c#12.g"), "c_12_g");
+  EXPECT_EQ(qn::verilog_ident("0net"), "n0net");
+  EXPECT_EQ(qn::verilog_ident(""), "n");
+  EXPECT_EQ(qn::verilog_ident("plain_name9"), "plain_name9");
+}
+
+TEST(Verilog, EmitsModuleWithPorts) {
+  qg::XorStage x = qg::build_xor_stage();
+  const std::string v = qn::to_verilog(x.nl);
+  EXPECT_NE(v.find("module xor_stage("), std::string::npos);
+  EXPECT_NE(v.find("input xor_a_0;"), std::string::npos);
+  EXPECT_NE(v.find("input xor_b_1;"), std::string::npos);
+  EXPECT_NE(v.find("input rst;"), std::string::npos);
+  EXPECT_NE(v.find("output"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, InstantiatesEveryRealGate) {
+  qg::XorStage x = qg::build_xor_stage();
+  const std::string v = qn::to_verilog(x.nl);
+  // 4 Muller minterms + 2 Cr latches.
+  std::size_t mullers = 0, pos = 0;
+  while ((pos = v.find("qdi_muller2 ", pos)) != std::string::npos) {
+    ++mullers;
+    pos += 1;
+  }
+  EXPECT_EQ(mullers, 4u);
+  EXPECT_NE(v.find("qdi_muller2r "), std::string::npos);
+  EXPECT_NE(v.find("qdi_or2 "), std::string::npos);
+  EXPECT_NE(v.find("qdi_nor2 "), std::string::npos);
+  EXPECT_NE(v.find("qdi_inv "), std::string::npos);
+  // The resettable latches reference the reset pin.
+  EXPECT_NE(v.find(".rst(rst)"), std::string::npos);
+}
+
+TEST(Verilog, CellModelsAreOptional) {
+  qg::XorStage x = qg::build_xor_stage();
+  qn::VerilogOptions opt;
+  opt.emit_cell_models = false;
+  const std::string v = qn::to_verilog(x.nl, opt);
+  EXPECT_EQ(v.find("module qdi_muller2("), std::string::npos);
+  const std::string with = qn::to_verilog(x.nl);
+  EXPECT_NE(with.find("module qdi_muller2("), std::string::npos);
+  EXPECT_LT(v.size(), with.size());
+}
+
+TEST(Verilog, CapCommentsFollowAnnotation) {
+  qg::XorStage x = qg::build_xor_stage();
+  x.nl.net(x.s0).cap_ff = 23.5;
+  const std::string v = qn::to_verilog(x.nl);
+  EXPECT_NE(v.find("// 23.5 fF"), std::string::npos);
+  qn::VerilogOptions opt;
+  opt.emit_cap_comments = false;
+  EXPECT_EQ(qn::to_verilog(x.nl, opt).find("// 23.5 fF"), std::string::npos);
+}
+
+TEST(Verilog, BalancedParenthesesAndScale) {
+  // Smoke: a mid-size netlist emits one instance per real gate.
+  qg::AesByteSlice slice = qg::build_aes_byte_slice();
+  qn::VerilogOptions opt;
+  opt.emit_cell_models = false;
+  opt.emit_cap_comments = false;
+  const std::string v = qn::to_verilog(slice.nl, opt);
+  std::size_t instances = 0, pos = 0;
+  while ((pos = v.find("qdi_", pos)) != std::string::npos) {
+    ++instances;
+    pos += 4;
+  }
+  EXPECT_EQ(instances, slice.nl.num_gates());
+}
