@@ -10,10 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "qdi/dpa/acquisition.hpp"
-#include "qdi/dpa/dpa.hpp"
-#include "qdi/gates/testbench.hpp"
-#include "qdi/util/table.hpp"
+#include "qdi/qdi.hpp"
 
 namespace qg = qdi::gates;
 namespace qd = qdi::dpa;
@@ -24,15 +21,14 @@ namespace qu = qdi::util;
 namespace {
 constexpr std::uint8_t kKey = 0x4f;
 
-void inject_da(qg::AesByteSlice& slice, double da) {
+void inject_da(qn::Netlist& nl, double da) {
   // dA = (C_hi - C_lo)/C_lo  ->  C_hi = C_lo * (1 + dA) on the channels
   // that carry the attacked bit (S-Box out0 and its latch).
-  for (qn::ChannelId ch = 0; ch < slice.nl.num_channels(); ++ch) {
-    const qn::Channel& c = slice.nl.channel(ch);
+  for (qn::ChannelId ch = 0; ch < nl.num_channels(); ++ch) {
+    const qn::Channel& c = nl.channel(ch);
     if (c.name.find("sbox/out0") != std::string::npos ||
         c.name.find("hb/q_q0") != std::string::npos)
-      slice.nl.net(c.rails[1]).cap_ff =
-          slice.nl.net(c.rails[0]).cap_ff * (1.0 + da);
+      nl.net(c.rails[1]).cap_ff = nl.net(c.rails[0]).cap_ff * (1.0 + da);
   }
 }
 
@@ -44,19 +40,26 @@ struct Point {
 
 Point probe(double da, const qs::DelayModel& dm, double noise,
             std::size_t traces) {
-  qg::AesByteSlice slice = qg::build_aes_byte_slice();
-  inject_da(slice, da);
-  qd::Acquisition cfg;
-  cfg.num_traces = traces;
-  cfg.seed = 7;
-  cfg.power.noise_sigma_ua = noise;
-  const qd::TraceSet ts = qd::acquire_aes_byte_slice(slice, kKey, cfg, dm);
-  const auto bias = qd::dpa_bias(ts, qd::aes_sbox_selection(0, 0), kKey);
+  qdi::power::PowerModelParams pm;
+  pm.noise_sigma_ua = noise;
+  qdi::campaign::Dpa dpa;
+  dpa.bits = {0};
+  dpa.compute_mtd = true;
+  const auto r = qdi::campaign::Campaign()
+                     .target(qdi::campaign::aes_byte_slice())
+                     .key(kKey)
+                     .seed(7)
+                     .traces(traces)
+                     .threads(4)
+                     .delays(dm)
+                     .power(pm)
+                     .prepare([da](qn::Netlist& nl) { inject_da(nl, da); })
+                     .attack(dpa)
+                     .run();
   Point p;
-  p.bias_peak = bias.peak;
-  p.bias_integral = bias.integrated;
-  p.mtd = qd::measurements_to_disclosure(ts, qd::aes_sbox_selection(0, 0), 256,
-                                         kKey, 50, 50);
+  p.bias_peak = r.attack->known_key_bias_peak;
+  p.bias_integral = r.attack->known_key_bias_integral;
+  p.mtd = r.attack->mtd;
   return p;
 }
 }  // namespace

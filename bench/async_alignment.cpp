@@ -13,11 +13,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "qdi/dpa/acquisition.hpp"
-#include "qdi/dpa/dpa.hpp"
-#include "qdi/dpa/spa.hpp"
-#include "qdi/gates/testbench.hpp"
-#include "qdi/util/table.hpp"
+#include "qdi/qdi.hpp"
 
 namespace qn = qdi::netlist;
 namespace qg = qdi::gates;
@@ -27,15 +23,26 @@ namespace qu = qdi::util;
 namespace {
 constexpr std::uint8_t kKey = 0x4f;
 
-qg::AesByteSlice victim() {
-  qg::AesByteSlice slice = qg::build_aes_byte_slice();
-  for (qn::ChannelId ch = 0; ch < slice.nl.num_channels(); ++ch) {
-    const qn::Channel& c = slice.nl.channel(ch);
+void unbalance(qn::Netlist& nl) {
+  for (qn::ChannelId ch = 0; ch < nl.num_channels(); ++ch) {
+    const qn::Channel& c = nl.channel(ch);
     if (c.name.find("sbox/out0") != std::string::npos ||
         c.name.find("hb/q_q0") != std::string::npos)
-      slice.nl.net(c.rails[1]).cap_ff *= 3.0;
+      nl.net(c.rails[1]).cap_ff *= 3.0;
   }
-  return slice;
+}
+
+/// Acquire the unbalanced victim with the given window jitter.
+qdi::campaign::CampaignResult acquire(double jitter_ps) {
+  return qdi::campaign::Campaign()
+      .target(qdi::campaign::aes_byte_slice())
+      .key(kKey)
+      .seed(4242)
+      .traces(300)
+      .threads(4)
+      .jitter(jitter_ps)
+      .prepare(unbalance)
+      .run();
 }
 }  // namespace
 
@@ -47,18 +54,10 @@ int main() {
                "bias peak realigned", "traces moved"});
   t.set_precision(2);
 
-  qg::AesByteSlice slice = victim();
-  qd::Acquisition cfg;
-  cfg.num_traces = 300;
-  cfg.seed = 4242;
-  const qd::TraceSet aligned = qd::acquire_aes_byte_slice(slice, kKey, cfg);
-  const double base = qd::dpa_bias(aligned, d, kKey).peak;
+  const double base = qd::dpa_bias(acquire(0.0).traces, d, kKey).peak;
 
   for (double jitter : {100.0, 300.0, 800.0, 2000.0}) {
-    qg::AesByteSlice v = victim();
-    qd::Acquisition jcfg = cfg;
-    jcfg.start_jitter_ps = jitter;
-    qd::TraceSet ts = qd::acquire_aes_byte_slice(v, kKey, jcfg);
+    qd::TraceSet ts = std::move(acquire(jitter).traces);
     const double smeared = qd::dpa_bias(ts, d, kKey).peak;
     const std::size_t moved = qd::realign_traces(
         ts, static_cast<std::size_t>(jitter / 10.0) + 10);

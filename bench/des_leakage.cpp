@@ -4,64 +4,20 @@
 // rail-capacitance repair, using the paper's historical selection
 // function D(C1, P6, K0) = SBOX1(P6 xor K0)(C1).
 //
-// The plaintext sweep drives the round's R half; the bias splits traces
-// on the first output bit of SBOX1's first-round computation.
+// Each layout variant is one campaign on the registry's des_round
+// target: the plaintext sweep drives the round's R half; the bias splits
+// traces on the first output bit of SBOX1's first-round computation.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "qdi/core/criterion.hpp"
-#include "qdi/core/secure_flow.hpp"
-#include "qdi/crypto/des.hpp"
-#include "qdi/dpa/acquisition.hpp"
-#include "qdi/dpa/dpa.hpp"
-#include "qdi/gates/des_datapath.hpp"
-#include "qdi/util/table.hpp"
+#include "qdi/qdi.hpp"
 
-namespace qn = qdi::netlist;
-namespace qs = qdi::sim;
-namespace qg = qdi::gates;
 namespace qc = qdi::core;
-namespace qd = qdi::dpa;
+namespace qm = qdi::campaign;
 namespace qu = qdi::util;
 
 namespace {
 constexpr std::uint64_t kSubkey = 0x1A2B3C4D5E6FULL & 0xffffffffffffULL;
-
-/// Acquire traces for the DES round: random R (L = 0), fixed subkey.
-/// plaintext(i) records the 6-bit input of SBOX1 (what D consumes).
-qd::TraceSet acquire_round(qg::DesRoundSlice& slice, std::size_t n,
-                           std::uint64_t seed) {
-  qs::Simulator sim(slice.nl);
-  qs::FourPhaseEnv env(sim, slice.env);
-  return qd::acquire(
-      sim, env,
-      [](qdi::util::Rng& rng) {
-        const std::uint32_t r = static_cast<std::uint32_t>(rng.next());
-        std::vector<int> values;
-        values.reserve(112);
-        for (int i = 0; i < 32; ++i) values.push_back(0);  // L = 0
-        for (int i = 0; i < 32; ++i)
-          values.push_back(static_cast<int>((r >> (31 - i)) & 1));
-        for (int i = 0; i < 48; ++i)
-          values.push_back(static_cast<int>((kSubkey >> (47 - i)) & 1));
-        // Record SBOX1's 6-bit keyed input so D can re-derive classes:
-        // E(R) bits 1..6 xor K bits 1..6.
-        std::uint8_t six = 0;
-        const auto et = qdi::crypto::des_expansion_table();
-        for (int j = 0; j < 6; ++j) {
-          const int bit = static_cast<int>((r >> (32 - et[static_cast<std::size_t>(j)])) & 1);
-          six = static_cast<std::uint8_t>((six << 1) | bit);
-        }
-        return std::make_pair(std::move(values),
-                              std::vector<std::uint8_t>{six});
-      },
-      [n, seed] {
-        qd::Acquisition cfg;
-        cfg.num_traces = n;
-        cfg.seed = seed;
-        return cfg;
-      }());
-}
 }  // namespace
 
 int main() {
@@ -73,27 +29,34 @@ int main() {
   t.set_precision(3);
 
   for (const bool repaired : {false, true}) {
-    qg::DesRoundSlice slice = qg::build_des_round_slice();
     qc::FlowOptions flow;
     flow.placer.mode = qdi::pnr::FlowMode::Flat;
     flow.placer.seed = 3;
     flow.placer.moves_per_cell = 16;
-    qc::run_secure_flow(slice.nl, flow);
-    if (repaired) qc::repair_rail_caps(slice.nl, 0.0);
-    const auto crit = qc::evaluate_criterion(slice.nl);
 
-    const qd::TraceSet ts = acquire_round(slice, 500, 777);
-    // D(C1, P6, K0) with plaintext(i)[0] = the 6 bits of E(R) entering
-    // SBOX1; the designer-side (known-key) split uses the true key chunk
+    // D(C1, P6, K0): single selection bit; the known-key bias of the
+    // attack outcome is the designer-side split at the true key chunk
     // K0 = the top 6 bits of the round key.
-    const unsigned k6 = static_cast<unsigned>((kSubkey >> 42) & 0x3f);
-    const qd::SelectionFn d = qd::des_sbox_selection(0, 0);
-    const qd::BiasResult bias = qd::dpa_bias(ts, d, k6);
+    qm::Dpa dpa;
+    dpa.bits = {0};
 
+    qm::Campaign campaign;
+    campaign.target(qm::des_round())
+        .key(kSubkey)
+        .seed(777)
+        .traces(500)
+        .threads(4)
+        .flow(flow)
+        .attack(dpa);
+    if (repaired)
+      campaign.prepare(
+          [](qdi::netlist::Netlist& nl) { qc::repair_rail_caps(nl, 0.0); });
+
+    const qm::CampaignResult r = campaign.run();
     t.add_row({repaired ? "flat + repair" : "flat extracted",
-               t.format_double(qc::max_dA(crit)),
-               t.format_double(qc::mean_dA(crit)),
-               t.format_double(bias.peak), t.format_double(bias.integrated)});
+               t.format_double(r.max_da), t.format_double(r.mean_da),
+               t.format_double(r.attack->known_key_bias_peak),
+               t.format_double(r.attack->known_key_bias_integral)});
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("expected: the extracted layout leaks (non-zero bias at the\n"

@@ -1,6 +1,6 @@
 // E6 — end-to-end DPA against the first-round AES byte slice (the
 // circuit the paper's section-IV D-function targets), across the layout
-// scenarios of section VI:
+// scenarios of section VI, each expressed as one qdi::campaign run:
 //
 //   1. flat P&R, global residual dissymmetry   (AES_v2: every channel
 //      somewhat unbalanced — the uncontrolled-tool outcome),
@@ -14,23 +14,21 @@
 //   4. fully repaired (rail-capacitance equalization extension).
 //
 // Reported per scenario: the criterion statistics, the *known-key* bias
-// (designer-side leakage assessment, as in the paper's validation), and
-// the attacker-side key recovery (rank of the true key, margin, MTD).
+// (designer-side leakage assessment, as in the paper's validation), the
+// attacker-side key recovery (rank of the true key, margin, MTD), and
+// the acquisition throughput of the parallel batched trace source.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hpp"
-#include "qdi/core/secure_flow.hpp"
-#include "qdi/dpa/acquisition.hpp"
-#include "qdi/dpa/dpa.hpp"
-#include "qdi/gates/testbench.hpp"
-#include "qdi/util/table.hpp"
+#include "qdi/qdi.hpp"
 
 namespace qg = qdi::gates;
 namespace qc = qdi::core;
 namespace qn = qdi::netlist;
 namespace qp = qdi::pnr;
-namespace qd = qdi::dpa;
+namespace qm = qdi::campaign;
 namespace qu = qdi::util;
 
 namespace {
@@ -56,54 +54,59 @@ struct Scenario {
   const char* repair_except;
 };
 
-void run_scenario(const Scenario& sc, qu::Table& out) {
-  qg::AesByteSlice slice = qg::build_aes_byte_slice();
+void run_scenario(const Scenario& sc, unsigned threads, qu::Table* out,
+                  double* wall_ms) {
   qc::FlowOptions flow;
   flow.placer.mode = sc.mode;
   flow.placer.seed = 1;
   flow.placer.moves_per_cell = 20;
-  qc::run_secure_flow(slice.nl, flow);
-  if (sc.repair_except != nullptr)
-    balance_except(slice.nl,
-                   *sc.repair_except ? sc.repair_except : nullptr);
 
-  const auto criteria = qc::evaluate_criterion(slice.nl);
+  qm::Campaign campaign;
+  campaign.target(qm::aes_byte_slice())
+      .key(kSecretKey)
+      .seed(99)
+      .traces(1000)
+      .threads(threads)
+      .flow(flow);
+  // Timing-only runs (out == nullptr) skip the analysis stage: only the
+  // acquisition wall clock is consumed.
+  if (out) {
+    qm::Dpa dpa;
+    dpa.compute_mtd = true;
+    campaign.attack(dpa);
+  }
+  if (sc.repair_except != nullptr) {
+    const char* keep = sc.repair_except;
+    campaign.prepare([keep](qn::Netlist& nl) {
+      balance_except(nl, *keep ? keep : nullptr);
+    });
+  }
 
-  qd::Acquisition cfg;
-  cfg.num_traces = 1000;
-  cfg.seed = 99;
-  const qd::TraceSet ts = qd::acquire_aes_byte_slice(slice, kSecretKey, cfg);
-
-  // Designer-side leakage assessment: bias with the known key.
-  const qd::BiasResult known =
-      qd::dpa_bias(ts, qd::aes_sbox_selection(0, 0), kSecretKey);
-
-  // Attacker-side recovery.
-  std::vector<qd::SelectionFn> bits;
-  for (int b = 0; b < 8; ++b) bits.push_back(qd::aes_sbox_selection(0, b));
-  const qd::KeyRecoveryResult rec = qd::recover_key_multibit(ts, bits, 256);
-  const std::size_t mtd =
-      rec.rank_of(kSecretKey) == 0
-          ? qd::measurements_to_disclosure(ts, qd::aes_sbox_selection(0, 0),
-                                           256, kSecretKey, 50, 50)
-          : 0;
-
-  out.add_row({sc.label, out.format_double(qc::max_dA(criteria)),
-               out.format_double(qc::mean_dA(criteria)),
-               out.format_double(known.peak), std::to_string(rec.rank_of(kSecretKey)),
-               out.format_double(rec.margin()),
-               mtd ? std::to_string(mtd) : std::string("--")});
+  const qm::CampaignResult r = campaign.run();
+  if (out) {
+    const qm::AttackOutcome& a = *r.attack;
+    out->add_row({sc.label, out->format_double(r.max_da),
+                  out->format_double(r.mean_da),
+                  out->format_double(a.known_key_bias_peak),
+                  std::to_string(a.true_key_rank), out->format_double(a.margin),
+                  a.mtd ? std::to_string(a.mtd) : std::string("--"),
+                  out->format_double(r.acquisition.traces_per_s)});
+  }
+  if (wall_ms) *wall_ms = r.acquisition.wall_ms;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads =
+      argc > 1 ? static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10)) : 4;
   bench::header("E6 — DPA against layouts of the two flows (secret key 0x4f)");
   std::printf("victim: AddRoundKey + SubBytes byte slice; 1000 traces; "
-              "multi-bit S-Box DPA, 256 guesses\n\n");
+              "multi-bit S-Box DPA, 256 guesses; %u acquisition threads\n\n",
+              threads);
 
   qu::Table t({"scenario", "max dA", "mean dA", "known-key bias (uA)",
-               "true-key rank", "margin", "MTD"});
+               "true-key rank", "margin", "MTD", "traces/s"});
   t.set_precision(3);
 
   const Scenario scenarios[] = {
@@ -112,9 +115,19 @@ int main() {
       {"one critical channel (hb latch)", qp::FlowMode::Flat, "hb/q_q0"},
       {"fully repaired", qp::FlowMode::Flat, ""},
   };
-  for (const Scenario& sc : scenarios) run_scenario(sc, t);
+  for (const Scenario& sc : scenarios) run_scenario(sc, threads, &t, nullptr);
 
   std::printf("%s\n", t.to_string().c_str());
+
+  // Parallel-acquisition scaling on the first scenario (the acceptance
+  // check of the campaign API: same bits, less wall clock).
+  double t1 = 0.0, tn = 0.0;
+  run_scenario(scenarios[0], 1, nullptr, &t1);
+  run_scenario(scenarios[0], threads, nullptr, &tn);
+  std::printf("acquisition scaling (1000 traces): 1 thread = %.0f ms, "
+              "%u threads = %.0f ms, speedup = %.2fx\n\n",
+              t1, threads, tn, tn > 0.0 ? t1 / tn : 0.0);
+
   std::printf(
       "reading of the rows:\n"
       "  * global residual dissymmetry produces the largest known-key bias, but\n"

@@ -4,67 +4,40 @@
 // resistance, 1-of-N encoding ensures that the same number of
 // transitions is required to encode the values 0 to N-1."
 //
-// This bench quantifies both statements: two bits transported as two
-// dual-rail channels versus one 1-of-4 channel, comparing internal
-// transitions per four-phase cycle and per-cycle charge, and verifying
-// transition-count constancy over all four codeword values in both
-// encodings.
+// This bench quantifies both statements with the campaign registry's
+// encoding-template targets: two bits transported as two dual-rail
+// channels versus one 1-of-4 channel, comparing transitions per
+// four-phase cycle and per-cycle charge, and verifying transition-count
+// constancy over all four codeword values in both encodings. The
+// exhaustive codeword sweep is the targets' built-in stimulus
+// (trace index mod 4).
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "qdi/gates/builder.hpp"
-#include "qdi/power/synth.hpp"
-#include "qdi/sim/environment.hpp"
-#include "qdi/util/table.hpp"
+#include "qdi/qdi.hpp"
 
-namespace qn = qdi::netlist;
-namespace qs = qdi::sim;
-namespace qg = qdi::gates;
-namespace qp = qdi::power;
+namespace qm = qdi::campaign;
 namespace qu = qdi::util;
 
 namespace {
 
 struct Stats {
-  std::size_t internal_transitions = 0;
+  std::size_t transitions = 0;
   double charge_fc = 0.0;
   bool constant = true;
 };
 
-/// Run all four 2-bit values through a circuit and report per-cycle
-/// internal activity.
-Stats measure(qn::Netlist& nl, const qs::EnvSpec& spec) {
-  qs::Simulator sim(nl);
-  qs::FourPhaseEnv env(sim, spec);
-  env.apply_reset();
+/// Run all four 2-bit codewords through a target and report per-cycle
+/// activity.
+Stats measure(const qm::CircuitTarget& target) {
+  const qm::CampaignResult r =
+      qm::Campaign().target(target).traces(4).run();
   Stats st;
-  qp::PowerModelParams pm;
-  std::size_t first = 0;
-  for (int v = 0; v < 4; ++v) {
-    sim.clear_log();
-    std::vector<int> values;
-    if (spec.inputs.size() == 2) {
-      values = {v & 1, (v >> 1) & 1};
-    } else {
-      values = {v};
-    }
-    const auto cyc = env.send(values);
-    if (!cyc.ok) continue;
-    std::size_t internal = 0;
-    for (const auto& t : sim.log()) {
-      const auto& drv = nl.cell(nl.net(t.net).driver);
-      if (!qn::is_pseudo(drv.kind)) ++internal;
-    }
-    const qp::PowerTrace trace =
-        qp::synthesize(sim.log(), cyc.t_start, spec.period_ps, pm, nullptr);
-    if (v == 0) {
-      first = internal;
-      st.internal_transitions = internal;
-      st.charge_fc = trace.total_charge_fc() / 1000.0;
-    } else if (internal != first) {
+  st.transitions = r.acquisition.per_trace_transitions[0];
+  st.charge_fc = r.traces.trace(0).total_charge_fc() / 1000.0;
+  for (std::size_t i = 1; i < r.traces.size(); ++i)
+    if (r.acquisition.per_trace_transitions[i] != st.transitions)
       st.constant = false;
-    }
-  }
   return st;
 }
 
@@ -73,49 +46,15 @@ Stats measure(qn::Netlist& nl, const qs::EnvSpec& spec) {
 int main() {
   bench::header("1-of-N encoding — transitions and power (section II claim)");
 
-  // (a) Two dual-rail channels through a buffered stage.
-  qn::Netlist nl_dr("dual_rail");
-  qs::EnvSpec spec_dr;
-  {
-    qg::Builder b(nl_dr);
-    qg::DualRail lo = b.dr_input("lo");
-    qg::DualRail hi = b.dr_input("hi");
-    for (const qg::DualRail* d : {&lo, &hi}) {
-      const qn::NetId q0 = b.buf(d->r0);
-      const qn::NetId q1 = b.buf(d->r1);
-      const qg::DualRail out = b.as_dual_rail(q0, q1, "q");
-      b.dr_output(out, "q");
-      spec_dr.outputs.push_back(out.ch);
-    }
-    spec_dr.inputs = {lo.ch, hi.ch};
-    spec_dr.period_ps = 2000.0;
-  }
+  const Stats dr = measure(qm::dual_rail_pair());
+  const Stats q4 = measure(qm::one_of_four());
 
-  // (b) The same two bits as one 1-of-4 channel (env drives it directly).
-  qn::Netlist nl_q4("one_of_four");
-  qs::EnvSpec spec_q4;
-  {
-    qg::Builder b(nl_q4);
-    qg::OneOfN q = b.one_of_n_input("q", 4);
-    std::vector<qn::NetId> out_rails;
-    for (qn::NetId r : q.rails) out_rails.push_back(b.buf(r));
-    const qn::ChannelId out_ch = nl_q4.add_channel("qo", out_rails);
-    for (std::size_t i = 0; i < out_rails.size(); ++i)
-      b.output(out_rails[i], "qo" + std::to_string(i));
-    spec_q4.inputs = {q.ch};
-    spec_q4.outputs = {out_ch};
-    spec_q4.period_ps = 2000.0;
-  }
-
-  const Stats dr = measure(nl_dr, spec_dr);
-  const Stats q4 = measure(nl_q4, spec_q4);
-
-  qu::Table t({"encoding", "internal transitions/cycle", "charge (fC)",
+  qu::Table t({"encoding", "transitions/cycle", "charge (fC)",
                "constant over values"});
   t.set_precision(1);
-  t.add_row({"2 x dual-rail (4 wires)", std::to_string(dr.internal_transitions),
+  t.add_row({"2 x dual-rail (4 wires)", std::to_string(dr.transitions),
              t.format_double(dr.charge_fc), dr.constant ? "yes" : "NO"});
-  t.add_row({"1-of-4 (4 wires)", std::to_string(q4.internal_transitions),
+  t.add_row({"1-of-4 (4 wires)", std::to_string(q4.transitions),
              t.format_double(q4.charge_fc), q4.constant ? "yes" : "NO"});
   std::printf("%s\n", t.to_string().c_str());
   std::printf("expected: the 1-of-4 encoding moves the same 2 bits with half\n"

@@ -4,14 +4,7 @@
 // paper's experiments and guard against performance regressions.
 #include <benchmark/benchmark.h>
 
-#include "qdi/core/criterion.hpp"
-#include "qdi/dpa/acquisition.hpp"
-#include "qdi/dpa/dpa.hpp"
-#include "qdi/gates/testbench.hpp"
-#include "qdi/pnr/extraction.hpp"
-#include "qdi/pnr/placement.hpp"
-#include "qdi/power/synth.hpp"
-#include "qdi/sim/environment.hpp"
+#include "qdi/qdi.hpp"
 
 namespace qg = qdi::gates;
 namespace qs = qdi::sim;
@@ -112,5 +105,43 @@ static void BM_CriterionEvaluation(benchmark::State& state) {
                           static_cast<long>(nl.num_channels()));
 }
 BENCHMARK(BM_CriterionEvaluation);
+
+// Campaign acquisition throughput: the batched parallel TraceSource fan-
+// out, per thread count. Bit-identical results across rows (asserted by
+// test_campaign); this measures the wall-clock side of that contract.
+static void BM_CampaignAcquire(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const qdi::campaign::CircuitTarget target = qdi::campaign::xor_stage();
+  for (auto _ : state) {
+    const qdi::campaign::CampaignResult r = qdi::campaign::Campaign()
+                                                .target(target)
+                                                .traces(64)
+                                                .threads(threads)
+                                                .seed(1)
+                                                .run();
+    benchmark::DoNotOptimize(r.traces.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CampaignAcquire)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// End-to-end campaign including the DPA analysis stage (the per-scenario
+// unit of bench/dpa_key_recovery).
+static void BM_CampaignDpaEndToEnd(benchmark::State& state) {
+  const qdi::campaign::CircuitTarget target = qdi::campaign::des_sbox_slice();
+  for (auto _ : state) {
+    const qdi::campaign::CampaignResult r =
+        qdi::campaign::Campaign()
+            .target(target)
+            .key(0x2b)
+            .traces(32)
+            .threads(2)
+            .attack(qdi::campaign::Dpa{})
+            .run();
+    benchmark::DoNotOptimize(r.attack->best_guess);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_CampaignDpaEndToEnd)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

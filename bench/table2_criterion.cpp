@@ -5,20 +5,20 @@
 // across several seeds of the flat flow ("the most sensitive channels are
 // never the same from one place and route to another").
 //
+// Each run is a flow-only campaign on the registry's aes_core target
+// (tens of thousands of cells — criterion studies only, no simulation).
+//
 // Paper's numbers for reference: flat max dA up to 1.25; hierarchical max
 // dA = 0.13; hierarchical core area ~20% larger.
 #include <cstdio>
 #include <set>
 
 #include "bench_common.hpp"
-#include "qdi/core/criterion.hpp"
-#include "qdi/core/secure_flow.hpp"
-#include "qdi/gates/aes_datapath.hpp"
-#include "qdi/util/table.hpp"
+#include "qdi/qdi.hpp"
 
-namespace qg = qdi::gates;
 namespace qc = qdi::core;
 namespace qp = qdi::pnr;
+namespace qm = qdi::campaign;
 namespace qu = qdi::util;
 
 namespace {
@@ -35,9 +35,10 @@ qc::FlowOptions flow_options(qp::FlowMode mode, std::uint64_t seed) {
 int main() {
   bench::header("Table 2 — criterion dA: hierarchical (AES_v1) vs flat (AES_v2)");
   std::printf("building the QDI AES crypto-processor netlist (fig. 8)...\n");
-  qg::AesCoreNetlist aes = qg::build_aes_core();
-  std::printf("  %zu gates, %zu nets, %zu dual-rail channels\n\n",
-              aes.nl.num_gates(), aes.nl.num_nets(), aes.nl.num_channels());
+
+  // Build the fig. 8 netlist once; every flow run below campaigns over a
+  // fresh copy of this prebuilt instance.
+  const qm::CircuitTarget core = qm::prebuilt(qm::aes_core().build(0));
 
   // Table 2's criterion population is the dual-rail data channels; the
   // 1-of-N code-group channels (decode levels, minterm layers, OR-tree
@@ -53,6 +54,7 @@ int main() {
   std::set<std::string> flat_worst;
   double flat_max_da = 0.0, hier_max_da = 0.0;
   double flat_area = 0.0, hier_area = 0.0;
+  bool printed_size = false;
 
   struct Run {
     qp::FlowMode mode;
@@ -67,13 +69,22 @@ int main() {
   };
 
   for (const Run& run : runs) {
-    aes.nl.reset_caps();
-    const qc::FlowResult r =
-        qc::run_secure_flow(aes.nl, flow_options(run.mode, run.seed));
+    const qm::CampaignResult res =
+        qm::Campaign()
+            .target(core)
+            .flow(flow_options(run.mode, run.seed))
+            .run();
+    if (!printed_size) {
+      std::printf("  %zu gates, %zu nets, %zu dual-rail channels\n\n",
+                  res.nl.num_gates(), res.nl.num_nets(),
+                  res.nl.num_channels());
+      printed_size = true;
+    }
+    const qc::FlowResult& r = *res.flow;
 
     std::vector<qc::ChannelCriterion> dual, groups;
-    for (const auto& ch : r.criteria) {
-      if (aes.nl.channel(ch.id).arity() == 2)
+    for (const auto& ch : res.criteria) {
+      if (res.nl.channel(ch.id).arity() == 2)
         dual.push_back(ch);
       else
         groups.push_back(ch);

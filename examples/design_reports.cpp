@@ -8,12 +8,7 @@
 #include <fstream>
 #include <string>
 
-#include "qdi/core/timing.hpp"
-#include "qdi/gates/testbench.hpp"
-#include "qdi/netlist/graph.hpp"
-#include "qdi/netlist/verilog.hpp"
-#include "qdi/pnr/extraction.hpp"
-#include "qdi/pnr/placement.hpp"
+#include "qdi/qdi.hpp"
 
 int main(int argc, char** argv) {
   using namespace qdi;

@@ -1,5 +1,6 @@
 // End-to-end DPA attack on the first-round AES byte slice (section IV of
-// the paper), staged the way the paper tells the story:
+// the paper), staged the way the paper tells the story, as two
+// qdi::campaign runs sharing one victim family:
 //
 //   stage 1 — place the circuit with the conventional flat flow and
 //     extract real net capacitances: EVERY channel picks up residual
@@ -17,11 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "qdi/core/criterion.hpp"
-#include "qdi/core/secure_flow.hpp"
-#include "qdi/dpa/acquisition.hpp"
-#include "qdi/dpa/dpa.hpp"
-#include "qdi/gates/testbench.hpp"
+#include "qdi/qdi.hpp"
 
 namespace {
 
@@ -36,22 +33,23 @@ void balance_except(qdi::netlist::Netlist& nl, const char* keep) {
   }
 }
 
-void report(const char* stage, const qdi::dpa::KeyRecoveryResult& r,
-            std::uint8_t key) {
+void report(const char* stage, const qdi::campaign::CampaignResult& r) {
   std::printf("%s\n", stage);
-  std::vector<unsigned> order(256);
-  for (unsigned g = 0; g < 256; ++g) order[g] = g;
+  const auto& scores = r.attack->guess_scores;
+  std::vector<unsigned> order(scores.size());
+  for (unsigned g = 0; g < scores.size(); ++g) order[g] = g;
   std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
-    return r.guess_peak[a] > r.guess_peak[b];
+    return scores[a] > scores[b];
   });
   for (int i = 0; i < 3; ++i)
     std::printf("    #%d  0x%02x : %.3f%s\n", i + 1,
                 order[static_cast<std::size_t>(i)],
-                r.guess_peak[order[static_cast<std::size_t>(i)]],
-                order[static_cast<std::size_t>(i)] == key ? "   <-- secret key"
-                                                          : "");
-  std::printf("    true-key rank %zu, margin %.3f\n\n", r.rank_of(key),
-              r.margin());
+                scores[order[static_cast<std::size_t>(i)]],
+                order[static_cast<std::size_t>(i)] == (r.key & 0xff)
+                    ? "   <-- secret key"
+                    : "");
+  std::printf("    true-key rank %zu, margin %.3f\n\n",
+              r.attack->true_key_rank, r.attack->margin);
 }
 
 }  // namespace
@@ -65,51 +63,55 @@ int main(int argc, char** argv) {
   const std::size_t num_traces =
       argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1000;
 
-  std::vector<dpa::SelectionFn> bits;
-  for (int b = 0; b < 8; ++b) bits.push_back(dpa::aes_sbox_selection(0, b));
-
-  // ---- stage 1: flat P&R, global residual dissymmetry --------------------
-  gates::AesByteSlice slice = gates::build_aes_byte_slice();
   core::FlowOptions flow;
   flow.placer.mode = pnr::FlowMode::Flat;
   flow.placer.seed = 2026;
   flow.placer.moves_per_cell = 20;
-  const core::FlowResult placed = core::run_secure_flow(slice.nl, flow);
-  std::printf("victim: %zu gates, flat flow; max dA = %.2f, mean dA = %.3f\n",
-              slice.nl.num_gates(), placed.max_da, placed.mean_da);
-  for (const auto& ch : core::most_critical(placed.criteria, 3))
-    std::printf("  critical channel %-34s dA = %.2f\n", ch.name.c_str(), ch.dA);
 
-  dpa::Acquisition cfg;
-  cfg.num_traces = num_traces;
-  cfg.seed = 424242;
-  std::printf("\nacquiring %zu traces against secret key byte 0x%02x...\n\n",
+  campaign::Dpa dpa;
+  dpa.compute_mtd = true;
+
+  const auto base = [&] {
+    return campaign::Campaign()
+        .target(campaign::aes_byte_slice())
+        .key(key)
+        .seed(424242)
+        .traces(num_traces)
+        .threads(4)
+        .flow(flow)
+        .attack(dpa);
+  };
+
+  // ---- stage 1: flat P&R, global residual dissymmetry --------------------
+  std::printf("acquiring %zu traces against secret key byte 0x%02x...\n\n",
               num_traces, key);
-  const dpa::TraceSet global_traces =
-      dpa::acquire_aes_byte_slice(slice, key, cfg);
-  const auto global = dpa::recover_key_multibit(global_traces, bits, 256);
-  report("stage 1 — global residual dissymmetry (every channel leaks a bit):",
-         global, key);
+  const campaign::CampaignResult global = base().run();
+  std::printf("victim: %zu gates, flat flow; max dA = %.2f, mean dA = %.3f\n",
+              global.nl.num_gates(), global.max_da, global.mean_da);
+  for (const auto& ch : core::most_critical(global.criteria, 3))
+    std::printf("  critical channel %-34s dA = %.2f\n", ch.name.c_str(), ch.dA);
+  report("\nstage 1 — global residual dissymmetry (every channel leaks a "
+         "bit):",
+         global);
 
   // ---- stage 2: one critical channel among balanced ones ------------------
-  balance_except(slice.nl, "hb/q_q0");
-  const auto criteria = core::evaluate_criterion(slice.nl);
+  const campaign::CampaignResult critical =
+      base()
+          .prepare([](netlist::Netlist& nl) { balance_except(nl, "hb/q_q0"); })
+          .run();
   std::printf("stage 2 — all channels repaired except the attacked latch "
               "(max dA now %.2f):\n",
-              core::max_dA(criteria));
-  const dpa::TraceSet critical_traces =
-      dpa::acquire_aes_byte_slice(slice, key, cfg);
-  const auto critical = dpa::recover_key_multibit(critical_traces, bits, 256);
-  report("", critical, key);
+              critical.max_da);
+  report("", critical);
 
-  const std::size_t mtd = dpa::measurements_to_disclosure(
-      critical_traces, dpa::aes_sbox_selection(0, 0), 256, key, 50, 50);
-  if (critical.best_guess == key) {
-    std::printf("secret key byte recovered: 0x%02x", critical.best_guess);
-    if (mtd) std::printf(" (measurements to disclosure: %zu traces)", mtd);
+  if (critical.key_recovered()) {
+    std::printf("secret key byte recovered: 0x%02x", critical.attack->best_guess);
+    if (critical.attack->mtd)
+      std::printf(" (measurements to disclosure: %zu traces)",
+                  critical.attack->mtd);
     std::printf("\n");
   } else {
     std::printf("attack failed — increase the trace count\n");
   }
-  return critical.best_guess == key ? 0 : 1;
+  return critical.key_recovered() ? 0 : 1;
 }

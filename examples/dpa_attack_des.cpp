@@ -1,64 +1,69 @@
 // DPA on a DES S-Box slice with the paper's historical D-function
 // (section IV, after Messerges):  D(C1, P6, K0) = SBOX1(P6 xor K0)(C1).
 // The victim's rails are unbalanced by hand (as a flat P&R would) so the
-// attack has a physical leak to exploit.
+// attack has a physical leak to exploit. One campaign, analysed twice:
+// the paper's single-output-bit D, then the 4-bit refinement.
 //
 // Usage: dpa_attack_des [key6_hex] [num_traces]
 #include <cstdio>
 #include <cstdlib>
 
-#include "qdi/dpa/acquisition.hpp"
-#include "qdi/dpa/dpa.hpp"
-#include "qdi/gates/testbench.hpp"
+#include "qdi/qdi.hpp"
 
 int main(int argc, char** argv) {
   using namespace qdi;
 
   const std::uint8_t key =
-      argc > 1 ? static_cast<std::uint8_t>(std::strtoul(argv[1], nullptr, 16) & 0x3f)
-               : 0x2b;
+      argc > 1
+          ? static_cast<std::uint8_t>(std::strtoul(argv[1], nullptr, 16) & 0x3f)
+          : 0x2b;
   const std::size_t num_traces =
       argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 800;
 
-  gates::DesSboxSlice slice = gates::build_des_sbox_slice(/*box=*/0);
+  power::PowerModelParams pm;
+  pm.noise_sigma_ua = 1.0;
 
   // Introduce rail dissymmetry on the S-Box output channels (what an
   // uncontrolled place-and-route does to the layout).
-  std::size_t unbalanced = 0;
-  for (netlist::ChannelId ch = 0; ch < slice.nl.num_channels(); ++ch) {
-    const netlist::Channel& c = slice.nl.channel(ch);
-    if (c.name.find("sbox/out") != std::string::npos) {
-      slice.nl.net(c.rails[1]).cap_ff *= 1.8;
-      ++unbalanced;
+  const auto unbalance = [](netlist::Netlist& nl) {
+    for (netlist::ChannelId ch = 0; ch < nl.num_channels(); ++ch) {
+      const netlist::Channel& c = nl.channel(ch);
+      if (c.name.find("sbox/out") != std::string::npos)
+        nl.net(c.rails[1]).cap_ff *= 1.8;
     }
-  }
-  std::printf("victim: DES SBOX1 slice, %zu gates, %zu channels unbalanced "
-              "(dA = 0.8)\n", slice.nl.num_gates(), unbalanced);
+  };
 
-  dpa::Acquisition cfg;
-  cfg.num_traces = num_traces;
-  cfg.seed = 31337;
-  cfg.power.noise_sigma_ua = 1.0;
   std::printf("acquiring %zu traces against secret 6-bit subkey 0x%02x...\n",
               num_traces, key);
-  const dpa::TraceSet traces = dpa::acquire_des_sbox_slice(slice, key, cfg);
 
-  // The paper's single-output-bit D-function, then the 4-bit refinement.
+  // One campaign: acquisition + the 4-bit multi-bit refinement.
+  const campaign::CampaignResult multi = campaign::Campaign()
+                                             .target(campaign::des_sbox_slice())
+                                             .key(key)
+                                             .seed(31337)
+                                             .traces(num_traces)
+                                             .threads(4)
+                                             .power(pm)
+                                             .prepare(unbalance)
+                                             .attack(campaign::Dpa{})
+                                             .run();
+  std::printf("victim: DES SBOX1 slice, %zu gates, max dA = %.2f\n",
+              multi.nl.num_gates(), multi.max_da);
+
+  // The acquired TraceSet interoperates with the dpa:: toolkit directly:
+  // re-analyse the same traces with the paper's single-bit D-function.
   const dpa::KeyRecoveryResult single =
-      dpa::recover_key(traces, dpa::des_sbox_selection(0, 0), 64);
-  std::vector<dpa::SelectionFn> bits;
-  for (int b = 0; b < 4; ++b) bits.push_back(dpa::des_sbox_selection(0, b));
-  const dpa::KeyRecoveryResult multi =
-      dpa::recover_key_multibit(traces, bits, 64);
+      dpa::recover_key(multi.traces, dpa::des_sbox_selection(0, 0), 64);
 
   std::printf("\nsingle-bit D (paper's D(C1,P6,K0)): best 0x%02x, rank of true"
               " key %zu, margin %.2f\n",
               single.best_guess, single.rank_of(key), single.margin());
   std::printf("4-bit D:                            best 0x%02x, rank of true"
               " key %zu, margin %.2f\n",
-              multi.best_guess, multi.rank_of(key), multi.margin());
-  std::printf("\nresult: %s\n", multi.best_guess == key
+              multi.attack->best_guess, multi.attack->true_key_rank,
+              multi.attack->margin);
+  std::printf("\nresult: %s\n", multi.key_recovered()
                                     ? "secret subkey recovered"
                                     : "attack failed (increase traces)");
-  return multi.best_guess == key ? 0 : 1;
+  return multi.key_recovered() ? 0 : 1;
 }

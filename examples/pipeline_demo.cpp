@@ -6,9 +6,7 @@
 // whatever the data), and the self-timed cycle latency.
 #include <cstdio>
 
-#include "qdi/gates/pipeline.hpp"
-#include "qdi/sim/environment.hpp"
-#include "qdi/util/rng.hpp"
+#include "qdi/qdi.hpp"
 
 int main() {
   using namespace qdi;

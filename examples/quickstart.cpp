@@ -1,74 +1,69 @@
-// Quickstart: build the paper's fig. 4 dual-rail XOR pipeline stage, run
-// four-phase handshake cycles through it, and look at its power trace —
-// the three core abstractions of the library in ~60 lines:
-//
-//   netlist/gates  -> qdi::gates::build_xor_stage()
-//   simulation     -> qdi::sim::Simulator + FourPhaseEnv
-//   power model    -> qdi::power::synthesize()
+// Quickstart: the paper's whole methodology — victim circuit, power-trace
+// acquisition, DPA key recovery, dissymmetry criterion — in one fluent
+// qdi::campaign call, then a peek under the hood at the power trace the
+// campaign consumed.
 //
 // Build & run:   ./build/examples/quickstart
 #include <cstdio>
 
-#include "qdi/gates/testbench.hpp"
-#include "qdi/netlist/graph.hpp"
-#include "qdi/power/synth.hpp"
-#include "qdi/sim/environment.hpp"
+#include "qdi/qdi.hpp"
 
 int main() {
   using namespace qdi;
 
-  // 1. A circuit: the fig. 4 secured dual-rail XOR (4 Muller minterm
-  //    gates, 2 OR merges, 2 Cr output latches, completion NOR).
-  gates::XorStage xor_stage = gates::build_xor_stage();
-  std::printf("netlist '%s': %zu gates, %zu nets, %zu channels\n",
-              xor_stage.nl.name().c_str(), xor_stage.nl.num_gates(),
-              xor_stage.nl.num_nets(), xor_stage.nl.num_channels());
+  // The section-IV attack in ten lines: build the first-round AES byte
+  // slice, give the attacked S-Box output latch the rail imbalance an
+  // uncontrolled place-and-route leaves behind (dA = 1 on that channel),
+  // acquire 800 traces with 4 worker threads, and run multi-bit DPA over
+  // all 256 key-byte guesses.
+  const campaign::CampaignResult r =
+      campaign::Campaign()
+          .target(campaign::aes_byte_slice())
+          .key(0xa7)
+          .seed(2026)
+          .traces(800)
+          .threads(4)
+          .prepare([](netlist::Netlist& nl) {
+            for (netlist::ChannelId ch = 0; ch < nl.num_channels(); ++ch)
+              if (nl.channel(ch).name.find("hb/q_q0") != std::string::npos)
+                nl.net(nl.channel(ch).rails[1]).cap_ff *= 2.0;
+          })
+          .attack(campaign::Dpa{})
+          .run();
 
-  // The annotated directed graph of fig. 5: levels and structure.
-  const netlist::Graph graph(xor_stage.nl);
-  std::printf("logic levels Nc = %d (paper: 4)\n\n", graph.num_levels());
+  std::printf("victim '%s': %zu gates, max dA = %.2f (attacked channel)\n",
+              r.target.c_str(), r.nl.num_gates(), r.max_da);
+  std::printf("acquired %zu traces in %.0f ms (%.0f traces/s, %u threads, "
+              "%zu glitches)\n",
+              r.traces.size(), r.acquisition.wall_ms,
+              r.acquisition.traces_per_s, r.acquisition.threads_used,
+              r.acquisition.glitches);
+  std::printf("DPA over %zu guesses: best 0x%02x, true-key rank %zu, "
+              "margin %.2f\n",
+              r.attack->guess_scores.size(), r.attack->best_guess,
+              r.attack->true_key_rank, r.attack->margin);
+  std::printf("%s\n\n", r.key_recovered()
+                            ? "secret key byte recovered"
+                            : "attack failed (increase traces)");
 
-  // 2. Simulate four-phase cycles for every input pair.
-  sim::Simulator simulator(xor_stage.nl);
-  sim::FourPhaseEnv env(simulator, xor_stage.env);
-  env.apply_reset();
-
-  std::printf("four-phase cycles (a, b) -> a^b  [transitions per cycle]\n");
-  for (int a = 0; a < 2; ++a) {
-    for (int b = 0; b < 2; ++b) {
-      const std::vector<int> values{a, b};
-      const auto cycle = env.send(values);
-      std::printf("  (%d, %d) -> %d   [%zu transitions, valid after %.0f ps]\n",
-                  a, b, cycle.outputs[0], cycle.transitions,
-                  cycle.t_valid - cycle.t_start);
-    }
-  }
-  std::printf("note: the transition count is identical for every input — the\n"
-              "QDI balance property that makes the block's power data-"
-              "independent.\n\n");
-
-  // 3. Synthesize the supply-current trace of one more cycle.
-  simulator.clear_log();
-  const std::vector<int> values{1, 0};
-  const auto cycle = env.send(values);
-  power::PowerModelParams pm;
-  const power::PowerTrace trace = power::synthesize(
-      simulator.log(), cycle.t_start, xor_stage.env.period_ps, pm, nullptr);
+  // Under the hood: one acquired supply-current trace, coarse-plotted.
+  // The two bursts are the four-phase protocol: evaluation, then
+  // return-to-zero — fig. 6's trace window.
+  const power::PowerTrace& trace = r.traces.trace(0);
   std::printf("power trace: %zu samples @ %.0f ps, total charge %.1f fC\n",
               trace.size(), trace.dt_ps(), trace.total_charge_fc() / 1000.0);
-
-  // Coarse terminal plot.
   const std::size_t bins = 64;
   double peak = 0.0;
-  for (std::size_t j = 0; j < trace.size(); ++j) peak = std::max(peak, trace[j]);
+  for (std::size_t j = 0; j < trace.size(); ++j)
+    if (trace[j] > peak) peak = trace[j];
   std::printf("  I(t): ");
   for (std::size_t b = 0; b < bins; ++b) {
     double v = 0.0;
     for (std::size_t j = b * trace.size() / bins;
          j < (b + 1) * trace.size() / bins; ++j)
-      v = std::max(v, trace[j]);
+      if (trace[j] > v) v = trace[j];
     std::putchar(v > 0.66 * peak ? '#' : v > 0.15 * peak ? '=' : '.');
   }
   std::printf("\n        ^evaluation phase          ^return-to-zero phase\n");
-  return 0;
+  return r.key_recovered() ? 0 : 1;
 }

@@ -1,16 +1,14 @@
 // The paper's contribution as a tool: run the DPA-aware design flow
 // (place -> extract -> criterion -> accept/iterate/repair) on the AES
-// byte slice, comparing the conventional flat flow, the hierarchical
-// flow of section VI, and the capacitance-repair extension.
+// byte slice as three flow-only campaigns, comparing the conventional
+// flat flow, the hierarchical flow of section VI, and the
+// capacitance-repair extension.
 //
 // Usage: secure_flow [seed]
 #include <cstdio>
 #include <cstdlib>
 
-#include "qdi/core/leakage.hpp"
-#include "qdi/core/secure_flow.hpp"
-#include "qdi/gates/testbench.hpp"
-#include "qdi/util/table.hpp"
+#include "qdi/qdi.hpp"
 
 int main(int argc, char** argv) {
   using namespace qdi;
@@ -22,7 +20,6 @@ int main(int argc, char** argv) {
   table.set_precision(3);
 
   auto run = [&](const char* label, pnr::FlowMode mode, bool repair) {
-    gates::AesByteSlice slice = gates::build_aes_byte_slice();
     core::FlowOptions opt;
     opt.placer.mode = mode;
     opt.placer.seed = seed;
@@ -31,13 +28,20 @@ int main(int argc, char** argv) {
     opt.max_iterations = 3;
     opt.repair = repair;
     opt.repair_target_da = 0.05;
-    const core::FlowResult r = core::run_secure_flow(slice.nl, opt);
-    table.add_row({label, table.format_double(r.max_da),
-                   table.format_double(r.mean_da), r.accepted ? "yes" : "NO",
-                   table.format_double(r.placement.core_area_um2()),
-                   std::to_string(r.iterations_used),
-                   std::to_string(r.repaired_channels),
-                   table.format_double(r.repair_added_cap_ff)});
+
+    // A flow-only campaign: no traces, no attack — just place, extract,
+    // and evaluate the criterion on the chosen target.
+    const campaign::CampaignResult r = campaign::Campaign()
+                                           .target(campaign::aes_byte_slice())
+                                           .flow(opt)
+                                           .run();
+    const core::FlowResult& f = *r.flow;
+    table.add_row({label, table.format_double(f.max_da),
+                   table.format_double(f.mean_da), f.accepted ? "yes" : "NO",
+                   table.format_double(f.placement.core_area_um2()),
+                   std::to_string(f.iterations_used),
+                   std::to_string(f.repaired_channels),
+                   table.format_double(f.repair_added_cap_ff)});
 
     std::printf("%-22s -> most critical channels:\n", label);
     for (const auto& ch : core::most_critical(r.criteria, 3))
@@ -45,7 +49,7 @@ int main(int argc, char** argv) {
                   ch.name.c_str(), ch.cap_min_ff, ch.cap_max_ff, ch.dA);
     // Physical eq. 12 ranking (charge + timing terms), which can reorder
     // the raw dA list towards what an attacker actually measures.
-    const auto leaks = core::rank_leakage(slice.nl, sim::DelayModel{},
+    const auto leaks = core::rank_leakage(r.nl, sim::DelayModel{},
                                           power::PowerModelParams{});
     std::printf("    worst by physical leakage score: %s (%.2f uA)\n",
                 leaks.empty() ? "-" : leaks[0].name.c_str(),

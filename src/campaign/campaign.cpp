@@ -1,0 +1,170 @@
+#include "qdi/campaign/campaign.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace qdi::campaign {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Resolve the Dpa bit list against the target's selection functions.
+std::vector<dpa::SelectionFn> resolve_bits(const Dpa& cfg,
+                                           const TargetInstance& inst) {
+  std::vector<dpa::SelectionFn> bits;
+  if (cfg.bits.empty()) {
+    bits = inst.selection_bits;
+  } else {
+    for (int b : cfg.bits) {
+      if (b < 0 || static_cast<std::size_t>(b) >= inst.selection_bits.size())
+        throw std::invalid_argument(
+            "Campaign: Dpa bit index out of range for target '" + inst.name +
+            "'");
+      bits.push_back(inst.selection_bits[static_cast<std::size_t>(b)]);
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
+void Campaign::validate(const TargetInstance& inst) const {
+  const bool attacking = !std::holds_alternative<std::monostate>(attack_);
+  if (attacking && num_traces_ == 0)
+    throw std::invalid_argument(
+        "Campaign: an attack needs traces(n > 0) to analyse");
+  if (attacking && inst.num_guesses == 0)
+    throw std::invalid_argument("Campaign: target '" + inst.name +
+                                "' has no keyed intermediate to attack");
+  if (std::holds_alternative<Cpa>(attack_) && !inst.leakage)
+    throw std::invalid_argument("Campaign: target '" + inst.name +
+                                "' has no leakage model for CPA");
+  if (std::holds_alternative<Dpa>(attack_) && inst.selection_bits.empty())
+    throw std::invalid_argument("Campaign: target '" + inst.name +
+                                "' has no selection functions for DPA");
+  if (num_traces_ > 0 && !inst.simulatable && !source_)
+    throw std::invalid_argument(
+        "Campaign: target '" + inst.name +
+        "' is flow-only; acquisition needs a custom source()");
+  if (num_traces_ > 0 && inst.simulatable && !inst.stimulus && !source_)
+    throw std::invalid_argument("Campaign: target '" + inst.name +
+                                "' provides no stimulus");
+  if (rank_step_ > 0 && !attacking)
+    throw std::invalid_argument(
+        "Campaign: rank_trajectory() needs an attack() to rank with");
+}
+
+CampaignResult Campaign::run() const {
+  const auto t_run = std::chrono::steady_clock::now();
+  if (!target_.valid())
+    throw std::invalid_argument("Campaign: no target set");
+
+  TargetInstance inst = target_.build(key_);
+  validate(inst);
+
+  CampaignResult res;
+  res.target = inst.name;
+  res.key = key_;
+
+  // ---- design-flow stage ---------------------------------------------------
+  if (flow_) res.flow = core::run_secure_flow(inst.nl, *flow_);
+  for (const PrepareFn& fn : prepare_) fn(inst.nl);
+  res.criteria = core::evaluate_criterion(inst.nl);
+  res.max_da = core::max_dA(res.criteria);
+  res.mean_da = core::mean_dA(res.criteria);
+
+  // ---- acquisition stage ---------------------------------------------------
+  if (num_traces_ > 0) {
+    std::unique_ptr<TraceSource> src =
+        source_ ? source_(inst, opt_)
+                : std::make_unique<SimTraceSource>(inst.nl, inst.env,
+                                                   inst.stimulus, opt_);
+    res.traces =
+        acquire_batch(*src, num_traces_, seed_, threads_, &res.acquisition);
+  }
+
+  // ---- analysis stage ------------------------------------------------------
+  if (!std::holds_alternative<std::monostate>(attack_)) {
+    const auto t_attack = std::chrono::steady_clock::now();
+    AttackOutcome out;
+
+    if (const Dpa* cfg = std::get_if<Dpa>(&attack_)) {
+      const std::vector<dpa::SelectionFn> bits = resolve_bits(*cfg, inst);
+      const dpa::KeyRecoveryResult rec =
+          bits.size() == 1
+              ? dpa::recover_key(res.traces, bits[0], inst.num_guesses, 0,
+                                 cfg->window)
+              : dpa::recover_key_multibit(res.traces, bits, inst.num_guesses,
+                                          0, cfg->window);
+      out.kind = "dpa";
+      out.guess_scores = rec.guess_peak;
+      out.best_guess = rec.best_guess;
+      out.best_score = rec.best_peak;
+      out.second_score = rec.second_peak;
+      out.margin = rec.margin();
+      out.true_key_rank = rec.rank_of(inst.true_guess);
+
+      const dpa::BiasResult known =
+          dpa::dpa_bias(res.traces, bits[0], inst.true_guess, 0, cfg->window);
+      out.known_key_bias_peak = known.peak;
+      out.known_key_bias_integral = known.integrated;
+
+      if (cfg->compute_mtd && out.true_key_rank == 0)
+        out.mtd = dpa::measurements_to_disclosure(
+            res.traces, bits[0], inst.num_guesses, inst.true_guess,
+            cfg->mtd_start, cfg->mtd_step, cfg->window);
+
+      if (rank_step_ > 0) {
+        for (std::size_t n = rank_step_; n < res.traces.size();
+             n += rank_step_) {
+          const dpa::KeyRecoveryResult r =
+              bits.size() == 1
+                  ? dpa::recover_key(res.traces, bits[0], inst.num_guesses, n,
+                                     cfg->window)
+                  : dpa::recover_key_multibit(res.traces, bits,
+                                              inst.num_guesses, n, cfg->window);
+          res.rank_trajectory.push_back({n, r.rank_of(inst.true_guess)});
+        }
+        res.rank_trajectory.push_back({res.traces.size(), out.true_key_rank});
+      }
+    } else {
+      const Cpa& ccfg = std::get<Cpa>(attack_);
+      const dpa::CpaResult rec =
+          dpa::cpa_attack(res.traces, inst.leakage, inst.num_guesses, 0,
+                          ccfg.window_lo, ccfg.window_hi);
+      out.kind = "cpa";
+      out.guess_scores = rec.correlation;
+      out.best_guess = rec.best_guess;
+      out.best_score = rec.best_rho;
+      out.second_score = rec.second_rho;
+      out.margin = rec.margin();
+      out.true_key_rank = rec.rank_of(inst.true_guess);
+
+      if (rank_step_ > 0) {
+        for (std::size_t n = rank_step_; n < res.traces.size();
+             n += rank_step_) {
+          const dpa::CpaResult r =
+              dpa::cpa_attack(res.traces, inst.leakage, inst.num_guesses, n,
+                              ccfg.window_lo, ccfg.window_hi);
+          res.rank_trajectory.push_back({n, r.rank_of(inst.true_guess)});
+        }
+        res.rank_trajectory.push_back({res.traces.size(), out.true_key_rank});
+      }
+    }
+
+    out.wall_ms = ms_since(t_attack);
+    res.attack = std::move(out);
+  }
+
+  res.nl = std::move(inst.nl);
+  res.total_wall_ms = ms_since(t_run);
+  return res;
+}
+
+}  // namespace qdi::campaign

@@ -1,0 +1,167 @@
+// Campaign — the one-stop attack-campaign API of this reproduction.
+//
+// The paper's whole methodology is a campaign: build a victim under a
+// chosen design flow, acquire N power traces, run DPA/CPA, and read the
+// dissymmetry criterion next to the attack outcome. The fluent builder
+// wires those stages together over any CircuitTarget and any TraceSource:
+//
+//   auto r = Campaign()
+//                .target(aes_byte_slice())
+//                .key(0x4f)
+//                .flow(core::FlowOptions{...})   // optional P&R stage
+//                .traces(10'000)
+//                .threads(8)                     // batched parallel acquisition
+//                .attack(Dpa{})                  // or Cpa{}
+//                .run();
+//
+// Results are deterministic in (target, key, seed) and bit-identical for
+// any thread count (see trace_source.hpp for the contract).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "qdi/campaign/target.hpp"
+#include "qdi/campaign/trace_source.hpp"
+#include "qdi/core/criterion.hpp"
+#include "qdi/core/secure_flow.hpp"
+#include "qdi/dpa/dpa.hpp"
+
+namespace qdi::campaign {
+
+/// Difference-of-means DPA (eqs. 7-9 of the paper).
+struct Dpa {
+  /// Selection-bit indices into the target's selection_bits (empty = all:
+  /// the multi-bit refinement). A single entry is the paper's historical
+  /// single-bit D-function.
+  std::vector<int> bits;
+  dpa::SampleWindow window{};
+  /// Also scan measurements-to-disclosure (uses the first selection bit).
+  bool compute_mtd = false;
+  std::size_t mtd_start = 50;
+  std::size_t mtd_step = 50;
+};
+
+/// Correlation power analysis over the target's leakage model.
+struct Cpa {
+  std::size_t window_lo = 0;
+  std::size_t window_hi = 0;
+};
+
+struct AttackOutcome {
+  std::string kind;  ///< "dpa" or "cpa"
+  std::vector<double> guess_scores;
+  unsigned best_guess = 0;
+  double best_score = 0.0;
+  double second_score = 0.0;
+  double margin = 0.0;           ///< best / nearest rival
+  std::size_t true_key_rank = 0; ///< 0 = key recovered exactly
+  std::size_t mtd = 0;           ///< measurements-to-disclosure (0 = n/a)
+  /// Designer-side known-key assessment: DPA bias at the true guess.
+  double known_key_bias_peak = 0.0;
+  double known_key_bias_integral = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// True-key rank as a function of the trace-count prefix.
+struct RankPoint {
+  std::size_t traces = 0;
+  std::size_t rank = 0;
+};
+
+struct CampaignResult {
+  std::string target;
+  std::uint64_t key = 0;
+
+  /// The victim netlist as attacked (after flow + prepare hooks) — for
+  /// follow-up inspection, reporting, or re-running with other settings.
+  netlist::Netlist nl;
+
+  std::optional<core::FlowResult> flow;
+  std::vector<core::ChannelCriterion> criteria;  ///< post-flow, post-prepare
+  double max_da = 0.0;
+  double mean_da = 0.0;
+
+  dpa::TraceSet traces;
+  AcquisitionStats acquisition;
+
+  std::optional<AttackOutcome> attack;
+  std::vector<RankPoint> rank_trajectory;
+
+  double total_wall_ms = 0.0;
+
+  bool key_recovered() const noexcept {
+    return attack && attack->true_key_rank == 0;
+  }
+};
+
+class Campaign {
+ public:
+  using PrepareFn = std::function<void(netlist::Netlist&)>;
+  using SourceFactory =
+      std::function<std::unique_ptr<TraceSource>(const TargetInstance&,
+                                                 const SimTraceSourceOptions&)>;
+
+  Campaign& target(CircuitTarget t) { target_ = std::move(t); return *this; }
+  Campaign& key(std::uint64_t k) { key_ = k; return *this; }
+
+  /// Run the DPA-aware design flow (place, extract, criterion) before
+  /// acquisition; net caps are back-annotated into the victim netlist.
+  Campaign& flow(core::FlowOptions opt) { flow_ = std::move(opt); return *this; }
+
+  /// Arbitrary netlist hook after the flow stage (capacitance injection,
+  /// selective repair, ...). Multiple hooks run in registration order.
+  Campaign& prepare(PrepareFn fn) {
+    prepare_.push_back(std::move(fn));
+    return *this;
+  }
+
+  Campaign& traces(std::size_t n) { num_traces_ = n; return *this; }
+  Campaign& threads(unsigned n) { threads_ = n; return *this; }
+  Campaign& seed(std::uint64_t s) { seed_ = s; return *this; }
+  Campaign& power(power::PowerModelParams p) { opt_.power = p; return *this; }
+  Campaign& delays(sim::DelayModel d) { opt_.delays = d; return *this; }
+  Campaign& jitter(double start_jitter_ps) {
+    opt_.start_jitter_ps = start_jitter_ps;
+    return *this;
+  }
+
+  Campaign& attack(Dpa a) { attack_ = std::move(a); return *this; }
+  Campaign& attack(Cpa a) { attack_ = std::move(a); return *this; }
+
+  /// Plug a different TraceSource (cache, replay, hardware bench). The
+  /// default factory builds a SimTraceSource over the prepared netlist.
+  Campaign& source(SourceFactory f) { source_ = std::move(f); return *this; }
+
+  /// Record the true-key rank every `step` traces (0 = off). Uses the
+  /// configured attack; adds analysis cost, not acquisition cost.
+  Campaign& rank_trajectory(std::size_t step) {
+    rank_step_ = step;
+    return *this;
+  }
+
+  /// Validate the configuration and run all stages. Throws
+  /// std::invalid_argument on an inconsistent configuration.
+  CampaignResult run() const;
+
+ private:
+  void validate(const TargetInstance& inst) const;
+
+  CircuitTarget target_;
+  std::uint64_t key_ = 0;
+  std::optional<core::FlowOptions> flow_;
+  std::vector<PrepareFn> prepare_;
+  std::size_t num_traces_ = 0;
+  unsigned threads_ = 1;
+  std::uint64_t seed_ = 1;
+  SimTraceSourceOptions opt_{};
+  std::variant<std::monostate, Dpa, Cpa> attack_;
+  SourceFactory source_;
+  std::size_t rank_step_ = 0;
+};
+
+}  // namespace qdi::campaign

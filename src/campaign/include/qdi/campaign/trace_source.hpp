@@ -1,0 +1,121 @@
+// TraceSource — the acquisition abstraction of the campaign API.
+//
+// An attack does not care where its power traces come from: the
+// event-driven simulator of this reproduction, a cached acquisition on
+// disk, or (in a lab) a real oscilloscope bench. A TraceSource answers
+// exactly one question — "give me the power trace of acquisition i" —
+// and the campaign layer handles batching, worker fan-out, and
+// deterministic randomness on top of it.
+//
+// Determinism contract: every trace draws all of its randomness
+// (stimulus, window jitter, measurement noise) from a private RNG stream
+// keyed by (campaign seed, trace index), and SimTraceSource simulates
+// every trace from reset. Acquisition i is therefore bit-identical
+// whatever thread acquired it and in whatever order — the property
+// test_campaign asserts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qdi/dpa/trace_set.hpp"
+#include "qdi/power/synth.hpp"
+#include "qdi/sim/environment.hpp"
+#include "qdi/util/rng.hpp"
+
+namespace qdi::campaign {
+
+/// One acquisition request: trace `index` of a campaign rooted at `seed`.
+struct TraceRequest {
+  std::uint64_t seed = 1;
+  std::size_t index = 0;
+};
+
+/// One acquired trace plus its side-channel metadata.
+struct AcquiredTrace {
+  power::PowerTrace trace;
+  std::vector<std::uint8_t> plaintext;
+  std::vector<std::uint8_t> ciphertext;
+  std::size_t transitions = 0;  ///< net transitions in the cycle
+  std::size_t glitches = 0;     ///< cancelled events (0 on hazard-free QDI)
+};
+
+/// Stimulus for one acquisition: the 1-of-N value per environment input
+/// channel, plus the plaintext bytes recorded for the analysis side.
+/// Randomness must come only from `rng` (the per-trace stream); `index`
+/// allows deterministic exhaustive sweeps.
+struct Stimulus {
+  std::vector<int> values;
+  std::vector<std::uint8_t> plaintext;
+};
+using StimulusFn = std::function<Stimulus(util::Rng& rng, std::size_t index)>;
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Acquire one trace. Must be deterministic in `req` alone.
+  virtual AcquiredTrace acquire_one(const TraceRequest& req) = 0;
+
+  /// Independent copy for a worker thread.
+  virtual std::unique_ptr<TraceSource> clone() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+struct AcquisitionStats {
+  double wall_ms = 0.0;
+  double traces_per_s = 0.0;
+  std::size_t transitions = 0;  ///< summed over all traces
+  std::size_t glitches = 0;     ///< summed over all traces
+  std::vector<std::size_t> per_trace_transitions;
+  unsigned threads_used = 1;
+};
+
+/// Batched acquisition: `num_traces` requests fanned out over `threads`
+/// clones of `src` (thread 0 uses `src` itself). Results are assembled in
+/// index order; with the determinism contract above the returned TraceSet
+/// is bit-identical for any thread count.
+dpa::TraceSet acquire_batch(TraceSource& src, std::size_t num_traces,
+                            std::uint64_t seed, unsigned threads = 1,
+                            AcquisitionStats* stats = nullptr);
+
+struct SimTraceSourceOptions {
+  sim::DelayModel delays{};
+  power::PowerModelParams power{};
+  /// Acquisition-window start jitter in [0, start_jitter_ps): the
+  /// attacker's missing-trigger problem on clockless circuits.
+  double start_jitter_ps = 0.0;
+};
+
+/// TraceSource backed by the event-driven simulator and the four-phase
+/// handshake environment — the reproduction's oscilloscope bench.
+class SimTraceSource final : public TraceSource {
+ public:
+  /// `nl` is shared by all clones and must outlive them; it is not
+  /// modified during acquisition.
+  SimTraceSource(const netlist::Netlist& nl, sim::EnvSpec env,
+                 StimulusFn stimulus, SimTraceSourceOptions opt = {});
+
+  // Non-copyable/movable: env_ holds a pointer into sim_, so a default
+  // copy would drive the source object's simulator. Use clone().
+  SimTraceSource(const SimTraceSource&) = delete;
+  SimTraceSource& operator=(const SimTraceSource&) = delete;
+
+  AcquiredTrace acquire_one(const TraceRequest& req) override;
+  std::unique_ptr<TraceSource> clone() const override;
+  std::string name() const override { return "sim"; }
+
+ private:
+  const netlist::Netlist* nl_;
+  sim::EnvSpec spec_;
+  StimulusFn stimulus_;
+  SimTraceSourceOptions opt_;
+  sim::Simulator sim_;
+  sim::FourPhaseEnv env_;
+};
+
+}  // namespace qdi::campaign

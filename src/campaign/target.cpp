@@ -1,0 +1,237 @@
+#include "qdi/campaign/target.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "qdi/crypto/des.hpp"
+#include "qdi/gates/builder.hpp"
+#include "qdi/gates/des_datapath.hpp"
+#include "qdi/gates/testbench.hpp"
+
+namespace qdi::campaign {
+
+TargetInstance CircuitTarget::build(std::uint64_t key) const {
+  if (!build_)
+    throw std::invalid_argument("CircuitTarget: empty target (no build fn)");
+  TargetInstance inst = build_(key);
+  inst.name = name_;
+  return inst;
+}
+
+namespace {
+
+/// Bits of `value` (LSB first) as 1-of-2 channel values.
+void push_bits(std::vector<int>& values, unsigned value, int bits) {
+  for (int b = 0; b < bits; ++b) values.push_back((value >> b) & 1);
+}
+
+}  // namespace
+
+CircuitTarget aes_byte_slice(double period_ps) {
+  return CircuitTarget("aes_byte_slice", [period_ps](std::uint64_t key) {
+    gates::AesByteSlice slice = gates::build_aes_byte_slice(period_ps);
+    const auto key_byte = static_cast<std::uint8_t>(key & 0xff);
+    TargetInstance inst;
+    inst.nl = std::move(slice.nl);
+    inst.env = std::move(slice.env);
+    inst.stimulus = [key_byte](util::Rng& rng, std::size_t) {
+      const std::uint8_t p = rng.byte();
+      Stimulus st;
+      st.values.reserve(16);
+      push_bits(st.values, p, 8);
+      push_bits(st.values, key_byte, 8);
+      st.plaintext = {p};
+      return st;
+    };
+    inst.num_guesses = 256;
+    inst.true_guess = key_byte;
+    for (int b = 0; b < 8; ++b)
+      inst.selection_bits.push_back(dpa::aes_sbox_selection(0, b));
+    inst.leakage = dpa::aes_sbox_hw_model(0);
+    return inst;
+  });
+}
+
+CircuitTarget des_sbox_slice(int box, double period_ps) {
+  return CircuitTarget("des_sbox_slice", [box, period_ps](std::uint64_t key) {
+    gates::DesSboxSlice slice = gates::build_des_sbox_slice(box, period_ps);
+    const auto key6 = static_cast<std::uint8_t>(key & 0x3f);
+    TargetInstance inst;
+    inst.nl = std::move(slice.nl);
+    inst.env = std::move(slice.env);
+    inst.stimulus = [key6](util::Rng& rng, std::size_t) {
+      const auto p = static_cast<std::uint8_t>(rng.below(64));
+      Stimulus st;
+      st.values.reserve(12);
+      push_bits(st.values, p, 6);
+      push_bits(st.values, key6, 6);
+      st.plaintext = {p};
+      return st;
+    };
+    inst.num_guesses = 64;
+    inst.true_guess = key6;
+    for (int b = 0; b < 4; ++b)
+      inst.selection_bits.push_back(dpa::des_sbox_selection(box, b));
+    inst.leakage = dpa::des_sbox_hw_model(box);
+    return inst;
+  });
+}
+
+CircuitTarget xor_stage(double period_ps) {
+  return CircuitTarget("xor_stage", [period_ps](std::uint64_t) {
+    gates::XorStage x = gates::build_xor_stage(period_ps);
+    TargetInstance inst;
+    inst.nl = std::move(x.nl);
+    inst.env = std::move(x.env);
+    inst.stimulus = [](util::Rng& rng, std::size_t) {
+      const int a = static_cast<int>(rng.below(2));
+      const int b = static_cast<int>(rng.below(2));
+      Stimulus st;
+      st.values = {a, b};
+      st.plaintext = {static_cast<std::uint8_t>(a),
+                      static_cast<std::uint8_t>(b)};
+      return st;
+    };
+    return inst;
+  });
+}
+
+CircuitTarget des_round(double period_ps) {
+  return CircuitTarget("des_round", [period_ps](std::uint64_t key) {
+    gates::DesRoundSlice slice = gates::build_des_round_slice(period_ps);
+    const std::uint64_t subkey = key & 0xffffffffffffULL;
+    TargetInstance inst;
+    inst.nl = std::move(slice.nl);
+    inst.env = std::move(slice.env);
+    // Random R half (L = 0) against the fixed round key; plaintext(i)
+    // records SBOX1's 6-bit input E(R)[1..6] so D can re-derive classes.
+    inst.stimulus = [subkey](util::Rng& rng, std::size_t) {
+      const auto r = static_cast<std::uint32_t>(rng.next());
+      Stimulus st;
+      st.values.reserve(112);
+      for (int i = 0; i < 32; ++i) st.values.push_back(0);  // L = 0
+      for (int i = 0; i < 32; ++i)
+        st.values.push_back(static_cast<int>((r >> (31 - i)) & 1));
+      for (int i = 0; i < 48; ++i)
+        st.values.push_back(static_cast<int>((subkey >> (47 - i)) & 1));
+      std::uint8_t six = 0;
+      const auto et = crypto::des_expansion_table();
+      for (int j = 0; j < 6; ++j) {
+        const int bit = static_cast<int>(
+            (r >> (32 - et[static_cast<std::size_t>(j)])) & 1);
+        six = static_cast<std::uint8_t>((six << 1) | bit);
+      }
+      st.plaintext = {six};
+      return st;
+    };
+    inst.num_guesses = 64;
+    inst.true_guess = static_cast<unsigned>((subkey >> 42) & 0x3f);
+    for (int b = 0; b < 4; ++b)
+      inst.selection_bits.push_back(dpa::des_sbox_selection(0, b));
+    inst.leakage = dpa::des_sbox_hw_model(0);
+    return inst;
+  });
+}
+
+CircuitTarget dual_rail_pair(double period_ps) {
+  return CircuitTarget("dual_rail_pair", [period_ps](std::uint64_t) {
+    TargetInstance inst;
+    inst.nl = netlist::Netlist("dual_rail_pair");
+    gates::Builder b(inst.nl);
+    gates::DualRail lo = b.dr_input("lo");
+    gates::DualRail hi = b.dr_input("hi");
+    for (const gates::DualRail* d : {&lo, &hi}) {
+      const netlist::NetId q0 = b.buf(d->r0);
+      const netlist::NetId q1 = b.buf(d->r1);
+      const gates::DualRail out = b.as_dual_rail(q0, q1, "q");
+      b.dr_output(out, "q");
+      inst.env.outputs.push_back(out.ch);
+    }
+    inst.env.inputs = {lo.ch, hi.ch};
+    inst.env.period_ps = period_ps;
+    inst.stimulus = [](util::Rng&, std::size_t index) {
+      const int v = static_cast<int>(index % 4);
+      Stimulus st;
+      st.values = {v & 1, (v >> 1) & 1};
+      st.plaintext = {static_cast<std::uint8_t>(v)};
+      return st;
+    };
+    return inst;
+  });
+}
+
+CircuitTarget one_of_four(double period_ps) {
+  return CircuitTarget("one_of_four", [period_ps](std::uint64_t) {
+    TargetInstance inst;
+    inst.nl = netlist::Netlist("one_of_four");
+    gates::Builder b(inst.nl);
+    gates::OneOfN q = b.one_of_n_input("q", 4);
+    std::vector<netlist::NetId> out_rails;
+    for (netlist::NetId r : q.rails) out_rails.push_back(b.buf(r));
+    const netlist::ChannelId out_ch = inst.nl.add_channel("qo", out_rails);
+    for (std::size_t i = 0; i < out_rails.size(); ++i)
+      b.output(out_rails[i], "qo" + std::to_string(i));
+    inst.env.inputs = {q.ch};
+    inst.env.outputs = {out_ch};
+    inst.env.period_ps = period_ps;
+    inst.stimulus = [](util::Rng&, std::size_t index) {
+      const int v = static_cast<int>(index % 4);
+      Stimulus st;
+      st.values = {v};
+      st.plaintext = {static_cast<std::uint8_t>(v)};
+      return st;
+    };
+    return inst;
+  });
+}
+
+CircuitTarget aes_core(gates::AesCoreParams params) {
+  return CircuitTarget("aes_core", [params](std::uint64_t) {
+    gates::AesCoreNetlist core = gates::build_aes_core(params);
+    TargetInstance inst;
+    inst.nl = std::move(core.nl);
+    inst.simulatable = false;
+    return inst;
+  });
+}
+
+CircuitTarget prebuilt(TargetInstance inst) {
+  auto shared = std::make_shared<const TargetInstance>(std::move(inst));
+  return CircuitTarget(shared->name.empty() ? "prebuilt" : shared->name,
+                       [shared](std::uint64_t) { return *shared; });
+}
+
+namespace {
+
+/// One table drives both the listing and the lookup, so the two can
+/// never drift apart.
+struct RegistryEntry {
+  const char* name;
+  CircuitTarget (*make)();
+};
+
+const RegistryEntry kRegistry[] = {
+    {"aes_byte_slice", [] { return aes_byte_slice(); }},
+    {"des_sbox_slice", [] { return des_sbox_slice(); }},
+    {"xor_stage", [] { return xor_stage(); }},
+    {"des_round", [] { return des_round(); }},
+    {"dual_rail_pair", [] { return dual_rail_pair(); }},
+    {"one_of_four", [] { return one_of_four(); }},
+    {"aes_core", [] { return aes_core(); }},
+};
+
+}  // namespace
+
+std::vector<std::string> list_targets() {
+  std::vector<std::string> names;
+  for (const RegistryEntry& e : kRegistry) names.emplace_back(e.name);
+  return names;
+}
+
+CircuitTarget find_target(const std::string& name) {
+  for (const RegistryEntry& e : kRegistry)
+    if (name == e.name) return e.make();
+  throw std::invalid_argument("find_target: unknown target '" + name + "'");
+}
+
+}  // namespace qdi::campaign

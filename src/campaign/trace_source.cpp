@@ -1,0 +1,124 @@
+#include "qdi/campaign/trace_source.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace qdi::campaign {
+
+SimTraceSource::SimTraceSource(const netlist::Netlist& nl, sim::EnvSpec env,
+                               StimulusFn stimulus, SimTraceSourceOptions opt)
+    : nl_(&nl),
+      spec_(std::move(env)),
+      stimulus_(std::move(stimulus)),
+      opt_(opt),
+      sim_(nl, opt_.delays),
+      env_(sim_, spec_) {
+  if (!stimulus_)
+    throw std::invalid_argument("SimTraceSource: stimulus is required");
+}
+
+std::unique_ptr<TraceSource> SimTraceSource::clone() const {
+  return std::make_unique<SimTraceSource>(*nl_, spec_, stimulus_, opt_);
+}
+
+AcquiredTrace SimTraceSource::acquire_one(const TraceRequest& req) {
+  // Every trace starts from reset in its own simulator epoch: identical
+  // absolute times, hence bit-identical floating point, whatever trace
+  // history the worker carries.
+  sim_.reset_state();
+  env_.apply_reset();
+
+  util::Rng rng = util::split_stream(req.seed, req.index);
+  Stimulus st = stimulus_(rng, req.index);
+
+  sim_.clear_log();
+  const auto cyc = env_.send(st.values);
+  if (!cyc.ok)
+    throw std::runtime_error("SimTraceSource: four-phase protocol failure");
+
+  const double jitter = opt_.start_jitter_ps > 0.0
+                            ? rng.uniform(0.0, opt_.start_jitter_ps)
+                            : 0.0;
+  AcquiredTrace out;
+  out.trace = power::synthesize(sim_.log(), cyc.t_start - jitter,
+                                spec_.period_ps, opt_.power, &rng);
+  // Pack the decoded output channel values as "ciphertext" bytes
+  // (LSB-first bit packing, 8 channels per byte).
+  out.ciphertext.assign((cyc.outputs.size() + 7) / 8, 0);
+  for (std::size_t b = 0; b < cyc.outputs.size(); ++b)
+    if (cyc.outputs[b] == 1)
+      out.ciphertext[b / 8] |= static_cast<std::uint8_t>(1u << (b % 8));
+  out.plaintext = std::move(st.plaintext);
+  out.transitions = cyc.transitions;
+  out.glitches = sim_.glitch_count();
+  return out;
+}
+
+dpa::TraceSet acquire_batch(TraceSource& src, std::size_t num_traces,
+                            std::uint64_t seed, unsigned threads,
+                            AcquisitionStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<AcquiredTrace> acquired(num_traces);
+
+  if (threads == 0) threads = 1;
+  if (threads > num_traces)
+    threads = static_cast<unsigned>(num_traces == 0 ? 1 : num_traces);
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < num_traces; ++i)
+      acquired[i] = src.acquire_one({seed, i});
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    auto worker = [&](TraceSource& s) {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= num_traces) return;
+        try {
+          acquired[i] = s.acquire_one({seed, i});
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+          next.store(num_traces, std::memory_order_relaxed);  // drain
+          return;
+        }
+      }
+    };
+    std::vector<std::unique_ptr<TraceSource>> clones;
+    clones.reserve(threads - 1);
+    for (unsigned w = 1; w < threads; ++w) clones.push_back(src.clone());
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned w = 1; w < threads; ++w)
+      pool.emplace_back([&, w] { worker(*clones[w - 1]); });
+    worker(src);
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  dpa::TraceSet ts;
+  AcquisitionStats st;
+  st.threads_used = threads;
+  st.per_trace_transitions.reserve(num_traces);
+  for (AcquiredTrace& a : acquired) {
+    st.transitions += a.transitions;
+    st.glitches += a.glitches;
+    st.per_trace_transitions.push_back(a.transitions);
+    ts.add(std::move(a.trace), std::move(a.plaintext), std::move(a.ciphertext));
+  }
+  st.wall_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  st.traces_per_s =
+      st.wall_ms > 0.0 ? 1e3 * static_cast<double>(num_traces) / st.wall_ms : 0.0;
+  if (stats) *stats = std::move(st);
+  return ts;
+}
+
+}  // namespace qdi::campaign

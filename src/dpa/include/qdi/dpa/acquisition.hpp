@@ -41,16 +41,19 @@ TraceSet acquire(sim::Simulator& sim, sim::FourPhaseEnv& env,
 /// AES byte slice: random plaintext byte against a fixed key byte.
 /// plaintext(i) = {p}; ciphertext(i) = {SBOX(p ^ key_byte)} as decoded
 /// from the circuit outputs.
+[[deprecated("use qdi::campaign (qdi/campaign/campaign.hpp) instead")]]
 TraceSet acquire_aes_byte_slice(gates::AesByteSlice& circuit,
                                 std::uint8_t key_byte, const Acquisition& cfg,
                                 const sim::DelayModel& delays = {});
 
 /// DES S-box slice: random 6-bit input against a fixed 6-bit key chunk.
+[[deprecated("use qdi::campaign (qdi/campaign/campaign.hpp) instead")]]
 TraceSet acquire_des_sbox_slice(gates::DesSboxSlice& circuit, std::uint8_t key6,
                                 const Acquisition& cfg,
                                 const sim::DelayModel& delays = {});
 
 /// Fig. 4 XOR stage: random bit pair (a, b); plaintext(i) = {a, b}.
+[[deprecated("use qdi::campaign (qdi/campaign/campaign.hpp) instead")]]
 TraceSet acquire_xor_stage(gates::XorStage& circuit, const Acquisition& cfg,
                            const sim::DelayModel& delays = {});
 

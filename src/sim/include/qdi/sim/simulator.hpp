@@ -14,6 +14,7 @@
 // power model of section III needs.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -47,7 +48,15 @@ class Simulator {
   /// run_until_stable().
   void initialize();
 
-  bool value(netlist::NetId net) const { return values_.at(net); }
+  bool value(netlist::NetId net) const {
+    assert(net < values_.size());
+    return values_[net] != 0;
+  }
+
+  /// Fresh simulator against the same netlist and delay model — the cheap
+  /// per-worker copy path of the parallel acquisition pool. The netlist is
+  /// shared (const), all per-run state starts from reset.
+  Simulator clone() const { return Simulator(*nl_, model_); }
 
   /// Externally drive a net (must be the output of an Input pseudo-cell).
   /// The change commits at `at_ps` with zero slew attributed to the

@@ -103,4 +103,17 @@ class Rng {
   std::uint64_t s_[4]{};
 };
 
+/// Deterministic stream split: derives an independent generator from a
+/// root seed and a stream index. Used to give every trace of an
+/// acquisition campaign its own RNG stream keyed by (campaign seed,
+/// trace index), so results are bit-identical however the traces are
+/// partitioned across worker threads. The two inputs pass through
+/// separate SplitMix64 scramblers before mixing, so neighbouring stream
+/// indices produce uncorrelated states.
+constexpr Rng split_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  SplitMix64 a(seed);
+  SplitMix64 b(stream ^ 0x63686172676521ULL);
+  return Rng(a.next() ^ (b.next() + 0x9e3779b97f4a7c15ULL));
+}
+
 }  // namespace qdi::util

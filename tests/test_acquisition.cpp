@@ -4,6 +4,10 @@
 #include "qdi/crypto/des.hpp"
 #include "qdi/dpa/acquisition.hpp"
 
+// This file deliberately exercises the deprecated acquire_* back-compat
+// wrappers alongside their replacements.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace qd = qdi::dpa;
 namespace qg = qdi::gates;
 namespace qc = qdi::crypto;

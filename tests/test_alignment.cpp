@@ -9,6 +9,10 @@
 #include "qdi/dpa/spa.hpp"
 #include "qdi/gates/testbench.hpp"
 
+// This file deliberately exercises the deprecated acquire_* back-compat
+// wrappers alongside their replacements.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace qd = qdi::dpa;
 namespace qn = qdi::netlist;
 namespace qg = qdi::gates;

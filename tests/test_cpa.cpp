@@ -10,6 +10,10 @@
 #include "qdi/dpa/cpa.hpp"
 #include "qdi/util/rng.hpp"
 
+// This file deliberately exercises the deprecated acquire_* back-compat
+// wrappers alongside their replacements.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace qd = qdi::dpa;
 namespace qc = qdi::crypto;
 namespace qu = qdi::util;

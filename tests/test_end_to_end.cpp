@@ -9,6 +9,10 @@
 #include "qdi/dpa/acquisition.hpp"
 #include "qdi/dpa/dpa.hpp"
 
+// This file deliberately exercises the deprecated acquire_* back-compat
+// wrappers alongside their replacements.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace qd = qdi::dpa;
 namespace qg = qdi::gates;
 namespace qc = qdi::core;
