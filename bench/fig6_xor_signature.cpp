@@ -15,6 +15,7 @@
 #include "qdi/gates/testbench.hpp"
 #include "qdi/power/synth.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 #include "qdi/util/stats.hpp"
 
 namespace qg = qdi::gates;

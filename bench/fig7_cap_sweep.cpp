@@ -17,6 +17,7 @@
 #include "qdi/gates/testbench.hpp"
 #include "qdi/power/synth.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 #include "qdi/util/stats.hpp"
 #include "qdi/util/table.hpp"
 

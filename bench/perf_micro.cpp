@@ -109,6 +109,7 @@ BENCHMARK(BM_CriterionEvaluation);
 // Campaign acquisition throughput: the batched parallel TraceSource fan-
 // out, per thread count. Bit-identical results across rows (asserted by
 // test_campaign); this measures the wall-clock side of that contract.
+// Runs the default (compiled) engine, end to end including target build.
 static void BM_CampaignAcquire(benchmark::State& state) {
   const auto threads = static_cast<unsigned>(state.range(0));
   const qdi::campaign::CircuitTarget target = qdi::campaign::xor_stage();
@@ -125,9 +126,43 @@ static void BM_CampaignAcquire(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignAcquire)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// Interpreted-vs-compiled acquisition pair: identical 32-trace batches
+// from one prebuilt AES byte slice, differing only in the engine. The CI
+// bench job prints the BM_CompiledAcquire / BM_ReferenceAcquire speedup
+// from these two rows. (Traces are bit-identical between the rows —
+// tests/test_compiled_sim.cpp.)
+static void acquire_engine_bench(benchmark::State& state,
+                                 qdi::sim::EngineKind kind) {
+  const qdi::campaign::TargetInstance inst =
+      qdi::campaign::aes_byte_slice().build(0x2b);
+  qdi::campaign::SimTraceSourceOptions opt;
+  opt.engine = kind;
+  // Source (and, for the compiled row, netlist compilation) constructed
+  // once outside the timed loop: the rows differ only in per-trace
+  // engine cost, exactly what the CI speedup line divides.
+  qdi::campaign::SimTraceSource src(inst.nl, inst.env, inst.stimulus, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qdi::campaign::acquire_batch(src, 32, 1).size());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+
+static void BM_ReferenceAcquire(benchmark::State& state) {
+  acquire_engine_bench(state, qdi::sim::EngineKind::Reference);
+}
+BENCHMARK(BM_ReferenceAcquire)->Unit(benchmark::kMillisecond);
+
+static void BM_CompiledAcquire(benchmark::State& state) {
+  acquire_engine_bench(state, qdi::sim::EngineKind::Compiled);
+}
+BENCHMARK(BM_CompiledAcquire)->Unit(benchmark::kMillisecond);
+
 // End-to-end campaign including the DPA analysis stage (the per-scenario
-// unit of bench/dpa_key_recovery).
-static void BM_CampaignDpaEndToEnd(benchmark::State& state) {
+// unit of bench/dpa_key_recovery), on each engine. BM_CampaignDpaEndToEnd
+// is pinned to the reference interpreter as the baseline row;
+// BM_CompiledDpaEndToEnd is the same campaign on the compiled kernel.
+static void dpa_end_to_end_bench(benchmark::State& state,
+                                 qdi::sim::EngineKind kind) {
   const qdi::campaign::CircuitTarget target = qdi::campaign::des_sbox_slice();
   for (auto _ : state) {
     const qdi::campaign::CampaignResult r =
@@ -136,12 +171,22 @@ static void BM_CampaignDpaEndToEnd(benchmark::State& state) {
             .key(0x2b)
             .traces(32)
             .threads(2)
+            .engine(kind)
             .attack(qdi::campaign::Dpa{})
             .run();
     benchmark::DoNotOptimize(r.attack->best_guess);
   }
   state.SetItemsProcessed(state.iterations() * 32);
 }
+
+static void BM_CampaignDpaEndToEnd(benchmark::State& state) {
+  dpa_end_to_end_bench(state, qdi::sim::EngineKind::Reference);
+}
 BENCHMARK(BM_CampaignDpaEndToEnd)->Unit(benchmark::kMillisecond);
+
+static void BM_CompiledDpaEndToEnd(benchmark::State& state) {
+  dpa_end_to_end_bench(state, qdi::sim::EngineKind::Compiled);
+}
+BENCHMARK(BM_CompiledDpaEndToEnd)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

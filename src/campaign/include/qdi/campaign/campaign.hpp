@@ -130,6 +130,14 @@ class Campaign {
     return *this;
   }
 
+  /// Simulation engine for the default SimTraceSource: the compiled SoA
+  /// kernel (default) or the construction-form reference interpreter.
+  /// Traces are bit-identical either way (tests/test_compiled_sim.cpp).
+  Campaign& engine(sim::EngineKind k) {
+    opt_.engine = k;
+    return *this;
+  }
+
   Campaign& attack(Dpa a) { attack_ = std::move(a); return *this; }
   Campaign& attack(Cpa a) { attack_ = std::move(a); return *this; }
 

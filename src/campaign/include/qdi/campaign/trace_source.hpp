@@ -9,21 +9,26 @@
 //
 // Determinism contract: every trace draws all of its randomness
 // (stimulus, window jitter, measurement noise) from a private RNG stream
-// keyed by (campaign seed, trace index), and SimTraceSource simulates
-// every trace from reset. Acquisition i is therefore bit-identical
-// whatever thread acquired it and in whatever order — the property
-// test_campaign asserts.
+// keyed by (campaign seed, trace index), and SimTraceSource starts
+// every trace from the post-reset state. Acquisition i is therefore
+// bit-identical whatever thread acquired it and in whatever order — the
+// property test_campaign asserts. The compiled and reference engines
+// are additionally bit-identical to each other (test_compiled_sim).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "qdi/dpa/trace_set.hpp"
 #include "qdi/power/synth.hpp"
+#include "qdi/sim/compiled_netlist.hpp"
+#include "qdi/sim/compiled_simulator.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 #include "qdi/util/rng.hpp"
 
 namespace qdi::campaign {
@@ -89,33 +94,55 @@ struct SimTraceSourceOptions {
   /// Acquisition-window start jitter in [0, start_jitter_ps): the
   /// attacker's missing-trigger problem on clockless circuits.
   double start_jitter_ps = 0.0;
+  /// Execution engine. Compiled (default): the netlist is flattened once
+  /// per source into a CompiledNetlist shared by all worker clones, power
+  /// samples stream into the accumulator at commit time (no transition
+  /// log), and after the first trace each epoch restores the post-reset
+  /// snapshot instead of re-simulating reset. Reference: the
+  /// construction-form interpreter with a post-hoc log walk. Both
+  /// produce bit-identical traces.
+  sim::EngineKind engine = sim::EngineKind::Compiled;
 };
 
 /// TraceSource backed by the event-driven simulator and the four-phase
 /// handshake environment — the reproduction's oscilloscope bench.
 class SimTraceSource final : public TraceSource {
  public:
-  /// `nl` is shared by all clones and must outlive them; it is not
-  /// modified during acquisition.
+  /// `nl` is shared by all clones and must outlive them; it must not be
+  /// mutated during acquisition (the compiled engine snapshots it).
   SimTraceSource(const netlist::Netlist& nl, sim::EnvSpec env,
                  StimulusFn stimulus, SimTraceSourceOptions opt = {});
 
-  // Non-copyable/movable: env_ holds a pointer into sim_, so a default
-  // copy would drive the source object's simulator. Use clone().
+  // Non-copyable/movable: env_ holds a pointer into the engine, so a
+  // default copy would drive the source object's simulator. Use clone().
   SimTraceSource(const SimTraceSource&) = delete;
   SimTraceSource& operator=(const SimTraceSource&) = delete;
 
   AcquiredTrace acquire_one(const TraceRequest& req) override;
   std::unique_ptr<TraceSource> clone() const override;
-  std::string name() const override { return "sim"; }
+  std::string name() const override {
+    return opt_.engine == sim::EngineKind::Compiled ? "sim-compiled" : "sim";
+  }
 
  private:
+  struct WorkerCloneTag {};
+  SimTraceSource(const SimTraceSource& other, WorkerCloneTag);
+
   const netlist::Netlist* nl_;
   sim::EnvSpec spec_;
   StimulusFn stimulus_;
   SimTraceSourceOptions opt_;
-  sim::Simulator sim_;
+  /// Execution form shared read-only by all worker clones (compiled
+  /// engine only).
+  std::shared_ptr<const sim::CompiledNetlist> compiled_;
+  std::unique_ptr<sim::SimEngine> sim_;
+  /// Kernel view of sim_ for the epoch-snapshot fast path (the only
+  /// engine-specific capability); non-null iff compiled engine.
+  sim::CompiledSimulator* csim_ = nullptr;
   sim::FourPhaseEnv env_;
+  /// Per-worker scratch reused across trace epochs.
+  power::StreamingAccumulator acc_;
+  std::optional<sim::CompiledSimulator::Epoch> epoch_;  ///< post-reset snapshot
 };
 
 }  // namespace qdi::campaign

@@ -33,10 +33,14 @@
 #include "qdi/gates/sbox.hpp"
 #include "qdi/gates/testbench.hpp"
 
-// simulation
+// simulation (reference interpreter + compiled kernel)
+#include "qdi/sim/compiled_netlist.hpp"
+#include "qdi/sim/compiled_simulator.hpp"
 #include "qdi/sim/delay_model.hpp"
+#include "qdi/sim/engine.hpp"
 #include "qdi/sim/environment.hpp"
 #include "qdi/sim/simulator.hpp"
+#include "qdi/sim/transition.hpp"
 
 // power model
 #include "qdi/power/synth.hpp"

@@ -10,43 +10,99 @@
 
 namespace qdi::campaign {
 
+namespace {
+
+std::unique_ptr<sim::SimEngine> make_engine(
+    const std::shared_ptr<const sim::CompiledNetlist>& compiled,
+    const netlist::Netlist& nl, const SimTraceSourceOptions& opt) {
+  if (compiled) return std::make_unique<sim::CompiledSimulator>(compiled);
+  return std::make_unique<sim::Simulator>(nl, opt.delays);
+}
+
+}  // namespace
+
 SimTraceSource::SimTraceSource(const netlist::Netlist& nl, sim::EnvSpec env,
                                StimulusFn stimulus, SimTraceSourceOptions opt)
     : nl_(&nl),
       spec_(std::move(env)),
       stimulus_(std::move(stimulus)),
       opt_(opt),
-      sim_(nl, opt_.delays),
-      env_(sim_, spec_) {
+      compiled_(opt_.engine == sim::EngineKind::Compiled
+                    ? sim::compile(nl, opt_.delays)
+                    : nullptr),
+      sim_(make_engine(compiled_, nl, opt_)),
+      csim_(compiled_ ? static_cast<sim::CompiledSimulator*>(sim_.get())
+                      : nullptr),
+      env_(*sim_, spec_),
+      acc_(opt_.power) {
   if (!stimulus_)
     throw std::invalid_argument("SimTraceSource: stimulus is required");
 }
 
+SimTraceSource::SimTraceSource(const SimTraceSource& other, WorkerCloneTag)
+    : nl_(other.nl_),
+      spec_(other.spec_),
+      stimulus_(other.stimulus_),
+      opt_(other.opt_),
+      compiled_(other.compiled_),  // the compiled form is shared read-only
+      sim_(make_engine(compiled_, *nl_, opt_)),
+      csim_(compiled_ ? static_cast<sim::CompiledSimulator*>(sim_.get())
+                      : nullptr),
+      env_(*sim_, spec_),
+      acc_(opt_.power) {}
+
 std::unique_ptr<TraceSource> SimTraceSource::clone() const {
-  return std::make_unique<SimTraceSource>(*nl_, spec_, stimulus_, opt_);
+  return std::unique_ptr<TraceSource>(
+      new SimTraceSource(*this, WorkerCloneTag{}));
 }
 
 AcquiredTrace SimTraceSource::acquire_one(const TraceRequest& req) {
-  // Every trace starts from reset in its own simulator epoch: identical
-  // absolute times, hence bit-identical floating point, whatever trace
-  // history the worker carries.
-  sim_.reset_state();
-  env_.apply_reset();
+  // Every trace starts from the post-reset state in its own epoch:
+  // identical absolute times, hence bit-identical floating point,
+  // whatever trace history the worker carries. The compiled engine pays
+  // the reset handshake once and restores its snapshot afterwards; the
+  // reference engine re-simulates it each trace.
+  if (csim_ != nullptr && epoch_.has_value()) {
+    csim_->restore_epoch(*epoch_);
+  } else {
+    sim_->reset_state();
+    env_.apply_reset();
+    if (csim_ != nullptr) epoch_ = csim_->save_epoch();
+  }
 
   util::Rng rng = util::split_stream(req.seed, req.index);
   Stimulus st = stimulus_(rng, req.index);
-
-  sim_.clear_log();
-  const auto cyc = env_.send(st.values);
-  if (!cyc.ok)
-    throw std::runtime_error("SimTraceSource: four-phase protocol failure");
-
+  // The window jitter is drawn before the cycle runs — the cycle itself
+  // consumes no randomness, so the stream position is the same as
+  // drawing it afterwards; this lets the streaming path open its window
+  // up front.
   const double jitter = opt_.start_jitter_ps > 0.0
                             ? rng.uniform(0.0, opt_.start_jitter_ps)
                             : 0.0;
+
   AcquiredTrace out;
-  out.trace = power::synthesize(sim_.log(), cyc.t_start - jitter,
-                                spec_.period_ps, opt_.power, &rng);
+  sim::FourPhaseEnv::CycleResult cyc;
+  if (opt_.engine == sim::EngineKind::Compiled) {
+    // Streaming power: samples are binned at commit time; no transition
+    // log is ever materialized.
+    acc_.begin_window(env_.next_cycle_start() - jitter, spec_.period_ps);
+    sim_->set_power_sink(&acc_);
+    cyc = env_.send(st.values);
+    sim_->set_power_sink(nullptr);
+    if (!cyc.ok)
+      throw std::runtime_error("SimTraceSource: four-phase protocol failure");
+    out.trace = acc_.finish(&rng);
+  } else {
+    // Reference path: post-hoc synthesis from the transition log — kept
+    // as the oracle that the streaming path is checked against.
+    sim_->clear_log();
+    cyc = env_.send(st.values);
+    if (!cyc.ok)
+      throw std::runtime_error("SimTraceSource: four-phase protocol failure");
+    out.trace = power::synthesize(sim_->log(), cyc.t_start - jitter,
+                                  spec_.period_ps, opt_.power, &rng);
+  }
+
   // Pack the decoded output channel values as "ciphertext" bytes
   // (LSB-first bit packing, 8 channels per byte).
   out.ciphertext.assign((cyc.outputs.size() + 7) / 8, 0);
@@ -55,7 +111,7 @@ AcquiredTrace SimTraceSource::acquire_one(const TraceRequest& req) {
       out.ciphertext[b / 8] |= static_cast<std::uint8_t>(1u << (b % 8));
   out.plaintext = std::move(st.plaintext);
   out.transitions = cyc.transitions;
-  out.glitches = sim_.glitch_count();
+  out.glitches = sim_->glitch_count();
   return out;
 }
 

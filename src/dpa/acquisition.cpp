@@ -1,6 +1,5 @@
 #include "qdi/dpa/acquisition.hpp"
 
-#include <cassert>
 #include <stdexcept>
 
 namespace qdi::dpa {
@@ -31,70 +30,6 @@ TraceSet acquire(sim::Simulator& sim, sim::FourPhaseEnv& env,
     ts.add(std::move(trace), std::move(plaintext), std::move(ct));
   }
   return ts;
-}
-
-namespace {
-/// Bits of `value` (LSB first) as 1-of-2 channel values.
-void push_bits(std::vector<int>& values, unsigned value, int bits) {
-  for (int b = 0; b < bits; ++b) values.push_back((value >> b) & 1);
-}
-}  // namespace
-
-TraceSet acquire_aes_byte_slice(gates::AesByteSlice& circuit,
-                                std::uint8_t key_byte, const Acquisition& cfg,
-                                const sim::DelayModel& delays) {
-  sim::Simulator sim(circuit.nl, delays);
-  sim::FourPhaseEnv env(sim, circuit.env);
-  return acquire(
-      sim, env,
-      [key_byte](util::Rng& rng) {
-        const std::uint8_t p = rng.byte();
-        std::vector<int> values;
-        values.reserve(16);
-        push_bits(values, p, 8);
-        push_bits(values, key_byte, 8);
-        return std::make_pair(std::move(values),
-                              std::vector<std::uint8_t>{p});
-      },
-      cfg);
-}
-
-TraceSet acquire_des_sbox_slice(gates::DesSboxSlice& circuit, std::uint8_t key6,
-                                const Acquisition& cfg,
-                                const sim::DelayModel& delays) {
-  assert(key6 < 64);
-  sim::Simulator sim(circuit.nl, delays);
-  sim::FourPhaseEnv env(sim, circuit.env);
-  return acquire(
-      sim, env,
-      [key6](util::Rng& rng) {
-        const std::uint8_t p =
-            static_cast<std::uint8_t>(rng.below(64));
-        std::vector<int> values;
-        values.reserve(12);
-        push_bits(values, p, 6);
-        push_bits(values, key6, 6);
-        return std::make_pair(std::move(values),
-                              std::vector<std::uint8_t>{p});
-      },
-      cfg);
-}
-
-TraceSet acquire_xor_stage(gates::XorStage& circuit, const Acquisition& cfg,
-                           const sim::DelayModel& delays) {
-  sim::Simulator sim(circuit.nl, delays);
-  sim::FourPhaseEnv env(sim, circuit.env);
-  return acquire(
-      sim, env,
-      [](util::Rng& rng) {
-        const int a = static_cast<int>(rng.below(2));
-        const int b = static_cast<int>(rng.below(2));
-        return std::make_pair(std::vector<int>{a, b},
-                              std::vector<std::uint8_t>{
-                                  static_cast<std::uint8_t>(a),
-                                  static_cast<std::uint8_t>(b)});
-      },
-      cfg);
 }
 
 }  // namespace qdi::dpa

@@ -10,9 +10,9 @@
 #include <utility>
 
 #include "qdi/dpa/trace_set.hpp"
-#include "qdi/gates/testbench.hpp"
 #include "qdi/power/synth.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 
 namespace qdi::dpa {
 
@@ -34,27 +34,14 @@ using StimulusFn = std::function<
     std::pair<std::vector<int>, std::vector<std::uint8_t>>(util::Rng&)>;
 
 /// Generic engine: resets the environment once, then runs `num_traces`
-/// cycles, synthesizing the supply-current trace of each full cycle.
+/// back-to-back cycles (no reset between traces), synthesizing the
+/// supply-current trace of each full cycle from the transition log.
+/// Sequential-RNG, single-threaded — the campaign API's
+/// SimTraceSource/acquire_batch is the parallel, per-trace-stream
+/// replacement; this engine remains for bench-style sweeps that want
+/// the continuous-operation model. (The per-circuit acquire_<circuit>()
+/// wrappers it used to carry are gone — use qdi::campaign targets.)
 TraceSet acquire(sim::Simulator& sim, sim::FourPhaseEnv& env,
                  const StimulusFn& stimulus, const Acquisition& cfg);
-
-/// AES byte slice: random plaintext byte against a fixed key byte.
-/// plaintext(i) = {p}; ciphertext(i) = {SBOX(p ^ key_byte)} as decoded
-/// from the circuit outputs.
-[[deprecated("use qdi::campaign (qdi/campaign/campaign.hpp) instead")]]
-TraceSet acquire_aes_byte_slice(gates::AesByteSlice& circuit,
-                                std::uint8_t key_byte, const Acquisition& cfg,
-                                const sim::DelayModel& delays = {});
-
-/// DES S-box slice: random 6-bit input against a fixed 6-bit key chunk.
-[[deprecated("use qdi::campaign (qdi/campaign/campaign.hpp) instead")]]
-TraceSet acquire_des_sbox_slice(gates::DesSboxSlice& circuit, std::uint8_t key6,
-                                const Acquisition& cfg,
-                                const sim::DelayModel& delays = {});
-
-/// Fig. 4 XOR stage: random bit pair (a, b); plaintext(i) = {a, b}.
-[[deprecated("use qdi::campaign (qdi/campaign/campaign.hpp) instead")]]
-TraceSet acquire_xor_stage(gates::XorStage& circuit, const Acquisition& cfg,
-                           const sim::DelayModel& delays = {});
 
 }  // namespace qdi::dpa

@@ -9,9 +9,14 @@
 // dA = |Cl0 - Cl1| / min(Cl0, Cl1) is evaluated.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "qdi/netlist/cell_kind.hpp"
@@ -74,6 +79,14 @@ class Netlist {
   Netlist() = default;
   explicit Netlist(std::string name) : name_(std::move(name)) {}
 
+  // Copies and moves transfer the graph but drop the lazy name index
+  // (rebuilt on the next find_*); the index mutex is never transferred.
+  Netlist(const Netlist& other);
+  Netlist& operator=(const Netlist& other);
+  Netlist(Netlist&& other) noexcept;
+  Netlist& operator=(Netlist&& other) noexcept;
+  ~Netlist() = default;
+
   const std::string& name() const noexcept { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
 
@@ -105,9 +118,14 @@ class Netlist {
   std::size_t num_channels() const noexcept { return channels_.size(); }
 
   const Cell& cell(CellId id) const { return cells_.at(id); }
-  Cell& cell(CellId id) { return cells_.at(id); }
+  // Mutable access may rename the element, so it invalidates the lazy
+  // name index (a single atomic store; rebuilt on the next find_*).
+  // Caveat: the invalidation happens when the reference is *taken* — a
+  // rename through a reference held across an intervening find_* leaves
+  // that lookup's rebuilt index stale. Re-take the reference to rename.
+  Cell& cell(CellId id) { invalidate_name_index(); return cells_.at(id); }
   const Net& net(NetId id) const { return nets_.at(id); }
-  Net& net(NetId id) { return nets_.at(id); }
+  Net& net(NetId id) { invalidate_name_index(); return nets_.at(id); }
   const Channel& channel(ChannelId id) const { return channels_.at(id); }
 
   const std::vector<Cell>& cells() const noexcept { return cells_; }
@@ -120,12 +138,19 @@ class Netlist {
   const std::vector<NetId>& primary_outputs() const noexcept { return outputs_; }
 
   /// Find a net/cell/channel by exact name; kNoNet/kNoCell/nullptr-like
-  /// sentinel when absent. Linear scan: intended for tests and examples,
-  /// not inner loops.
-  NetId find_net(std::string_view name) const noexcept;
-  CellId find_cell(std::string_view name) const noexcept;
-  ChannelId find_channel(std::string_view name) const noexcept;
+  /// sentinel when absent. Small netlists use a linear scan; past
+  /// kNameIndexThreshold elements a hashed name index is built lazily on
+  /// first lookup and reused until the netlist is mutated (any add_*, or
+  /// taking a mutable net()/cell() reference, invalidates it). Duplicate
+  /// names resolve to the lowest id, exactly like the linear scan. The
+  /// index is mutex-guarded, so concurrent find_* on a shared const
+  /// Netlist stay safe (concurrent *mutation* was and is the caller's
+  /// problem).
+  NetId find_net(std::string_view name) const;
+  CellId find_cell(std::string_view name) const;
+  ChannelId find_channel(std::string_view name) const;
   static constexpr ChannelId kNoChannel = std::numeric_limits<ChannelId>::max();
+  static constexpr std::size_t kNameIndexThreshold = 32;
 
   /// Count of non-pseudo cells (real gates).
   std::size_t num_gates() const noexcept;
@@ -150,12 +175,35 @@ class Netlist {
   std::vector<std::string> check() const;
 
  private:
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using NameMap =
+      std::unordered_map<std::string, std::uint32_t, NameHash, std::equal_to<>>;
+
+  /// Lazily built name → id maps, guarded by index_mu_; index_built_ is
+  /// atomic so invalidation (the common, mutation-path operation) is a
+  /// single store with no mutex round-trip.
+  struct NameIndex {
+    NameMap nets, cells, channels;
+  };
+  void build_name_index_locked() const;  // caller holds index_mu_
+  void invalidate_name_index() const noexcept {
+    index_built_.store(false, std::memory_order_release);
+  }
+
   std::string name_;
   std::vector<Cell> cells_;
   std::vector<Net> nets_;
   std::vector<Channel> channels_;
   std::vector<NetId> inputs_;
   std::vector<NetId> outputs_;
+  mutable std::mutex index_mu_;
+  mutable NameIndex name_index_;
+  mutable std::atomic<bool> index_built_{false};
 };
 
 }  // namespace qdi::netlist

@@ -2,10 +2,54 @@
 
 #include <cassert>
 #include <sstream>
+#include <utility>
 
 namespace qdi::netlist {
 
+Netlist::Netlist(const Netlist& other)
+    : name_(other.name_),
+      cells_(other.cells_),
+      nets_(other.nets_),
+      channels_(other.channels_),
+      inputs_(other.inputs_),
+      outputs_(other.outputs_) {}
+
+Netlist& Netlist::operator=(const Netlist& other) {
+  if (this != &other) {
+    name_ = other.name_;
+    cells_ = other.cells_;
+    nets_ = other.nets_;
+    channels_ = other.channels_;
+    inputs_ = other.inputs_;
+    outputs_ = other.outputs_;
+    invalidate_name_index();
+  }
+  return *this;
+}
+
+Netlist::Netlist(Netlist&& other) noexcept
+    : name_(std::move(other.name_)),
+      cells_(std::move(other.cells_)),
+      nets_(std::move(other.nets_)),
+      channels_(std::move(other.channels_)),
+      inputs_(std::move(other.inputs_)),
+      outputs_(std::move(other.outputs_)) {}
+
+Netlist& Netlist::operator=(Netlist&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    cells_ = std::move(other.cells_);
+    nets_ = std::move(other.nets_);
+    channels_ = std::move(other.channels_);
+    inputs_ = std::move(other.inputs_);
+    outputs_ = std::move(other.outputs_);
+    invalidate_name_index();
+  }
+  return *this;
+}
+
 NetId Netlist::add_net(std::string name) {
+  invalidate_name_index();
   const NetId id = static_cast<NetId>(nets_.size());
   Net n;
   n.name = std::move(name);
@@ -21,6 +65,7 @@ CellId Netlist::add_cell(CellKind kind, std::string name,
          "add_cell: input count does not match cell arity");
   (void)ki;
 
+  invalidate_name_index();
   const CellId id = static_cast<CellId>(cells_.size());
   Cell c;
   c.name = std::move(name);
@@ -59,6 +104,7 @@ CellId Netlist::mark_output(NetId net, std::string name, std::string hier) {
 ChannelId Netlist::add_channel(std::string name, std::vector<NetId> rails,
                                NetId ack) {
   assert(rails.size() >= 2 && "channel needs at least two rails (1-of-N)");
+  invalidate_name_index();
   const ChannelId id = static_cast<ChannelId>(channels_.size());
   Channel ch;
   ch.name = std::move(name);
@@ -68,19 +114,62 @@ ChannelId Netlist::add_channel(std::string name, std::vector<NetId> rails,
   return id;
 }
 
-NetId Netlist::find_net(std::string_view name) const noexcept {
+void Netlist::build_name_index_locked() const {
+  if (index_built_.load(std::memory_order_acquire)) return;
+  NameIndex idx;
+  idx.nets.reserve(nets_.size());
+  idx.cells.reserve(cells_.size());
+  idx.channels.reserve(channels_.size());
+  // try_emplace keeps the first occurrence, matching the linear scan's
+  // lowest-id resolution of duplicate names.
+  for (NetId i = 0; i < nets_.size(); ++i)
+    idx.nets.try_emplace(nets_[i].name, i);
+  for (CellId i = 0; i < cells_.size(); ++i)
+    idx.cells.try_emplace(cells_[i].name, i);
+  for (ChannelId i = 0; i < channels_.size(); ++i)
+    idx.channels.try_emplace(channels_[i].name, i);
+  name_index_ = std::move(idx);
+  index_built_.store(true, std::memory_order_release);
+}
+
+namespace {
+
+template <typename Map, typename Id>
+Id indexed_find(const Map& map, std::string_view name, Id missing) {
+  const auto it = map.find(name);
+  return it == map.end() ? missing : it->second;
+}
+
+}  // namespace
+
+NetId Netlist::find_net(std::string_view name) const {
+  if (nets_.size() >= kNameIndexThreshold) {
+    const std::lock_guard<std::mutex> lock(index_mu_);
+    build_name_index_locked();
+    return indexed_find(name_index_.nets, name, kNoNet);
+  }
   for (NetId i = 0; i < nets_.size(); ++i)
     if (nets_[i].name == name) return i;
   return kNoNet;
 }
 
-CellId Netlist::find_cell(std::string_view name) const noexcept {
+CellId Netlist::find_cell(std::string_view name) const {
+  if (cells_.size() >= kNameIndexThreshold) {
+    const std::lock_guard<std::mutex> lock(index_mu_);
+    build_name_index_locked();
+    return indexed_find(name_index_.cells, name, kNoCell);
+  }
   for (CellId i = 0; i < cells_.size(); ++i)
     if (cells_[i].name == name) return i;
   return kNoCell;
 }
 
-ChannelId Netlist::find_channel(std::string_view name) const noexcept {
+ChannelId Netlist::find_channel(std::string_view name) const {
+  if (channels_.size() >= kNameIndexThreshold) {
+    const std::lock_guard<std::mutex> lock(index_mu_);
+    build_name_index_locked();
+    return indexed_find(name_index_.channels, name, kNoChannel);
+  }
   for (ChannelId i = 0; i < channels_.size(); ++i)
     if (channels_[i].name == name) return i;
   return kNoChannel;

@@ -14,13 +14,18 @@
 // edges (charging from Vdd) appear at full weight in the supply current;
 // falling edges (discharge to ground) at a reduced weight — only the
 // short-circuit component is visible on the supply rail.
+//
+// The accumulator is streaming-first: StreamingAccumulator is a
+// sim::PowerSink that bins transitions as the simulator commits them, so
+// acquisition never materializes a transition log. synthesize() is a
+// thin wrapper that replays a recorded log through the same accumulator
+// — the two paths are bit-identical by construction.
 #pragma once
 
-#include <optional>
 #include <vector>
 
 #include "qdi/power/trace.hpp"
-#include "qdi/sim/simulator.hpp"
+#include "qdi/sim/transition.hpp"
 #include "qdi/util/rng.hpp"
 
 namespace qdi::power {
@@ -41,10 +46,41 @@ struct PowerModelParams {
   }
 };
 
+/// Streaming charge accumulator: bins each transition's triangular pulse
+/// into the sample grid of the current window at commit time. Attach it
+/// to a simulation engine as the PowerSink for zero-log acquisition, or
+/// feed it a recorded log (what synthesize() does).
+class StreamingAccumulator final : public sim::PowerSink {
+ public:
+  explicit StreamingAccumulator(PowerModelParams params = {})
+      : params_(params) {}
+
+  const PowerModelParams& params() const noexcept { return params_; }
+
+  /// Open a fresh window covering [t0_ps, t0_ps + window_ps). Clears any
+  /// previous accumulation; the sample buffer's capacity is retained
+  /// only until finish() moves it out.
+  void begin_window(double t0_ps, double window_ps);
+
+  /// Accumulate one transition's overlap with the open window. Call
+  /// order must be commit order for bit-identical results.
+  void on_transition(const sim::Transition& t) override;
+
+  /// Scale to µA, add per-sample Gaussian noise if `noise` is provided
+  /// and noise_sigma_ua > 0, and move the finished trace out.
+  PowerTrace finish(util::Rng* noise = nullptr);
+
+ private:
+  PowerModelParams params_;
+  PowerTrace trace_;
+  double t_end_ps_ = 0.0;  ///< exact window end (≤ t0 + size·dt)
+};
+
 /// Accumulate the given transitions into a trace covering
 /// [window_t0_ps, window_t0_ps + window_ps). Transitions outside the
 /// window contribute their overlapping part only. If `noise` is provided
-/// and noise_sigma_ua > 0, adds i.i.d. Gaussian noise per sample.
+/// and noise_sigma_ua > 0, adds i.i.d. Gaussian noise per sample. Thin
+/// wrapper over StreamingAccumulator for recorded transition logs.
 PowerTrace synthesize(const std::vector<sim::Transition>& transitions,
                       double window_t0_ps, double window_ps,
                       const PowerModelParams& params,

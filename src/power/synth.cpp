@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 namespace qdi::power {
 
@@ -31,44 +32,56 @@ double transition_charge_fc(const sim::Transition& t,
   return weight * params.total_cap_ff(t.cap_ff) * params.vdd;
 }
 
+void StreamingAccumulator::begin_window(double t0_ps, double window_ps) {
+  const double dt = params_.sample_period_ps;
+  assert(dt > 0.0);
+  const std::size_t n = static_cast<std::size_t>(std::ceil(window_ps / dt));
+  trace_ = PowerTrace(t0_ps, dt, n);
+  t_end_ps_ = t0_ps + window_ps;
+}
+
+void StreamingAccumulator::on_transition(const sim::Transition& t) {
+  const double q = transition_charge_fc(t, params_);
+  if (q == 0.0) return;
+  const double dt = trace_.dt_ps();
+  const double window_t0_ps = trace_.t0_ps();
+  const std::size_t n = trace_.size();
+  // Charge flows while the output node swings: pulse spans
+  // [t_commit - Δt, t_commit] — the commit time is the end of the swing.
+  const double width = std::max(t.slew_ps, 1e-3);
+  const double start = t.t_ps - width;
+  // Clip to the window quickly.
+  if (start >= t_end_ps_ || start + width <= window_t0_ps) return;
+  const std::size_t j_lo = static_cast<std::size_t>(std::max(
+      0.0, std::floor((start - window_t0_ps) / dt)));
+  const std::size_t j_hi = std::min(
+      n, static_cast<std::size_t>(
+             std::ceil((start + width - window_t0_ps) / dt)) + 1);
+  for (std::size_t j = j_lo; j < j_hi; ++j) {
+    const double bin_a = window_t0_ps + static_cast<double>(j) * dt;
+    const double frac = triangle_overlap(start, width, bin_a, bin_a + dt);
+    if (frac > 0.0) trace_[j] += q * frac / dt;  // fC/ps·1000 = µA... see below
+  }
+}
+
+PowerTrace StreamingAccumulator::finish(util::Rng* noise) {
+  // Unit bookkeeping: q is in fC, bins in ps, so q/dt is fC/ps = mA.
+  // Scale to µA for friendlier magnitudes.
+  trace_ *= 1000.0;
+  if (noise != nullptr && params_.noise_sigma_ua > 0.0) {
+    for (std::size_t j = 0; j < trace_.size(); ++j)
+      trace_[j] += noise->gaussian(0.0, params_.noise_sigma_ua);
+  }
+  return std::move(trace_);
+}
+
 PowerTrace synthesize(const std::vector<sim::Transition>& transitions,
                       double window_t0_ps, double window_ps,
                       const PowerModelParams& params, util::Rng* noise) {
-  const double dt = params.sample_period_ps;
-  assert(dt > 0.0);
-  const std::size_t n = static_cast<std::size_t>(std::ceil(window_ps / dt));
-  PowerTrace trace(window_t0_ps, dt, n);
-
-  for (const sim::Transition& t : transitions) {
-    const double q = transition_charge_fc(t, params);
-    if (q == 0.0) continue;
-    // Charge flows while the output node swings: pulse spans
-    // [t_commit - Δt, t_commit] — the commit time is the end of the swing.
-    const double width = std::max(t.slew_ps, 1e-3);
-    const double start = t.t_ps - width;
-    // Clip to the window quickly.
-    if (start >= window_t0_ps + window_ps || start + width <= window_t0_ps)
-      continue;
-    const std::size_t j_lo = static_cast<std::size_t>(std::max(
-        0.0, std::floor((start - window_t0_ps) / dt)));
-    const std::size_t j_hi = std::min(
-        n, static_cast<std::size_t>(
-               std::ceil((start + width - window_t0_ps) / dt)) + 1);
-    for (std::size_t j = j_lo; j < j_hi; ++j) {
-      const double bin_a = window_t0_ps + static_cast<double>(j) * dt;
-      const double frac = triangle_overlap(start, width, bin_a, bin_a + dt);
-      if (frac > 0.0) trace[j] += q * frac / dt;  // fC/ps·1000 = µA... see below
-    }
-  }
-  // Unit bookkeeping: q is in fC, bins in ps, so q/dt is fC/ps = mA.
-  // Scale to µA for friendlier magnitudes.
-  trace *= 1000.0;
-
-  if (noise != nullptr && params.noise_sigma_ua > 0.0) {
-    for (std::size_t j = 0; j < trace.size(); ++j)
-      trace[j] += noise->gaussian(0.0, params.noise_sigma_ua);
-  }
-  return trace;
+  StreamingAccumulator acc(params);
+  acc.begin_window(window_t0_ps, window_ps);
+  for (const sim::Transition& t : transitions) acc.on_transition(t);
+  return acc.finish(noise);
 }
 
 }  // namespace qdi::power

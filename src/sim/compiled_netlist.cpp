@@ -1,0 +1,66 @@
+#include "qdi/sim/compiled_netlist.hpp"
+
+namespace qdi::sim {
+
+using netlist::CellId;
+using netlist::CellKind;
+using netlist::kNoCell;
+using netlist::kNoNet;
+using netlist::NetId;
+
+CompiledNetlist::CompiledNetlist(const netlist::Netlist& nl, DelayModel model)
+    : src_(&nl), model_(model) {
+  const std::uint32_t nn = static_cast<std::uint32_t>(nl.num_nets());
+  const std::uint32_t nc = static_cast<std::uint32_t>(nl.num_cells());
+
+  cap_ff.resize(nn);
+  driven_by_input.assign(nn, 0);
+  for (NetId n = 0; n < nn; ++n) {
+    const netlist::Net& net = nl.net(n);
+    cap_ff[n] = net.cap_ff;
+    driven_by_input[n] =
+        net.driver != kNoCell && nl.cell(net.driver).kind == CellKind::Input;
+  }
+
+  kind.resize(nc);
+  output.resize(nc);
+  delay_ps.resize(nc);
+  slew_ps.resize(nc);
+  fanin_offset.resize(nc + 1);
+  std::uint32_t fanin_total = 0;
+  for (CellId c = 0; c < nc; ++c) {
+    const netlist::Cell& cell = nl.cell(c);
+    kind[c] = cell.kind;
+    output[c] = cell.output;
+    const double out_cap = cell.output != kNoNet ? cap_ff[cell.output] : 0.0;
+    delay_ps[c] = model_.delay_ps(cell.kind, out_cap);
+    slew_ps[c] = model_.slew_ps(out_cap);
+    fanin_offset[c] = fanin_total;
+    fanin_total += static_cast<std::uint32_t>(cell.inputs.size());
+  }
+  fanin_offset[nc] = fanin_total;
+  fanin_net.reserve(fanin_total);
+  for (CellId c = 0; c < nc; ++c)
+    for (NetId in : nl.cell(c).inputs) fanin_net.push_back(in);
+
+  fanout_offset.resize(nn + 1);
+  std::uint32_t fanout_total = 0;
+  for (NetId n = 0; n < nn; ++n) {
+    fanout_offset[n] = fanout_total;
+    for (const netlist::Pin& p : nl.net(n).sinks)
+      if (nl.cell(p.cell).kind != CellKind::Output) ++fanout_total;
+  }
+  fanout_offset[nn] = fanout_total;
+  fanout_cell.reserve(fanout_total);
+  for (NetId n = 0; n < nn; ++n)
+    for (const netlist::Pin& p : nl.net(n).sinks)
+      if (nl.cell(p.cell).kind != CellKind::Output)
+        fanout_cell.push_back(p.cell);
+}
+
+std::shared_ptr<const CompiledNetlist> compile(const netlist::Netlist& nl,
+                                               DelayModel model) {
+  return std::make_shared<const CompiledNetlist>(nl, model);
+}
+
+}  // namespace qdi::sim

@@ -1,0 +1,231 @@
+#include "qdi/sim/compiled_simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qdi::sim {
+
+using netlist::CellKind;
+using netlist::kNoNet;
+using netlist::NetId;
+
+namespace {
+
+// Heap order: earliest (t_ps, seq) pops first. The pair is unique per
+// event, so pop order is a total order — any correct heap yields the
+// same commit sequence as the reference priority_queue.
+template <typename Event>
+bool later(const Event& a, const Event& b) noexcept {
+  if (a.t_ps != b.t_ps) return a.t_ps > b.t_ps;
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+CompiledSimulator::CompiledSimulator(std::shared_ptr<const CompiledNetlist> cn)
+    : cn_(std::move(cn)) {
+  const std::uint32_t nn = cn_->num_nets();
+  values_.resize(nn);
+  pending_seq_.resize(nn);
+  pending_value_.resize(nn);
+  pending_slew_.resize(nn);
+  reset_state();
+}
+
+void CompiledSimulator::reset_state() {
+  // Capacity-retaining memset: the arrays were sized at construction and
+  // never reallocate across epochs.
+  std::fill(values_.begin(), values_.end(), char{0});
+  std::fill(pending_seq_.begin(), pending_seq_.end(), std::uint64_t{0});
+  std::fill(pending_value_.begin(), pending_value_.end(), char{0});
+  std::fill(pending_slew_.begin(), pending_slew_.end(), 0.0);
+  heap_.clear();
+  next_seq_ = 1;
+  now_ = 0.0;
+  log_.clear();
+  glitches_ = 0;
+  total_transitions_ = 0;
+}
+
+CompiledSimulator::Epoch CompiledSimulator::save_epoch() const {
+  assert(heap_.empty() && "save_epoch: event queue must be drained");
+  Epoch e;
+  e.values = values_;
+  e.now = now_;
+  e.next_seq = next_seq_;
+  e.glitches = glitches_;
+  e.total_transitions = total_transitions_;
+  return e;
+}
+
+void CompiledSimulator::restore_epoch(const Epoch& e) {
+  assert(e.values.size() == values_.size());
+  std::copy(e.values.begin(), e.values.end(), values_.begin());
+  // A drained queue implies no live pending events; the pending arrays
+  // only matter while pending_seq_ is non-zero, so zeroing it suffices.
+  std::fill(pending_seq_.begin(), pending_seq_.end(), std::uint64_t{0});
+  heap_.clear();
+  next_seq_ = e.next_seq;
+  now_ = e.now;
+  log_.clear();
+  glitches_ = e.glitches;
+  total_transitions_ = e.total_transitions;
+}
+
+void CompiledSimulator::initialize() {
+  const std::uint32_t nc = cn_->num_cells();
+  for (std::uint32_t c = 0; c < nc; ++c) evaluate_cell(c, now_);
+}
+
+void CompiledSimulator::drive(NetId net, bool value, double at_ps) {
+  assert(net < values_.size());
+  assert(cn_->driven_by_input[net] &&
+         "drive() is only legal on primary-input nets");
+  schedule(net, value, at_ps, 0.0);
+}
+
+void CompiledSimulator::push_event(const Event& ev) {
+  heap_.push_back(ev);
+  std::push_heap(heap_.begin(), heap_.end(), later<Event>);
+}
+
+CompiledSimulator::Event CompiledSimulator::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end(), later<Event>);
+  const Event ev = heap_.back();
+  heap_.pop_back();
+  return ev;
+}
+
+void CompiledSimulator::schedule(NetId net, bool value, double t_ps,
+                                 double slew_ps) {
+  // Inertial filtering — identical to Simulator::schedule.
+  if (pending_seq_[net] != 0) {
+    if (pending_value_[net] == static_cast<char>(value)) return;
+    pending_seq_[net] = 0;  // cancel (lazy: stale seq stays in the heap)
+    ++glitches_;
+    if (static_cast<char>(value) == values_[net]) return;
+  } else if (static_cast<char>(value) == values_[net]) {
+    return;
+  }
+  const std::uint64_t seq = next_seq_++;
+  pending_seq_[net] = seq;
+  pending_value_[net] = static_cast<char>(value);
+  pending_slew_[net] = slew_ps;
+  push_event(Event{t_ps, seq, net, value});
+}
+
+void CompiledSimulator::evaluate_cell(std::uint32_t cell, double t_ps) {
+  const CompiledNetlist& cn = *cn_;
+  const CellKind k = cn.kind[cell];
+  const std::uint32_t out_net = cn.output[cell];
+  if (k == CellKind::Input || k == CellKind::Output || out_net == kNoNet)
+    return;
+
+  // Inlined truth tables — must mirror netlist::evaluate() exactly
+  // (tests/test_compiled_sim.cpp pins the two together per target).
+  const std::uint32_t lo = cn.fanin_offset[cell];
+  const std::uint32_t hi = cn.fanin_offset[cell + 1];
+  const auto in = [&](std::uint32_t i) {
+    return values_[cn.fanin_net[lo + i]] != 0;
+  };
+  const auto all = [&](std::uint32_t a, std::uint32_t b) {
+    for (std::uint32_t i = a; i < b; ++i)
+      if (values_[cn.fanin_net[i]] == 0) return false;
+    return true;
+  };
+  const auto any = [&](std::uint32_t a, std::uint32_t b) {
+    for (std::uint32_t i = a; i < b; ++i)
+      if (values_[cn.fanin_net[i]] != 0) return true;
+    return false;
+  };
+  const auto muller = [&](std::uint32_t a, std::uint32_t b, bool prev) {
+    if (all(a, b)) return true;
+    if (!any(a, b)) return false;
+    return prev;
+  };
+
+  const bool prev = values_[out_net] != 0;
+  bool out = false;
+  switch (k) {
+    case CellKind::Input:
+    case CellKind::Output:
+      return;
+    case CellKind::Buf:
+      out = in(0);
+      break;
+    case CellKind::Inv:
+      out = !in(0);
+      break;
+    case CellKind::And2:
+    case CellKind::And3:
+      out = all(lo, hi);
+      break;
+    case CellKind::Or2:
+    case CellKind::Or3:
+    case CellKind::Or4:
+      out = any(lo, hi);
+      break;
+    case CellKind::Nor2:
+    case CellKind::Nor3:
+    case CellKind::Nor4:
+      out = !any(lo, hi);
+      break;
+    case CellKind::Nand2:
+    case CellKind::Nand3:
+      out = !all(lo, hi);
+      break;
+    case CellKind::Xor2:
+      out = in(0) != in(1);
+      break;
+    case CellKind::Xnor2:
+      out = in(0) == in(1);
+      break;
+    case CellKind::Muller2:
+    case CellKind::Muller3:
+    case CellKind::Muller4:
+      out = muller(lo, hi, prev);
+      break;
+    case CellKind::Muller2R:
+    case CellKind::Muller3R:
+      // Last pin is the active-high reset: it forces the output low.
+      out = values_[cn.fanin_net[hi - 1]] != 0 ? false
+                                               : muller(lo, hi - 1, prev);
+      break;
+  }
+
+  schedule(out_net, out, t_ps + cn.delay_ps[cell], cn.slew_ps[cell]);
+}
+
+void CompiledSimulator::commit(const Event& ev) {
+  const CompiledNetlist& cn = *cn_;
+  values_[ev.net] = static_cast<char>(ev.value);
+  now_ = ev.t_ps;
+  ++total_transitions_;
+  if (sink_ != nullptr || log_enabled_) {
+    const Transition tr{ev.t_ps, ev.net, ev.value, cn.cap_ff[ev.net],
+                        pending_slew_[ev.net]};
+    if (sink_ != nullptr) sink_->on_transition(tr);
+    if (log_enabled_) log_.push_back(tr);
+  }
+  const std::uint32_t lo = cn.fanout_offset[ev.net];
+  const std::uint32_t hi = cn.fanout_offset[ev.net + 1];
+  for (std::uint32_t i = lo; i < hi; ++i)
+    evaluate_cell(cn.fanout_cell[i], ev.t_ps);
+}
+
+std::size_t CompiledSimulator::run_until_stable(std::size_t max_events) {
+  std::size_t committed = 0;
+  while (!heap_.empty()) {
+    const Event ev = pop_event();
+    if (pending_seq_[ev.net] != ev.seq) continue;  // cancelled/stale
+    pending_seq_[ev.net] = 0;
+    commit(ev);
+    if (++committed > max_events)
+      throw std::runtime_error(
+          "CompiledSimulator::run_until_stable: event budget exhausted "
+          "(oscillating netlist?)");
+  }
+  return committed;
+}
+
+}  // namespace qdi::sim

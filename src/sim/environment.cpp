@@ -11,7 +11,7 @@ namespace qdi::sim {
 using netlist::ChannelId;
 using netlist::kNoNet;
 
-FourPhaseEnv::FourPhaseEnv(Simulator& sim, EnvSpec spec)
+FourPhaseEnv::FourPhaseEnv(SimEngine& sim, EnvSpec spec)
     : sim_(&sim), spec_(std::move(spec)) {
   for (ChannelId ch : spec_.inputs)
     assert(ch < sim_->netlist().num_channels());
@@ -76,8 +76,7 @@ FourPhaseEnv::CycleResult FourPhaseEnv::send(std::span<const int> values) {
   const std::size_t before = sim_->transition_count();
 
   // Align the cycle start on the period grid.
-  const double t0 =
-      std::ceil((sim_->now() + 1e-9) / spec_.period_ps) * spec_.period_ps;
+  const double t0 = next_cycle_start();
   sim_->advance_to(t0);
   res.t_start = t0;
 

@@ -1,0 +1,79 @@
+// CompiledNetlist — the execution representation of a netlist.
+//
+// The construction-oriented netlist::Netlist is built for incremental
+// assembly and inspection: per-net std::string names, per-net
+// std::vector<Pin> sink lists, per-cell std::vector<NetId> inputs. The
+// event loop chases all of those pointers on every committed event.
+//
+// Compilation flattens the graph once into structure-of-arrays form:
+//
+//   * CSR fanout  (net  -> sink cells, Output pseudo-cells dropped),
+//   * CSR fanin   (cell -> input nets),
+//   * dense per-net capacitance,
+//   * per-cell delay/slew precomputed from the DelayModel (both depend
+//     only on the cell kind and its static output load),
+//   * compact CellKind codes — no strings anywhere.
+//
+// A CompiledNetlist is immutable after construction and is shared
+// read-only by all acquisition workers (see sim::compile). It must
+// outlive every CompiledSimulator running on it, and the source Netlist
+// must not be mutated while compiled simulations run — recompile after
+// annotating capacitances.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "qdi/netlist/netlist.hpp"
+#include "qdi/sim/delay_model.hpp"
+
+namespace qdi::sim {
+
+class CompiledNetlist {
+ public:
+  explicit CompiledNetlist(const netlist::Netlist& nl, DelayModel model = {});
+
+  const netlist::Netlist& source() const noexcept { return *src_; }
+  const DelayModel& delay_model() const noexcept { return model_; }
+
+  std::uint32_t num_nets() const noexcept {
+    return static_cast<std::uint32_t>(cap_ff.size());
+  }
+  std::uint32_t num_cells() const noexcept {
+    return static_cast<std::uint32_t>(kind.size());
+  }
+
+  // All arrays below are filled by the constructor and immutable
+  // afterwards (exposed directly: this is a kernel data structure, not
+  // an abstraction boundary).
+
+  // ---- per-net ----------------------------------------------------------
+  std::vector<double> cap_ff;            ///< net load capacitance
+  std::vector<char> driven_by_input;     ///< 1 if driver is an Input pseudo-cell
+  std::vector<std::uint32_t> fanout_offset;  ///< size num_nets + 1
+  /// CSR payload: sink cell per pin, in pin registration order (a cell
+  /// listening on one net through two pins appears twice, exactly like
+  /// the reference sink walk). Output pseudo-cells are dropped — their
+  /// evaluation is a no-op by definition.
+  std::vector<std::uint32_t> fanout_cell;
+
+  // ---- per-cell ---------------------------------------------------------
+  std::vector<netlist::CellKind> kind;
+  std::vector<std::uint32_t> output;     ///< driven net, kNoNet when none
+  std::vector<double> delay_ps;          ///< DelayModel::delay_ps(kind, C_out)
+  std::vector<double> slew_ps;           ///< DelayModel::slew_ps(C_out)
+  std::vector<std::uint32_t> fanin_offset;   ///< size num_cells + 1
+  std::vector<std::uint32_t> fanin_net;      ///< CSR payload: input nets in pin order
+
+ private:
+  const netlist::Netlist* src_;
+  DelayModel model_;
+};
+
+/// Compile `nl` for sharing across acquisition workers. The shared_ptr
+/// is what SimTraceSource clones hand to their per-worker kernels.
+std::shared_ptr<const CompiledNetlist> compile(const netlist::Netlist& nl,
+                                               DelayModel model = {});
+
+}  // namespace qdi::sim

@@ -1,0 +1,126 @@
+// CompiledSimulator — the execution kernel of the event-driven
+// simulator, running against the flattened SoA CompiledNetlist.
+//
+// Semantics are identical to the reference `Simulator` (inertial-delay
+// filtering, glitch counting, Muller C-element state held through the
+// output net, deterministic (time, seq) event ordering); the equivalence
+// is asserted bit-for-bit over every registry target in
+// tests/test_compiled_sim.cpp. The differences are purely mechanical:
+//
+//   * gate evaluation reads CSR fanin arrays and an inlined truth-table
+//     switch instead of chasing per-cell vectors through cross-TU calls;
+//   * per-cell delay and slew come from arrays precomputed at compile
+//     time (they depend only on the static output load);
+//   * the transition log is OFF by default — acquisition streams power
+//     samples through a PowerSink at commit time instead;
+//   * reset_state() is a capacity-retaining memset, and save_epoch() /
+//     restore_epoch() snapshot the post-reset state so a trace epoch
+//     costs one O(num_nets) copy instead of re-simulating the reset
+//     handshake.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "qdi/sim/compiled_netlist.hpp"
+#include "qdi/sim/engine.hpp"
+#include "qdi/sim/transition.hpp"
+
+namespace qdi::sim {
+
+class CompiledSimulator final : public SimEngine {
+ public:
+  explicit CompiledSimulator(std::shared_ptr<const CompiledNetlist> cn);
+
+  const CompiledNetlist& compiled() const noexcept { return *cn_; }
+  const netlist::Netlist& netlist() const noexcept override {
+    return cn_->source();
+  }
+
+  void reset_state() override;
+  void initialize() override;
+
+  bool value(netlist::NetId net) const override {
+    assert(net < values_.size());
+    return values_[net] != 0;
+  }
+
+  void drive(netlist::NetId net, bool value, double at_ps) override;
+  std::size_t run_until_stable(std::size_t max_events = 10'000'000) override;
+
+  double now() const noexcept override { return now_; }
+  void advance_to(double t_ps) noexcept override {
+    if (t_ps > now_) now_ = t_ps;
+  }
+
+  std::size_t glitch_count() const noexcept override { return glitches_; }
+  std::size_t transition_count() const noexcept override {
+    return total_transitions_;
+  }
+
+  // ---- streaming power / optional log -----------------------------------
+
+  void set_power_sink(PowerSink* sink) noexcept override { sink_ = sink; }
+
+  /// The transition log is disabled by default in the kernel; enable it
+  /// for debugging or log-level equivalence checks.
+  void set_log_enabled(bool enabled) override { log_enabled_ = enabled; }
+  bool log_enabled() const noexcept override { return log_enabled_; }
+  const std::vector<Transition>& log() const noexcept override { return log_; }
+  void clear_log() override { log_.clear(); }
+
+  // ---- trace epochs ------------------------------------------------------
+
+  /// Snapshot of a quiescent simulation state (empty event queue). Taken
+  /// once after the reset handshake settles; restoring it starts the next
+  /// trace epoch from the identical state — and identical absolute time —
+  /// without re-simulating reset.
+  struct Epoch {
+    std::vector<char> values;
+    double now = 0.0;
+    std::uint64_t next_seq = 1;
+    std::size_t glitches = 0;
+    std::size_t total_transitions = 0;
+  };
+
+  /// Must be called with the event queue drained (after run_until_stable).
+  Epoch save_epoch() const;
+
+  /// O(num_nets) epoch bump: copies net values and counters back, clears
+  /// pending state and the log. No container reallocates.
+  void restore_epoch(const Epoch& e);
+
+ private:
+  struct Event {
+    double t_ps;
+    std::uint64_t seq;  // tie-break + lazy-deletion token
+    netlist::NetId net;
+    bool value;
+  };
+
+  void schedule(netlist::NetId net, bool value, double t_ps, double slew_ps);
+  void evaluate_cell(std::uint32_t cell, double t_ps);
+  void commit(const Event& ev);
+  void push_event(const Event& ev);
+  Event pop_event();
+
+  std::shared_ptr<const CompiledNetlist> cn_;
+
+  std::vector<char> values_;
+  std::vector<std::uint64_t> pending_seq_;  // live pending event per net (0 = none)
+  std::vector<char> pending_value_;
+  std::vector<double> pending_slew_;
+  std::vector<Event> heap_;  // binary min-heap on (t_ps, seq); clear() keeps capacity
+  std::uint64_t next_seq_ = 1;
+
+  double now_ = 0.0;
+  PowerSink* sink_ = nullptr;
+  bool log_enabled_ = false;
+  std::vector<Transition> log_;
+  std::size_t glitches_ = 0;
+  std::size_t total_transitions_ = 0;
+};
+
+}  // namespace qdi::sim

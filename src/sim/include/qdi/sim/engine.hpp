@@ -1,0 +1,70 @@
+// SimEngine — the minimal surface the four-phase environment (and any
+// other test harness) needs from a simulation engine. Two
+// implementations exist:
+//
+//   * `Simulator` — the reference engine, interpreting the
+//     construction-oriented `netlist::Netlist` directly;
+//   * `CompiledSimulator` — the execution kernel, running against the
+//     flattened SoA `CompiledNetlist`.
+//
+// Both produce bit-identical event sequences (asserted over every
+// registry target in tests/test_compiled_sim.cpp). The virtual calls
+// here sit on the environment side (a handful per handshake phase); the
+// hot event loop inside each engine is non-virtual.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qdi/netlist/netlist.hpp"
+#include "qdi/sim/transition.hpp"
+
+namespace qdi::sim {
+
+/// Which engine a simulation-backed trace source should run.
+enum class EngineKind {
+  Compiled,   ///< flattened SoA kernel (default)
+  Reference,  ///< construction-form interpreter
+};
+
+class SimEngine {
+ public:
+  virtual ~SimEngine() = default;
+
+  /// The construction netlist this engine simulates (for channel and
+  /// name queries; never consulted in the event loop by the kernel).
+  virtual const netlist::Netlist& netlist() const noexcept = 0;
+
+  /// Forget all state: all nets low, time zero, logs cleared.
+  virtual void reset_state() = 0;
+
+  /// Evaluate every gate once at the current time (see Simulator).
+  virtual void initialize() = 0;
+
+  virtual bool value(netlist::NetId net) const = 0;
+
+  /// Externally drive a primary-input net.
+  virtual void drive(netlist::NetId net, bool value, double at_ps) = 0;
+
+  /// Process events until the queue drains; see Simulator.
+  virtual std::size_t run_until_stable(std::size_t max_events = 10'000'000) = 0;
+
+  virtual double now() const noexcept = 0;
+  virtual void advance_to(double t_ps) noexcept = 0;
+
+  virtual std::size_t glitch_count() const noexcept = 0;
+  virtual std::size_t transition_count() const noexcept = 0;
+
+  /// Streaming transition consumer (nullptr detaches); sees every commit
+  /// in commit order while attached, independent of the log.
+  virtual void set_power_sink(PowerSink* sink) noexcept = 0;
+
+  /// Transition log control. Default differs by engine: ON for the
+  /// inspectable reference interpreter, OFF for the kernel.
+  virtual void set_log_enabled(bool enabled) = 0;
+  virtual bool log_enabled() const noexcept = 0;
+  virtual const std::vector<Transition>& log() const noexcept = 0;
+  virtual void clear_log() = 0;
+};
+
+}  // namespace qdi::sim

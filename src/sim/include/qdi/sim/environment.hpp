@@ -10,11 +10,12 @@
 // traces from different codewords are sample-aligned for DPA.
 #pragma once
 
+#include <cmath>
 #include <span>
 #include <vector>
 
 #include "qdi/netlist/netlist.hpp"
-#include "qdi/sim/simulator.hpp"
+#include "qdi/sim/engine.hpp"
 
 namespace qdi::sim {
 
@@ -29,11 +30,21 @@ struct EnvSpec {
   double phase_gap_ps = 50.0; ///< idle gap the env waits before each phase
 };
 
+/// Drives any SimEngine (the reference Simulator or the compiled kernel)
+/// through four-phase cycles; the engine choice never changes the
+/// environment's behaviour.
 class FourPhaseEnv {
  public:
-  FourPhaseEnv(Simulator& sim, EnvSpec spec);
+  FourPhaseEnv(SimEngine& sim, EnvSpec spec);
 
   const EnvSpec& spec() const noexcept { return spec_; }
+
+  /// Start time of the next cycle: the period-grid point send() will
+  /// align on. Exposed so streaming acquisition can open its power
+  /// window before the cycle runs.
+  double next_cycle_start() const noexcept {
+    return std::ceil((sim_->now() + 1e-9) / spec_.period_ps) * spec_.period_ps;
+  }
 
   /// Pulse reset: assert, settle, release, settle. Leaves the block empty.
   void apply_reset(double pulse_ps = 200.0);
@@ -62,7 +73,7 @@ class FourPhaseEnv {
  private:
   void drive_acks(bool value, double at_ps);
 
-  Simulator* sim_;
+  SimEngine* sim_;
   EnvSpec spec_;
 };
 

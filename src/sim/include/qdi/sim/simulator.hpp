@@ -1,4 +1,8 @@
-// Event-driven gate-level simulator for QDI netlists.
+// Event-driven gate-level simulator for QDI netlists — the *reference*
+// engine, interpreting the construction-oriented netlist::Netlist
+// directly. The compiled kernel (compiled_simulator.hpp) reproduces its
+// semantics bit-for-bit against the flattened execution form; this class
+// stays as the readable specification and equivalence oracle.
 //
 // Inertial-delay semantics: each net has at most one pending event; a
 // re-evaluation that contradicts a pending event cancels it (the would-be
@@ -11,7 +15,8 @@
 //
 // Every committed transition is appended to the transition log together
 // with the switched net's capacitance — exactly the (C, Δt, t) triples the
-// power model of section III needs.
+// power model of section III needs. The log can be disabled and a
+// streaming PowerSink attached instead (see transition.hpp).
 #pragma once
 
 #include <cassert>
@@ -21,34 +26,29 @@
 
 #include "qdi/netlist/netlist.hpp"
 #include "qdi/sim/delay_model.hpp"
+#include "qdi/sim/engine.hpp"
+#include "qdi/sim/transition.hpp"
 
 namespace qdi::sim {
 
-struct Transition {
-  double t_ps = 0.0;       ///< commit time
-  netlist::NetId net = netlist::kNoNet;
-  bool rising = false;
-  double cap_ff = 0.0;     ///< net capacitance at switch time
-  double slew_ps = 0.0;    ///< Δt(C) of the driving gate
-};
-
-class Simulator {
+class Simulator final : public SimEngine {
  public:
-  Simulator(const netlist::Netlist& nl, DelayModel model = {});
+  explicit Simulator(const netlist::Netlist& nl, DelayModel model = {});
 
-  const netlist::Netlist& netlist() const noexcept { return *nl_; }
+  const netlist::Netlist& netlist() const noexcept override { return *nl_; }
   const DelayModel& delay_model() const noexcept { return model_; }
 
-  /// Forget all state: all nets low, time zero, logs cleared.
-  void reset_state();
+  /// Forget all state: all nets low, time zero, logs cleared. Containers
+  /// retain their capacity — no reallocation after the first call.
+  void reset_state() override;
 
   /// Evaluate every gate once at the current time so that combinational
   /// outputs inconsistent with the all-zero state (e.g. inverters) settle.
   /// Call once after reset_state()/drive() of initial input values, then
   /// run_until_stable().
-  void initialize();
+  void initialize() override;
 
-  bool value(netlist::NetId net) const {
+  bool value(netlist::NetId net) const override {
     assert(net < values_.size());
     return values_[net] != 0;
   }
@@ -62,27 +62,37 @@ class Simulator {
   /// The change commits at `at_ps` with zero slew attributed to the
   /// environment (environment transitions carry the net's cap so input
   /// wire loading is still modeled).
-  void drive(netlist::NetId net, bool value, double at_ps);
+  void drive(netlist::NetId net, bool value, double at_ps) override;
 
   /// Process events until the queue drains. Returns the number of
   /// committed transitions. Throws std::runtime_error after `max_events`
   /// commits (runaway oscillation — a ring would otherwise hang).
-  std::size_t run_until_stable(std::size_t max_events = 10'000'000);
+  std::size_t run_until_stable(std::size_t max_events = 10'000'000) override;
 
   /// Current simulation time = commit time of the latest event.
-  double now() const noexcept { return now_; }
+  double now() const noexcept override { return now_; }
   /// Move the clock forward (idle gap between handshake phases).
-  void advance_to(double t_ps) noexcept;
+  void advance_to(double t_ps) noexcept override {
+    if (t_ps > now_) now_ = t_ps;
+  }
 
-  const std::vector<Transition>& log() const noexcept { return log_; }
-  void clear_log() { log_.clear(); }
+  void set_power_sink(PowerSink* sink) noexcept override { sink_ = sink; }
+
+  /// The transition log is ON by default here (the reference engine is
+  /// the inspectable one); disable it when only streaming power is needed.
+  void set_log_enabled(bool enabled) override { log_enabled_ = enabled; }
+  bool log_enabled() const noexcept override { return log_enabled_; }
+  const std::vector<Transition>& log() const noexcept override { return log_; }
+  void clear_log() override { log_.clear(); }
 
   /// Count of cancelled pending events (potential glitches). Zero on any
   /// hazard-free QDI block.
-  std::size_t glitch_count() const noexcept { return glitches_; }
+  std::size_t glitch_count() const noexcept override { return glitches_; }
 
   /// Total committed transitions since reset.
-  std::size_t transition_count() const noexcept { return total_transitions_; }
+  std::size_t transition_count() const noexcept override {
+    return total_transitions_;
+  }
 
  private:
   struct Event {
@@ -97,6 +107,11 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  /// priority_queue with a capacity-retaining clear() (the underlying
+  /// container is protected, not private — this is the sanctioned way in).
+  struct EventQueue : std::priority_queue<Event, std::vector<Event>, EventOrder> {
+    void clear() noexcept { c.clear(); }
+  };
 
   void schedule(netlist::NetId net, bool value, double t_ps, double slew_ps);
   void evaluate_cell(netlist::CellId cell, double t_ps);
@@ -109,10 +124,12 @@ class Simulator {
   std::vector<std::uint64_t> pending_seq_;  // seq of live pending event per net (0 = none)
   std::vector<char> pending_value_;
   std::vector<double> pending_slew_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  EventQueue queue_;
   std::uint64_t next_seq_ = 1;
 
   double now_ = 0.0;
+  PowerSink* sink_ = nullptr;
+  bool log_enabled_ = true;
   std::vector<Transition> log_;
   std::size_t glitches_ = 0;
   std::size_t total_transitions_ = 0;

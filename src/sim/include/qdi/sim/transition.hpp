@@ -1,0 +1,33 @@
+// Committed-transition record and the streaming power hook.
+//
+// A Transition is exactly the (C, Δt, t) triple the power model of
+// section III consumes. Both simulation engines (the reference
+// `Simulator` and the compiled kernel) can either append these records
+// to a transition log for post-hoc analysis, or push them into a
+// `PowerSink` as they commit — the streaming path that lets acquisition
+// bin power samples without ever materializing the log.
+#pragma once
+
+#include "qdi/netlist/netlist.hpp"
+
+namespace qdi::sim {
+
+struct Transition {
+  double t_ps = 0.0;       ///< commit time
+  netlist::NetId net = netlist::kNoNet;
+  bool rising = false;
+  double cap_ff = 0.0;     ///< net capacitance at switch time
+  double slew_ps = 0.0;    ///< Δt(C) of the driving gate
+};
+
+/// Streaming consumer of committed transitions. Attached to a simulation
+/// engine, it observes every commit in commit order — the same order a
+/// post-hoc walk of the transition log would see, so a streaming
+/// accumulator is bit-identical to the log-walking one by construction.
+class PowerSink {
+ public:
+  virtual ~PowerSink() = default;
+  virtual void on_transition(const Transition& t) = 0;
+};
+
+}  // namespace qdi::sim

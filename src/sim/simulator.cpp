@@ -17,11 +17,13 @@ Simulator::Simulator(const netlist::Netlist& nl, DelayModel model)
 }
 
 void Simulator::reset_state() {
+  // assign() and clear() retain capacity: after the first reset no
+  // container here ever reallocates, so per-trace epochs are cheap.
   values_.assign(nl_->num_nets(), 0);
   pending_seq_.assign(nl_->num_nets(), 0);
   pending_value_.assign(nl_->num_nets(), 0);
   pending_slew_.assign(nl_->num_nets(), 0.0);
-  while (!queue_.empty()) queue_.pop();
+  queue_.clear();
   now_ = 0.0;
   log_.clear();
   glitches_ = 0;
@@ -84,8 +86,12 @@ void Simulator::commit(const Event& ev) {
   values_[ev.net] = static_cast<char>(ev.value);
   now_ = ev.t_ps;
   ++total_transitions_;
-  log_.push_back(Transition{ev.t_ps, ev.net, ev.value, nl_->net(ev.net).cap_ff,
-                            pending_slew_[ev.net]});
+  if (sink_ != nullptr || log_enabled_) {
+    const Transition tr{ev.t_ps, ev.net, ev.value, nl_->net(ev.net).cap_ff,
+                        pending_slew_[ev.net]};
+    if (sink_ != nullptr) sink_->on_transition(tr);
+    if (log_enabled_) log_.push_back(tr);
+  }
   for (const netlist::Pin& p : nl_->net(ev.net).sinks)
     evaluate_cell(p.cell, ev.t_ps);
 }
@@ -104,10 +110,6 @@ std::size_t Simulator::run_until_stable(std::size_t max_events) {
           "(oscillating netlist?)");
   }
   return committed;
-}
-
-void Simulator::advance_to(double t_ps) noexcept {
-  if (t_ps > now_) now_ = t_ps;
 }
 
 }  // namespace qdi::sim

@@ -1,37 +1,47 @@
+// Acquisition-layer tests against the campaign trace source (the
+// replacement for the removed per-circuit dpa::acquire_* wrappers) plus
+// the retained generic dpa::acquire engine.
 #include <gtest/gtest.h>
 
+#include "qdi/campaign/target.hpp"
 #include "qdi/crypto/aes.hpp"
 #include "qdi/crypto/des.hpp"
 #include "qdi/dpa/acquisition.hpp"
+#include "qdi/gates/testbench.hpp"
 
-// This file deliberately exercises the deprecated acquire_* back-compat
-// wrappers alongside their replacements.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
+namespace qc = qdi::campaign;
 namespace qd = qdi::dpa;
 namespace qg = qdi::gates;
-namespace qc = qdi::crypto;
+namespace qy = qdi::crypto;
+
+namespace {
+
+/// Acquire `n` traces from a built target instance through the campaign
+/// trace source (compiled engine, the default).
+qd::TraceSet acquire(const qc::TargetInstance& inst, std::size_t n,
+                     std::uint64_t seed,
+                     qc::SimTraceSourceOptions opt = {}) {
+  qc::SimTraceSource src(inst.nl, inst.env, inst.stimulus, opt);
+  return qc::acquire_batch(src, n, seed);
+}
+
+}  // namespace
 
 TEST(Acquisition, AesSliceCiphertextsMatchGoldenModel) {
-  qg::AesByteSlice slice = qg::build_aes_byte_slice();
-  qd::Acquisition cfg;
-  cfg.num_traces = 40;
-  cfg.seed = 11;
-  const qd::TraceSet ts = qd::acquire_aes_byte_slice(slice, 0x2b, cfg);
+  const qc::TargetInstance inst = qc::aes_byte_slice().build(0x2b);
+  const qd::TraceSet ts = acquire(inst, 40, 11);
   ASSERT_EQ(ts.size(), 40u);
   for (std::size_t i = 0; i < ts.size(); ++i) {
     const std::uint8_t p = ts.plaintext(i)[0];
     EXPECT_EQ(ts.ciphertext(i)[0],
-              qc::aes_sbox(static_cast<std::uint8_t>(p ^ 0x2b)))
+              qy::aes_sbox(static_cast<std::uint8_t>(p ^ 0x2b)))
         << "trace " << i;
   }
 }
 
 TEST(Acquisition, TracesHaveUniformGeometryAndActivity) {
-  qg::AesByteSlice slice = qg::build_aes_byte_slice();
-  qd::Acquisition cfg;
-  cfg.num_traces = 10;
-  const qd::TraceSet ts = qd::acquire_aes_byte_slice(slice, 0x00, cfg);
+  const qc::TargetInstance inst = qc::aes_byte_slice().build(0x00);
+  const qd::TraceSet ts = acquire(inst, 10, 1);
   const std::size_t n = ts.num_samples();
   EXPECT_GT(n, 0u);
   for (std::size_t i = 0; i < ts.size(); ++i) {
@@ -41,14 +51,12 @@ TEST(Acquisition, TracesHaveUniformGeometryAndActivity) {
 }
 
 TEST(Acquisition, DeterministicPerSeed) {
-  qg::AesByteSlice s1 = qg::build_aes_byte_slice();
-  qg::AesByteSlice s2 = qg::build_aes_byte_slice();
-  qd::Acquisition cfg;
-  cfg.num_traces = 6;
-  cfg.seed = 33;
-  cfg.power.noise_sigma_ua = 1.0;
-  const qd::TraceSet a = qd::acquire_aes_byte_slice(s1, 0x55, cfg);
-  const qd::TraceSet b = qd::acquire_aes_byte_slice(s2, 0x55, cfg);
+  const qc::TargetInstance i1 = qc::aes_byte_slice().build(0x55);
+  const qc::TargetInstance i2 = qc::aes_byte_slice().build(0x55);
+  qc::SimTraceSourceOptions opt;
+  opt.power.noise_sigma_ua = 1.0;
+  const qd::TraceSet a = acquire(i1, 6, 33, opt);
+  const qd::TraceSet b = acquire(i2, 6, 33, opt);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a.plaintext(i)[0], b.plaintext(i)[0]);
@@ -58,14 +66,9 @@ TEST(Acquisition, DeterministicPerSeed) {
 }
 
 TEST(Acquisition, SeedsChangePlaintextSequence) {
-  qg::AesByteSlice s1 = qg::build_aes_byte_slice();
-  qg::AesByteSlice s2 = qg::build_aes_byte_slice();
-  qd::Acquisition c1, c2;
-  c1.num_traces = c2.num_traces = 16;
-  c1.seed = 1;
-  c2.seed = 2;
-  const qd::TraceSet a = qd::acquire_aes_byte_slice(s1, 0x55, c1);
-  const qd::TraceSet b = qd::acquire_aes_byte_slice(s2, 0x55, c2);
+  const qc::TargetInstance inst = qc::aes_byte_slice().build(0x55);
+  const qd::TraceSet a = acquire(inst, 16, 1);
+  const qd::TraceSet b = acquire(inst, 16, 2);
   bool differs = false;
   for (std::size_t i = 0; i < a.size(); ++i)
     if (a.plaintext(i)[0] != b.plaintext(i)[0]) differs = true;
@@ -73,23 +76,19 @@ TEST(Acquisition, SeedsChangePlaintextSequence) {
 }
 
 TEST(Acquisition, DesSliceCiphertextsMatchGoldenModel) {
-  qg::DesSboxSlice slice = qg::build_des_sbox_slice(0);
-  qd::Acquisition cfg;
-  cfg.num_traces = 30;
-  const qd::TraceSet ts = qd::acquire_des_sbox_slice(slice, 0x27, cfg);
+  const qc::TargetInstance inst = qc::des_sbox_slice().build(0x27);
+  const qd::TraceSet ts = acquire(inst, 30, 1);
   for (std::size_t i = 0; i < ts.size(); ++i) {
     const std::uint8_t p = ts.plaintext(i)[0];
     EXPECT_LT(p, 64);
     EXPECT_EQ(ts.ciphertext(i)[0],
-              qc::des_sbox(0, static_cast<std::uint8_t>(p ^ 0x27)));
+              qy::des_sbox(0, static_cast<std::uint8_t>(p ^ 0x27)));
   }
 }
 
 TEST(Acquisition, XorStageRecordsBothBits) {
-  qg::XorStage x = qg::build_xor_stage();
-  qd::Acquisition cfg;
-  cfg.num_traces = 20;
-  const qd::TraceSet ts = qd::acquire_xor_stage(x, cfg);
+  const qc::TargetInstance inst = qc::xor_stage().build(0);
+  const qd::TraceSet ts = acquire(inst, 20, 1);
   for (std::size_t i = 0; i < ts.size(); ++i) {
     EXPECT_LE(ts.plaintext(i)[0], 1);
     EXPECT_LE(ts.plaintext(i)[1], 1);
@@ -101,11 +100,33 @@ TEST(Acquisition, XorStageRecordsBothBits) {
 TEST(Acquisition, BalancedSliceShowsNoKeyDependentCharge) {
   // With uniform caps (no P&R), total per-trace charge must be identical
   // across plaintexts — the QDI balance property seen from the power side.
-  qg::AesByteSlice slice = qg::build_aes_byte_slice();
-  qd::Acquisition cfg;
-  cfg.num_traces = 24;
-  const qd::TraceSet ts = qd::acquire_aes_byte_slice(slice, 0x99, cfg);
+  const qc::TargetInstance inst = qc::aes_byte_slice().build(0x99);
+  const qd::TraceSet ts = acquire(inst, 24, 1);
   const double q0 = ts.trace(0).total_charge_fc();
   for (std::size_t i = 1; i < ts.size(); ++i)
     EXPECT_NEAR(ts.trace(i).total_charge_fc(), q0, q0 * 1e-9);
+}
+
+TEST(Acquisition, GenericEngineRunsBackToBackCycles) {
+  // The retained low-level engine: one shared sequential RNG, cycles
+  // run continuously without a reset in between.
+  qg::XorStage x = qg::build_xor_stage();
+  qdi::sim::Simulator sim(x.nl);
+  qdi::sim::FourPhaseEnv env(sim, x.env);
+  qd::Acquisition cfg;
+  cfg.num_traces = 12;
+  const qd::TraceSet ts = qd::acquire(
+      sim, env,
+      [](qdi::util::Rng& rng) {
+        const int a = static_cast<int>(rng.below(2));
+        const int b = static_cast<int>(rng.below(2));
+        return std::make_pair(std::vector<int>{a, b},
+                              std::vector<std::uint8_t>{
+                                  static_cast<std::uint8_t>(a),
+                                  static_cast<std::uint8_t>(b)});
+      },
+      cfg);
+  ASSERT_EQ(ts.size(), 12u);
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    EXPECT_EQ(ts.ciphertext(i)[0], ts.plaintext(i)[0] ^ ts.plaintext(i)[1]);
 }

@@ -6,6 +6,7 @@
 #include "qdi/gates/aes_datapath.hpp"
 #include "qdi/pnr/placement.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 #include "qdi/util/rng.hpp"
 
 namespace qn = qdi::netlist;

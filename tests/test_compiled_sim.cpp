@@ -1,0 +1,230 @@
+// Compiled-kernel equivalence and unit tests.
+//
+// The CompiledSimulator must be indistinguishable from the reference
+// Simulator at every observable level: per-transition (log records),
+// per-trace (power samples, ciphertext, transition/glitch counts), and
+// per-campaign (any thread count). These tests pin all three, for every
+// simulatable CircuitTarget in the registry.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "qdi/campaign/target.hpp"
+#include "qdi/gates/testbench.hpp"
+#include "qdi/sim/compiled_simulator.hpp"
+
+namespace qc = qdi::campaign;
+namespace qn = qdi::netlist;
+namespace qs = qdi::sim;
+
+namespace {
+
+qdi::dpa::TraceSet acquire(const qc::TargetInstance& inst, qs::EngineKind kind,
+                           unsigned threads, qc::AcquisitionStats* stats,
+                           std::size_t n = 8, double jitter_ps = 0.0,
+                           double noise = 0.0) {
+  qc::SimTraceSourceOptions opt;
+  opt.engine = kind;
+  opt.start_jitter_ps = jitter_ps;
+  opt.power.noise_sigma_ua = noise;
+  qc::SimTraceSource src(inst.nl, inst.env, inst.stimulus, opt);
+  return qc::acquire_batch(src, n, /*seed=*/42, threads, stats);
+}
+
+void expect_bit_identical(const qdi::dpa::TraceSet& a,
+                          const qdi::dpa::TraceSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_samples(), b.num_samples());
+  const auto bytes = [](std::span<const std::uint8_t> s) {
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+  };
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(bytes(a.plaintext(i)), bytes(b.plaintext(i))) << "trace " << i;
+    ASSERT_EQ(bytes(a.ciphertext(i)), bytes(b.ciphertext(i))) << "trace " << i;
+    for (std::size_t j = 0; j < a.num_samples(); ++j)
+      ASSERT_EQ(a.trace(i)[j], b.trace(i)[j])
+          << "trace " << i << " sample " << j;
+  }
+}
+
+}  // namespace
+
+// ---- registry-wide trace equivalence ---------------------------------------
+
+TEST(CompiledEquivalence, AllRegistryTargetsBitIdenticalAnyThreadCount) {
+  for (const std::string& name : qc::list_targets()) {
+    SCOPED_TRACE(name);
+    const qc::TargetInstance inst = qc::find_target(name).build(0x2b);
+    if (!inst.simulatable || !inst.stimulus) continue;
+
+    qc::AcquisitionStats ref_stats;
+    const qdi::dpa::TraceSet ref =
+        acquire(inst, qs::EngineKind::Reference, 1, &ref_stats);
+
+    for (unsigned threads : {1u, 3u}) {
+      SCOPED_TRACE(threads);
+      qc::AcquisitionStats stats;
+      const qdi::dpa::TraceSet compiled =
+          acquire(inst, qs::EngineKind::Compiled, threads, &stats);
+      expect_bit_identical(ref, compiled);
+      EXPECT_EQ(stats.transitions, ref_stats.transitions);
+      EXPECT_EQ(stats.glitches, ref_stats.glitches);
+      EXPECT_EQ(stats.per_trace_transitions, ref_stats.per_trace_transitions);
+    }
+  }
+}
+
+TEST(CompiledEquivalence, JitterAndNoiseStreamsMatchReference) {
+  // Jitter exercises the predicted-window path of the streaming
+  // accumulator; noise exercises the RNG draw order around it.
+  const qc::TargetInstance inst = qc::xor_stage().build(0);
+  const qdi::dpa::TraceSet ref = acquire(inst, qs::EngineKind::Reference, 1,
+                                         nullptr, 12, 300.0, 1.5);
+  const qdi::dpa::TraceSet compiled = acquire(inst, qs::EngineKind::Compiled, 2,
+                                              nullptr, 12, 300.0, 1.5);
+  expect_bit_identical(ref, compiled);
+}
+
+TEST(CompiledEquivalence, UnbalancedCapsSurviveCompilation) {
+  // Compilation snapshots per-net capacitance; a prepare-style mutation
+  // before source construction must show up identically in both engines.
+  qc::TargetInstance inst = qc::des_sbox_slice().build(0x15);
+  for (qn::ChannelId ch = 0; ch < inst.nl.num_channels(); ++ch) {
+    const qn::Channel& c = inst.nl.channel(ch);
+    if (c.name.find("sbox/out") != std::string::npos)
+      inst.nl.net(c.rails[1]).cap_ff *= 1.8;
+  }
+  const qdi::dpa::TraceSet ref =
+      acquire(inst, qs::EngineKind::Reference, 1, nullptr, 16);
+  const qdi::dpa::TraceSet compiled =
+      acquire(inst, qs::EngineKind::Compiled, 1, nullptr, 16);
+  expect_bit_identical(ref, compiled);
+}
+
+// ---- log-level equivalence -------------------------------------------------
+
+TEST(CompiledKernel, TransitionLogMatchesReferenceExactly) {
+  const qdi::gates::XorStage x = qdi::gates::build_xor_stage();
+
+  qs::Simulator ref(x.nl);
+  qs::FourPhaseEnv ref_env(ref, x.env);
+  ref_env.apply_reset();
+
+  qs::CompiledSimulator comp(qs::compile(x.nl));
+  comp.set_log_enabled(true);
+  qs::FourPhaseEnv comp_env(comp, x.env);
+  comp_env.apply_reset();
+
+  for (int v = 0; v < 4; ++v) {
+    const std::vector<int> values{v & 1, (v >> 1) & 1};
+    ref.clear_log();
+    comp.clear_log();
+    const auto rc = ref_env.send(values);
+    const auto cc = comp_env.send(values);
+    ASSERT_TRUE(rc.ok);
+    ASSERT_TRUE(cc.ok);
+    EXPECT_EQ(rc.outputs, cc.outputs);
+    ASSERT_EQ(ref.log().size(), comp.log().size());
+    for (std::size_t i = 0; i < ref.log().size(); ++i) {
+      const qs::Transition& a = ref.log()[i];
+      const qs::Transition& b = comp.log()[i];
+      EXPECT_EQ(a.t_ps, b.t_ps) << "transition " << i;
+      EXPECT_EQ(a.net, b.net) << "transition " << i;
+      EXPECT_EQ(a.rising, b.rising) << "transition " << i;
+      EXPECT_EQ(a.cap_ff, b.cap_ff) << "transition " << i;
+      EXPECT_EQ(a.slew_ps, b.slew_ps) << "transition " << i;
+    }
+    EXPECT_EQ(ref.transition_count(), comp.transition_count());
+    EXPECT_EQ(ref.glitch_count(), comp.glitch_count());
+  }
+}
+
+// ---- epoch snapshot --------------------------------------------------------
+
+TEST(CompiledKernel, EpochRestoreReplaysIdenticalCycles) {
+  const qdi::gates::XorStage x = qdi::gates::build_xor_stage();
+  qs::CompiledSimulator sim(qs::compile(x.nl));
+  sim.set_log_enabled(true);
+  qs::FourPhaseEnv env(sim, x.env);
+  env.apply_reset();
+  const auto epoch = sim.save_epoch();
+
+  const std::vector<int> values{1, 0};
+  sim.clear_log();
+  auto first = env.send(values);
+  ASSERT_TRUE(first.ok);
+  const std::vector<qs::Transition> first_log = sim.log();
+
+  // Restoring the epoch must replay the cycle bit-identically — same
+  // absolute times, same transition sequence.
+  sim.restore_epoch(epoch);
+  auto second = env.send(values);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(first.t_start, second.t_start);
+  EXPECT_EQ(first.transitions, second.transitions);
+  ASSERT_EQ(first_log.size(), sim.log().size());
+  for (std::size_t i = 0; i < first_log.size(); ++i) {
+    EXPECT_EQ(first_log[i].t_ps, sim.log()[i].t_ps);
+    EXPECT_EQ(first_log[i].net, sim.log()[i].net);
+    EXPECT_EQ(first_log[i].rising, sim.log()[i].rising);
+  }
+}
+
+// ---- compiled structure sanity ---------------------------------------------
+
+TEST(CompiledNetlist, CsrStructureMirrorsSource) {
+  const qc::TargetInstance inst = qc::xor_stage().build(0);
+  const qs::CompiledNetlist cn(inst.nl);
+  ASSERT_EQ(cn.num_nets(), inst.nl.num_nets());
+  ASSERT_EQ(cn.num_cells(), inst.nl.num_cells());
+  for (qn::NetId n = 0; n < cn.num_nets(); ++n)
+    EXPECT_EQ(cn.cap_ff[n], inst.nl.net(n).cap_ff);
+  for (qn::CellId c = 0; c < cn.num_cells(); ++c) {
+    const qn::Cell& cell = inst.nl.cell(c);
+    EXPECT_EQ(cn.kind[c], cell.kind);
+    const std::uint32_t lo = cn.fanin_offset[c];
+    const std::uint32_t hi = cn.fanin_offset[c + 1];
+    ASSERT_EQ(hi - lo, cell.inputs.size());
+    for (std::size_t i = 0; i < cell.inputs.size(); ++i)
+      EXPECT_EQ(cn.fanin_net[lo + i], cell.inputs[i]);
+  }
+  // Fanout CSR: every non-Output sink pin appears, in order.
+  for (qn::NetId n = 0; n < cn.num_nets(); ++n) {
+    std::vector<std::uint32_t> expect;
+    for (const qn::Pin& p : inst.nl.net(n).sinks)
+      if (inst.nl.cell(p.cell).kind != qn::CellKind::Output)
+        expect.push_back(p.cell);
+    const std::vector<std::uint32_t> got(
+        cn.fanout_cell.begin() + cn.fanout_offset[n],
+        cn.fanout_cell.begin() + cn.fanout_offset[n + 1]);
+    EXPECT_EQ(got, expect) << "net " << n;
+  }
+}
+
+// ---- name index ------------------------------------------------------------
+
+TEST(NameIndex, HashedLookupMatchesLinearScanAndSurvivesMutation) {
+  qn::Netlist nl("idx");
+  std::vector<qn::NetId> ids;
+  // Well past kNameIndexThreshold so the hashed path is exercised.
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(nl.add_net("net" + std::to_string(i)));
+  EXPECT_EQ(nl.find_net("net0"), ids[0]);
+  EXPECT_EQ(nl.find_net("net99"), ids[99]);
+  EXPECT_EQ(nl.find_net("net100"), qn::kNoNet);
+
+  // Adding after the index was built must invalidate and find the new net.
+  const qn::NetId fresh = nl.add_net("fresh");
+  EXPECT_EQ(nl.find_net("fresh"), fresh);
+
+  // Renaming through the mutable accessor must also invalidate.
+  nl.net(ids[7]).name = "renamed";
+  EXPECT_EQ(nl.find_net("renamed"), ids[7]);
+  EXPECT_EQ(nl.find_net("net7"), qn::kNoNet);
+
+  // Duplicate names resolve to the lowest id, like the linear scan.
+  nl.net(ids[5]).name = "dup";
+  nl.net(ids[9]).name = "dup";
+  EXPECT_EQ(nl.find_net("dup"), ids[5]);
+}

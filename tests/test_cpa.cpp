@@ -5,14 +5,10 @@
 
 #include "qdi/crypto/des.hpp"
 
+#include "qdi/campaign/target.hpp"
 #include "qdi/crypto/aes.hpp"
-#include "qdi/dpa/acquisition.hpp"
 #include "qdi/dpa/cpa.hpp"
 #include "qdi/util/rng.hpp"
-
-// This file deliberately exercises the deprecated acquire_* back-compat
-// wrappers alongside their replacements.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace qd = qdi::dpa;
 namespace qc = qdi::crypto;
@@ -105,18 +101,17 @@ TEST(Cpa, PrefixUsesFewerTraces) {
 TEST(Cpa, EndToEndOnUnbalancedSlice) {
   // CPA against the simulated circuit: unbalance the S-Box output
   // channels so that rail-1 charge tracks the output Hamming weight.
-  qdi::gates::AesByteSlice slice = qdi::gates::build_aes_byte_slice();
-  for (qdi::netlist::ChannelId ch = 0; ch < slice.nl.num_channels(); ++ch) {
-    const qdi::netlist::Channel& c = slice.nl.channel(ch);
+  const std::uint8_t key = 0x66;
+  qdi::campaign::TargetInstance inst =
+      qdi::campaign::aes_byte_slice().build(key);
+  for (qdi::netlist::ChannelId ch = 0; ch < inst.nl.num_channels(); ++ch) {
+    const qdi::netlist::Channel& c = inst.nl.channel(ch);
     if (c.name.find("sbox/out") != std::string::npos ||
         c.name.find("hb/q_q") != std::string::npos)
-      slice.nl.net(c.rails[1]).cap_ff *= 2.0;
+      inst.nl.net(c.rails[1]).cap_ff *= 2.0;
   }
-  const std::uint8_t key = 0x66;
-  qd::Acquisition cfg;
-  cfg.num_traces = 400;
-  cfg.seed = 5;
-  const qd::TraceSet ts = qd::acquire_aes_byte_slice(slice, key, cfg);
+  qdi::campaign::SimTraceSource src(inst.nl, inst.env, inst.stimulus, {});
+  const qd::TraceSet ts = qdi::campaign::acquire_batch(src, 400, 5);
   const qd::CpaResult r = qd::cpa_attack(ts, qd::aes_sbox_hw_model(0), 256);
   EXPECT_EQ(r.best_guess, key);
   EXPECT_EQ(r.rank_of(key), 0u);

@@ -3,6 +3,7 @@
 #include "qdi/crypto/des.hpp"
 #include "qdi/gates/des_datapath.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 #include "qdi/util/rng.hpp"
 
 namespace qn = qdi::netlist;

@@ -4,47 +4,47 @@
 //   repair / re-balancing -> leak collapses again.
 #include <gtest/gtest.h>
 
+#include "qdi/campaign/target.hpp"
 #include "qdi/core/criterion.hpp"
 #include "qdi/core/secure_flow.hpp"
-#include "qdi/dpa/acquisition.hpp"
 #include "qdi/dpa/dpa.hpp"
 
-// This file deliberately exercises the deprecated acquire_* back-compat
-// wrappers alongside their replacements.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
+namespace qc = qdi::campaign;
 namespace qd = qdi::dpa;
-namespace qg = qdi::gates;
-namespace qc = qdi::core;
+namespace qo = qdi::core;
 namespace qn = qdi::netlist;
 
 namespace {
 
-/// Multiply the cap of rail-1 of every S-Box output channel by `factor`
-/// (a deterministic stand-in for what an uncontrolled flat P&R does).
-void unbalance_sbox_outputs(qg::AesByteSlice& slice, double factor) {
-  for (const auto& q : slice.q) {
-    // The latched outputs and the S-Box rails feeding them.
-    slice.nl.net(q.r1).cap_ff *= factor;
-    const qn::ChannelId ch = q.ch;
-    (void)ch;
-  }
-  // Also unbalance the pre-latch S-Box rails through the channel registry:
-  // channels named ".../sbox/outN".
-  for (qn::ChannelId ch = 0; ch < slice.nl.num_channels(); ++ch) {
-    const qn::Channel& c = slice.nl.channel(ch);
-    if (c.name.find("sbox/out") != std::string::npos)
-      slice.nl.net(c.rails[1]).cap_ff *= factor;
+/// Multiply the cap of rail-1 of every channel whose name matches one of
+/// `needles` by `factor` (a deterministic stand-in for what an
+/// uncontrolled flat P&R does).
+void unbalance_channels(qn::Netlist& nl,
+                        std::initializer_list<const char*> needles,
+                        double factor) {
+  for (qn::ChannelId ch = 0; ch < nl.num_channels(); ++ch) {
+    const qn::Channel& c = nl.channel(ch);
+    for (const char* needle : needles)
+      if (c.name.find(needle) != std::string::npos) {
+        nl.net(c.rails[1]).cap_ff *= factor;
+        break;
+      }
   }
 }
 
-qd::TraceSet acquire(qg::AesByteSlice& slice, std::uint8_t key, std::size_t n,
-                     double noise = 0.0) {
-  qd::Acquisition cfg;
-  cfg.num_traces = n;
-  cfg.seed = 1234;
-  cfg.power.noise_sigma_ua = noise;
-  return qd::acquire_aes_byte_slice(slice, key, cfg);
+/// The S-Box output rails and the latched outputs they feed.
+void unbalance_sbox_outputs(qn::Netlist& nl, double factor) {
+  unbalance_channels(nl, {"sbox/out", "hb/q_q"}, factor);
+}
+
+qd::TraceSet acquire(const qc::TargetInstance& inst, std::size_t n,
+                     double noise = 0.0,
+                     qdi::sim::DelayModel delays = {}) {
+  qc::SimTraceSourceOptions opt;
+  opt.power.noise_sigma_ua = noise;
+  opt.delays = delays;
+  qc::SimTraceSource src(inst.nl, inst.env, inst.stimulus, opt);
+  return qc::acquire_batch(src, n, 1234);
 }
 
 std::vector<qd::SelectionFn> sbox_bits() {
@@ -56,10 +56,10 @@ std::vector<qd::SelectionFn> sbox_bits() {
 }  // namespace
 
 TEST(EndToEnd, UnbalancedRailsLeakTheKey) {
-  qg::AesByteSlice slice = qg::build_aes_byte_slice();
-  unbalance_sbox_outputs(slice, 2.0);
   const std::uint8_t key = 0x4f;
-  const qd::TraceSet ts = acquire(slice, key, 300);
+  qc::TargetInstance inst = qc::aes_byte_slice().build(key);
+  unbalance_sbox_outputs(inst.nl, 2.0);
+  const qd::TraceSet ts = acquire(inst, 300);
   const auto r = qd::recover_key_multibit(ts, sbox_bits(), 256);
   EXPECT_EQ(r.best_guess, key);
   EXPECT_EQ(r.rank_of(key), 0u);
@@ -67,9 +67,9 @@ TEST(EndToEnd, UnbalancedRailsLeakTheKey) {
 }
 
 TEST(EndToEnd, BalancedRailsDoNotLeak) {
-  qg::AesByteSlice slice = qg::build_aes_byte_slice();
   const std::uint8_t key = 0x4f;
-  const qd::TraceSet ts = acquire(slice, key, 300);
+  const qc::TargetInstance inst = qc::aes_byte_slice().build(key);
+  const qd::TraceSet ts = acquire(inst, 300);
   const auto r = qd::recover_key_multibit(ts, sbox_bits(), 256);
   // With uniform caps every guess's bias is numerically negligible: the
   // best peak must not stand out the way the leaky layout's does.
@@ -77,31 +77,31 @@ TEST(EndToEnd, BalancedRailsDoNotLeak) {
 }
 
 TEST(EndToEnd, LeakSurvivesMeasurementNoise) {
-  qg::AesByteSlice slice = qg::build_aes_byte_slice();
-  unbalance_sbox_outputs(slice, 2.0);
   const std::uint8_t key = 0xd2;
-  const qd::TraceSet ts = acquire(slice, key, 600, /*noise=*/2.0);
+  qc::TargetInstance inst = qc::aes_byte_slice().build(key);
+  unbalance_sbox_outputs(inst.nl, 2.0);
+  const qd::TraceSet ts = acquire(inst, 600, /*noise=*/2.0);
   const auto r = qd::recover_key_multibit(ts, sbox_bits(), 256);
   EXPECT_EQ(r.best_guess, key);
 }
 
 TEST(EndToEnd, RepairPassKillsTheLeak) {
-  qg::AesByteSlice slice = qg::build_aes_byte_slice();
-  unbalance_sbox_outputs(slice, 2.0);
   const std::uint8_t key = 0x4f;
+  qc::TargetInstance inst = qc::aes_byte_slice().build(key);
+  unbalance_sbox_outputs(inst.nl, 2.0);
 
   // Confirm leak, then repair in place and re-acquire.
-  const qd::TraceSet leaky = acquire(slice, key, 300);
+  const qd::TraceSet leaky = acquire(inst, 300);
   const auto before = qd::recover_key_multibit(leaky, sbox_bits(), 256);
   ASSERT_EQ(before.best_guess, key);
 
-  const auto [touched, added] = qc::repair_rail_caps(slice.nl, 0.0);
+  const auto [touched, added] = qo::repair_rail_caps(inst.nl, 0.0);
   EXPECT_GT(touched, 0u);
   EXPECT_GT(added, 0.0);
-  const auto criteria = qc::evaluate_criterion(slice.nl);
-  EXPECT_NEAR(qc::max_dA(criteria), 0.0, 1e-9);
+  const auto criteria = qo::evaluate_criterion(inst.nl);
+  EXPECT_NEAR(qo::max_dA(criteria), 0.0, 1e-9);
 
-  const qd::TraceSet fixed = acquire(slice, key, 300);
+  const qd::TraceSet fixed = acquire(inst, 300);
   const auto after = qd::recover_key_multibit(fixed, sbox_bits(), 256);
   EXPECT_LT(after.best_peak, before.best_peak * 0.2);
 }
@@ -119,18 +119,10 @@ TEST(EndToEnd, BiggerDissymmetryMeansBiggerBias) {
   const std::uint8_t key = 0x00;
   double prev = 0.0;
   for (double factor : {1.0, 1.5, 2.0, 3.0}) {
-    qg::AesByteSlice slice = qg::build_aes_byte_slice();
-    for (qn::ChannelId ch = 0; ch < slice.nl.num_channels(); ++ch) {
-      const qn::Channel& c = slice.nl.channel(ch);
-      if (c.name.find("sbox/out0") != std::string::npos ||
-          c.name.find("hb/q_q0") != std::string::npos)
-        slice.nl.net(c.rails[1]).cap_ff *= factor;
-    }
-    qd::Acquisition cfg;
-    cfg.num_traces = 200;
-    cfg.seed = 1234;
-    const qd::TraceSet ts = qd::acquire_aes_byte_slice(
-        slice, key, cfg, qdi::sim::DelayModel::load_insensitive());
+    qc::TargetInstance inst = qc::aes_byte_slice().build(key);
+    unbalance_channels(inst.nl, {"sbox/out0", "hb/q_q0"}, factor);
+    const qd::TraceSet ts =
+        acquire(inst, 200, 0.0, qdi::sim::DelayModel::load_insensitive());
     const auto bias = qd::dpa_bias(ts, qd::aes_sbox_selection(0, 0), key);
     EXPECT_GT(bias.integrated, prev) << "factor " << factor;
     prev = bias.integrated;
@@ -144,13 +136,9 @@ TEST(EndToEnd, XorChannelLeakIsObservableWithKnownKey) {
   // shows a clear peak; the balanced circuit shows none.
   const std::uint8_t key = 0xb7;
   auto bias_with_factor = [&](double factor) {
-    qg::AesByteSlice slice = qg::build_aes_byte_slice();
-    for (qn::ChannelId ch = 0; ch < slice.nl.num_channels(); ++ch) {
-      const qn::Channel& c = slice.nl.channel(ch);
-      if (c.name.find("addkey0/x0") != std::string::npos)
-        slice.nl.net(c.rails[1]).cap_ff *= factor;
-    }
-    const qd::TraceSet ts = acquire(slice, key, 250);
+    qc::TargetInstance inst = qc::aes_byte_slice().build(key);
+    unbalance_channels(inst.nl, {"addkey0/x0"}, factor);
+    const qd::TraceSet ts = acquire(inst, 250);
     return qd::dpa_bias(ts, qd::aes_xor_selection(0, 0), key).peak;
   };
   const double balanced = bias_with_factor(1.0);

@@ -3,6 +3,7 @@
 
 #include "qdi/gates/testbench.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 
 namespace qs = qdi::sim;
 namespace qg = qdi::gates;

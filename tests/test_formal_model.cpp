@@ -5,6 +5,7 @@
 #include "qdi/core/formal_model.hpp"
 #include "qdi/gates/testbench.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 #include "qdi/util/stats.hpp"
 
 namespace qn = qdi::netlist;

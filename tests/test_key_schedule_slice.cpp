@@ -7,6 +7,7 @@
 #include "qdi/crypto/aes.hpp"
 #include "qdi/gates/aes_datapath.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 #include "qdi/util/rng.hpp"
 
 namespace qn = qdi::netlist;

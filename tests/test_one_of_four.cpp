@@ -2,6 +2,7 @@
 
 #include "qdi/gates/builder.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 
 namespace qn = qdi::netlist;
 namespace qs = qdi::sim;

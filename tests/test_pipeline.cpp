@@ -2,6 +2,7 @@
 
 #include "qdi/gates/pipeline.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 #include "qdi/util/rng.hpp"
 
 namespace qs = qdi::sim;

@@ -5,6 +5,7 @@
 #include "qdi/gates/testbench.hpp"
 #include "qdi/power/synth.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 
 namespace qp = qdi::power;
 namespace qs = qdi::sim;

@@ -12,6 +12,7 @@
 
 #include "qdi/gates/builder.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 #include "qdi/util/rng.hpp"
 
 namespace qn = qdi::netlist;

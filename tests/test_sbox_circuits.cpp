@@ -5,6 +5,7 @@
 #include "qdi/gates/sbox.hpp"
 #include "qdi/gates/testbench.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 
 namespace qn = qdi::netlist;
 namespace qs = qdi::sim;

@@ -191,6 +191,44 @@ TEST(Simulator, DeterministicAcrossRuns) {
   EXPECT_EQ(r1, r2);
 }
 
+TEST(Simulator, ResetWithPendingEventsReplaysIdentically) {
+  // reset_state() now clears the event queue in place (capacity
+  // retained); resetting with events still pending must leave no stale
+  // state behind — a rerun from reset is bit-identical to a fresh run.
+  InvChain f;
+  qs::Simulator sim(f.nl);
+  auto run = [&] {
+    sim.initialize();
+    sim.run_until_stable();
+    sim.drive(f.a, true, 10.0);
+    sim.run_until_stable();
+    return std::make_pair(sim.now(), sim.log().size());
+  };
+  const auto fresh = run();
+  sim.drive(f.a, false, sim.now() + 5.0);  // leave an event in the queue
+  sim.reset_state();
+  const auto again = run();
+  EXPECT_EQ(fresh, again);
+}
+
+TEST(Simulator, PowerSinkSeesEveryCommitAndLogCanBeDisabled) {
+  struct Counter final : qs::PowerSink {
+    std::size_t seen = 0;
+    void on_transition(const qs::Transition&) override { ++seen; }
+  };
+  InvChain f;
+  qs::Simulator sim(f.nl);
+  Counter sink;
+  sim.set_power_sink(&sink);
+  sim.set_log_enabled(false);
+  sim.initialize();
+  sim.run_until_stable();
+  sim.drive(f.a, true, 50.0);
+  sim.run_until_stable();
+  EXPECT_EQ(sink.seen, sim.transition_count());
+  EXPECT_TRUE(sim.log().empty());  // log off: nothing materialized
+}
+
 TEST(Simulator, LoadInsensitiveModelHasConstantDelay) {
   const qs::DelayModel m = qs::DelayModel::load_insensitive();
   EXPECT_DOUBLE_EQ(m.delay_ps(CellKind::Inv, 8.0), m.delay_ps(CellKind::Inv, 80.0));

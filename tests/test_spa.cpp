@@ -4,6 +4,7 @@
 #include "qdi/gates/testbench.hpp"
 #include "qdi/power/synth.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 
 namespace qd = qdi::dpa;
 namespace qp = qdi::power;

@@ -3,6 +3,7 @@
 #include "qdi/core/timing.hpp"
 #include "qdi/gates/testbench.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/simulator.hpp"
 
 namespace qn = qdi::netlist;
 namespace qc = qdi::core;
