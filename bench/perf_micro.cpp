@@ -189,4 +189,91 @@ static void BM_CompiledDpaEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_CompiledDpaEndToEnd)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Batch-vs-online analysis pair on the aes_byte_slice workload: 256
+// guesses, full measurements-to-disclosure scan (prefix grid 8, 8).
+// BM_CpaBatch runs the scan the way the pre-streaming code did — one
+// full cpa_attack per probed prefix; BM_CpaOnline advances one
+// dpa::OnlineCpa accumulator across the same grid and finalizes the
+// running sums at each probe. Identical results (the batch attack is
+// itself a wrapper over the online engine); the CI bench job prints the
+// BM_CpaOnline / BM_CpaBatch speedup next to the acquire ratio.
+static const qd::TraceSet& cpa_workload() {
+  static const qd::TraceSet ts = [] {
+    qdi::campaign::TargetInstance inst =
+        qdi::campaign::aes_byte_slice().build(0x3c);
+    for (qdi::netlist::ChannelId ch = 0; ch < inst.nl.num_channels(); ++ch) {
+      const qdi::netlist::Channel& c = inst.nl.channel(ch);
+      if (c.name.find("sbox/out") != std::string::npos ||
+          c.name.find("hb/q_q") != std::string::npos)
+        inst.nl.net(c.rails[1]).cap_ff *= 2.0;
+    }
+    qdi::campaign::SimTraceSource src(inst.nl, inst.env, inst.stimulus, {});
+    return qdi::campaign::acquire_batch(src, 128, 9);
+  }();
+  return ts;
+}
+
+static void BM_CpaBatch(benchmark::State& state) {
+  const qd::TraceSet& ts = cpa_workload();
+  const qd::LeakageModel model = qd::aes_sbox_hw_model(0);
+  for (auto _ : state) {
+    std::size_t mtd = 0;
+    for (std::size_t n = 8; n <= ts.size(); n += 8) {
+      const qd::CpaResult r = qd::cpa_attack(ts, model, 256, n);
+      const bool ok = (r.best_guess == 0x3c) && r.best_rho > 0.0;
+      if (ok && mtd == 0) mtd = n;
+      if (!ok) mtd = 0;
+    }
+    benchmark::DoNotOptimize(mtd);
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations() * ts.size()));
+}
+BENCHMARK(BM_CpaBatch)->Unit(benchmark::kMillisecond);
+
+static void BM_CpaOnline(benchmark::State& state) {
+  const qd::TraceSet& ts = cpa_workload();
+  const qd::LeakageModel model = qd::aes_sbox_hw_model(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        qd::cpa_measurements_to_disclosure(ts, model, 256, 0x3c, 8, 8));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations() * ts.size()));
+}
+BENCHMARK(BM_CpaOnline)->Unit(benchmark::kMillisecond);
+
+// Fused acquire-and-attack campaign: acquisition segments stream into
+// the online accumulators, no TraceSet is ever materialized. End to end
+// including target build, like BM_CampaignAcquire.
+static void BM_FusedCampaign(benchmark::State& state) {
+  const qdi::campaign::CircuitTarget target = qdi::campaign::des_sbox_slice();
+  for (auto _ : state) {
+    const qdi::campaign::CampaignResult r = qdi::campaign::Campaign()
+                                                .target(target)
+                                                .key(0x2b)
+                                                .traces(64)
+                                                .fused(16)
+                                                .attack(qdi::campaign::Cpa{})
+                                                .run();
+    benchmark::DoNotOptimize(r.attack->best_guess);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FusedCampaign)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  // The standard library_build_type context key describes the google-
+  // benchmark LIBRARY binary (a debug build on some distros); this key
+  // records how the qdi code under test was compiled. The CI bench job
+  // refuses a committed BENCH_campaign.json whose capture was not an
+  // optimized build.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("qdi_build_type", "release");
+#else
+  benchmark::AddCustomContext("qdi_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

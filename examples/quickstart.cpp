@@ -49,7 +49,7 @@ int main() {
   // Under the hood: one acquired supply-current trace, coarse-plotted.
   // The two bursts are the four-phase protocol: evaluation, then
   // return-to-zero — fig. 6's trace window.
-  const power::PowerTrace& trace = r.traces.trace(0);
+  const power::TraceView trace = r.traces.trace(0);
   std::printf("power trace: %zu samples @ %.0f ps, total charge %.1f fC\n",
               trace.size(), trace.dt_ps(), trace.total_charge_fc() / 1000.0);
   const std::size_t bins = 64;

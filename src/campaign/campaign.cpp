@@ -1,8 +1,12 @@
 #include "qdi/campaign/campaign.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <utility>
+
+#include "qdi/dpa/online.hpp"
 
 namespace qdi::campaign {
 
@@ -32,6 +36,158 @@ std::vector<dpa::SelectionFn> resolve_bits(const Dpa& cfg,
   return bits;
 }
 
+/// Single-pass analysis driver shared by the materialized and fused
+/// campaign paths. Traces are fed in index order (whole set at once, or
+/// chunk by chunk); at each precomputed checkpoint the running sums are
+/// finalized in place to emit a rank-trajectory point and/or advance the
+/// measurements-to-disclosure scan. Because both paths push the same
+/// traces through the same accumulators in the same order, their
+/// results are bit-identical by construction.
+class StreamingAnalysis {
+ public:
+  StreamingAnalysis(const std::variant<std::monostate, Dpa, Cpa>& attack,
+                    const TargetInstance& inst, std::size_t rank_step,
+                    std::size_t total)
+      : inst_(inst), total_(total) {
+    if (const Dpa* cfg = std::get_if<Dpa>(&attack)) {
+      dpa_cfg_ = *cfg;
+      dpa_.emplace(resolve_bits(*cfg, inst), inst.num_guesses);
+      if (cfg->compute_mtd)
+        plan_mtd(cfg->mtd_start, cfg->mtd_step);
+    } else {
+      cpa_cfg_ = std::get<Cpa>(attack);
+      cpa_.emplace(inst.leakage, inst.num_guesses);
+      if (cpa_cfg_->compute_mtd)
+        plan_mtd(cpa_cfg_->mtd_start, cpa_cfg_->mtd_step);
+    }
+    if (rank_step > 0)
+      for (std::size_t n = rank_step; n < total_; n += rank_step)
+        checkpoints_.push_back({n, /*rank=*/true, /*mtd=*/false});
+    for (std::size_t n : mtd_points_)
+      checkpoints_.push_back({n, /*rank=*/false, /*mtd=*/true});
+    // Sort the union of the two grids and coalesce coinciding points so
+    // each prefix is probed once with the merged flags.
+    std::sort(checkpoints_.begin(), checkpoints_.end(),
+              [](const Checkpoint& a, const Checkpoint& b) { return a.n < b.n; });
+    std::size_t out = 0;
+    for (const Checkpoint& cp : checkpoints_) {
+      if (out > 0 && checkpoints_[out - 1].n == cp.n) {
+        checkpoints_[out - 1].rank |= cp.rank;
+        checkpoints_[out - 1].mtd |= cp.mtd;
+      } else {
+        checkpoints_[out++] = cp;
+      }
+    }
+    checkpoints_.resize(out);
+  }
+
+  /// Feed traces [first, first + segment.size()) of the campaign.
+  void feed(const dpa::TraceSet& segment, std::size_t first) {
+    std::size_t lo = 0;  // row within the segment
+    while (next_cp_ < checkpoints_.size() &&
+           checkpoints_[next_cp_].n <= first + segment.size()) {
+      const Checkpoint& cp = checkpoints_[next_cp_];
+      add_rows(segment, lo, cp.n - first);
+      lo = cp.n - first;
+      probe(cp);
+      ++next_cp_;
+    }
+    add_rows(segment, lo, segment.size());
+  }
+
+  /// Final attack outcome + the closing rank-trajectory point.
+  AttackOutcome finish(std::size_t rank_step,
+                       std::vector<RankPoint>& trajectory) {
+    AttackOutcome out;
+    if (dpa_) {
+      const dpa::KeyRecoveryResult rec = dpa_->recover(dpa_cfg_->window);
+      out.kind = "dpa";
+      out.guess_scores = rec.guess_peak;
+      out.best_guess = rec.best_guess;
+      out.best_score = rec.best_peak;
+      out.second_score = rec.second_peak;
+      out.margin = rec.margin();
+      out.true_key_rank = rec.rank_of(inst_.true_guess);
+      const dpa::BiasResult known =
+          dpa_->bias(inst_.true_guess, 0, dpa_cfg_->window);
+      out.known_key_bias_peak = known.peak;
+      out.known_key_bias_integral = known.integrated;
+      if (dpa_cfg_->compute_mtd && out.true_key_rank == 0)
+        out.mtd = mtd_.value();
+    } else {
+      const dpa::CpaResult rec =
+          cpa_->finalize(cpa_cfg_->window_lo, cpa_cfg_->window_hi);
+      out.kind = "cpa";
+      out.guess_scores = rec.correlation;
+      out.best_guess = rec.best_guess;
+      out.best_score = rec.best_rho;
+      out.second_score = rec.second_rho;
+      out.margin = rec.margin();
+      out.true_key_rank = rec.rank_of(inst_.true_guess);
+      if (cpa_cfg_->compute_mtd && out.true_key_rank == 0)
+        out.mtd = mtd_.value();
+    }
+    trajectory = std::move(trajectory_);
+    if (rank_step > 0) trajectory.push_back({total_, out.true_key_rank});
+    return out;
+  }
+
+ private:
+  struct Checkpoint {
+    std::size_t n = 0;
+    bool rank = false;
+    bool mtd = false;
+  };
+
+  void plan_mtd(std::size_t start, std::size_t step) {
+    for (std::size_t n = start; n <= total_; n += step)
+      mtd_points_.push_back(n);
+  }
+
+  void add_rows(const dpa::TraceSet& segment, std::size_t lo, std::size_t hi) {
+    if (lo >= hi) return;
+    if (dpa_)
+      dpa_->add_prefix(segment, lo, hi);
+    else
+      cpa_->add_prefix(segment, lo, hi);
+  }
+
+  void probe(const Checkpoint& cp) {
+    if (dpa_) {
+      if (cp.rank) {
+        const dpa::KeyRecoveryResult r = dpa_->recover(dpa_cfg_->window);
+        trajectory_.push_back({cp.n, r.rank_of(inst_.true_guess)});
+      }
+      if (cp.mtd) {
+        // The MTD scan uses the single-bit D-function (the paper's
+        // historical attack), exactly like dpa::measurements_to_disclosure.
+        const dpa::KeyRecoveryResult r = dpa_->recover_single(0, dpa_cfg_->window);
+        mtd_.probe((r.best_guess == inst_.true_guess) && r.best_peak > 0.0,
+                   cp.n);
+      }
+    } else {
+      const dpa::CpaResult r =
+          cpa_->finalize(cpa_cfg_->window_lo, cpa_cfg_->window_hi);
+      if (cp.rank) trajectory_.push_back({cp.n, r.rank_of(inst_.true_guess)});
+      if (cp.mtd)
+        mtd_.probe((r.best_guess == inst_.true_guess) && r.best_rho > 0.0,
+                   cp.n);
+    }
+  }
+
+  const TargetInstance& inst_;
+  std::size_t total_;
+  std::optional<Dpa> dpa_cfg_;
+  std::optional<Cpa> cpa_cfg_;
+  std::optional<dpa::OnlineDpa> dpa_;
+  std::optional<dpa::OnlineCpa> cpa_;
+  std::vector<Checkpoint> checkpoints_;
+  std::vector<std::size_t> mtd_points_;
+  std::size_t next_cp_ = 0;
+  dpa::MtdScan mtd_;
+  std::vector<RankPoint> trajectory_;
+};
+
 }  // namespace
 
 void Campaign::validate(const TargetInstance& inst) const {
@@ -58,6 +214,19 @@ void Campaign::validate(const TargetInstance& inst) const {
   if (rank_step_ > 0 && !attacking)
     throw std::invalid_argument(
         "Campaign: rank_trajectory() needs an attack() to rank with");
+  const bool mtd_step_zero =
+      (std::holds_alternative<Dpa>(attack_) && std::get<Dpa>(attack_).compute_mtd &&
+       std::get<Dpa>(attack_).mtd_step == 0) ||
+      (std::holds_alternative<Cpa>(attack_) && std::get<Cpa>(attack_).compute_mtd &&
+       std::get<Cpa>(attack_).mtd_step == 0);
+  if (mtd_step_zero)
+    throw std::invalid_argument(
+        "Campaign: compute_mtd needs mtd_step > 0 (the prefix grid must "
+        "advance)");
+  if (fused_chunk_ > 0 && !attacking)
+    throw std::invalid_argument(
+        "Campaign: fused() discards traces, so it needs an attack() to "
+        "stream them into");
 }
 
 CampaignResult Campaign::run() const {
@@ -79,87 +248,56 @@ CampaignResult Campaign::run() const {
   res.max_da = core::max_dA(res.criteria);
   res.mean_da = core::mean_dA(res.criteria);
 
-  // ---- acquisition stage ---------------------------------------------------
+  const bool attacking = !std::holds_alternative<std::monostate>(attack_);
+
+  // ---- acquisition + analysis ----------------------------------------------
   if (num_traces_ > 0) {
     std::unique_ptr<TraceSource> src =
         source_ ? source_(inst, opt_)
                 : std::make_unique<SimTraceSource>(inst.nl, inst.env,
                                                    inst.stimulus, opt_);
-    res.traces =
-        acquire_batch(*src, num_traces_, seed_, threads_, &res.acquisition);
-  }
-
-  // ---- analysis stage ------------------------------------------------------
-  if (!std::holds_alternative<std::monostate>(attack_)) {
-    const auto t_attack = std::chrono::steady_clock::now();
-    AttackOutcome out;
-
-    if (const Dpa* cfg = std::get_if<Dpa>(&attack_)) {
-      const std::vector<dpa::SelectionFn> bits = resolve_bits(*cfg, inst);
-      const dpa::KeyRecoveryResult rec =
-          bits.size() == 1
-              ? dpa::recover_key(res.traces, bits[0], inst.num_guesses, 0,
-                                 cfg->window)
-              : dpa::recover_key_multibit(res.traces, bits, inst.num_guesses,
-                                          0, cfg->window);
-      out.kind = "dpa";
-      out.guess_scores = rec.guess_peak;
-      out.best_guess = rec.best_guess;
-      out.best_score = rec.best_peak;
-      out.second_score = rec.second_peak;
-      out.margin = rec.margin();
-      out.true_key_rank = rec.rank_of(inst.true_guess);
-
-      const dpa::BiasResult known =
-          dpa::dpa_bias(res.traces, bits[0], inst.true_guess, 0, cfg->window);
-      out.known_key_bias_peak = known.peak;
-      out.known_key_bias_integral = known.integrated;
-
-      if (cfg->compute_mtd && out.true_key_rank == 0)
-        out.mtd = dpa::measurements_to_disclosure(
-            res.traces, bits[0], inst.num_guesses, inst.true_guess,
-            cfg->mtd_start, cfg->mtd_step, cfg->window);
-
-      if (rank_step_ > 0) {
-        for (std::size_t n = rank_step_; n < res.traces.size();
-             n += rank_step_) {
-          const dpa::KeyRecoveryResult r =
-              bits.size() == 1
-                  ? dpa::recover_key(res.traces, bits[0], inst.num_guesses, n,
-                                     cfg->window)
-                  : dpa::recover_key_multibit(res.traces, bits,
-                                              inst.num_guesses, n, cfg->window);
-          res.rank_trajectory.push_back({n, r.rank_of(inst.true_guess)});
-        }
-        res.rank_trajectory.push_back({res.traces.size(), out.true_key_rank});
-      }
+    if (fused_chunk_ > 0) {
+      // Fused mode: each acquired segment streams into the attack
+      // accumulators and is discarded — O(chunk + guesses·samples)
+      // memory for any trace budget. Analysis time is measured around
+      // the feed/finish calls and subtracted from the stage total, so
+      // acquisition.wall_ms and attack->wall_ms partition the fused
+      // stage instead of double-counting it.
+      StreamingAnalysis analysis(attack_, inst, rank_step_, num_traces_);
+      // acquire_chunked's wall clock covers acquisition + feeds; only
+      // the feed share is subtracted back out. finish() runs after the
+      // stage clock stops and is attributed to the attack alone.
+      double feed_ms = 0.0;
+      acquire_chunked(
+          *src, num_traces_, seed_, threads_, fused_chunk_,
+          [&](const dpa::TraceSet& segment, std::size_t first) {
+            const auto t_feed = std::chrono::steady_clock::now();
+            analysis.feed(segment, first);
+            feed_ms += ms_since(t_feed);
+          },
+          &res.acquisition);
+      const auto t_finish = std::chrono::steady_clock::now();
+      AttackOutcome out = analysis.finish(rank_step_, res.rank_trajectory);
+      out.wall_ms = feed_ms + ms_since(t_finish);
+      res.acquisition.wall_ms = std::max(0.0, res.acquisition.wall_ms - feed_ms);
+      res.acquisition.traces_per_s =
+          res.acquisition.wall_ms > 0.0
+              ? 1e3 * static_cast<double>(num_traces_) / res.acquisition.wall_ms
+              : 0.0;
+      res.attack = std::move(out);
     } else {
-      const Cpa& ccfg = std::get<Cpa>(attack_);
-      const dpa::CpaResult rec =
-          dpa::cpa_attack(res.traces, inst.leakage, inst.num_guesses, 0,
-                          ccfg.window_lo, ccfg.window_hi);
-      out.kind = "cpa";
-      out.guess_scores = rec.correlation;
-      out.best_guess = rec.best_guess;
-      out.best_score = rec.best_rho;
-      out.second_score = rec.second_rho;
-      out.margin = rec.margin();
-      out.true_key_rank = rec.rank_of(inst.true_guess);
-
-      if (rank_step_ > 0) {
-        for (std::size_t n = rank_step_; n < res.traces.size();
-             n += rank_step_) {
-          const dpa::CpaResult r =
-              dpa::cpa_attack(res.traces, inst.leakage, inst.num_guesses, n,
-                              ccfg.window_lo, ccfg.window_hi);
-          res.rank_trajectory.push_back({n, r.rank_of(inst.true_guess)});
-        }
-        res.rank_trajectory.push_back({res.traces.size(), out.true_key_rank});
+      res.traces =
+          acquire_batch(*src, num_traces_, seed_, threads_, &res.acquisition);
+      if (attacking) {
+        const auto t_attack = std::chrono::steady_clock::now();
+        StreamingAnalysis analysis(attack_, inst, rank_step_,
+                                   res.traces.size());
+        analysis.feed(res.traces, 0);
+        AttackOutcome out = analysis.finish(rank_step_, res.rank_trajectory);
+        out.wall_ms = ms_since(t_attack);
+        res.attack = std::move(out);
       }
     }
-
-    out.wall_ms = ms_since(t_attack);
-    res.attack = std::move(out);
   }
 
   res.nl = std::move(inst.nl);

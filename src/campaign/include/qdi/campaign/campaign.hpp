@@ -12,10 +12,14 @@
 //                .traces(10'000)
 //                .threads(8)                     // batched parallel acquisition
 //                .attack(Dpa{})                  // or Cpa{}
+//                .fused()                        // optional: O(1)-memory stream
 //                .run();
 //
 // Results are deterministic in (target, key, seed) and bit-identical for
-// any thread count (see trace_source.hpp for the contract).
+// any thread count (see trace_source.hpp for the contract). With fused()
+// the acquired segments stream straight into the dpa::OnlineCpa /
+// dpa::OnlineDpa accumulators and are discarded — same results as the
+// materialized path, memory independent of the trace budget.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +54,10 @@ struct Dpa {
 struct Cpa {
   std::size_t window_lo = 0;
   std::size_t window_hi = 0;
+  /// Also scan measurements-to-disclosure (same stability rule as Dpa).
+  bool compute_mtd = false;
+  std::size_t mtd_start = 50;
+  std::size_t mtd_step = 50;
 };
 
 struct AttackOutcome {
@@ -86,6 +94,8 @@ struct CampaignResult {
   double max_da = 0.0;
   double mean_da = 0.0;
 
+  /// The materialized trace set. Empty in fused mode — samples are
+  /// folded into the attack accumulators chunk by chunk and discarded.
   dpa::TraceSet traces;
   AcquisitionStats acquisition;
 
@@ -141,6 +151,22 @@ class Campaign {
   Campaign& attack(Dpa a) { attack_ = std::move(a); return *this; }
   Campaign& attack(Cpa a) { attack_ = std::move(a); return *this; }
 
+  /// Fused acquire-and-attack: stream acquisition segments of at most
+  /// `chunk_traces` straight into the streaming analysis accumulators
+  /// (dpa::OnlineCpa / dpa::OnlineDpa) and discard the samples. Peak
+  /// memory is O(chunk · samples + guesses · samples), independent of
+  /// the trace budget — attacks on millions of traces without ever
+  /// materializing a TraceSet. Attack results, MTD, and the rank
+  /// trajectory are bit-identical to the materialized path (both run
+  /// the same accumulators in the same order; asserted in
+  /// tests/test_online_analysis.cpp). Requires attack(); the result's
+  /// `traces` stays empty. A chunk of 0 is clamped to 1 — asking for
+  /// fused mode must never silently fall back to materializing.
+  Campaign& fused(std::size_t chunk_traces = 1024) {
+    fused_chunk_ = chunk_traces == 0 ? 1 : chunk_traces;
+    return *this;
+  }
+
   /// Plug a different TraceSource (cache, replay, hardware bench). The
   /// default factory builds a SimTraceSource over the prepared netlist.
   Campaign& source(SourceFactory f) { source_ = std::move(f); return *this; }
@@ -170,6 +196,7 @@ class Campaign {
   std::variant<std::monostate, Dpa, Cpa> attack_;
   SourceFactory source_;
   std::size_t rank_step_ = 0;
+  std::size_t fused_chunk_ = 0;  ///< 0 = materialize a TraceSet (default)
 };
 
 }  // namespace qdi::campaign

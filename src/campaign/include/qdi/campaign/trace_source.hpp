@@ -76,17 +76,36 @@ struct AcquisitionStats {
   double traces_per_s = 0.0;
   std::size_t transitions = 0;  ///< summed over all traces
   std::size_t glitches = 0;     ///< summed over all traces
+  /// Filled by acquire_batch only; acquire_chunked leaves it empty (a
+  /// per-trace vector would grow with the trace budget and break the
+  /// fused campaign's bounded-memory contract).
   std::vector<std::size_t> per_trace_transitions;
   unsigned threads_used = 1;
 };
 
 /// Batched acquisition: `num_traces` requests fanned out over `threads`
 /// clones of `src` (thread 0 uses `src` itself). Results are assembled in
-/// index order; with the determinism contract above the returned TraceSet
-/// is bit-identical for any thread count.
+/// index order into the TraceSet's contiguous SoA matrix; with the
+/// determinism contract above the returned TraceSet is bit-identical for
+/// any thread count.
 dpa::TraceSet acquire_batch(TraceSource& src, std::size_t num_traces,
                             std::uint64_t seed, unsigned threads = 1,
                             AcquisitionStats* stats = nullptr);
+
+/// Chunked streaming acquisition — the O(1)-memory feed of the fused
+/// campaign. Acquires `num_traces` in index order and delivers them in
+/// segments of at most `chunk` traces: consume(segment, first_index)
+/// sees traces [first_index, first_index + segment.size()). The segment
+/// TraceSet is one reused buffer (cleared, capacity kept), so peak
+/// memory is O(chunk · samples) regardless of num_traces; consumers must
+/// copy anything they keep. Trace values are bit-identical to
+/// acquire_batch for any thread count and any chunk size.
+void acquire_chunked(
+    TraceSource& src, std::size_t num_traces, std::uint64_t seed,
+    unsigned threads, std::size_t chunk,
+    const std::function<void(const dpa::TraceSet& segment, std::size_t first)>&
+        consume,
+    AcquisitionStats* stats = nullptr);
 
 struct SimTraceSourceOptions {
   sim::DelayModel delays{};

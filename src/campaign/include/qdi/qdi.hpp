@@ -43,6 +43,7 @@
 #include "qdi/sim/transition.hpp"
 
 // power model
+#include "qdi/power/sample_matrix.hpp"
 #include "qdi/power/synth.hpp"
 #include "qdi/power/trace.hpp"
 
@@ -61,6 +62,7 @@
 // attacks
 #include "qdi/dpa/cpa.hpp"
 #include "qdi/dpa/dpa.hpp"
+#include "qdi/dpa/online.hpp"
 #include "qdi/dpa/selection.hpp"
 #include "qdi/dpa/spa.hpp"
 #include "qdi/dpa/trace_set.hpp"

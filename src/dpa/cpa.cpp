@@ -7,31 +7,31 @@
 
 #include "qdi/crypto/aes.hpp"
 #include "qdi/crypto/des.hpp"
+#include "qdi/dpa/online.hpp"
 
 namespace qdi::dpa {
 
 LeakageModel aes_sbox_hw_model(int byte) {
-  return [byte](std::span<const std::uint8_t> pt, unsigned guess) -> double {
-    const std::uint8_t x = static_cast<std::uint8_t>(
-        pt[static_cast<std::size_t>(byte)] ^ static_cast<std::uint8_t>(guess));
-    return static_cast<double>(std::popcount(static_cast<unsigned>(crypto::aes_sbox(x))));
-  };
+  return LeakageModel::byte_indexed(byte, [](std::uint8_t p, unsigned guess) {
+    const std::uint8_t x = static_cast<std::uint8_t>(p ^ guess);
+    return static_cast<double>(
+        std::popcount(static_cast<unsigned>(crypto::aes_sbox(x))));
+  });
 }
 
 LeakageModel aes_xor_hw_model(int byte) {
-  return [byte](std::span<const std::uint8_t> pt, unsigned guess) -> double {
-    const std::uint8_t x = static_cast<std::uint8_t>(
-        pt[static_cast<std::size_t>(byte)] ^ static_cast<std::uint8_t>(guess));
+  return LeakageModel::byte_indexed(byte, [](std::uint8_t p, unsigned guess) {
+    const std::uint8_t x = static_cast<std::uint8_t>(p ^ guess);
     return static_cast<double>(std::popcount(static_cast<unsigned>(x)));
-  };
+  });
 }
 
 LeakageModel des_sbox_hw_model(int box) {
-  return [box](std::span<const std::uint8_t> pt, unsigned guess) -> double {
-    const std::uint8_t x = static_cast<std::uint8_t>((pt[0] ^ guess) & 0x3f);
+  return LeakageModel::byte_indexed(0, [box](std::uint8_t p, unsigned guess) {
+    const std::uint8_t x = static_cast<std::uint8_t>((p ^ guess) & 0x3f);
     return static_cast<double>(
         std::popcount(static_cast<unsigned>(crypto::des_sbox(box, x))));
-  };
+  });
 }
 
 std::size_t CpaResult::rank_of(unsigned key) const {
@@ -39,88 +39,41 @@ std::size_t CpaResult::rank_of(unsigned key) const {
   const double ref = correlation[key];
   std::size_t rank = 0;
   for (double r : correlation)
-    if (r > ref) ++rank;
+    if (r > ref) ++rank;  // strictly greater: ties rank below the reference
   return rank;
 }
-
-namespace {
-
-/// One-pass correlation of the model column h against all samples:
-/// rho[j] = cov(h, s_j) / (sigma_h * sigma_{s_j}).
-std::vector<double> correlation_columns(const TraceSet& ts,
-                                        std::span<const double> h,
-                                        std::size_t n) {
-  const std::size_t m = ts.num_samples();
-  double sum_h = 0.0, sum_h2 = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    sum_h += h[i];
-    sum_h2 += h[i] * h[i];
-  }
-  std::vector<double> sum_s(m, 0.0), sum_s2(m, 0.0), sum_hs(m, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto s = ts.trace(i).samples();
-    const double hi = h[i];
-    for (std::size_t j = 0; j < m; ++j) {
-      sum_s[j] += s[j];
-      sum_s2[j] += s[j] * s[j];
-      sum_hs[j] += hi * s[j];
-    }
-  }
-  std::vector<double> rho(m, 0.0);
-  const double nn = static_cast<double>(n);
-  const double var_h = sum_h2 - sum_h * sum_h / nn;
-  if (var_h <= 0.0) return rho;
-  for (std::size_t j = 0; j < m; ++j) {
-    const double var_s = sum_s2[j] - sum_s[j] * sum_s[j] / nn;
-    if (var_s <= 0.0) continue;
-    const double cov = sum_hs[j] - sum_h * sum_s[j] / nn;
-    rho[j] = cov / std::sqrt(var_h * var_s);
-  }
-  return rho;
-}
-
-}  // namespace
 
 std::vector<double> cpa_correlation_trace(const TraceSet& ts,
                                           const LeakageModel& model,
                                           unsigned guess, std::size_t prefix) {
-  const std::size_t n = (prefix == 0) ? ts.size() : std::min(prefix, ts.size());
-  std::vector<double> h(n);
-  for (std::size_t i = 0; i < n; ++i) h[i] = model(ts.plaintext(i), guess);
-  return correlation_columns(ts, h, n);
+  OnlineCpa acc(model.pinned(guess), 1);
+  acc.add_prefix(ts, 0, ts.prefix_rows(prefix));
+  return acc.correlation_trace(0);
 }
 
 CpaResult cpa_attack(const TraceSet& ts, const LeakageModel& model,
                      unsigned num_guesses, std::size_t prefix,
                      std::size_t window_lo, std::size_t window_hi) {
-  CpaResult res;
-  res.correlation.resize(num_guesses, 0.0);
-  const std::size_t m = ts.num_samples();
-  const std::size_t hi = (window_hi == 0) ? m : std::min(window_hi, m);
+  OnlineCpa acc(model, num_guesses);
+  acc.add_prefix(ts, 0, ts.prefix_rows(prefix));
+  return acc.finalize(window_lo, window_hi);
+}
 
-  for (unsigned g = 0; g < num_guesses; ++g) {
-    const std::vector<double> rho = cpa_correlation_trace(ts, model, g, prefix);
-    double best = 0.0;
-    std::size_t best_j = window_lo;
-    for (std::size_t j = window_lo; j < hi; ++j) {
-      const double a = std::fabs(rho[j]);
-      if (a > best) {
-        best = a;
-        best_j = j;
-      }
-    }
-    res.correlation[g] = best;
-    if (best > res.best_rho) {
-      res.best_rho = best;
-      res.best_guess = g;
-      res.best_sample = best_j;
-    }
+std::size_t cpa_measurements_to_disclosure(
+    const TraceSet& ts, const LeakageModel& model, unsigned num_guesses,
+    unsigned correct_key, std::size_t start, std::size_t step,
+    std::size_t window_lo, std::size_t window_hi) {
+  if (step == 0) return 0;  // degenerate grid, never stably recovered
+  // One streaming pass: the running sums advance to each probed prefix
+  // and finalize there — never a re-attack from trace zero.
+  OnlineCpa acc(model, num_guesses);
+  MtdScan scan;
+  for (std::size_t n = start; n <= ts.size(); n += step) {
+    acc.add_prefix(ts, acc.count(), n);
+    const CpaResult r = acc.finalize(window_lo, window_hi);
+    scan.probe((r.best_guess == correct_key) && r.best_rho > 0.0, n);
   }
-  res.second_rho = 0.0;
-  for (unsigned g = 0; g < num_guesses; ++g)
-    if (g != res.best_guess)
-      res.second_rho = std::max(res.second_rho, res.correlation[g]);
-  return res;
+  return scan.value();
 }
 
 }  // namespace qdi::dpa

@@ -2,49 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 
-#include "qdi/util/stats.hpp"
+#include "qdi/dpa/online.hpp"
 
 namespace qdi::dpa {
 
-namespace {
-void window_stats(BiasResult& r, SampleWindow window) {
-  r.peak = 0.0;
-  r.peak_index = window.lo;
-  r.integrated = 0.0;
-  for (std::size_t j = 0; j < r.bias.size(); ++j) {
-    if (!window.contains(j)) continue;
-    const double a = std::fabs(r.bias[j]);
-    r.integrated += a;
-    if (a > r.peak) {
-      r.peak = a;
-      r.peak_index = j;
-    }
-  }
-}
-}  // namespace
-
 BiasResult dpa_bias(const TraceSet& ts, const SelectionFn& d, unsigned guess,
                     std::size_t prefix, SampleWindow window) {
-  const std::size_t n = (prefix == 0) ? ts.size() : std::min(prefix, ts.size());
-  util::VectorMean a0, a1;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (d(ts.plaintext(i), guess) == 0)
-      a0.add(ts.trace(i).samples());
-    else
-      a1.add(ts.trace(i).samples());
-  }
-  BiasResult r;
-  r.n0 = a0.count();
-  r.n1 = a1.count();
-  if (r.n0 == 0 || r.n1 == 0) {
-    r.bias.assign(ts.num_samples(), 0.0);
-    return r;
-  }
-  r.bias = util::subtract(a0.mean(), a1.mean());
-  window_stats(r, window);
-  return r;
+  OnlineDpa acc({d.pinned(guess)}, 1);
+  acc.add_prefix(ts, 0, ts.prefix_rows(prefix));
+  return acc.bias(0, 0, window);
 }
 
 std::size_t KeyRecoveryResult::rank_of(unsigned key) const {
@@ -52,64 +19,43 @@ std::size_t KeyRecoveryResult::rank_of(unsigned key) const {
   const double ref = guess_peak[key];
   std::size_t rank = 0;
   for (double p : guess_peak)
-    if (p > ref) ++rank;
+    if (p > ref) ++rank;  // strictly greater: ties rank below the reference
   return rank;
 }
-
-namespace {
-void finalize(KeyRecoveryResult& r, unsigned num_guesses) {
-  r.best_guess = static_cast<unsigned>(
-      std::max_element(r.guess_peak.begin(), r.guess_peak.end()) -
-      r.guess_peak.begin());
-  r.best_peak = r.guess_peak[r.best_guess];
-  r.second_peak = 0.0;
-  for (unsigned g = 0; g < num_guesses; ++g)
-    if (g != r.best_guess)
-      r.second_peak = std::max(r.second_peak, r.guess_peak[g]);
-}
-}  // namespace
 
 KeyRecoveryResult recover_key(const TraceSet& ts, const SelectionFn& d,
                               unsigned num_guesses, std::size_t prefix,
                               SampleWindow window) {
-  KeyRecoveryResult r;
-  r.guess_peak.resize(num_guesses, 0.0);
-  for (unsigned g = 0; g < num_guesses; ++g)
-    r.guess_peak[g] = dpa_bias(ts, d, g, prefix, window).peak;
-  finalize(r, num_guesses);
-  return r;
+  OnlineDpa acc({d}, num_guesses);
+  acc.add_prefix(ts, 0, ts.prefix_rows(prefix));
+  return acc.recover(window);
 }
 
 KeyRecoveryResult recover_key_multibit(const TraceSet& ts,
                                        const std::vector<SelectionFn>& bits,
                                        unsigned num_guesses, std::size_t prefix,
                                        SampleWindow window) {
-  KeyRecoveryResult r;
-  r.guess_peak.resize(num_guesses, 0.0);
-  for (unsigned g = 0; g < num_guesses; ++g) {
-    double sum = 0.0;
-    for (const SelectionFn& d : bits)
-      sum += dpa_bias(ts, d, g, prefix, window).peak;
-    r.guess_peak[g] = sum;
-  }
-  finalize(r, num_guesses);
-  return r;
+  OnlineDpa acc(bits, num_guesses);
+  acc.add_prefix(ts, 0, ts.prefix_rows(prefix));
+  return acc.recover(window);
 }
 
 std::size_t measurements_to_disclosure(const TraceSet& ts, const SelectionFn& d,
                                        unsigned num_guesses, unsigned correct_key,
                                        std::size_t start, std::size_t step,
                                        SampleWindow window) {
+  if (step == 0) return 0;  // degenerate grid, never stably recovered
   // Scan prefixes; find the earliest n such that the attack succeeds at n
-  // and at every subsequent probed prefix (stability requirement).
-  std::size_t candidate = 0;
+  // and at every subsequent probed prefix (stability requirement). One
+  // streaming pass: each probe finalizes the running sums in place.
+  OnlineDpa acc({d}, num_guesses);
+  MtdScan scan;
   for (std::size_t n = start; n <= ts.size(); n += step) {
-    const KeyRecoveryResult r = recover_key(ts, d, num_guesses, n, window);
-    const bool success = (r.best_guess == correct_key) && r.best_peak > 0.0;
-    if (success && candidate == 0) candidate = n;
-    if (!success) candidate = 0;
+    acc.add_prefix(ts, acc.count(), n);
+    const KeyRecoveryResult r = acc.recover(window);
+    scan.probe((r.best_guess == correct_key) && r.best_peak > 0.0, n);
   }
-  return candidate;
+  return scan.value();
 }
 
 }  // namespace qdi::dpa

@@ -50,7 +50,10 @@ struct KeyRecoveryResult {
   double margin() const noexcept {
     return second_peak > 0.0 ? best_peak / second_peak : 0.0;
   }
-  /// Rank of a reference key (0 = recovered exactly).
+  /// Rank of a reference key (0 = recovered exactly): the number of
+  /// guesses with STRICTLY greater peak. Ties rank below the reference,
+  /// so numerically identical guess columns never demote the true key,
+  /// independent of float comparison order.
   std::size_t rank_of(unsigned key) const;
 };
 
@@ -69,7 +72,8 @@ KeyRecoveryResult recover_key_multibit(
 /// Measurements-to-disclosure: the smallest prefix length starting at
 /// `start` from which the correct key holds rank 0 for every probed
 /// prefix up to the full set (scanned in `step` increments). Returns 0 if
-/// the key is never stably recovered.
+/// the key is never stably recovered. One streaming pass over the trace
+/// matrix — each probe finalizes the running sums, not a re-attack.
 std::size_t measurements_to_disclosure(const TraceSet& ts, const SelectionFn& d,
                                        unsigned num_guesses, unsigned correct_key,
                                        std::size_t start = 8, std::size_t step = 8,

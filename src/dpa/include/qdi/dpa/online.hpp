@@ -1,0 +1,147 @@
+// Streaming analysis engine — single-pass, all-guess CPA and DPA.
+//
+// Mangard-style incremental correlation: a Pearson correlation (and a
+// difference-of-means bias) is a function of a handful of running sums,
+// so an attack over ANY trace-count prefix can be emitted at ANY point
+// of one linear pass over the acquisitions. The accumulators below hold
+//
+//   shared across all guesses:  n, sum_s[j], sum_s2[j]
+//   per guess (CPA):            sum_h[g], sum_h2[g], sum_hs[g][j]
+//   per guess+bit (DPA):        n1[b][g], sum1[b][g][j]
+//
+// and update them per added trace with a blocked, GEMM-like rank-B
+// kernel over the contiguous SoA trace matrix. The per-sample sums are
+// computed ONCE instead of once per guess (the batch path re-derived
+// them 256 times), and the classic byte-indexed leakage models become a
+// 256-entry-per-guess hypothesis LUT — no std::function call ever runs
+// on the per-trace hot path. Models/selections built from plain lambdas
+// still work: they take a scalar evaluation per (trace, guess), but the
+// shared sums stay hoisted.
+//
+// finalize()/recover() read the running sums without disturbing them,
+// so measurements-to-disclosure curves and key-rank trajectories are
+// byproducts of one pass: add traces up to each probe point, emit, and
+// keep going — O(n·m·guesses) total instead of O(prefixes·n·m·guesses).
+// Accumulation order is trace order regardless of blocking, so add()
+// one-at-a-time, add_prefix() in bulk, and the fused campaign's chunked
+// feed all produce bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qdi/dpa/cpa.hpp"
+#include "qdi/dpa/dpa.hpp"
+#include "qdi/dpa/selection.hpp"
+#include "qdi/dpa/trace_set.hpp"
+
+namespace qdi::dpa {
+
+/// Stability accumulator of a measurements-to-disclosure scan: feed the
+/// (success, prefix) outcome of each probe in increasing prefix order;
+/// value() is the earliest prefix from which EVERY probe so far
+/// succeeded (0 if the tail is not all-success). Shared by the batch
+/// MTD functions and the fused campaign so the stability rule cannot
+/// drift between them.
+class MtdScan {
+ public:
+  void probe(bool success, std::size_t prefix) noexcept {
+    if (success && candidate_ == 0) candidate_ = prefix;
+    if (!success) candidate_ = 0;
+  }
+  std::size_t value() const noexcept { return candidate_; }
+
+ private:
+  std::size_t candidate_ = 0;
+};
+
+/// All-guess streaming CPA accumulator.
+class OnlineCpa {
+ public:
+  /// The hypothesis LUT (byte-indexed models) is tabulated here, once.
+  OnlineCpa(LeakageModel model, unsigned num_guesses);
+
+  /// Feed one acquisition. Sample geometry is fixed by the first trace.
+  void add(std::span<const std::uint8_t> plaintext,
+           std::span<const double> samples);
+  /// Feed rows [lo, hi) of a trace set through the blocked kernel.
+  void add_prefix(const TraceSet& ts, std::size_t lo, std::size_t hi);
+
+  std::size_t count() const noexcept { return n_; }
+  unsigned num_guesses() const noexcept { return guesses_; }
+
+  /// Emit the CPA result for the traces fed so far (optionally windowed
+  /// to samples [window_lo, window_hi)). Non-destructive: keep adding
+  /// traces afterwards for the next prefix probe.
+  CpaResult finalize(std::size_t window_lo = 0,
+                     std::size_t window_hi = 0) const;
+
+  /// Full correlation trace rho[j] of one guess at the current prefix.
+  std::vector<double> correlation_trace(unsigned guess) const;
+
+ private:
+  void ensure_geometry(std::size_t m);
+  /// Hypothesis row h[g] for one trace: a LUT row (byte-indexed) or the
+  /// freshly evaluated scratch row (generic).
+  const double* hyp_row(std::span<const std::uint8_t> plaintext);
+  void ingest(const double* const* rows, const double* const* hyp,
+              std::size_t cnt);
+
+  LeakageModel model_;
+  unsigned guesses_;
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  std::vector<double> lut_;       ///< hyp[v*guesses + g], byte-indexed models
+  std::vector<double> scratch_;   ///< one hypothesis row, generic models
+  std::vector<double> sum_s_, sum_s2_;  ///< per sample, shared by all guesses
+  std::vector<double> sum_h_, sum_h2_;  ///< per guess
+  std::vector<double> sum_hs_;          ///< guesses × m
+};
+
+/// All-guess, multi-bit streaming difference-of-means DPA accumulator.
+class OnlineDpa {
+ public:
+  OnlineDpa(std::vector<SelectionFn> bits, unsigned num_guesses);
+
+  void add(std::span<const std::uint8_t> plaintext,
+           std::span<const double> samples);
+  void add_prefix(const TraceSet& ts, std::size_t lo, std::size_t hi);
+
+  std::size_t count() const noexcept { return n_; }
+  unsigned num_guesses() const noexcept { return guesses_; }
+  std::size_t num_bits() const noexcept { return bits_.size(); }
+
+  /// Bias signal T[j] = A0[j] - A1[j] of one (guess, bit) at the current
+  /// prefix, with peak statistics restricted to `window`.
+  BiasResult bias(unsigned guess, std::size_t bit = 0,
+                  SampleWindow window = {}) const;
+
+  /// Rank all guesses by (summed, if multi-bit) bias peak at the current
+  /// prefix — the streaming recover_key/recover_key_multibit.
+  KeyRecoveryResult recover(SampleWindow window = {}) const;
+
+  /// Rank all guesses by the bias peak of ONE bit — what the MTD scan
+  /// uses (the paper's historical single-bit D-function attack).
+  KeyRecoveryResult recover_single(std::size_t bit,
+                                   SampleWindow window = {}) const;
+
+ private:
+  void ensure_geometry(std::size_t m);
+  void ingest(const double* const* rows, const std::uint8_t* const* pts,
+              std::size_t cnt);
+  double peak_of(unsigned guess, std::size_t bit, SampleWindow window) const;
+
+  std::vector<SelectionFn> bits_;
+  unsigned guesses_;
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  bool lut_ok_ = false;            ///< all selection bits byte-indexed
+  std::vector<std::uint8_t> lut_;  ///< d[(b*256 + v)*guesses + g]
+  std::vector<std::uint8_t> scratch_;  ///< one decision row, generic selections
+  std::vector<double> sum_s_;       ///< per sample, shared
+  std::vector<std::uint32_t> n1_;   ///< bits × guesses
+  std::vector<double> sum1_;        ///< bits × guesses × m
+};
+
+}  // namespace qdi::dpa

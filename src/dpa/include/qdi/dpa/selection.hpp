@@ -5,17 +5,21 @@
 //
 // A selection function maps (plaintext, key guess) to the predicted value
 // of one intermediate bit; DPA splits the trace set on that bit (eq. 7).
+//
+// SelectionFn is an IndexedFn rather than a bare std::function so that
+// the classic D-functions can declare what they actually are: a pure
+// function of ONE plaintext byte and the guess — which the streaming
+// engine (dpa::OnlineDpa) turns into a per-guess decision table with no
+// std::function call on the per-trace hot path. A SelectionFn built
+// from a plain lambda still works everywhere.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <span>
+#include "qdi/dpa/indexed_fn.hpp"
 
 namespace qdi::dpa {
 
 /// D(plaintext, key_guess) in {0, 1}.
-using SelectionFn =
-    std::function<int(std::span<const std::uint8_t> plaintext, unsigned guess)>;
+using SelectionFn = IndexedFn<int>;
 
 /// AES first-round key addition: bit `bit` of plaintext[byte] ^ guess
 /// (the paper's "XOR = a xor function of AES with 8-bit output").

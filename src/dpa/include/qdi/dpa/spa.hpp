@@ -22,14 +22,14 @@ struct ActivityBurst {
 /// Segment a trace into activity bursts: maximal runs of samples above
 /// `threshold_ua` separated by at least `min_gap` quiet samples. On a
 /// four-phase QDI trace the bursts are the protocol phases.
-std::vector<ActivityBurst> find_bursts(const power::PowerTrace& trace,
+std::vector<ActivityBurst> find_bursts(power::TraceView trace,
                                        double threshold_ua,
                                        std::size_t min_gap = 4);
 
 /// Largest absolute point-wise difference between two traces of equal
 /// geometry — the SPA distinguishability of two operations. A balanced
 /// QDI block yields ~0 between any two codewords of the same operation.
-double spa_distance(const power::PowerTrace& a, const power::PowerTrace& b);
+double spa_distance(power::TraceView a, power::TraceView b);
 
 /// Simple matched filter: cross-correlate `pattern` over `trace` and
 /// return the offset with the highest normalized correlation — locating
@@ -38,8 +38,8 @@ struct MatchResult {
   std::size_t offset = 0;
   double correlation = 0.0;
 };
-MatchResult locate_pattern(const power::PowerTrace& trace,
-                           const power::PowerTrace& pattern);
+MatchResult locate_pattern(power::TraceView trace,
+                           power::TraceView pattern);
 
 /// Trace-set realignment: clockless circuits give the attacker no
 /// trigger edge, so acquisitions are mutually shifted (see

@@ -1,45 +1,87 @@
 // Acquisition container: N power signals S_ij plus the plaintext (and
 // optional ciphertext) that produced each one — the inputs of the DPA
 // algorithm of section IV.
+//
+// Storage is structure-of-arrays: all samples live in one contiguous
+// power::SampleMatrix (trace i = row i) and the plaintext/ciphertext
+// bytes are packed into fixed-stride byte arrays. The analysis kernels
+// (dpa::OnlineCpa / dpa::OnlineDpa) sweep rows linearly; nothing on the
+// analysis path chases per-trace heap allocations.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "qdi/power/sample_matrix.hpp"
 #include "qdi/power/trace.hpp"
 
 namespace qdi::dpa {
 
 class TraceSet {
  public:
-  /// Append one acquisition. All traces must share geometry.
-  void add(power::PowerTrace trace, std::vector<std::uint8_t> plaintext,
+  /// Append one acquisition. All traces must share geometry: the first
+  /// add fixes the sample count and the plaintext/ciphertext strides,
+  /// and a later add with different lengths throws std::invalid_argument
+  /// (the packed SoA storage has no representation for ragged rows).
+  void add(const power::PowerTrace& trace, std::vector<std::uint8_t> plaintext,
            std::vector<std::uint8_t> ciphertext = {});
+  void add(power::TraceView trace, std::span<const std::uint8_t> plaintext,
+           std::span<const std::uint8_t> ciphertext = {});
 
-  std::size_t size() const noexcept { return traces_.size(); }
-  std::size_t num_samples() const noexcept {
-    return traces_.empty() ? 0 : traces_.front().size();
+  std::size_t size() const noexcept { return samples_.rows(); }
+  std::size_t num_samples() const noexcept { return samples_.cols(); }
+
+  /// Rows a `prefix` analysis argument selects: min(prefix, size),
+  /// where 0 means the whole set.
+  std::size_t prefix_rows(std::size_t prefix) const noexcept {
+    return (prefix == 0 || prefix > size()) ? size() : prefix;
   }
 
-  const power::PowerTrace& trace(std::size_t i) const { return traces_.at(i); }
-  /// Mutable access for preprocessing passes (realignment, filtering).
-  power::PowerTrace& mutable_trace(std::size_t i) { return traces_.at(i); }
+  /// Read view of trace i (shared geometry, borrowed samples). The
+  /// accessors are range-checked like the pre-SoA `.at()` storage was;
+  /// the bulk kernels go through matrix() rows instead.
+  power::TraceView trace(std::size_t i) const {
+    return samples_.view(check(i));
+  }
+  /// Mutable access to trace i's samples for preprocessing passes
+  /// (realignment, filtering).
+  std::span<double> mutable_samples(std::size_t i) {
+    return samples_.mutable_row(check(i));
+  }
   std::span<const std::uint8_t> plaintext(std::size_t i) const {
-    return plaintexts_.at(i);
+    return {pt_.data() + check(i) * pt_stride_, pt_stride_};
   }
   std::span<const std::uint8_t> ciphertext(std::size_t i) const {
-    return ciphertexts_.at(i);
+    return {ct_.data() + check(i) * ct_stride_, ct_stride_};
   }
+
+  /// The contiguous n×m sample block, for bulk kernels.
+  const power::SampleMatrix& matrix() const noexcept { return samples_; }
+
+  /// Preallocate for n traces (no-op before the first add fixes strides).
+  void reserve(std::size_t n);
 
   /// Restrict to the first n acquisitions (view semantics are not needed;
   /// MTD scans pass an explicit prefix length to the analysis instead).
   void truncate(std::size_t n);
 
+  /// Drop all traces but keep capacity and geometry — lets the fused
+  /// campaign reuse one chunk buffer with zero steady-state reallocation.
+  void clear() noexcept;
+
  private:
-  std::vector<power::PowerTrace> traces_;
-  std::vector<std::vector<std::uint8_t>> plaintexts_;
-  std::vector<std::vector<std::uint8_t>> ciphertexts_;
+  std::size_t check(std::size_t i) const {
+    if (i >= size()) throw std::out_of_range("TraceSet: trace index");
+    return i;
+  }
+
+  power::SampleMatrix samples_;
+  std::size_t pt_stride_ = 0;
+  std::size_t ct_stride_ = 0;
+  std::vector<std::uint8_t> pt_;
+  std::vector<std::uint8_t> ct_;
 };
 
 }  // namespace qdi::dpa

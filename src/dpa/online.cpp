@@ -1,0 +1,369 @@
+#include "qdi/dpa/online.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace qdi::dpa {
+
+namespace {
+
+/// Traces per rank-B kernel invocation. Small enough that a block of
+/// sample rows stays cache-resident while every guess sweeps it.
+constexpr std::size_t kBlock = 16;
+
+void window_stats(BiasResult& r, SampleWindow window) {
+  r.peak = 0.0;
+  r.peak_index = window.lo;
+  r.integrated = 0.0;
+  for (std::size_t j = 0; j < r.bias.size(); ++j) {
+    if (!window.contains(j)) continue;
+    const double a = std::fabs(r.bias[j]);
+    r.integrated += a;
+    if (a > r.peak) {
+      r.peak = a;
+      r.peak_index = j;
+    }
+  }
+}
+
+void rank_finalize(KeyRecoveryResult& r, unsigned num_guesses) {
+  r.best_guess = static_cast<unsigned>(
+      std::max_element(r.guess_peak.begin(), r.guess_peak.end()) -
+      r.guess_peak.begin());
+  r.best_peak = r.guess_peak[r.best_guess];
+  r.second_peak = 0.0;
+  for (unsigned g = 0; g < num_guesses; ++g)
+    if (g != r.best_guess)
+      r.second_peak = std::max(r.second_peak, r.guess_peak[g]);
+}
+
+}  // namespace
+
+// ---- OnlineCpa -------------------------------------------------------------
+
+OnlineCpa::OnlineCpa(LeakageModel model, unsigned num_guesses)
+    : model_(std::move(model)), guesses_(num_guesses) {
+  assert(model_);
+  assert(guesses_ > 0);
+  sum_h_.assign(guesses_, 0.0);
+  sum_h2_.assign(guesses_, 0.0);
+  if (model_.is_byte_indexed()) {
+    lut_.resize(256 * static_cast<std::size_t>(guesses_));
+    for (unsigned v = 0; v < 256; ++v)
+      for (unsigned g = 0; g < guesses_; ++g)
+        lut_[v * guesses_ + g] =
+            model_.eval_byte(static_cast<std::uint8_t>(v), g);
+  } else {
+    scratch_.resize(guesses_);
+  }
+}
+
+void OnlineCpa::ensure_geometry(std::size_t m) {
+  if (!sum_s_.empty() || n_ > 0) {
+    if (m != m_)
+      throw std::invalid_argument(
+          "OnlineCpa: sample count differs from the first trace");
+    return;
+  }
+  m_ = m;
+  sum_s_.assign(m_, 0.0);
+  sum_s2_.assign(m_, 0.0);
+  sum_hs_.assign(static_cast<std::size_t>(guesses_) * m_, 0.0);
+}
+
+void OnlineCpa::ingest(const double* const* rows, const double* const* hyp,
+                       std::size_t cnt) {
+  // Shared per-sample and per-guess moments, one trace at a time (trace
+  // order — identical whatever the caller's blocking).
+  for (std::size_t c = 0; c < cnt; ++c) {
+    const double* s = rows[c];
+    for (std::size_t j = 0; j < m_; ++j) {
+      sum_s_[j] += s[j];
+      sum_s2_[j] += s[j] * s[j];
+    }
+    const double* h = hyp[c];
+    for (unsigned g = 0; g < guesses_; ++g) {
+      sum_h_[g] += h[g];
+      sum_h2_[g] += h[g] * h[g];
+    }
+  }
+  // Rank-cnt update of the guesses × m products matrix. Inner loops run
+  // over contiguous memory; per (g, j) cell the adds happen in trace
+  // order, so blocking does not change the floating-point result.
+  for (unsigned g = 0; g < guesses_; ++g) {
+    double* dst = sum_hs_.data() + static_cast<std::size_t>(g) * m_;
+    for (std::size_t c = 0; c < cnt; ++c) {
+      const double h = hyp[c][g];
+      if (h == 0.0) continue;
+      const double* s = rows[c];
+      for (std::size_t j = 0; j < m_; ++j) dst[j] += h * s[j];
+    }
+  }
+  n_ += cnt;
+}
+
+const double* OnlineCpa::hyp_row(std::span<const std::uint8_t> plaintext) {
+  // Byte-indexed models: a LUT row, zero copies. Generic models: one
+  // std::function evaluation per guess into scratch (the scalar
+  // fallback; the shared per-sample sums stay hoisted either way).
+  if (model_.is_byte_indexed()) {
+    const auto v = plaintext[static_cast<std::size_t>(model_.byte())];
+    return lut_.data() + static_cast<std::size_t>(v) * guesses_;
+  }
+  for (unsigned g = 0; g < guesses_; ++g) scratch_[g] = model_(plaintext, g);
+  return scratch_.data();
+}
+
+void OnlineCpa::add(std::span<const std::uint8_t> plaintext,
+                    std::span<const double> samples) {
+  ensure_geometry(samples.size());
+  const double* row = samples.data();
+  const double* hyp = hyp_row(plaintext);
+  ingest(&row, &hyp, 1);
+}
+
+void OnlineCpa::add_prefix(const TraceSet& ts, std::size_t lo, std::size_t hi) {
+  hi = std::min(hi, ts.size());
+  if (lo >= hi) return;
+  ensure_geometry(ts.num_samples());
+  // Generic models share the one scratch hypothesis row, so they feed
+  // one trace per ingest; byte-indexed models block up rank-kBlock
+  // updates of LUT rows.
+  const std::size_t block = model_.is_byte_indexed() ? kBlock : 1;
+  for (std::size_t t0 = lo; t0 < hi; t0 += block) {
+    const std::size_t cnt = std::min(block, hi - t0);
+    const double* rows[kBlock];
+    const double* hyp[kBlock];
+    for (std::size_t c = 0; c < cnt; ++c) {
+      rows[c] = ts.matrix().row(t0 + c).data();
+      hyp[c] = hyp_row(ts.plaintext(t0 + c));
+    }
+    ingest(rows, hyp, cnt);
+  }
+}
+
+CpaResult OnlineCpa::finalize(std::size_t window_lo,
+                              std::size_t window_hi) const {
+  CpaResult res;
+  res.correlation.assign(guesses_, 0.0);
+  if (n_ == 0 || m_ == 0) return res;
+  const std::size_t hi = (window_hi == 0) ? m_ : std::min(window_hi, m_);
+  const double nn = static_cast<double>(n_);
+
+  std::vector<double> var_s(m_);
+  for (std::size_t j = 0; j < m_; ++j)
+    var_s[j] = sum_s2_[j] - sum_s_[j] * sum_s_[j] / nn;
+
+  for (unsigned g = 0; g < guesses_; ++g) {
+    const double var_h = sum_h2_[g] - sum_h_[g] * sum_h_[g] / nn;
+    double best = 0.0;
+    std::size_t best_j = window_lo;
+    if (var_h > 0.0) {
+      const double* hs = sum_hs_.data() + static_cast<std::size_t>(g) * m_;
+      for (std::size_t j = window_lo; j < hi; ++j) {
+        if (var_s[j] <= 0.0) continue;
+        const double cov = hs[j] - sum_h_[g] * sum_s_[j] / nn;
+        const double a = std::fabs(cov / std::sqrt(var_h * var_s[j]));
+        if (a > best) {
+          best = a;
+          best_j = j;
+        }
+      }
+    }
+    res.correlation[g] = best;
+    if (best > res.best_rho) {
+      res.best_rho = best;
+      res.best_guess = g;
+      res.best_sample = best_j;
+    }
+  }
+  res.second_rho = 0.0;
+  for (unsigned g = 0; g < guesses_; ++g)
+    if (g != res.best_guess)
+      res.second_rho = std::max(res.second_rho, res.correlation[g]);
+  return res;
+}
+
+std::vector<double> OnlineCpa::correlation_trace(unsigned guess) const {
+  assert(guess < guesses_);
+  std::vector<double> rho(m_, 0.0);
+  if (n_ == 0) return rho;
+  const double nn = static_cast<double>(n_);
+  const double var_h = sum_h2_[guess] - sum_h_[guess] * sum_h_[guess] / nn;
+  if (var_h <= 0.0) return rho;
+  const double* hs = sum_hs_.data() + static_cast<std::size_t>(guess) * m_;
+  for (std::size_t j = 0; j < m_; ++j) {
+    const double var_s = sum_s2_[j] - sum_s_[j] * sum_s_[j] / nn;
+    if (var_s <= 0.0) continue;
+    const double cov = hs[j] - sum_h_[guess] * sum_s_[j] / nn;
+    rho[j] = cov / std::sqrt(var_h * var_s);
+  }
+  return rho;
+}
+
+// ---- OnlineDpa -------------------------------------------------------------
+
+OnlineDpa::OnlineDpa(std::vector<SelectionFn> bits, unsigned num_guesses)
+    : bits_(std::move(bits)), guesses_(num_guesses) {
+  assert(!bits_.empty());
+  assert(guesses_ > 0);
+  n1_.assign(bits_.size() * static_cast<std::size_t>(guesses_), 0);
+  lut_ok_ = std::all_of(bits_.begin(), bits_.end(),
+                        [](const SelectionFn& d) { return d.is_byte_indexed(); });
+  if (lut_ok_) {
+    lut_.resize(bits_.size() * 256 * static_cast<std::size_t>(guesses_));
+    for (std::size_t b = 0; b < bits_.size(); ++b)
+      for (unsigned v = 0; v < 256; ++v)
+        for (unsigned g = 0; g < guesses_; ++g)
+          lut_[(b * 256 + v) * guesses_ + g] = static_cast<std::uint8_t>(
+              bits_[b].eval_byte(static_cast<std::uint8_t>(v), g) != 0);
+  } else {
+    // One decision row (bits × guesses): generic selections are fed one
+    // trace per ingest, never blocked.
+    scratch_.resize(bits_.size() * static_cast<std::size_t>(guesses_));
+  }
+}
+
+void OnlineDpa::ensure_geometry(std::size_t m) {
+  if (!sum_s_.empty() || n_ > 0) {
+    if (m != m_)
+      throw std::invalid_argument(
+          "OnlineDpa: sample count differs from the first trace");
+    return;
+  }
+  m_ = m;
+  sum_s_.assign(m_, 0.0);
+  sum1_.assign(bits_.size() * static_cast<std::size_t>(guesses_) * m_, 0.0);
+}
+
+void OnlineDpa::ingest(const double* const* rows,
+                       const std::uint8_t* const* pts, std::size_t cnt) {
+  assert(lut_ok_ || cnt == 1);  // generic selections share one scratch row
+  const std::size_t nbits = bits_.size();
+  for (std::size_t c = 0; c < cnt; ++c) {
+    const double* s = rows[c];
+    for (std::size_t j = 0; j < m_; ++j) sum_s_[j] += s[j];
+  }
+  for (std::size_t b = 0; b < nbits; ++b) {
+    const auto byte =
+        lut_ok_ ? static_cast<std::size_t>(bits_[b].byte()) : std::size_t{0};
+    for (unsigned g = 0; g < guesses_; ++g) {
+      double* dst = sum1_.data() +
+                    (b * static_cast<std::size_t>(guesses_) + g) * m_;
+      std::uint32_t* count = n1_.data() + b * guesses_ + g;
+      for (std::size_t c = 0; c < cnt; ++c) {
+        const std::uint8_t d = lut_ok_
+                                   ? lut_[(b * 256 + pts[c][byte]) * guesses_ + g]
+                                   : scratch_[b * guesses_ + g];
+        if (d == 0) continue;
+        ++*count;
+        const double* s = rows[c];
+        for (std::size_t j = 0; j < m_; ++j) dst[j] += s[j];
+      }
+    }
+  }
+  n_ += cnt;
+}
+
+void OnlineDpa::add(std::span<const std::uint8_t> plaintext,
+                    std::span<const double> samples) {
+  ensure_geometry(samples.size());
+  if (!lut_ok_) {
+    std::uint8_t* dst = scratch_.data();
+    for (std::size_t b = 0; b < bits_.size(); ++b)
+      for (unsigned g = 0; g < guesses_; ++g)
+        dst[b * guesses_ + g] =
+            static_cast<std::uint8_t>(bits_[b](plaintext, g) != 0);
+  }
+  const double* row = samples.data();
+  const std::uint8_t* pt = plaintext.data();
+  ingest(&row, &pt, 1);
+}
+
+void OnlineDpa::add_prefix(const TraceSet& ts, std::size_t lo, std::size_t hi) {
+  hi = std::min(hi, ts.size());
+  if (lo >= hi) return;
+  ensure_geometry(ts.num_samples());
+  if (!lut_ok_) {
+    for (std::size_t i = lo; i < hi; ++i)
+      add(ts.plaintext(i), ts.matrix().row(i));
+    return;
+  }
+  for (std::size_t t0 = lo; t0 < hi; t0 += kBlock) {
+    const std::size_t cnt = std::min(kBlock, hi - t0);
+    const double* rows[kBlock];
+    const std::uint8_t* pts[kBlock];
+    for (std::size_t c = 0; c < cnt; ++c) {
+      rows[c] = ts.matrix().row(t0 + c).data();
+      pts[c] = ts.plaintext(t0 + c).data();
+    }
+    ingest(rows, pts, cnt);
+  }
+}
+
+BiasResult OnlineDpa::bias(unsigned guess, std::size_t bit,
+                           SampleWindow window) const {
+  assert(guess < guesses_ && bit < bits_.size());
+  BiasResult r;
+  const std::size_t idx = bit * static_cast<std::size_t>(guesses_) + guess;
+  r.n1 = n1_[idx];
+  r.n0 = n_ - r.n1;
+  if (r.n0 == 0 || r.n1 == 0) {
+    r.bias.assign(m_, 0.0);
+    return r;
+  }
+  const double* s1 = sum1_.data() + idx * m_;
+  const double inv0 = 1.0 / static_cast<double>(r.n0);
+  const double inv1 = 1.0 / static_cast<double>(r.n1);
+  r.bias.resize(m_);
+  for (std::size_t j = 0; j < m_; ++j)
+    r.bias[j] = (sum_s_[j] - s1[j]) * inv0 - s1[j] * inv1;
+  window_stats(r, window);
+  return r;
+}
+
+double OnlineDpa::peak_of(unsigned guess, std::size_t bit,
+                          SampleWindow window) const {
+  const std::size_t idx = bit * static_cast<std::size_t>(guesses_) + guess;
+  const std::size_t c1 = n1_[idx];
+  const std::size_t c0 = n_ - c1;
+  if (c0 == 0 || c1 == 0) return 0.0;
+  const double* s1 = sum1_.data() + idx * m_;
+  const double inv0 = 1.0 / static_cast<double>(c0);
+  const double inv1 = 1.0 / static_cast<double>(c1);
+  double peak = 0.0;
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (!window.contains(j)) continue;
+    const double a = std::fabs((sum_s_[j] - s1[j]) * inv0 - s1[j] * inv1);
+    if (a > peak) peak = a;
+  }
+  return peak;
+}
+
+KeyRecoveryResult OnlineDpa::recover(SampleWindow window) const {
+  KeyRecoveryResult r;
+  r.guess_peak.assign(guesses_, 0.0);
+  for (unsigned g = 0; g < guesses_; ++g) {
+    double sum = 0.0;
+    for (std::size_t b = 0; b < bits_.size(); ++b)
+      sum += peak_of(g, b, window);
+    r.guess_peak[g] = sum;
+  }
+  rank_finalize(r, guesses_);
+  return r;
+}
+
+KeyRecoveryResult OnlineDpa::recover_single(std::size_t bit,
+                                            SampleWindow window) const {
+  assert(bit < bits_.size());
+  KeyRecoveryResult r;
+  r.guess_peak.assign(guesses_, 0.0);
+  for (unsigned g = 0; g < guesses_; ++g)
+    r.guess_peak[g] = peak_of(g, bit, window);
+  rank_finalize(r, guesses_);
+  return r;
+}
+
+}  // namespace qdi::dpa

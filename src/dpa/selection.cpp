@@ -9,29 +9,26 @@ namespace qdi::dpa {
 
 SelectionFn aes_xor_selection(int byte, int bit) {
   assert(bit >= 0 && bit < 8);
-  return [byte, bit](std::span<const std::uint8_t> pt, unsigned guess) -> int {
-    const std::uint8_t x = static_cast<std::uint8_t>(
-        pt[static_cast<std::size_t>(byte)] ^ static_cast<std::uint8_t>(guess));
+  return SelectionFn::byte_indexed(byte, [bit](std::uint8_t p, unsigned guess) {
+    const std::uint8_t x = static_cast<std::uint8_t>(p ^ guess);
     return (x >> bit) & 1;
-  };
+  });
 }
 
 SelectionFn aes_sbox_selection(int byte, int bit) {
   assert(bit >= 0 && bit < 8);
-  return [byte, bit](std::span<const std::uint8_t> pt, unsigned guess) -> int {
-    const std::uint8_t x = static_cast<std::uint8_t>(
-        pt[static_cast<std::size_t>(byte)] ^ static_cast<std::uint8_t>(guess));
+  return SelectionFn::byte_indexed(byte, [bit](std::uint8_t p, unsigned guess) {
+    const std::uint8_t x = static_cast<std::uint8_t>(p ^ guess);
     return (crypto::aes_sbox(x) >> bit) & 1;
-  };
+  });
 }
 
 SelectionFn des_sbox_selection(int box, int bit) {
   assert(bit >= 0 && bit < 4);
-  return [box, bit](std::span<const std::uint8_t> pt, unsigned guess) -> int {
-    const std::uint8_t six =
-        static_cast<std::uint8_t>((pt[0] ^ guess) & 0x3f);
+  return SelectionFn::byte_indexed(0, [box, bit](std::uint8_t p, unsigned guess) {
+    const std::uint8_t six = static_cast<std::uint8_t>((p ^ guess) & 0x3f);
     return (crypto::des_sbox(box, six) >> bit) & 1;
-  };
+  });
 }
 
 }  // namespace qdi::dpa

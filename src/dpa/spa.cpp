@@ -8,7 +8,7 @@
 
 namespace qdi::dpa {
 
-std::vector<ActivityBurst> find_bursts(const power::PowerTrace& trace,
+std::vector<ActivityBurst> find_bursts(power::TraceView trace,
                                        double threshold_ua,
                                        std::size_t min_gap) {
   std::vector<ActivityBurst> bursts;
@@ -40,7 +40,7 @@ std::vector<ActivityBurst> find_bursts(const power::PowerTrace& trace,
   return bursts;
 }
 
-double spa_distance(const power::PowerTrace& a, const power::PowerTrace& b) {
+double spa_distance(power::TraceView a, power::TraceView b) {
   const std::size_t n = std::min(a.size(), b.size());
   double d = 0.0;
   for (std::size_t j = 0; j < n; ++j)
@@ -50,7 +50,7 @@ double spa_distance(const power::PowerTrace& a, const power::PowerTrace& b) {
 
 namespace {
 /// Cross-correlation score between reference and trace shifted left by s.
-double shift_score(const power::PowerTrace& ref, const power::PowerTrace& t,
+double shift_score(std::span<const double> ref, std::span<const double> t,
                    std::size_t s) {
   const std::size_t n = ref.size() - s;
   double sum = 0.0;
@@ -61,12 +61,15 @@ double shift_score(const power::PowerTrace& ref, const power::PowerTrace& t,
 
 std::size_t realign_traces(TraceSet& ts, std::size_t max_shift_samples) {
   if (ts.size() < 2 || ts.num_samples() == 0) return 0;
-  const power::PowerTrace& ref = ts.trace(0);
-  const std::size_t max_s = std::min(max_shift_samples, ref.size() - 1);
+  const std::size_t max_s =
+      std::min(max_shift_samples, ts.num_samples() - 1);
 
   std::size_t moved = 0;
   for (std::size_t i = 1; i < ts.size(); ++i) {
-    power::PowerTrace& t = ts.mutable_trace(i);
+    // The reference row is re-fetched per trace: mutating row i never
+    // moves row 0 (one contiguous matrix), but spans are cheap anyway.
+    const std::span<const double> ref = ts.trace(0).samples();
+    const std::span<double> t = ts.mutable_samples(i);
     std::size_t best_s = 0;
     double best = shift_score(ref, t, 0);
     for (std::size_t s = 1; s <= max_s; ++s) {
@@ -85,8 +88,8 @@ std::size_t realign_traces(TraceSet& ts, std::size_t max_shift_samples) {
   return moved;
 }
 
-MatchResult locate_pattern(const power::PowerTrace& trace,
-                           const power::PowerTrace& pattern) {
+MatchResult locate_pattern(power::TraceView trace,
+                           power::TraceView pattern) {
   MatchResult best;
   if (pattern.size() == 0 || pattern.size() > trace.size()) return best;
   const std::size_t m = pattern.size();

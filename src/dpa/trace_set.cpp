@@ -1,22 +1,50 @@
 #include "qdi/dpa/trace_set.hpp"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace qdi::dpa {
 
-void TraceSet::add(power::PowerTrace trace, std::vector<std::uint8_t> plaintext,
+void TraceSet::add(const power::PowerTrace& trace,
+                   std::vector<std::uint8_t> plaintext,
                    std::vector<std::uint8_t> ciphertext) {
-  assert(traces_.empty() || trace.size() == traces_.front().size());
-  traces_.push_back(std::move(trace));
-  plaintexts_.push_back(std::move(plaintext));
-  ciphertexts_.push_back(std::move(ciphertext));
+  add(power::TraceView(trace), plaintext, ciphertext);
+}
+
+void TraceSet::add(power::TraceView trace,
+                   std::span<const std::uint8_t> plaintext,
+                   std::span<const std::uint8_t> ciphertext) {
+  if (samples_.rows() == 0) {
+    pt_stride_ = plaintext.size();
+    ct_stride_ = ciphertext.size();
+  } else if (trace.size() != num_samples() || plaintext.size() != pt_stride_ ||
+             ciphertext.size() != ct_stride_) {
+    throw std::invalid_argument(
+        "TraceSet::add: acquisition geometry differs from the first trace");
+  }
+  samples_.append(trace);
+  power::internal::append_possibly_aliasing(pt_, plaintext.data(),
+                                            plaintext.size());
+  power::internal::append_possibly_aliasing(ct_, ciphertext.data(),
+                                            ciphertext.size());
+}
+
+void TraceSet::reserve(std::size_t n) {
+  samples_.reserve_rows(n);
+  pt_.reserve(n * pt_stride_);
+  ct_.reserve(n * ct_stride_);
 }
 
 void TraceSet::truncate(std::size_t n) {
-  if (n >= traces_.size()) return;
-  traces_.resize(n);
-  plaintexts_.resize(n);
-  ciphertexts_.resize(n);
+  if (n >= samples_.rows()) return;
+  samples_.truncate(n);
+  pt_.resize(n * pt_stride_);
+  ct_.resize(n * ct_stride_);
+}
+
+void TraceSet::clear() noexcept {
+  samples_.clear();
+  pt_.clear();
+  ct_.clear();
 }
 
 }  // namespace qdi::dpa

@@ -1,0 +1,89 @@
+// SampleMatrix — the SoA storage of the analysis engine.
+//
+// The DPA/CPA kernels stream over *columns of traces* (per-sample sums
+// across acquisitions), so the natural layout is one contiguous
+// row-major n×m block: trace i is row i, sample j is column j, and a
+// whole-prefix pass is a linear sweep of memory. This replaces the
+// per-trace heap allocations (vector<PowerTrace>) on the analysis path;
+// acquisition still produces individual PowerTraces, which append here
+// by copy into preallocated rows.
+//
+// Geometry (t0, dt) is shared by all rows — the acquisition window is
+// identical across traces of one campaign, which is what makes sample
+// index j a meaningful alignment in the first place.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "qdi/power/trace.hpp"
+
+namespace qdi::power {
+
+namespace internal {
+
+/// Append [src, src+count) to dst, correct even when src points into
+/// dst's own storage (e.g. duplicating an existing row through a view):
+/// a plain insert would read through iterators invalidated by the
+/// growth reallocation. Shared by SampleMatrix and dpa::TraceSet's
+/// packed byte arrays.
+template <typename T>
+void append_possibly_aliasing(std::vector<T>& dst, const T* src,
+                              std::size_t count) {
+  if (count == 0) return;
+  const std::size_t old = dst.size();
+  if (src >= dst.data() && src < dst.data() + old) {
+    const std::size_t offset = static_cast<std::size_t>(src - dst.data());
+    dst.resize(old + count);
+    std::copy_n(dst.data() + offset, count, dst.data() + old);
+  } else {
+    dst.insert(dst.end(), src, src + count);
+  }
+}
+
+}  // namespace internal
+
+class SampleMatrix {
+ public:
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  double t0_ps() const noexcept { return t0_; }
+  double dt_ps() const noexcept { return dt_; }
+
+  /// Append one trace as a new row. The first append fixes the column
+  /// count and geometry; a later row of a different length throws
+  /// std::invalid_argument. Geometry is taken from the first row only —
+  /// per-trace t0 jitter is an *analysis obstacle*, not a storage
+  /// concern (see dpa::realign_traces).
+  void append(TraceView row);
+  void append(std::span<const double> samples, double t0_ps, double dt_ps);
+
+  std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<double> mutable_row(std::size_t i) {
+    return {data_.data() + i * cols_, cols_};
+  }
+  TraceView view(std::size_t i) const { return {t0_, dt_, row(i)}; }
+
+  /// The full contiguous block (row-major n×m) for bulk kernels.
+  std::span<const double> data() const noexcept { return data_; }
+
+  void reserve_rows(std::size_t n) { data_.reserve(n * cols_); }
+  /// Drop rows past n (storage is kept).
+  void truncate(std::size_t n);
+  /// Remove all rows but keep the capacity and geometry — the zero-
+  /// reallocation reuse path of the fused campaign chunks.
+  void clear() noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  double t0_ = 0.0;
+  double dt_ = 1.0;
+  std::vector<double> data_;
+};
+
+}  // namespace qdi::power

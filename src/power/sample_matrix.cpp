@@ -1,0 +1,37 @@
+#include "qdi/power/sample_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qdi::power {
+
+void SampleMatrix::append(TraceView row) {
+  append(row.samples(), row.t0_ps(), row.dt_ps());
+}
+
+void SampleMatrix::append(std::span<const double> samples, double t0_ps,
+                          double dt_ps) {
+  if (rows_ == 0) {
+    cols_ = samples.size();
+    t0_ = t0_ps;
+    dt_ = dt_ps;
+  } else if (samples.size() != cols_) {
+    throw std::invalid_argument(
+        "SampleMatrix::append: row length differs from the first row");
+  }
+  internal::append_possibly_aliasing(data_, samples.data(), samples.size());
+  ++rows_;
+}
+
+void SampleMatrix::truncate(std::size_t n) {
+  if (n >= rows_) return;
+  rows_ = n;
+  data_.resize(n * cols_);
+}
+
+void SampleMatrix::clear() noexcept {
+  rows_ = 0;
+  data_.clear();
+}
+
+}  // namespace qdi::power

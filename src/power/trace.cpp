@@ -4,10 +4,17 @@
 
 namespace qdi::power {
 
-double PowerTrace::total_charge_fc() const noexcept {
+TraceView::TraceView(const PowerTrace& t) noexcept
+    : t0_(t.t0_ps()), dt_(t.dt_ps()), samples_(t.samples()) {}
+
+double TraceView::total_charge_fc() const noexcept {
   double q = 0.0;
   for (double s : samples_) q += s * dt_;
   return q;
+}
+
+double PowerTrace::total_charge_fc() const noexcept {
+  return TraceView(*this).total_charge_fc();
 }
 
 PowerTrace& PowerTrace::operator+=(const PowerTrace& other) {
