@@ -189,6 +189,50 @@ static void BM_CompiledDpaEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_CompiledDpaEndToEnd)->Unit(benchmark::kMillisecond);
 
+// Scheduler A/B rows: identical acquisition batches from one prebuilt
+// victim, differing only in the compiled kernel's event queue (time
+// wheel vs binary heap; traces are bit-identical — see
+// tests/test_compiled_sim.cpp and the FuzzScheduler suite). The host is
+// the DES Feistel round — the largest *simulatable* registry target and
+// the widest event wavefront, where queue pressure is real. The larger
+// aes_core cannot host an acquisition row: it is flow-only by design
+// (no four-phase stimulus), and a QDI circuit's return-to-zero idle
+// state is already stable, so driving its inputs without a full
+// environment produces no sustained event activity to schedule. The CI
+// bench job prints the BM_SchedulerHeap / BM_SchedulerWheel speedup and
+// guards it against regression.
+static const qdi::campaign::TargetInstance& scheduler_workload() {
+  static const qdi::campaign::TargetInstance inst =
+      qdi::campaign::des_round().build(0x2b);
+  return inst;
+}
+
+static void scheduler_bench(benchmark::State& state,
+                            qdi::sim::SchedulerKind kind) {
+  const qdi::campaign::TargetInstance& inst = scheduler_workload();
+  qdi::campaign::SimTraceSourceOptions opt;
+  opt.scheduler = kind;
+  qdi::campaign::SimTraceSource src(inst.nl, inst.env, inst.stimulus, opt);
+  // Persistent workers: source, compiled netlist, epoch snapshot, and
+  // scratch all live across the timed iterations, so the rows measure
+  // the per-trace loop — exactly where the schedulers differ.
+  qdi::campaign::WorkerPool pool(src, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.acquire(32, 1).size());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+
+static void BM_SchedulerWheel(benchmark::State& state) {
+  scheduler_bench(state, qdi::sim::SchedulerKind::Wheel);
+}
+BENCHMARK(BM_SchedulerWheel)->Unit(benchmark::kMillisecond);
+
+static void BM_SchedulerHeap(benchmark::State& state) {
+  scheduler_bench(state, qdi::sim::SchedulerKind::Heap);
+}
+BENCHMARK(BM_SchedulerHeap)->Unit(benchmark::kMillisecond);
+
 // Batch-vs-online analysis pair on the aes_byte_slice workload: 256
 // guesses, full measurements-to-disclosure scan (prefix grid 8, 8).
 // BM_CpaBatch runs the scan the way the pre-streaming code did — one

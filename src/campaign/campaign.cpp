@@ -256,6 +256,12 @@ CampaignResult Campaign::run() const {
         source_ ? source_(inst, opt_)
                 : std::make_unique<SimTraceSource>(inst.nl, inst.env,
                                                    inst.stimulus, opt_);
+    // Worker clones (per-thread simulators + scratch) are campaign
+    // state: created once here and persistent across every segment the
+    // acquisition below runs.
+    const auto threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads_ == 0 ? 1 : threads_, num_traces_));
+    WorkerPool pool(*src, threads);
     if (fused_chunk_ > 0) {
       // Fused mode: each acquired segment streams into the attack
       // accumulators and is discarded — O(chunk + guesses·samples)
@@ -268,8 +274,8 @@ CampaignResult Campaign::run() const {
       // the feed share is subtracted back out. finish() runs after the
       // stage clock stops and is attributed to the attack alone.
       double feed_ms = 0.0;
-      acquire_chunked(
-          *src, num_traces_, seed_, threads_, fused_chunk_,
+      pool.acquire_chunked(
+          num_traces_, seed_, fused_chunk_,
           [&](const dpa::TraceSet& segment, std::size_t first) {
             const auto t_feed = std::chrono::steady_clock::now();
             analysis.feed(segment, first);
@@ -286,8 +292,7 @@ CampaignResult Campaign::run() const {
               : 0.0;
       res.attack = std::move(out);
     } else {
-      res.traces =
-          acquire_batch(*src, num_traces_, seed_, threads_, &res.acquisition);
+      res.traces = pool.acquire(num_traces_, seed_, &res.acquisition);
       if (attacking) {
         const auto t_attack = std::chrono::steady_clock::now();
         StreamingAnalysis analysis(attack_, inst, rank_step_,

@@ -148,6 +148,14 @@ class Campaign {
     return *this;
   }
 
+  /// Event-queue implementation of the compiled kernel: the time wheel
+  /// (default) or the binary heap. Results are bit-identical; the heap
+  /// is kept for differential testing and A/B benchmarking.
+  Campaign& scheduler(sim::SchedulerKind k) {
+    opt_.scheduler = k;
+    return *this;
+  }
+
   Campaign& attack(Dpa a) { attack_ = std::move(a); return *this; }
   Campaign& attack(Cpa a) { attack_ = std::move(a); return *this; }
 

@@ -14,6 +14,13 @@
 // bit-identical whatever thread acquired it and in whatever order — the
 // property test_campaign asserts. The compiled and reference engines
 // are additionally bit-identical to each other (test_compiled_sim).
+//
+// The hot path is allocation-free: workers acquire through
+// acquire_into() into reused AcquiredTrace slots, the stimulus fills a
+// reused buffer, the streaming power accumulator ping-pongs one sample
+// buffer per worker, and a WorkerPool keeps the per-thread simulator
+// clones (and their compiled-kernel epoch snapshots) alive across any
+// number of acquire calls.
 #pragma once
 
 #include <cstdint>
@@ -56,14 +63,32 @@ struct Stimulus {
   std::vector<int> values;
   std::vector<std::uint8_t> plaintext;
 };
-using StimulusFn = std::function<Stimulus(util::Rng& rng, std::size_t index)>;
+
+/// Fill-style stimulus callback: overwrite `out` completely (clear and
+/// refill both vectors). The campaign layer reuses one Stimulus per
+/// worker, so a well-behaved implementation allocates nothing once the
+/// capacities have settled.
+using StimulusFn =
+    std::function<void(util::Rng& rng, std::size_t index, Stimulus& out)>;
 
 class TraceSource {
  public:
   virtual ~TraceSource() = default;
 
-  /// Acquire one trace. Must be deterministic in `req` alone.
-  virtual AcquiredTrace acquire_one(const TraceRequest& req) = 0;
+  /// Acquire one trace into `out`, overwriting it completely (the
+  /// campaign layer reuses one slot per request index, so implementations
+  /// should clear-and-refill the buffers rather than reassign them —
+  /// that is what keeps the hot loop allocation-free). Must be
+  /// deterministic in `req` alone. A simple source can just do
+  /// `out = ...` and forgo the buffer reuse.
+  virtual void acquire_into(const TraceRequest& req, AcquiredTrace& out) = 0;
+
+  /// Convenience value-returning form of acquire_into.
+  AcquiredTrace acquire_one(const TraceRequest& req) {
+    AcquiredTrace out;
+    acquire_into(req, out);
+    return out;
+  }
 
   /// Independent copy for a worker thread.
   virtual std::unique_ptr<TraceSource> clone() const = 0;
@@ -76,30 +101,67 @@ struct AcquisitionStats {
   double traces_per_s = 0.0;
   std::size_t transitions = 0;  ///< summed over all traces
   std::size_t glitches = 0;     ///< summed over all traces
-  /// Filled by acquire_batch only; acquire_chunked leaves it empty (a
-  /// per-trace vector would grow with the trace budget and break the
-  /// fused campaign's bounded-memory contract).
+  /// Filled by WorkerPool::acquire/acquire_batch only; the chunked
+  /// streaming path leaves it empty (a per-trace vector would grow with
+  /// the trace budget and break the fused campaign's bounded-memory
+  /// contract).
   std::vector<std::size_t> per_trace_transitions;
   unsigned threads_used = 1;
 };
 
-/// Batched acquisition: `num_traces` requests fanned out over `threads`
-/// clones of `src` (thread 0 uses `src` itself). Results are assembled in
-/// index order into the TraceSet's contiguous SoA matrix; with the
-/// determinism contract above the returned TraceSet is bit-identical for
-/// any thread count.
+/// Persistent acquisition worker set: `threads - 1` clones of a primary
+/// source plus the per-segment scratch slots, created once and reused
+/// across any number of acquire calls. This is what keeps per-thread
+/// simulators (with their compiled netlist, epoch snapshot, and scratch
+/// buffers) warm across batches instead of re-cloning per call — the
+/// campaign layer owns one pool per run, benches own one per timing
+/// loop. Worker threads are still (re)spawned per segment: per-trace
+/// simulation dwarfs thread start-up at campaign batch sizes, and the
+/// in-order barrier between segments is what makes the feed order (and
+/// hence all accumulator results) independent of the thread count.
+class WorkerPool {
+ public:
+  /// `src` must outlive the pool. `threads` counts `src` itself.
+  WorkerPool(TraceSource& src, unsigned threads);
+
+  unsigned threads() const noexcept {
+    return static_cast<unsigned>(clones_.size()) + 1;
+  }
+
+  /// Batched acquisition into a fresh TraceSet, assembled in index
+  /// order; bit-identical for any thread count (determinism contract).
+  dpa::TraceSet acquire(std::size_t num_traces, std::uint64_t seed,
+                        AcquisitionStats* stats = nullptr);
+
+  /// Chunked streaming acquisition — the O(1)-memory feed of the fused
+  /// campaign. Delivers traces [first, first + segment.size()) per
+  /// consume() call from one reused segment buffer (cleared, capacity
+  /// kept); consumers must copy anything they keep. Trace values are
+  /// bit-identical to acquire() for any thread count and chunk size.
+  void acquire_chunked(
+      std::size_t num_traces, std::uint64_t seed, std::size_t chunk,
+      const std::function<void(const dpa::TraceSet& segment,
+                               std::size_t first)>& consume,
+      AcquisitionStats* stats = nullptr);
+
+ private:
+  void acquire_range(std::size_t lo, std::size_t hi, std::uint64_t seed);
+
+  TraceSource* src_;
+  std::vector<std::unique_ptr<TraceSource>> clones_;
+  /// Reused result slots: slot buffers (samples, plaintext, ciphertext)
+  /// retain capacity across segments and across acquire calls.
+  std::vector<AcquiredTrace> scratch_;
+};
+
+/// One-shot batched acquisition over a transient WorkerPool. Kept as the
+/// convenience entry point; callers that acquire repeatedly (benches,
+/// multi-batch campaigns) should hold a WorkerPool instead.
 dpa::TraceSet acquire_batch(TraceSource& src, std::size_t num_traces,
                             std::uint64_t seed, unsigned threads = 1,
                             AcquisitionStats* stats = nullptr);
 
-/// Chunked streaming acquisition — the O(1)-memory feed of the fused
-/// campaign. Acquires `num_traces` in index order and delivers them in
-/// segments of at most `chunk` traces: consume(segment, first_index)
-/// sees traces [first_index, first_index + segment.size()). The segment
-/// TraceSet is one reused buffer (cleared, capacity kept), so peak
-/// memory is O(chunk · samples) regardless of num_traces; consumers must
-/// copy anything they keep. Trace values are bit-identical to
-/// acquire_batch for any thread count and any chunk size.
+/// One-shot chunked acquisition over a transient WorkerPool.
 void acquire_chunked(
     TraceSource& src, std::size_t num_traces, std::uint64_t seed,
     unsigned threads, std::size_t chunk,
@@ -121,6 +183,10 @@ struct SimTraceSourceOptions {
   /// construction-form interpreter with a post-hoc log walk. Both
   /// produce bit-identical traces.
   sim::EngineKind engine = sim::EngineKind::Compiled;
+  /// Event-queue implementation of the compiled kernel (ignored by the
+  /// reference engine). Wheel and Heap are bit-identical; the heap is
+  /// kept for differential testing.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::Wheel;
 };
 
 /// TraceSource backed by the event-driven simulator and the four-phase
@@ -137,7 +203,7 @@ class SimTraceSource final : public TraceSource {
   SimTraceSource(const SimTraceSource&) = delete;
   SimTraceSource& operator=(const SimTraceSource&) = delete;
 
-  AcquiredTrace acquire_one(const TraceRequest& req) override;
+  void acquire_into(const TraceRequest& req, AcquiredTrace& out) override;
   std::unique_ptr<TraceSource> clone() const override;
   std::string name() const override {
     return opt_.engine == sim::EngineKind::Compiled ? "sim-compiled" : "sim";
@@ -159,8 +225,11 @@ class SimTraceSource final : public TraceSource {
   /// engine-specific capability); non-null iff compiled engine.
   sim::CompiledSimulator* csim_ = nullptr;
   sim::FourPhaseEnv env_;
-  /// Per-worker scratch reused across trace epochs.
+  /// Per-worker scratch reused across trace epochs — all of it
+  /// capacity-retaining, so the steady-state loop allocates nothing.
   power::StreamingAccumulator acc_;
+  Stimulus stim_;
+  sim::FourPhaseEnv::CycleResult cyc_;
   std::optional<sim::CompiledSimulator::Epoch> epoch_;  ///< post-reset snapshot
 };
 

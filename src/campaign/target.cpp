@@ -34,14 +34,12 @@ CircuitTarget aes_byte_slice(double period_ps) {
     TargetInstance inst;
     inst.nl = std::move(slice.nl);
     inst.env = std::move(slice.env);
-    inst.stimulus = [key_byte](util::Rng& rng, std::size_t) {
+    inst.stimulus = [key_byte](util::Rng& rng, std::size_t, Stimulus& st) {
       const std::uint8_t p = rng.byte();
-      Stimulus st;
-      st.values.reserve(16);
+      st.values.clear();
       push_bits(st.values, p, 8);
       push_bits(st.values, key_byte, 8);
-      st.plaintext = {p};
-      return st;
+      st.plaintext.assign(1, p);
     };
     inst.num_guesses = 256;
     inst.true_guess = key_byte;
@@ -59,14 +57,12 @@ CircuitTarget des_sbox_slice(int box, double period_ps) {
     TargetInstance inst;
     inst.nl = std::move(slice.nl);
     inst.env = std::move(slice.env);
-    inst.stimulus = [key6](util::Rng& rng, std::size_t) {
+    inst.stimulus = [key6](util::Rng& rng, std::size_t, Stimulus& st) {
       const auto p = static_cast<std::uint8_t>(rng.below(64));
-      Stimulus st;
-      st.values.reserve(12);
+      st.values.clear();
       push_bits(st.values, p, 6);
       push_bits(st.values, key6, 6);
-      st.plaintext = {p};
-      return st;
+      st.plaintext.assign(1, p);
     };
     inst.num_guesses = 64;
     inst.true_guess = key6;
@@ -83,14 +79,12 @@ CircuitTarget xor_stage(double period_ps) {
     TargetInstance inst;
     inst.nl = std::move(x.nl);
     inst.env = std::move(x.env);
-    inst.stimulus = [](util::Rng& rng, std::size_t) {
+    inst.stimulus = [](util::Rng& rng, std::size_t, Stimulus& st) {
       const int a = static_cast<int>(rng.below(2));
       const int b = static_cast<int>(rng.below(2));
-      Stimulus st;
-      st.values = {a, b};
-      st.plaintext = {static_cast<std::uint8_t>(a),
-                      static_cast<std::uint8_t>(b)};
-      return st;
+      st.values.assign({a, b});
+      st.plaintext.assign({static_cast<std::uint8_t>(a),
+                           static_cast<std::uint8_t>(b)});
     };
     return inst;
   });
@@ -105,10 +99,9 @@ CircuitTarget des_round(double period_ps) {
     inst.env = std::move(slice.env);
     // Random R half (L = 0) against the fixed round key; plaintext(i)
     // records SBOX1's 6-bit input E(R)[1..6] so D can re-derive classes.
-    inst.stimulus = [subkey](util::Rng& rng, std::size_t) {
+    inst.stimulus = [subkey](util::Rng& rng, std::size_t, Stimulus& st) {
       const auto r = static_cast<std::uint32_t>(rng.next());
-      Stimulus st;
-      st.values.reserve(112);
+      st.values.clear();
       for (int i = 0; i < 32; ++i) st.values.push_back(0);  // L = 0
       for (int i = 0; i < 32; ++i)
         st.values.push_back(static_cast<int>((r >> (31 - i)) & 1));
@@ -121,8 +114,7 @@ CircuitTarget des_round(double period_ps) {
             (r >> (32 - et[static_cast<std::size_t>(j)])) & 1);
         six = static_cast<std::uint8_t>((six << 1) | bit);
       }
-      st.plaintext = {six};
-      return st;
+      st.plaintext.assign(1, six);
     };
     inst.num_guesses = 64;
     inst.true_guess = static_cast<unsigned>((subkey >> 42) & 0x3f);
@@ -149,12 +141,10 @@ CircuitTarget dual_rail_pair(double period_ps) {
     }
     inst.env.inputs = {lo.ch, hi.ch};
     inst.env.period_ps = period_ps;
-    inst.stimulus = [](util::Rng&, std::size_t index) {
+    inst.stimulus = [](util::Rng&, std::size_t index, Stimulus& st) {
       const int v = static_cast<int>(index % 4);
-      Stimulus st;
-      st.values = {v & 1, (v >> 1) & 1};
-      st.plaintext = {static_cast<std::uint8_t>(v)};
-      return st;
+      st.values.assign({v & 1, (v >> 1) & 1});
+      st.plaintext.assign(1, static_cast<std::uint8_t>(v));
     };
     return inst;
   });
@@ -174,12 +164,10 @@ CircuitTarget one_of_four(double period_ps) {
     inst.env.inputs = {q.ch};
     inst.env.outputs = {out_ch};
     inst.env.period_ps = period_ps;
-    inst.stimulus = [](util::Rng&, std::size_t index) {
+    inst.stimulus = [](util::Rng&, std::size_t index, Stimulus& st) {
       const int v = static_cast<int>(index % 4);
-      Stimulus st;
-      st.values = {v};
-      st.plaintext = {static_cast<std::uint8_t>(v)};
-      return st;
+      st.values.assign(1, v);
+      st.plaintext.assign(1, static_cast<std::uint8_t>(v));
     };
     return inst;
   });

@@ -15,7 +15,8 @@ namespace {
 std::unique_ptr<sim::SimEngine> make_engine(
     const std::shared_ptr<const sim::CompiledNetlist>& compiled,
     const netlist::Netlist& nl, const SimTraceSourceOptions& opt) {
-  if (compiled) return std::make_unique<sim::CompiledSimulator>(compiled);
+  if (compiled)
+    return std::make_unique<sim::CompiledSimulator>(compiled, opt.scheduler);
   return std::make_unique<sim::Simulator>(nl, opt.delays);
 }
 
@@ -56,12 +57,13 @@ std::unique_ptr<TraceSource> SimTraceSource::clone() const {
       new SimTraceSource(*this, WorkerCloneTag{}));
 }
 
-AcquiredTrace SimTraceSource::acquire_one(const TraceRequest& req) {
+void SimTraceSource::acquire_into(const TraceRequest& req, AcquiredTrace& out) {
   // Every trace starts from the post-reset state in its own epoch:
   // identical absolute times, hence bit-identical floating point,
   // whatever trace history the worker carries. The compiled engine pays
-  // the reset handshake once and restores its snapshot afterwards; the
-  // reference engine re-simulates it each trace.
+  // the reset handshake once and restores its snapshot afterwards (an
+  // O(activity) dirty-set revert); the reference engine re-simulates it
+  // each trace.
   if (csim_ != nullptr && epoch_.has_value()) {
     csim_->restore_epoch(*epoch_);
   } else {
@@ -71,7 +73,7 @@ AcquiredTrace SimTraceSource::acquire_one(const TraceRequest& req) {
   }
 
   util::Rng rng = util::split_stream(req.seed, req.index);
-  Stimulus st = stimulus_(rng, req.index);
+  stimulus_(rng, req.index, stim_);
   // The window jitter is drawn before the cycle runs — the cycle itself
   // consumes no randomness, so the stream position is the same as
   // drawing it afterwards; this lets the streaming path open its window
@@ -80,81 +82,44 @@ AcquiredTrace SimTraceSource::acquire_one(const TraceRequest& req) {
                             ? rng.uniform(0.0, opt_.start_jitter_ps)
                             : 0.0;
 
-  AcquiredTrace out;
-  sim::FourPhaseEnv::CycleResult cyc;
   if (opt_.engine == sim::EngineKind::Compiled) {
     // Streaming power: samples are binned at commit time; no transition
-    // log is ever materialized.
+    // log is ever materialized, and finish_into ping-pongs the sample
+    // buffer with the caller's slot — zero steady-state allocation.
     acc_.begin_window(env_.next_cycle_start() - jitter, spec_.period_ps);
     sim_->set_power_sink(&acc_);
-    cyc = env_.send(st.values);
+    env_.send_into(stim_.values, cyc_);
     sim_->set_power_sink(nullptr);
-    if (!cyc.ok)
+    if (!cyc_.ok)
       throw std::runtime_error("SimTraceSource: four-phase protocol failure");
-    out.trace = acc_.finish(&rng);
+    acc_.finish_into(out.trace, &rng);
   } else {
     // Reference path: post-hoc synthesis from the transition log — kept
     // as the oracle that the streaming path is checked against.
     sim_->clear_log();
-    cyc = env_.send(st.values);
-    if (!cyc.ok)
+    env_.send_into(stim_.values, cyc_);
+    if (!cyc_.ok)
       throw std::runtime_error("SimTraceSource: four-phase protocol failure");
-    out.trace = power::synthesize(sim_->log(), cyc.t_start - jitter,
+    out.trace = power::synthesize(sim_->log(), cyc_.t_start - jitter,
                                   spec_.period_ps, opt_.power, &rng);
   }
 
   // Pack the decoded output channel values as "ciphertext" bytes
   // (LSB-first bit packing, 8 channels per byte).
-  out.ciphertext.assign((cyc.outputs.size() + 7) / 8, 0);
-  for (std::size_t b = 0; b < cyc.outputs.size(); ++b)
-    if (cyc.outputs[b] == 1)
+  out.ciphertext.assign((cyc_.outputs.size() + 7) / 8, 0);
+  for (std::size_t b = 0; b < cyc_.outputs.size(); ++b)
+    if (cyc_.outputs[b] == 1)
       out.ciphertext[b / 8] |= static_cast<std::uint8_t>(1u << (b % 8));
-  out.plaintext = std::move(st.plaintext);
-  out.transitions = cyc.transitions;
+  // Copy (not move): stim_ is per-worker scratch whose capacity must
+  // survive into the next trace.
+  out.plaintext.assign(stim_.plaintext.begin(), stim_.plaintext.end());
+  out.transitions = cyc_.transitions;
   out.glitches = sim_->glitch_count();
-  return out;
 }
+
+// ---- WorkerPool -------------------------------------------------------------
 
 namespace {
-
-/// Acquire requests [lo, hi) into out[0 .. hi-lo), fanned out over `src`
-/// plus `clones`. Deterministic in (seed, index) per the TraceSource
-/// contract, whatever the thread count.
-void acquire_range(TraceSource& src,
-                   std::vector<std::unique_ptr<TraceSource>>& clones,
-                   std::size_t lo, std::size_t hi, std::uint64_t seed,
-                   std::vector<AcquiredTrace>& out) {
-  const std::size_t count = hi - lo;
-  if (clones.empty()) {
-    for (std::size_t i = 0; i < count; ++i)
-      out[i] = src.acquire_one({seed, lo + i});
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-  auto worker = [&](TraceSource& s) {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        out[i] = s.acquire_one({seed, lo + i});
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
-        next.store(count, std::memory_order_relaxed);  // drain
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(clones.size());
-  for (std::unique_ptr<TraceSource>& c : clones)
-    pool.emplace_back([&worker, &c] { worker(*c); });
-  worker(src);
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-}
 
 unsigned clamp_threads(unsigned threads, std::size_t num_traces) {
   if (threads == 0) threads = 1;
@@ -175,35 +140,75 @@ void finish_stats(AcquisitionStats& st, std::size_t num_traces,
 
 }  // namespace
 
-dpa::TraceSet acquire_batch(TraceSource& src, std::size_t num_traces,
-                            std::uint64_t seed, unsigned threads,
-                            AcquisitionStats* stats) {
-  const auto t0 = std::chrono::steady_clock::now();
-  threads = clamp_threads(threads, num_traces);
+WorkerPool::WorkerPool(TraceSource& src, unsigned threads) : src_(&src) {
+  if (threads == 0) threads = 1;
+  clones_.reserve(threads - 1);
+  for (unsigned w = 1; w < threads; ++w) clones_.push_back(src.clone());
+}
 
-  std::vector<std::unique_ptr<TraceSource>> clones;
-  clones.reserve(threads - 1);
-  for (unsigned w = 1; w < threads; ++w) clones.push_back(src.clone());
+/// Acquire requests [lo, hi) into scratch_[0 .. hi-lo), fanned out over
+/// the primary source plus the clones. Deterministic in (seed, index)
+/// per the TraceSource contract, whatever the thread count.
+void WorkerPool::acquire_range(std::size_t lo, std::size_t hi,
+                               std::uint64_t seed) {
+  const std::size_t count = hi - lo;
+  if (clones_.empty()) {
+    for (std::size_t i = 0; i < count; ++i)
+      src_->acquire_into({seed, lo + i}, scratch_[i]);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto worker = [&](TraceSource& s) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        s.acquire_into({seed, lo + i}, scratch_[i]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        next.store(count, std::memory_order_relaxed);  // drain
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(clones_.size());
+  for (std::unique_ptr<TraceSource>& c : clones_)
+    pool.emplace_back([&worker, &c] { worker(*c); });
+  worker(*src_);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+dpa::TraceSet WorkerPool::acquire(std::size_t num_traces, std::uint64_t seed,
+                                  AcquisitionStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
 
   dpa::TraceSet ts;
   AcquisitionStats st;
-  st.threads_used = threads;
+  st.threads_used = clamp_threads(threads(), num_traces);
   st.per_trace_transitions.reserve(num_traces);
 
   // Acquire in bounded segments so the transient per-trace PowerTraces
   // never coexist with the whole SoA matrix — peak memory is one n×m
   // matrix plus one segment, not two full copies of the samples.
   constexpr std::size_t kSegment = 1024;
-  std::vector<AcquiredTrace> acquired(std::min(kSegment, num_traces));
+  if (scratch_.size() < std::min(kSegment, num_traces))
+    scratch_.resize(std::min(kSegment, num_traces));
   for (std::size_t first = 0; first < num_traces; first += kSegment) {
     const std::size_t hi = std::min(first + kSegment, num_traces);
-    acquire_range(src, clones, first, hi, seed, acquired);
+    acquire_range(first, hi, seed);
     for (std::size_t k = 0; k < hi - first; ++k) {
-      AcquiredTrace& a = acquired[k];
+      const AcquiredTrace& a = scratch_[k];
       st.transitions += a.transitions;
       st.glitches += a.glitches;
       st.per_trace_transitions.push_back(a.transitions);
-      ts.add(a.trace, std::move(a.plaintext), std::move(a.ciphertext));
+      // Span-based add: copies into the SoA matrix without stealing the
+      // reusable slot buffers.
+      ts.add(power::TraceView(a.trace), a.plaintext, a.ciphertext);
       if (ts.size() == 1) ts.reserve(num_traces);
     }
   }
@@ -212,48 +217,56 @@ dpa::TraceSet acquire_batch(TraceSource& src, std::size_t num_traces,
   return ts;
 }
 
+void WorkerPool::acquire_chunked(
+    std::size_t num_traces, std::uint64_t seed, std::size_t chunk,
+    const std::function<void(const dpa::TraceSet& segment, std::size_t first)>&
+        consume,
+    AcquisitionStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (chunk == 0) chunk = 1;
+
+  AcquisitionStats st;
+  st.threads_used = clamp_threads(threads(), num_traces);
+  // No per_trace_transitions here: a per-trace vector would grow with
+  // the trace budget, defeating the O(chunk) memory contract. Aggregate
+  // counters are still exact.
+
+  if (scratch_.size() < std::min(chunk, num_traces))
+    scratch_.resize(std::min(chunk, num_traces));
+  dpa::TraceSet segment;
+  for (std::size_t first = 0; first < num_traces; first += chunk) {
+    const std::size_t hi = std::min(first + chunk, num_traces);
+    acquire_range(first, hi, seed);
+    segment.clear();
+    for (std::size_t k = 0; k < hi - first; ++k) {
+      const AcquiredTrace& a = scratch_[k];
+      st.transitions += a.transitions;
+      st.glitches += a.glitches;
+      segment.add(power::TraceView(a.trace), a.plaintext, a.ciphertext);
+    }
+    consume(segment, first);
+  }
+  finish_stats(st, num_traces, t0);
+  if (stats) *stats = std::move(st);
+}
+
+// ---- one-shot wrappers ------------------------------------------------------
+
+dpa::TraceSet acquire_batch(TraceSource& src, std::size_t num_traces,
+                            std::uint64_t seed, unsigned threads,
+                            AcquisitionStats* stats) {
+  WorkerPool pool(src, clamp_threads(threads, num_traces));
+  return pool.acquire(num_traces, seed, stats);
+}
+
 void acquire_chunked(
     TraceSource& src, std::size_t num_traces, std::uint64_t seed,
     unsigned threads, std::size_t chunk,
     const std::function<void(const dpa::TraceSet& segment, std::size_t first)>&
         consume,
     AcquisitionStats* stats) {
-  const auto t0 = std::chrono::steady_clock::now();
-  threads = clamp_threads(threads, num_traces);
-  if (chunk == 0) chunk = 1;
-
-  std::vector<std::unique_ptr<TraceSource>> clones;
-  clones.reserve(threads - 1);
-  for (unsigned w = 1; w < threads; ++w) clones.push_back(src.clone());
-
-  AcquisitionStats st;
-  st.threads_used = threads;
-  // No per_trace_transitions here: a per-trace vector would grow with
-  // the trace budget, defeating the O(chunk) memory contract. Aggregate
-  // counters are still exact.
-  //
-  // Worker threads are (re)spawned per segment and the consumer runs at
-  // a barrier between segments — a deliberate tradeoff: per-trace
-  // simulation dwarfs thread start-up at the ≥1k-trace chunks fused
-  // campaigns use, and the in-order barrier is what makes the feed
-  // order (hence the accumulator results) identical to acquire_batch.
-
-  std::vector<AcquiredTrace> acquired(std::min(chunk, num_traces));
-  dpa::TraceSet segment;
-  for (std::size_t first = 0; first < num_traces; first += chunk) {
-    const std::size_t hi = std::min(first + chunk, num_traces);
-    acquire_range(src, clones, first, hi, seed, acquired);
-    segment.clear();
-    for (std::size_t k = 0; k < hi - first; ++k) {
-      AcquiredTrace& a = acquired[k];
-      st.transitions += a.transitions;
-      st.glitches += a.glitches;
-      segment.add(a.trace, std::move(a.plaintext), std::move(a.ciphertext));
-    }
-    consume(segment, first);
-  }
-  finish_stats(st, num_traces, t0);
-  if (stats) *stats = std::move(st);
+  WorkerPool pool(src, clamp_threads(threads, num_traces));
+  pool.acquire_chunked(num_traces, seed, chunk, consume, stats);
 }
 
 }  // namespace qdi::campaign

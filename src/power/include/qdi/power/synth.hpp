@@ -70,6 +70,12 @@ class StreamingAccumulator final : public sim::PowerSink {
   /// and noise_sigma_ua > 0, and move the finished trace out.
   PowerTrace finish(util::Rng* noise = nullptr);
 
+  /// finish() into a caller-owned trace by swapping buffers: `dst`
+  /// receives the finished trace and its previous sample buffer becomes
+  /// the accumulator's next window — after one warm-up trace per worker
+  /// the begin_window/finish_into cycle performs no allocation at all.
+  void finish_into(PowerTrace& dst, util::Rng* noise = nullptr);
+
  private:
   PowerModelParams params_;
   PowerTrace trace_;

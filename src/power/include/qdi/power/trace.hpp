@@ -49,6 +49,15 @@ class PowerTrace {
   PowerTrace(double t0_ps, double dt_ps, std::size_t num_samples)
       : t0_(t0_ps), dt_(dt_ps), samples_(num_samples, 0.0) {}
 
+  /// Re-initialize in place to an all-zero trace of the given geometry.
+  /// The sample buffer's capacity is retained — the acquisition hot loop
+  /// reuses one trace per worker with zero steady-state allocation.
+  void reset(double t0_ps, double dt_ps, std::size_t num_samples) {
+    t0_ = t0_ps;
+    dt_ = dt_ps;
+    samples_.assign(num_samples, 0.0);
+  }
+
   double t0_ps() const noexcept { return t0_; }
   double dt_ps() const noexcept { return dt_; }
   std::size_t size() const noexcept { return samples_.size(); }

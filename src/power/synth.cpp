@@ -36,9 +36,24 @@ void StreamingAccumulator::begin_window(double t0_ps, double window_ps) {
   const double dt = params_.sample_period_ps;
   assert(dt > 0.0);
   const std::size_t n = static_cast<std::size_t>(std::ceil(window_ps / dt));
-  trace_ = PowerTrace(t0_ps, dt, n);
+  trace_.reset(t0_ps, dt, n);  // capacity-retaining zero-fill
   t_end_ps_ = t0_ps + window_ps;
 }
+
+namespace {
+
+/// CDF of the normalized triangular pulse on [0,1] (apex 1/2) — the
+/// kernel triangle_overlap() differences; hoisted here so the streaming
+/// accumulator can telescope it across adjacent bins.
+inline double triangle_cdf(double u) noexcept {
+  if (u <= 0.0) return 0.0;
+  if (u >= 1.0) return 1.0;
+  if (u <= 0.5) return 2.0 * u * u;
+  const double v = 1.0 - u;
+  return 1.0 - 2.0 * v * v;
+}
+
+}  // namespace
 
 void StreamingAccumulator::on_transition(const sim::Transition& t) {
   const double q = transition_charge_fc(t, params_);
@@ -57,14 +72,29 @@ void StreamingAccumulator::on_transition(const sim::Transition& t) {
   const std::size_t j_hi = std::min(
       n, static_cast<std::size_t>(
              std::ceil((start + width - window_t0_ps) / dt)) + 1);
+  // Adjacent bins share a boundary: evaluate the pulse CDF once per
+  // boundary and difference it, instead of twice per bin through
+  // triangle_overlap. The telescoped sum is charge-exact by construction.
+  const double inv_width = 1.0 / width;
+  const double scale = q / dt;  // fC/ps·1000 = µA... see below
+  double cdf_lo = triangle_cdf(
+      (window_t0_ps + static_cast<double>(j_lo) * dt - start) * inv_width);
   for (std::size_t j = j_lo; j < j_hi; ++j) {
-    const double bin_a = window_t0_ps + static_cast<double>(j) * dt;
-    const double frac = triangle_overlap(start, width, bin_a, bin_a + dt);
-    if (frac > 0.0) trace_[j] += q * frac / dt;  // fC/ps·1000 = µA... see below
+    const double cdf_hi = triangle_cdf(
+        (window_t0_ps + static_cast<double>(j + 1) * dt - start) * inv_width);
+    const double frac = cdf_hi - cdf_lo;
+    cdf_lo = cdf_hi;
+    if (frac > 0.0) trace_[j] += scale * frac;
   }
 }
 
 PowerTrace StreamingAccumulator::finish(util::Rng* noise) {
+  PowerTrace out;
+  finish_into(out, noise);
+  return out;
+}
+
+void StreamingAccumulator::finish_into(PowerTrace& dst, util::Rng* noise) {
   // Unit bookkeeping: q is in fC, bins in ps, so q/dt is fC/ps = mA.
   // Scale to µA for friendlier magnitudes.
   trace_ *= 1000.0;
@@ -72,7 +102,8 @@ PowerTrace StreamingAccumulator::finish(util::Rng* noise) {
     for (std::size_t j = 0; j < trace_.size(); ++j)
       trace_[j] += noise->gaussian(0.0, params_.noise_sigma_ua);
   }
-  return std::move(trace_);
+  // Buffer ping-pong: dst's old storage becomes the next window.
+  std::swap(dst, trace_);
 }
 
 PowerTrace synthesize(const std::vector<sim::Transition>& transitions,

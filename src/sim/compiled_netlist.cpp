@@ -43,6 +43,22 @@ CompiledNetlist::CompiledNetlist(const netlist::Netlist& nl, DelayModel model)
   for (CellId c = 0; c < nc; ++c)
     for (NetId in : nl.cell(c).inputs) fanin_net.push_back(in);
 
+  // Delay range over the cells that actually schedule events (those
+  // driving a net); Input/Output pseudo-cells never evaluate.
+  bool any_delay = false;
+  for (CellId c = 0; c < nc; ++c) {
+    if (kind[c] == CellKind::Input || kind[c] == CellKind::Output ||
+        output[c] == kNoNet)
+      continue;
+    if (!any_delay) {
+      min_delay_ps_ = max_delay_ps_ = delay_ps[c];
+      any_delay = true;
+    } else {
+      if (delay_ps[c] < min_delay_ps_) min_delay_ps_ = delay_ps[c];
+      if (delay_ps[c] > max_delay_ps_) max_delay_ps_ = delay_ps[c];
+    }
+  }
+
   fanout_offset.resize(nn + 1);
   std::uint32_t fanout_total = 0;
   for (NetId n = 0; n < nn; ++n) {

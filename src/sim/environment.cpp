@@ -69,10 +69,20 @@ void FourPhaseEnv::drive_acks(bool value, double at_ps) {
 }
 
 FourPhaseEnv::CycleResult FourPhaseEnv::send(std::span<const int> values) {
+  CycleResult res;
+  send_into(values, res);
+  return res;
+}
+
+void FourPhaseEnv::send_into(std::span<const int> values, CycleResult& res) {
   assert(values.size() == spec_.inputs.size() &&
          "send: one value per input channel");
 
-  CycleResult res;
+  // Reset in place; `outputs` keeps its capacity across reuses.
+  res.t_start = res.t_valid = res.t_empty = res.t_end = 0.0;
+  res.outputs.clear();
+  res.transitions = 0;
+  res.ok = false;
   const std::size_t before = sim_->transition_count();
 
   // Align the cycle start on the period grid.
@@ -91,7 +101,7 @@ FourPhaseEnv::CycleResult FourPhaseEnv::send(std::span<const int> values) {
   if (!outputs_valid()) {
     util::log_warn("FourPhaseEnv: outputs did not become valid");
     res.ok = false;
-    return res;
+    return;
   }
   res.t_valid = sim_->now();
   res.outputs.reserve(spec_.outputs.size());
@@ -111,7 +121,7 @@ FourPhaseEnv::CycleResult FourPhaseEnv::send(std::span<const int> values) {
   if (!outputs_empty()) {
     util::log_warn("FourPhaseEnv: outputs did not return to zero");
     res.ok = false;
-    return res;
+    return;
   }
   res.t_empty = sim_->now();
 
@@ -126,7 +136,6 @@ FourPhaseEnv::CycleResult FourPhaseEnv::send(std::span<const int> values) {
 
   res.transitions = sim_->transition_count() - before;
   res.ok = true;
-  return res;
 }
 
 }  // namespace qdi::sim

@@ -44,6 +44,15 @@ class CompiledNetlist {
     return static_cast<std::uint32_t>(kind.size());
   }
 
+  /// Precomputed range of the per-cell propagation delays (over cells
+  /// that drive a net; 0/0 when there are none). The time-wheel
+  /// scheduler derives its bucket geometry from this range: a bucket
+  /// width of min_delay_ps guarantees every event a commit schedules
+  /// lands in a strictly later bucket, and max_delay_ps bounds how far
+  /// ahead of `now` gate activity can reach.
+  double min_delay_ps() const noexcept { return min_delay_ps_; }
+  double max_delay_ps() const noexcept { return max_delay_ps_; }
+
   // All arrays below are filled by the constructor and immutable
   // afterwards (exposed directly: this is a kernel data structure, not
   // an abstraction boundary).
@@ -69,6 +78,8 @@ class CompiledNetlist {
  private:
   const netlist::Netlist* src_;
   DelayModel model_;
+  double min_delay_ps_ = 0.0;
+  double max_delay_ps_ = 0.0;
 };
 
 /// Compile `nl` for sharing across acquisition workers. The shared_ptr

@@ -11,12 +11,30 @@
 //     switch instead of chasing per-cell vectors through cross-TU calls;
 //   * per-cell delay and slew come from arrays precomputed at compile
 //     time (they depend only on the static output load);
+//   * the event queue is a two-level time wheel (calendar queue) by
+//     default: events bucket by floor(t_ps / width) with the width
+//     derived from the compiled netlist's delay range (4x the minimum
+//     gate delay), so push/pop are O(1) amortized instead of the binary
+//     heap's O(log n). Fanout scheduled into the tick currently being
+//     served (delay < width) is inserted into the sorted ready batch;
+//     events whose tick falls beyond one wheel rotation spill into a
+//     far-list (a small min-heap) and migrate back as the wheel turns.
+//     Pop order is the exact (t_ps, seq) total order either way; the
+//     heap stays selectable through SchedulerKind for differential
+//     testing.
 //   * the transition log is OFF by default — acquisition streams power
 //     samples through a PowerSink at commit time instead;
 //   * reset_state() is a capacity-retaining memset, and save_epoch() /
-//     restore_epoch() snapshot the post-reset state so a trace epoch
-//     costs one O(num_nets) copy instead of re-simulating the reset
-//     handshake.
+//     restore_epoch() snapshot the post-reset state. Restoring tracks a
+//     dirty set: only nets committed since the last save/restore are
+//     reverted, so a steady-state trace epoch costs O(activity), not
+//     O(num_nets), and performs zero allocations (all scheduler and
+//     dirty-set scratch retains capacity).
+//
+// Lazily cancelled (inertial-filtered) events stay in the queue as
+// tombstones until their pop; when tombstones outnumber live events the
+// kernel purges them in place, so pathological retraction patterns
+// cannot grow the queue unboundedly.
 #pragma once
 
 #include <cassert>
@@ -32,12 +50,14 @@ namespace qdi::sim {
 
 class CompiledSimulator final : public SimEngine {
  public:
-  explicit CompiledSimulator(std::shared_ptr<const CompiledNetlist> cn);
+  explicit CompiledSimulator(std::shared_ptr<const CompiledNetlist> cn,
+                             SchedulerKind scheduler = SchedulerKind::Wheel);
 
   const CompiledNetlist& compiled() const noexcept { return *cn_; }
   const netlist::Netlist& netlist() const noexcept override {
     return cn_->source();
   }
+  SchedulerKind scheduler() const noexcept { return sched_; }
 
   void reset_state() override;
   void initialize() override;
@@ -59,6 +79,13 @@ class CompiledSimulator final : public SimEngine {
   std::size_t transition_count() const noexcept override {
     return total_transitions_;
   }
+
+  /// Pending events still queued (live + tombstones). 0 after
+  /// run_until_stable returns.
+  std::size_t queue_size() const noexcept { return queue_size_; }
+  /// Lazily cancelled events still queued (bounded by queue_size() / 2
+  /// plus one purge hysteresis — see the tombstone purge).
+  std::size_t tombstone_count() const noexcept { return tombstones_; }
 
   // ---- streaming power / optional log -----------------------------------
 
@@ -83,13 +110,24 @@ class CompiledSimulator final : public SimEngine {
     std::uint64_t next_seq = 1;
     std::size_t glitches = 0;
     std::size_t total_transitions = 0;
+    /// Process-unique snapshot identity: lets restore_epoch() prove the
+    /// dirty set was accumulated against THIS snapshot and take the
+    /// O(activity) revert; any other epoch falls back to a full copy.
+    std::uint64_t id = 0;
   };
 
-  /// Must be called with the event queue drained (after run_until_stable).
-  Epoch save_epoch() const;
+  /// Snapshot the current state. The event queue must be drained (run
+  /// run_until_stable first); a non-empty queue is a hard error in all
+  /// build modes — a snapshot with in-flight events would silently
+  /// corrupt every epoch restored from it.
+  Epoch save_epoch();
 
-  /// O(num_nets) epoch bump: copies net values and counters back, clears
-  /// pending state and the log. No container reallocates.
+  /// Epoch bump: revert to `e` and clear the log. The queue must be
+  /// drained and `e` must come from a simulator of identical geometry
+  /// (both hard errors in release builds). When `e` is the epoch the
+  /// current state diverged from, only the nets committed since then are
+  /// reverted — O(activity); restoring a different epoch copies all net
+  /// values. No container reallocates either way.
   void restore_epoch(const Epoch& e);
 
  private:
@@ -106,14 +144,66 @@ class CompiledSimulator final : public SimEngine {
   void push_event(const Event& ev);
   Event pop_event();
 
+  // -- time-wheel internals --
+  std::uint64_t tick_of(double t_ps) const noexcept {
+    return static_cast<std::uint64_t>(t_ps * inv_bucket_width_);
+  }
+  void set_occupied(std::uint64_t bucket) noexcept {
+    occupied_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+  }
+  void clear_occupied(std::uint64_t bucket) noexcept {
+    occupied_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+  }
+  std::uint64_t find_next_occupied(std::uint64_t start_bucket) const noexcept;
+  void bucket_insert(const Event& ev);
+  void sort_ready();
+  bool fast_refill();
+  bool cold_refill();
+  void refill_ready();
+  void spill_ready();
+  void purge_tombstones();
+  void clear_queue();
+  void mark_dirty(netlist::NetId net);
+  void clear_dirty();
+
   std::shared_ptr<const CompiledNetlist> cn_;
+  SchedulerKind sched_;
 
   std::vector<char> values_;
   std::vector<std::uint64_t> pending_seq_;  // live pending event per net (0 = none)
   std::vector<char> pending_value_;
   std::vector<double> pending_slew_;
-  std::vector<Event> heap_;  // binary min-heap on (t_ps, seq); clear() keeps capacity
   std::uint64_t next_seq_ = 1;
+
+  // Heap scheduler: binary min-heap on (t_ps, seq); clear() keeps capacity.
+  std::vector<Event> heap_;
+
+  // Wheel scheduler. buckets_[tick & mask] holds the events of absolute
+  // tick `tick` (and, after the cold backward re-anchor, possibly of
+  // later laps — extraction checks the exact tick and swaps the whole
+  // bucket in the common single-lap case). ready_ is the sorted batch of
+  // the tick being served; overflow_ is a min-heap of events beyond one
+  // rotation; occupied_ is a bitmap over buckets so the refill scan
+  // skips empty ticks with find-first-set instead of a bucket walk.
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<std::uint64_t> occupied_;
+  std::vector<Event> ready_;
+  std::size_t ready_pos_ = 0;
+  std::vector<Event> overflow_;
+  std::uint64_t cur_tick_ = 0;
+  std::uint64_t num_buckets_ = 0;
+  std::uint64_t bucket_mask_ = 0;
+  double inv_bucket_width_ = 1.0;
+  std::size_t wheel_count_ = 0;  // events currently in buckets_
+
+  std::size_t queue_size_ = 0;  // all queued events, live + tombstones
+  std::size_t tombstones_ = 0;  // lazily cancelled events still queued
+
+  // Dirty-set epoch tracking: nets committed since the state last
+  // coincided with epoch `baseline_epoch_` (0 = no baseline).
+  std::vector<netlist::NetId> dirty_;
+  std::vector<char> dirty_mark_;
+  std::uint64_t baseline_epoch_ = 0;
 
   double now_ = 0.0;
   PowerSink* sink_ = nullptr;

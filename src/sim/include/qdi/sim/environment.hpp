@@ -64,6 +64,11 @@ class FourPhaseEnv {
   /// the cycle does not fit in the period.
   CycleResult send(std::span<const int> values);
 
+  /// send() into a caller-owned result, reusing its `outputs` capacity —
+  /// the allocation-free form the acquisition hot loop runs (one
+  /// CycleResult per worker, reused across traces).
+  void send_into(std::span<const int> values, CycleResult& out);
+
   /// Decoded value of a channel: the index of its single high rail, -1 if
   /// the channel is invalid (no rail or several rails high).
   int read_channel(netlist::ChannelId ch) const;

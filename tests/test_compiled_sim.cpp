@@ -7,7 +7,13 @@
 // simulatable CircuitTarget in the registry.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "qdi/campaign/target.hpp"
@@ -23,9 +29,11 @@ namespace {
 qdi::dpa::TraceSet acquire(const qc::TargetInstance& inst, qs::EngineKind kind,
                            unsigned threads, qc::AcquisitionStats* stats,
                            std::size_t n = 8, double jitter_ps = 0.0,
-                           double noise = 0.0) {
+                           double noise = 0.0,
+                           qs::SchedulerKind sched = qs::SchedulerKind::Wheel) {
   qc::SimTraceSourceOptions opt;
   opt.engine = kind;
+  opt.scheduler = sched;
   opt.start_jitter_ps = jitter_ps;
   opt.power.noise_sigma_ua = noise;
   qc::SimTraceSource src(inst.nl, inst.env, inst.stimulus, opt);
@@ -62,15 +70,20 @@ TEST(CompiledEquivalence, AllRegistryTargetsBitIdenticalAnyThreadCount) {
     const qdi::dpa::TraceSet ref =
         acquire(inst, qs::EngineKind::Reference, 1, &ref_stats);
 
-    for (unsigned threads : {1u, 3u}) {
-      SCOPED_TRACE(threads);
-      qc::AcquisitionStats stats;
-      const qdi::dpa::TraceSet compiled =
-          acquire(inst, qs::EngineKind::Compiled, threads, &stats);
-      expect_bit_identical(ref, compiled);
-      EXPECT_EQ(stats.transitions, ref_stats.transitions);
-      EXPECT_EQ(stats.glitches, ref_stats.glitches);
-      EXPECT_EQ(stats.per_trace_transitions, ref_stats.per_trace_transitions);
+    for (qs::SchedulerKind sched :
+         {qs::SchedulerKind::Wheel, qs::SchedulerKind::Heap}) {
+      SCOPED_TRACE(sched == qs::SchedulerKind::Wheel ? "wheel" : "heap");
+      for (unsigned threads : {1u, 3u}) {
+        SCOPED_TRACE(threads);
+        qc::AcquisitionStats stats;
+        const qdi::dpa::TraceSet compiled = acquire(
+            inst, qs::EngineKind::Compiled, threads, &stats, 8, 0.0, 0.0,
+            sched);
+        expect_bit_identical(ref, compiled);
+        EXPECT_EQ(stats.transitions, ref_stats.transitions);
+        EXPECT_EQ(stats.glitches, ref_stats.glitches);
+        EXPECT_EQ(stats.per_trace_transitions, ref_stats.per_trace_transitions);
+      }
     }
   }
 }
@@ -170,6 +183,188 @@ TEST(CompiledKernel, EpochRestoreReplaysIdenticalCycles) {
     EXPECT_EQ(first_log[i].rising, sim.log()[i].rising);
   }
 }
+
+TEST(CompiledKernel, WheelAndHeapSchedulersPopIdenticalSequences) {
+  // Per-transition differential check of the two queue implementations
+  // across all four codewords of the XOR stage, including epoch reuse.
+  const qdi::gates::XorStage x = qdi::gates::build_xor_stage();
+  const auto cn = qs::compile(x.nl);
+
+  qs::CompiledSimulator wheel(cn, qs::SchedulerKind::Wheel);
+  wheel.set_log_enabled(true);
+  qs::FourPhaseEnv wheel_env(wheel, x.env);
+  wheel_env.apply_reset();
+  const auto wheel_epoch = wheel.save_epoch();
+
+  qs::CompiledSimulator heap(cn, qs::SchedulerKind::Heap);
+  heap.set_log_enabled(true);
+  qs::FourPhaseEnv heap_env(heap, x.env);
+  heap_env.apply_reset();
+  const auto heap_epoch = heap.save_epoch();
+
+  for (int v = 0; v < 4; ++v) {
+    SCOPED_TRACE(v);
+    wheel.restore_epoch(wheel_epoch);
+    heap.restore_epoch(heap_epoch);
+    const std::vector<int> values{v & 1, (v >> 1) & 1};
+    const auto wc = wheel_env.send(values);
+    const auto hc = heap_env.send(values);
+    ASSERT_TRUE(wc.ok);
+    ASSERT_TRUE(hc.ok);
+    EXPECT_EQ(wc.outputs, hc.outputs);
+    ASSERT_EQ(wheel.log().size(), heap.log().size());
+    for (std::size_t i = 0; i < wheel.log().size(); ++i) {
+      EXPECT_EQ(wheel.log()[i].t_ps, heap.log()[i].t_ps) << "transition " << i;
+      EXPECT_EQ(wheel.log()[i].net, heap.log()[i].net) << "transition " << i;
+      EXPECT_EQ(wheel.log()[i].rising, heap.log()[i].rising)
+          << "transition " << i;
+    }
+    EXPECT_EQ(wheel.transition_count(), heap.transition_count());
+    EXPECT_EQ(wheel.glitch_count(), heap.glitch_count());
+    EXPECT_EQ(wheel.queue_size(), 0u);
+    EXPECT_EQ(heap.queue_size(), 0u);
+  }
+}
+
+TEST(CompiledKernel, RestoringAnOlderEpochFallsBackToFullCopyCorrectly) {
+  // The dirty set is accumulated against the most recent save/restore
+  // baseline; restoring a DIFFERENT epoch must still be exact (full
+  // copy), and re-restoring it afterwards takes the dirty fast path.
+  const qdi::gates::XorStage x = qdi::gates::build_xor_stage();
+  qs::CompiledSimulator sim(qs::compile(x.nl));
+  sim.set_log_enabled(true);
+  qs::FourPhaseEnv env(sim, x.env);
+  env.apply_reset();
+  const auto e1 = sim.save_epoch();
+
+  ASSERT_TRUE(env.send(std::vector<int>{1, 0}).ok);
+  const auto e2 = sim.save_epoch();  // mid-campaign snapshot, t advanced
+
+  ASSERT_TRUE(env.send(std::vector<int>{0, 1}).ok);
+
+  // Full-copy path: baseline is e2, restoring e1.
+  sim.restore_epoch(e1);
+  const auto first = env.send(std::vector<int>{1, 1});
+  ASSERT_TRUE(first.ok);
+  const std::vector<qs::Transition> first_log = sim.log();
+
+  // Dirty path: baseline is now e1.
+  sim.restore_epoch(e1);
+  const auto second = env.send(std::vector<int>{1, 1});
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(first.t_start, second.t_start);
+  ASSERT_EQ(first_log.size(), sim.log().size());
+  for (std::size_t i = 0; i < first_log.size(); ++i) {
+    EXPECT_EQ(first_log[i].t_ps, sim.log()[i].t_ps);
+    EXPECT_EQ(first_log[i].net, sim.log()[i].net);
+    EXPECT_EQ(first_log[i].rising, sim.log()[i].rising);
+  }
+
+  // And e2 still restores exactly (full copy again).
+  sim.restore_epoch(e2);
+  const auto third = env.send(std::vector<int>{1, 1});
+  ASSERT_TRUE(third.ok);
+  EXPECT_EQ(third.t_start,
+            std::ceil((e2.now + 1e-9) / x.env.period_ps) * x.env.period_ps);
+}
+
+TEST(CompiledKernel, EpochPreconditionsAreHardErrorsInReleaseBuilds) {
+  const qdi::gates::XorStage x = qdi::gates::build_xor_stage();
+  qs::CompiledSimulator sim(qs::compile(x.nl));
+  qs::FourPhaseEnv env(sim, x.env);
+  env.apply_reset();
+  const auto epoch = sim.save_epoch();
+
+  // Undrained queue: schedule an input transition but do not run it.
+  sim.drive(x.nl.channel(x.env.inputs[0]).rails[1], true, sim.now() + 10.0);
+  ASSERT_GT(sim.queue_size(), 0u);
+  EXPECT_THROW(sim.save_epoch(), std::logic_error);
+  EXPECT_THROW(sim.restore_epoch(epoch), std::logic_error);
+  sim.run_until_stable();
+
+  // Geometry mismatch: an epoch from a different netlist.
+  qs::CompiledSimulator other(qs::compile(qdi::gates::build_xor_stage().nl));
+  auto foreign = other.save_epoch();
+  foreign.values.resize(3);
+  EXPECT_THROW(sim.restore_epoch(foreign), std::invalid_argument);
+
+  // Driving a non-input net is rejected in all build modes.
+  EXPECT_THROW(sim.drive(x.nl.channel(x.env.outputs[0]).rails[0], true,
+                         sim.now()),
+               std::invalid_argument);
+}
+
+TEST(CompiledKernel, TombstonePurgeBoundsQueueGrowthUnderRetraction) {
+  // Pathological retraction: toggle a primary input faster than its
+  // inertial commit, so every second drive cancels the pending event and
+  // leaves a tombstone. Without the purge the queue grows by one stale
+  // event per cancelled pair; with it, stale events never exceed live
+  // events (+ purge hysteresis) for both schedulers.
+  const qdi::gates::XorStage x = qdi::gates::build_xor_stage();
+  const auto cn = qs::compile(x.nl);
+  const qn::NetId in0 = x.nl.channel(x.env.inputs[0]).rails[1];
+  for (qs::SchedulerKind sched :
+       {qs::SchedulerKind::Wheel, qs::SchedulerKind::Heap}) {
+    SCOPED_TRACE(sched == qs::SchedulerKind::Wheel ? "wheel" : "heap");
+    qs::CompiledSimulator sim(cn, sched);
+    qs::FourPhaseEnv env(sim, x.env);
+    env.apply_reset();
+    const double t0 = sim.now();
+    std::size_t max_queue = 0;
+    for (int i = 0; i < 4096; ++i) {
+      // Alternating far-future drives: each pair schedules then cancels.
+      sim.drive(in0, (i & 1) == 0, t0 + 1e6 + i);
+      max_queue = std::max(max_queue, sim.queue_size());
+      // The purge fires once the queue passes its 64-event hysteresis;
+      // below that tombstones may transiently dominate.
+      EXPECT_LE(sim.tombstone_count(),
+                std::max<std::size_t>(sim.queue_size() / 2 + 1, 64))
+          << "tombstones exceeded half the queue at drive " << i;
+    }
+    EXPECT_LT(max_queue, 128u) << "queue grew unboundedly under retraction";
+    sim.run_until_stable();
+    EXPECT_EQ(sim.queue_size(), 0u);
+    EXPECT_EQ(sim.tombstone_count(), 0u);
+  }
+}
+
+// ---- allocation-free steady state ------------------------------------------
+
+#if defined(__SANITIZE_ADDRESS__)
+#define QDI_ASAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define QDI_ASAN_ACTIVE 1
+#endif
+#endif
+
+#ifndef QDI_ASAN_ACTIVE
+namespace {
+std::atomic<std::uint64_t> g_new_count{0};
+}  // namespace
+
+// Counting scalar new/delete: pass-through to malloc/free, used only to
+// assert the steady-state acquisition loop allocates nothing.
+void* operator new(std::size_t n) {
+  g_new_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+TEST(CompiledKernel, SteadyStateAcquisitionLoopIsAllocationFree) {
+  const qc::TargetInstance inst = qc::find_target("aes_byte_slice").build(0x2b);
+  qc::SimTraceSource src(inst.nl, inst.env, inst.stimulus, {});
+  qc::AcquiredTrace slot;
+  // Warm-up traces pay reset, the epoch snapshot, and buffer sizing.
+  for (std::size_t i = 0; i < 8; ++i) src.acquire_into({1, i}, slot);
+  const std::uint64_t before = g_new_count.load(std::memory_order_relaxed);
+  for (std::size_t i = 8; i < 108; ++i) src.acquire_into({1, i}, slot);
+  EXPECT_EQ(g_new_count.load(std::memory_order_relaxed) - before, 0u)
+      << "the steady-state per-trace loop allocated";
+}
+#endif  // !QDI_ASAN_ACTIVE
 
 // ---- compiled structure sanity ---------------------------------------------
 

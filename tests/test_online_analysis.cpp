@@ -491,17 +491,19 @@ namespace {
 /// enough to push 100k traces through a fused campaign in a test.
 class SyntheticSource final : public qc::TraceSource {
  public:
-  qc::AcquiredTrace acquire_one(const qc::TraceRequest& req) override {
+  void acquire_into(const qc::TraceRequest& req,
+                    qc::AcquiredTrace& out) override {
     qu::Rng rng = qu::split_stream(req.seed, req.index);
     const std::uint8_t p = rng.byte();
-    qc::AcquiredTrace out;
-    out.trace = qp::PowerTrace(0.0, 10.0, 128);
+    out.trace.reset(0.0, 10.0, 128);
     for (std::size_t j = 0; j < 128; ++j)
       out.trace[j] = rng.gaussian(0.0, 1.0);
     out.trace[31] += static_cast<double>(
         __builtin_popcount(qdi::crypto::aes_sbox(static_cast<std::uint8_t>(p ^ 0x3c))));
-    out.plaintext = {p};
-    return out;
+    out.plaintext.assign(1, p);
+    out.ciphertext.clear();
+    out.transitions = 0;
+    out.glitches = 0;
   }
   std::unique_ptr<qc::TraceSource> clone() const override {
     return std::make_unique<SyntheticSource>();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "qdi/gates/builder.hpp"
+#include "qdi/sim/compiled_simulator.hpp"
 #include "qdi/sim/environment.hpp"
 #include "qdi/sim/simulator.hpp"
 #include "qdi/util/rng.hpp"
@@ -183,3 +184,125 @@ TEST_P(FuzzSymmetry, RegisteredChannelsHaveValidRails) {
 
 INSTANTIATE_TEST_SUITE_P(RandomDags, FuzzSymmetry,
                          ::testing::Range<std::uint64_t>(0, 10));
+
+// ---- scheduler differential fuzz -------------------------------------------
+//
+// The time-wheel and heap schedulers of the compiled kernel must produce
+// identical transition logs on ANY netlist, delay model, stimulus
+// sequence, and epoch save/restore pattern — the (t_ps, seq) total order
+// is scheduler-independent by construction, and this fuzz pass pins it
+// across random instances of all four dimensions (plus the reference
+// interpreter as a third witness).
+
+namespace {
+
+struct SchedulerRun {
+  qs::CompiledSimulator sim;
+  qs::FourPhaseEnv env;
+  std::vector<qs::CompiledSimulator::Epoch> epochs;
+
+  SchedulerRun(const std::shared_ptr<const qs::CompiledNetlist>& cn,
+               const qs::EnvSpec& spec, qs::SchedulerKind kind)
+      : sim(cn, kind), env(sim, spec) {
+    sim.set_log_enabled(true);
+    env.apply_reset();
+    epochs.push_back(sim.save_epoch());
+  }
+};
+
+void expect_logs_equal(const qs::CompiledSimulator& a,
+                       const qs::CompiledSimulator& b, std::uint64_t seed,
+                       int cycle) {
+  ASSERT_EQ(a.log().size(), b.log().size())
+      << "seed " << seed << " cycle " << cycle;
+  for (std::size_t i = 0; i < a.log().size(); ++i) {
+    ASSERT_EQ(a.log()[i].t_ps, b.log()[i].t_ps)
+        << "seed " << seed << " cycle " << cycle << " transition " << i;
+    ASSERT_EQ(a.log()[i].net, b.log()[i].net)
+        << "seed " << seed << " cycle " << cycle << " transition " << i;
+    ASSERT_EQ(a.log()[i].rising, b.log()[i].rising)
+        << "seed " << seed << " cycle " << cycle << " transition " << i;
+    ASSERT_EQ(a.log()[i].slew_ps, b.log()[i].slew_ps)
+        << "seed " << seed << " cycle " << cycle << " transition " << i;
+  }
+}
+
+}  // namespace
+
+class FuzzScheduler : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzScheduler, WheelMatchesHeapOnRandomNetlistsDelaysAndEpochs) {
+  qu::Rng rng(GetParam() + 7000);
+  const int num_inputs = 2 + static_cast<int>(rng.below(3));  // 2..4
+  const int num_nodes = 3 + static_cast<int>(rng.below(10));  // 3..12
+  const ExprDag dag = random_dag(rng, num_inputs, num_nodes);
+  Hardware hw(dag);
+  ASSERT_TRUE(hw.nl.check().empty());
+
+  // Random delay model: stresses the wheel geometry (bucket width and
+  // rotation size derive from the delay range) well beyond the default
+  // standard-cell calibration, including near-degenerate spreads.
+  qs::DelayModel dm;
+  dm.base_ps = 1.0 + rng.uniform(0.0, 60.0);
+  dm.per_input_ps = rng.uniform(0.0, 10.0);
+  dm.per_ff_ps = rng.uniform(0.0, 12.0);
+  dm.slew_base_ps = 1.0 + rng.uniform(0.0, 20.0);
+  dm.slew_per_ff_ps = rng.uniform(0.0, 8.0);
+  const auto cn = qs::compile(hw.nl, dm);
+
+  // Reference interpreter as a third witness on the same delay model.
+  qs::Simulator ref(hw.nl, dm);
+  qs::FourPhaseEnv ref_env(ref, hw.spec);
+  ref_env.apply_reset();
+
+  SchedulerRun wheel(cn, hw.spec, qs::SchedulerKind::Wheel);
+  SchedulerRun heap(cn, hw.spec, qs::SchedulerKind::Heap);
+
+  bool ref_in_sync = true;  // until the first rewind diverges the timeline
+  for (int cycle = 0; cycle < 24; ++cycle) {
+    // Random epoch action: occasionally snapshot the quiescent state or
+    // rewind to a random earlier snapshot (both runs in lockstep).
+    const std::uint64_t action = rng.below(8);
+    if (action == 0) {
+      wheel.epochs.push_back(wheel.sim.save_epoch());
+      heap.epochs.push_back(heap.sim.save_epoch());
+    } else if (action == 1) {
+      const std::size_t k = rng.below(wheel.epochs.size());
+      wheel.sim.restore_epoch(wheel.epochs[k]);
+      heap.sim.restore_epoch(heap.epochs[k]);
+      ref_in_sync = false;
+    }
+
+    std::vector<int> values(static_cast<std::size_t>(num_inputs));
+    for (int i = 0; i < num_inputs; ++i)
+      values[static_cast<std::size_t>(i)] = static_cast<int>(rng.below(2));
+
+    wheel.sim.clear_log();
+    heap.sim.clear_log();
+    const auto wc = wheel.env.send(values);
+    const auto hc = heap.env.send(values);
+    ASSERT_TRUE(wc.ok) << "seed " << GetParam() << " cycle " << cycle;
+    ASSERT_TRUE(hc.ok) << "seed " << GetParam() << " cycle " << cycle;
+    ASSERT_EQ(wc.outputs, hc.outputs);
+    ASSERT_EQ(wc.transitions, hc.transitions);
+    expect_logs_equal(wheel.sim, heap.sim, GetParam(), cycle);
+    ASSERT_EQ(wheel.sim.glitch_count(), heap.sim.glitch_count());
+
+    // The reference engine never rewinds; compare against it only while
+    // no restore has diverged the absolute timeline.
+    if (ref_in_sync) {
+      ref.clear_log();
+      const auto rc = ref_env.send(values);
+      ASSERT_TRUE(rc.ok);
+      ASSERT_EQ(rc.outputs, wc.outputs);
+      ASSERT_EQ(ref.log().size(), wheel.sim.log().size());
+      for (std::size_t i = 0; i < ref.log().size(); ++i) {
+        ASSERT_EQ(ref.log()[i].t_ps, wheel.sim.log()[i].t_ps);
+        ASSERT_EQ(ref.log()[i].net, wheel.sim.log()[i].net);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, FuzzScheduler,
+                         ::testing::Range<std::uint64_t>(0, 20));
