@@ -285,6 +285,54 @@ static void BM_CpaOnline(benchmark::State& state) {
 }
 BENCHMARK(BM_CpaOnline)->Unit(benchmark::kMillisecond);
 
+// Countermeasure-variant campaign rows on the DES round (the heaviest
+// simulatable registry target): the same fused CPA campaign against the
+// unprotected netlist and against the xform-balanced one (cone
+// balancing + capacitance equalization applied through the recipe
+// stage, netlist rebuilt and recompiled per iteration like a sweep
+// variant does). The pair quantifies the acquisition-side cost of the
+// countermeasure — the balanced netlist carries extra cells and padded
+// caps — next to its security gain (tests/test_sweep.cpp).
+static void sweep_variant_bench(benchmark::State& state,
+                                const qdi::xform::Recipe& (*recipe)()) {
+  const qdi::campaign::CircuitTarget target = qdi::campaign::des_round();
+  for (auto _ : state) {
+    const qdi::campaign::CampaignResult r = qdi::campaign::Campaign()
+                                                .target(target)
+                                                .key(0x2b)
+                                                .traces(16)
+                                                .fused(8)
+                                                .recipe(recipe())
+                                                .attack(qdi::campaign::Cpa{})
+                                                .run();
+    benchmark::DoNotOptimize(r.attack->best_guess);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+
+static const qdi::xform::Recipe& unprotected_recipe() {
+  static const qdi::xform::Recipe r = qdi::xform::unprotected();
+  return r;
+}
+
+static const qdi::xform::Recipe& balanced_recipe() {
+  // Verification scans off: the rows measure campaign throughput, not
+  // the designer-side symmetry audit.
+  static const qdi::xform::Recipe r =
+      qdi::xform::balanced({.verify = false}, {});
+  return r;
+}
+
+static void BM_SweepVariantUnprotected(benchmark::State& state) {
+  sweep_variant_bench(state, unprotected_recipe);
+}
+BENCHMARK(BM_SweepVariantUnprotected)->Unit(benchmark::kMillisecond);
+
+static void BM_SweepVariantBalanced(benchmark::State& state) {
+  sweep_variant_bench(state, balanced_recipe);
+}
+BENCHMARK(BM_SweepVariantBalanced)->Unit(benchmark::kMillisecond);
+
 // Fused acquire-and-attack campaign: acquisition segments stream into
 // the online accumulators, no TraceSet is ever materialized. End to end
 // including target build, like BM_CampaignAcquire.

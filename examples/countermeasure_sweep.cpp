@@ -1,0 +1,83 @@
+// The paper's punchline in one API call: attack the same DES S-Box
+// slice in several countermeasure variants and compare. The unprotected
+// victim (rails unbalanced, as a flat P&R leaves them) loses its subkey
+// in tens of traces; the balanced variant — cone balancing + rail
+// capacitance equalization, the qdi::xform pipeline — drives the
+// dissymmetry criterion to zero and the attack into noise; the hardened
+// variant adds random per-gate delays on top.
+//
+// Usage: countermeasure_sweep [key6_hex] [num_traces]
+#include <cstdio>
+#include <cstdlib>
+
+#include "qdi/qdi.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qdi;
+
+  const std::uint8_t key =
+      argc > 1
+          ? static_cast<std::uint8_t>(std::strtoul(argv[1], nullptr, 16) & 0x3f)
+          : 0x2b;
+  const std::size_t num_traces =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 400;
+
+  // The uncontrolled-P&R stand-in: unbalance the S-Box output rails.
+  const auto unbalance = [](netlist::Netlist& nl) {
+    for (netlist::ChannelId ch = 0; ch < nl.num_channels(); ++ch) {
+      const netlist::Channel& c = nl.channel(ch);
+      if (c.name.find("sbox/out") != std::string::npos)
+        nl.net(c.rails[1]).cap_ff *= 1.8;
+    }
+  };
+
+  campaign::Cpa cpa;
+  cpa.compute_mtd = true;
+  cpa.mtd_start = 20;
+  cpa.mtd_step = 20;
+
+  campaign::Campaign campaign;
+  campaign.target(campaign::des_sbox_slice())
+      .key(key)
+      .seed(31337)
+      .traces(num_traces)
+      .threads(4)
+      .prepare(unbalance)
+      .attack(cpa);
+
+  std::printf("sweeping %zu traces x 3 countermeasure variants against "
+              "subkey 0x%02x...\n\n",
+              num_traces, key);
+  const campaign::SweepResult sweep = campaign.sweep({
+      xform::unprotected(),
+      xform::balanced(),
+      xform::hardened(),
+  });
+
+  std::printf("%s\n", sweep.table().to_string().c_str());
+  for (const campaign::SweepVariant& v : sweep.variants) {
+    if (v.result.xform && v.result.xform->changed()) {
+      std::printf("%s transform:\n%s\n", v.recipe.c_str(),
+                  v.result.xform->table().to_string().c_str());
+    }
+  }
+
+  const campaign::SweepVariant* raw = sweep.find("unprotected");
+  const campaign::SweepVariant* bal = sweep.find("balanced");
+  bool reproduced = false;
+  if (raw != nullptr && bal != nullptr) {
+    reproduced = raw->result.key_recovered() && !bal->result.key_recovered();
+    std::printf("unprotected: %s (MTD %zu traces)\n",
+                raw->result.key_recovered() ? "subkey recovered"
+                                            : "attack failed",
+                raw->mtd());
+    std::printf("balanced:    %s (true-key rank %zu)\n",
+                bal->result.key_recovered() ? "subkey recovered"
+                                            : "attack defeated",
+                bal->result.attack->true_key_rank);
+  }
+  std::printf("\nresult: %s\n",
+              reproduced ? "countermeasure reproduced the paper's comparison"
+                         : "unexpected outcome (adjust traces)");
+  return reproduced ? 0 : 1;
+}

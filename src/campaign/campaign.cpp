@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "qdi/dpa/online.hpp"
+#include "qdi/netlist/graph.hpp"
+#include "qdi/netlist/symmetry.hpp"
 
 namespace qdi::campaign {
 
@@ -229,14 +231,30 @@ void Campaign::validate(const TargetInstance& inst) const {
         "stream them into");
 }
 
+/// Sweep-shared acquisition state: one WorkerPool living across every
+/// variant, plus the variant's live source (the pool holds clones of
+/// it, so it must stay alive until the next rebind).
+struct Campaign::PoolState {
+  std::unique_ptr<TraceSource> src;
+  std::optional<WorkerPool> pool;
+};
+
 CampaignResult Campaign::run() const {
   const auto t_run = std::chrono::steady_clock::now();
   if (!target_.valid())
     throw std::invalid_argument("Campaign: no target set");
-
   TargetInstance inst = target_.build(key_);
   validate(inst);
+  return run_stages(std::move(inst), recipe_ ? &*recipe_ : nullptr, nullptr,
+                    /*force_fused=*/false, t_run);
+}
 
+/// `t_run` is the moment the caller started (before target build), so
+/// total_wall_ms keeps covering the whole campaign including netlist
+/// construction.
+CampaignResult Campaign::run_stages(
+    TargetInstance inst, const xform::Recipe* recipe, PoolState* shared,
+    bool force_fused, std::chrono::steady_clock::time_point t_run) const {
   CampaignResult res;
   res.target = inst.name;
   res.key = key_;
@@ -244,25 +262,51 @@ CampaignResult Campaign::run() const {
   // ---- design-flow stage ---------------------------------------------------
   if (flow_) res.flow = core::run_secure_flow(inst.nl, *flow_);
   for (const PrepareFn& fn : prepare_) fn(inst.nl);
+
+  // ---- countermeasure stage ------------------------------------------------
+  if (recipe != nullptr) {
+    res.recipe = recipe->name;
+    res.xform = recipe->pipeline.run(inst.nl);
+  }
+
   res.criteria = core::evaluate_criterion(inst.nl);
   res.max_da = core::max_dA(res.criteria);
   res.mean_da = core::mean_dA(res.criteria);
 
   const bool attacking = !std::holds_alternative<std::monostate>(attack_);
+  const std::size_t fused_chunk =
+      fused_chunk_ > 0 ? fused_chunk_
+                       : (force_fused && attacking ? std::size_t{1024} : 0);
 
   // ---- acquisition + analysis ----------------------------------------------
   if (num_traces_ > 0) {
-    std::unique_ptr<TraceSource> src =
+    std::unique_ptr<TraceSource> owned_src =
         source_ ? source_(inst, opt_)
                 : std::make_unique<SimTraceSource>(inst.nl, inst.env,
                                                    inst.stimulus, opt_);
     // Worker clones (per-thread simulators + scratch) are campaign
-    // state: created once here and persistent across every segment the
-    // acquisition below runs.
+    // state: created once and persistent across every segment the
+    // acquisition below runs. A sweep hands in its own PoolState so the
+    // pool (and its scratch slots) persist across variants; the clones
+    // are rebound to this variant's source.
     const auto threads = static_cast<unsigned>(
         std::min<std::size_t>(threads_ == 0 ? 1 : threads_, num_traces_));
-    WorkerPool pool(*src, threads);
-    if (fused_chunk_ > 0) {
+    std::optional<WorkerPool> local_pool;
+    WorkerPool* pool_ptr = nullptr;
+    if (shared != nullptr) {
+      shared->src = std::move(owned_src);
+      if (!shared->pool) {
+        shared->pool.emplace(*shared->src, threads);
+      } else {
+        shared->pool->rebind(*shared->src);
+      }
+      pool_ptr = &*shared->pool;
+    } else {
+      local_pool.emplace(*owned_src, threads);
+      pool_ptr = &*local_pool;
+    }
+    WorkerPool& pool = *pool_ptr;
+    if (fused_chunk > 0) {
       // Fused mode: each acquired segment streams into the attack
       // accumulators and is discarded — O(chunk + guesses·samples)
       // memory for any trace budget. Analysis time is measured around
@@ -275,7 +319,7 @@ CampaignResult Campaign::run() const {
       // stage clock stops and is attributed to the attack alone.
       double feed_ms = 0.0;
       pool.acquire_chunked(
-          num_traces_, seed_, fused_chunk_,
+          num_traces_, seed_, fused_chunk,
           [&](const dpa::TraceSet& segment, std::size_t first) {
             const auto t_feed = std::chrono::steady_clock::now();
             analysis.feed(segment, first);
@@ -303,11 +347,116 @@ CampaignResult Campaign::run() const {
         res.attack = std::move(out);
       }
     }
+    if (shared != nullptr) {
+      // This variant's netlist dies with this call (moved into the
+      // result below); a SimTraceSource points into it, so drop the
+      // source and the pool's clones now — the pool keeps only its
+      // netlist-independent scratch slots until the next rebind.
+      shared->pool->unbind();
+      shared->src.reset();
+    }
   }
 
   res.nl = std::move(inst.nl);
   res.total_wall_ms = ms_since(t_run);
   return res;
+}
+
+SweepResult Campaign::sweep(const std::vector<xform::Recipe>& recipes) const {
+  if (recipes.empty())
+    throw std::invalid_argument("Campaign: sweep() needs at least one recipe");
+  if (!target_.valid())
+    throw std::invalid_argument("Campaign: no target set");
+  if (recipe_)
+    throw std::invalid_argument(
+        "Campaign: sweep() and recipe() both set the countermeasure stage — "
+        "pass every variant (including the recipe() one) in the sweep list");
+
+  SweepResult out;
+  out.variants.reserve(recipes.size());
+  PoolState shared;
+  // Variants whose pipeline never alters connectivity all share the base
+  // netlist's symmetry scan (every variant rebuilds the same instance
+  // and runs the same flow/prepare stages) — computed at most once.
+  std::optional<std::size_t> base_asymmetric;
+  for (const xform::Recipe& recipe : recipes) {
+    // Each variant rebuilds the victim through the target's
+    // parameterized builder, so recipes never see each other's edits.
+    const auto t_variant = std::chrono::steady_clock::now();
+    TargetInstance inst = target_.build(key_);
+    validate(inst);
+    SweepVariant variant;
+    variant.recipe = recipe.name;
+    variant.result = run_stages(std::move(inst), &recipe, &shared,
+                                /*force_fused=*/true, t_variant);
+    // Post-transform structural metrics: the symmetry scan next to the
+    // attack outcome — the paper's designer-vs-attacker comparison.
+    // When the recipe's cone-balance pass already re-verified (its
+    // metric_after is this very count) and every later pass declared
+    // itself structure-preserving, reuse the count instead of scanning
+    // the netlist a third time (multi-second on aes_core-scale targets).
+    variant.channels = variant.result.nl.num_channels();
+    const xform::PipelineReport* xf =
+        variant.result.xform ? &*variant.result.xform : nullptr;
+    const xform::PassReport* verified_count = nullptr;
+    bool structure_untouched = true;
+    if (xf != nullptr) {
+      for (const xform::PassReport& p : xf->passes) {
+        if (p.pass == "cone-balance" && p.verified)
+          verified_count = &p;
+        else if (!p.structure_preserving)
+          verified_count = nullptr;  // may have altered connectivity
+        structure_untouched &= p.structure_preserving;
+      }
+    }
+    if (verified_count != nullptr) {
+      variant.asymmetric_channels =
+          static_cast<std::size_t>(verified_count->metric_after);
+    } else if (structure_untouched && base_asymmetric) {
+      variant.asymmetric_channels = *base_asymmetric;
+    } else {
+      variant.asymmetric_channels = netlist::count_asymmetric_channels(
+          netlist::Graph(variant.result.nl));
+      if (structure_untouched) base_asymmetric = variant.asymmetric_channels;
+    }
+    out.variants.push_back(std::move(variant));
+  }
+  return out;
+}
+
+const SweepVariant* SweepResult::find(std::string_view recipe) const noexcept {
+  for (const SweepVariant& v : variants)
+    if (v.recipe == recipe) return &v;
+  return nullptr;
+}
+
+util::Table SweepResult::table() const {
+  util::Table t({"recipe", "cells+", "cap+fF", "asym ch", "max dA", "rank",
+                 "MTD", "bias peak", "best score"});
+  for (const SweepVariant& v : variants) {
+    const std::size_t cells_added =
+        v.result.xform ? v.result.xform->cells_added() : 0;
+    const double cap_added =
+        v.result.xform ? v.result.xform->cap_added_ff() : 0.0;
+    t.add_row({v.recipe, std::to_string(cells_added),
+               t.format_double(cap_added),
+               std::to_string(v.asymmetric_channels) + "/" +
+                   std::to_string(v.channels),
+               t.format_double(v.result.max_da),
+               v.result.attack
+                   ? std::to_string(v.result.attack->true_key_rank)
+                   : "-",
+               v.result.attack ? std::to_string(v.result.attack->mtd) : "-",
+               // The known-key bias is a DPA-side quantity; printing the
+               // 0.0 default for a CPA sweep would read as "no bias" on
+               // a leaking variant.
+               v.result.attack && v.result.attack->kind == "dpa"
+                   ? t.format_double(v.bias_peak())
+                   : "-",
+               v.result.attack ? t.format_double(v.result.attack->best_score)
+                               : "-"});
+  }
+  return t;
 }
 
 }  // namespace qdi::campaign

@@ -22,10 +22,12 @@
 // materialized path, memory independent of the trace budget.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -34,6 +36,7 @@
 #include "qdi/core/criterion.hpp"
 #include "qdi/core/secure_flow.hpp"
 #include "qdi/dpa/dpa.hpp"
+#include "qdi/xform/pass.hpp"
 
 namespace qdi::campaign {
 
@@ -85,9 +88,15 @@ struct CampaignResult {
   std::string target;
   std::uint64_t key = 0;
 
-  /// The victim netlist as attacked (after flow + prepare hooks) — for
-  /// follow-up inspection, reporting, or re-running with other settings.
+  /// The victim netlist as attacked (after flow + prepare hooks and the
+  /// countermeasure recipe, if any) — for follow-up inspection,
+  /// reporting, or re-running with other settings.
   netlist::Netlist nl;
+
+  /// Countermeasure stage, when a recipe ran: its name and the per-pass
+  /// transform reports.
+  std::string recipe;
+  std::optional<xform::PipelineReport> xform;
 
   std::optional<core::FlowResult> flow;
   std::vector<core::ChannelCriterion> criteria;  ///< post-flow, post-prepare
@@ -109,6 +118,36 @@ struct CampaignResult {
   }
 };
 
+/// One countermeasure variant of a sweep: the same campaign run against
+/// the same victim family transformed by one xform::Recipe.
+struct SweepVariant {
+  std::string recipe;
+  CampaignResult result;  ///< includes the per-pass xform reports
+  /// Post-transform structural security metrics (the paper's section
+  /// III/VI designer-side view): symmetry scan over every registered
+  /// channel plus the capacitance-imbalance criterion.
+  std::size_t channels = 0;
+  std::size_t asymmetric_channels = 0;
+
+  std::size_t mtd() const noexcept { return result.attack ? result.attack->mtd : 0; }
+  double bias_peak() const noexcept {
+    return result.attack ? result.attack->known_key_bias_peak : 0.0;
+  }
+};
+
+/// Outcome of Campaign::sweep — the paper's unprotected-vs-balanced
+/// comparison as one object.
+struct SweepResult {
+  std::vector<SweepVariant> variants;  ///< recipe order
+
+  const SweepVariant* find(std::string_view recipe) const noexcept;
+
+  /// Comparison table: one row per variant (cells added, cap added,
+  /// asymmetric channels, max dA, true-key rank, MTD, known-key bias,
+  /// best attack score).
+  util::Table table() const;
+};
+
 class Campaign {
  public:
   using PrepareFn = std::function<void(netlist::Netlist&)>;
@@ -127,6 +166,15 @@ class Campaign {
   /// selective repair, ...). Multiple hooks run in registration order.
   Campaign& prepare(PrepareFn fn) {
     prepare_.push_back(std::move(fn));
+    return *this;
+  }
+
+  /// Countermeasure stage: run the recipe's xform pipeline on the victim
+  /// netlist after flow + prepare and before criterion evaluation and
+  /// acquisition (the transformed netlist is what sim::compile() sees).
+  /// The result records the recipe name and per-pass reports.
+  Campaign& recipe(xform::Recipe r) {
+    recipe_ = std::move(r);
     return *this;
   }
 
@@ -190,13 +238,33 @@ class Campaign {
   /// std::invalid_argument on an inconsistent configuration.
   CampaignResult run() const;
 
+  /// Run the same campaign once per countermeasure recipe and compare:
+  /// each variant rebuilds the victim from the target's parameterized
+  /// builder, runs flow + prepare, applies the recipe's pass pipeline,
+  /// recompiles through the normal engine path, and runs the configured
+  /// (fused) acquire-and-attack on a worker pool shared across all
+  /// variants (per-thread simulators are rebound per variant, scratch
+  /// persists). When an attack is configured the sweep always streams
+  /// fused — a sweep's purpose is comparison, not trace retention — so
+  /// peak memory is independent of both the trace budget and the number
+  /// of recipes. Results per variant are bit-identical to a standalone
+  /// .recipe(r).fused().run() campaign. Throws std::invalid_argument on
+  /// an empty recipe list or an inconsistent configuration.
+  SweepResult sweep(const std::vector<xform::Recipe>& recipes) const;
+
  private:
+  struct PoolState;  ///< sweep-shared WorkerPool + live source (campaign.cpp)
+
   void validate(const TargetInstance& inst) const;
+  CampaignResult run_stages(
+      TargetInstance inst, const xform::Recipe* recipe, PoolState* shared,
+      bool force_fused, std::chrono::steady_clock::time_point t_run) const;
 
   CircuitTarget target_;
   std::uint64_t key_ = 0;
   std::optional<core::FlowOptions> flow_;
   std::vector<PrepareFn> prepare_;
+  std::optional<xform::Recipe> recipe_;
   std::size_t num_traces_ = 0;
   unsigned threads_ = 1;
   std::uint64_t seed_ = 1;

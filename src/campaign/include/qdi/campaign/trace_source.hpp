@@ -125,8 +125,24 @@ class WorkerPool {
   WorkerPool(TraceSource& src, unsigned threads);
 
   unsigned threads() const noexcept {
-    return static_cast<unsigned>(clones_.size()) + 1;
+    return static_cast<unsigned>(worker_clones_) + 1;
   }
+
+  /// Point the pool at a different source, keeping the thread count and
+  /// the per-slot scratch buffers (their capacity was paid for by the
+  /// previous campaign). This is what lets a countermeasure sweep run
+  /// every variant on one shared pool: each variant's netlist gets fresh
+  /// per-thread clones, the allocation-heavy result slots persist.
+  /// `src` must outlive the pool, the next rebind, or an unbind().
+  void rebind(TraceSource& src);
+
+  /// Drop the source pointer and the per-thread clones but keep the
+  /// scratch slots. A SimTraceSource points into the netlist it was
+  /// built over; when that netlist dies before the pool does (a sweep
+  /// variant's instance is consumed by its CampaignResult), unbinding
+  /// keeps the pool from holding dangling sources between variants.
+  /// acquire/acquire_chunked are invalid until the next rebind().
+  void unbind() noexcept;
 
   /// Batched acquisition into a fresh TraceSet, assembled in index
   /// order; bit-identical for any thread count (determinism contract).
@@ -148,6 +164,7 @@ class WorkerPool {
   void acquire_range(std::size_t lo, std::size_t hi, std::uint64_t seed);
 
   TraceSource* src_;
+  std::size_t worker_clones_ = 0;  ///< clone count restored by rebind()
   std::vector<std::unique_ptr<TraceSource>> clones_;
   /// Reused result slots: slot buffers (samples, plaintext, ciphertext)
   /// retain capacity across segments and across acquire calls.

@@ -59,6 +59,10 @@
 #include "qdi/core/secure_flow.hpp"
 #include "qdi/core/timing.hpp"
 
+// countermeasure transform pipeline
+#include "qdi/xform/pass.hpp"
+#include "qdi/xform/passes.hpp"
+
 // attacks
 #include "qdi/dpa/cpa.hpp"
 #include "qdi/dpa/dpa.hpp"

@@ -189,6 +189,17 @@ CircuitTarget prebuilt(TargetInstance inst) {
                        [shared](std::uint64_t) { return *shared; });
 }
 
+CircuitTarget transformed(CircuitTarget base, xform::Recipe recipe) {
+  const std::string name = base.name() + "+" + recipe.name;
+  auto shared = std::make_shared<const xform::Recipe>(std::move(recipe));
+  return CircuitTarget(name, [base = std::move(base),
+                              shared](std::uint64_t key) {
+    TargetInstance inst = base.build(key);
+    shared->pipeline.run(inst.nl);
+    return inst;
+  });
+}
+
 namespace {
 
 /// One table drives both the listing and the lookup, so the two can

@@ -142,8 +142,21 @@ void finish_stats(AcquisitionStats& st, std::size_t num_traces,
 
 WorkerPool::WorkerPool(TraceSource& src, unsigned threads) : src_(&src) {
   if (threads == 0) threads = 1;
-  clones_.reserve(threads - 1);
+  worker_clones_ = threads - 1;
+  clones_.reserve(worker_clones_);
   for (unsigned w = 1; w < threads; ++w) clones_.push_back(src.clone());
+}
+
+void WorkerPool::rebind(TraceSource& src) {
+  clones_.clear();
+  src_ = &src;
+  for (std::size_t w = 0; w < worker_clones_; ++w)
+    clones_.push_back(src.clone());
+}
+
+void WorkerPool::unbind() noexcept {
+  clones_.clear();
+  src_ = nullptr;
 }
 
 /// Acquire requests [lo, hi) into scratch_[0 .. hi-lo), fanned out over

@@ -59,6 +59,11 @@ struct Cell {
   /// place-and-route flow (section VI) constrains all cells sharing a
   /// top-level prefix into one region.
   std::string hier;
+  /// Additive propagation-delay offset on top of the DelayModel — the
+  /// random-delay-insertion countermeasure (xform::RandomDelayPass).
+  /// Both simulation engines honor it identically; must be >= 0 so the
+  /// compiled kernel's time-wheel geometry stays valid.
+  double delay_jitter_ps = 0.0;
 };
 
 /// A 1-of-N channel: `rails[v]` is the wire that goes high to transmit
@@ -110,6 +115,12 @@ class Netlist {
   /// Register a 1-of-N channel over existing nets. Returns its id.
   ChannelId add_channel(std::string name, std::vector<NetId> rails,
                         NetId ack = kNoNet);
+
+  /// Reconnect input pin `pin` of `cell` from its current net to
+  /// `new_net`, keeping the sink bookkeeping exact (the Pin entry moves
+  /// from the old net's sink list to the new one's). The netlist-to-
+  /// netlist transform passes (qdi/xform) splice cells with this.
+  void rewire_input(CellId cell, int pin, NetId new_net);
 
   // ---- access -----------------------------------------------------------
 

@@ -19,13 +19,22 @@ namespace qdi::netlist {
 
 struct SymmetryReport {
   bool symmetric = false;
-  /// Gate count of each rail's fanin cone.
+  /// Gate count of each compared rail's fanin cone.
   std::size_t cone_size0 = 0;
   std::size_t cone_size1 = 0;
   /// Per-level gate-kind histograms match?
   bool level_histograms_match = false;
   /// Full recursive structural isomorphism holds?
   bool isomorphic = false;
+  /// Channel this report belongs to (filled by check_all_channels; empty
+  /// for a bare check_rail_symmetry call) — diagnostics carry it too, so
+  /// a report line identifies its channel by name, not only by index.
+  std::string channel;
+  /// Rail indices of the reported pair. check_all_channels compares
+  /// every rail pair of a 1-of-N channel (N·(N−1)/2 comparisons) and
+  /// reports the first asymmetric pair, or (0, 1) when all match.
+  std::size_t rail_a = 0;
+  std::size_t rail_b = 1;
   /// Human-readable mismatch diagnostics (empty when symmetric).
   std::vector<std::string> diagnostics;
 };
@@ -34,8 +43,17 @@ struct SymmetryReport {
 /// and channel.rails[1]).
 SymmetryReport check_rail_symmetry(const Graph& g, NetId rail0, NetId rail1);
 
-/// Check every registered dual-rail channel of the netlist; returns one
-/// report per channel, index-aligned with netlist.channels().
+/// Check every registered channel of the netlist; returns one report per
+/// channel, index-aligned with netlist.channels(). Dual-rail channels
+/// compare their one pair; 1-of-N channels (e.g. 1-of-4) compare all
+/// rail pairs and are symmetric only when every pair is. Cone
+/// signatures, cones, and histograms are computed once per rail and
+/// shared across pairs and channels, so a full-netlist scan stays
+/// near-linear in circuit size.
 std::vector<SymmetryReport> check_all_channels(const Graph& g);
+
+/// Number of channels check_all_channels reports asymmetric — the
+/// scalar the cone-balancing pass and campaign sweeps track.
+std::size_t count_asymmetric_channels(const Graph& g);
 
 }  // namespace qdi::netlist

@@ -114,6 +114,27 @@ ChannelId Netlist::add_channel(std::string name, std::vector<NetId> rails,
   return id;
 }
 
+void Netlist::rewire_input(CellId cell, int pin, NetId new_net) {
+  assert(cell < cells_.size() && "rewire_input: unknown cell");
+  assert(new_net < nets_.size() && "rewire_input: unknown net");
+  Cell& c = cells_[cell];
+  assert(pin >= 0 && static_cast<std::size_t>(pin) < c.inputs.size() &&
+         "rewire_input: pin out of range");
+  const NetId old_net = c.inputs[static_cast<std::size_t>(pin)];
+  if (old_net == new_net) return;
+  invalidate_name_index();
+  auto& old_sinks = nets_[old_net].sinks;
+  const Pin target{cell, pin};
+  for (std::size_t i = 0; i < old_sinks.size(); ++i) {
+    if (old_sinks[i] == target) {
+      old_sinks.erase(old_sinks.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  nets_[new_net].sinks.push_back(target);
+  c.inputs[static_cast<std::size_t>(pin)] = new_net;
+}
+
 void Netlist::build_name_index_locked() const {
   if (index_built_.load(std::memory_order_acquire)) return;
   NameIndex idx;

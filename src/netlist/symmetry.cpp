@@ -1,117 +1,144 @@
 #include "qdi/netlist/symmetry.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <sstream>
+#include <unordered_map>
+#include <vector>
 
 namespace qdi::netlist {
 
 namespace {
 
-/// Canonical structural signature of a cell's fanin cone, computed
-/// bottom-up with memoization. Two cones are isomorphic iff their root
-/// signatures are equal. Inputs are canonicalized by arrival order of
-/// sorted child signatures, so pin permutations of commutative gates do
-/// not break the match (all gates in the QDI library are commutative
-/// except the reset pin of Muller*R, which is kept positional).
-class ConeSignature {
+/// Canonical structural signature of a cell's fanin cone, hash-consed
+/// into small integer ids: two cones are isomorphic iff their root
+/// signature ids are equal, and id equality is *exact* (interning, not
+/// hashing — a fresh id is allocated for every distinct structure).
+/// Inputs are canonicalized by sorting child signature ids, so pin
+/// permutations of commutative gates do not break the match (all gates
+/// in the QDI library are commutative except the reset pin of Muller*R,
+/// which is kept positional). Memoization is shared across every rail
+/// and channel signed through one interner, which is what makes a
+/// full-netlist check_all_channels scan near-linear.
+class SignatureInterner {
  public:
-  ConeSignature(const Graph& g) : g_(g) {}
+  using SigId = std::uint32_t;
+  // Special leaves, mirroring the historical string tokens.
+  static constexpr SigId kUndriven = 0;  ///< "@undriven"
+  static constexpr SigId kFeedback = 1;  ///< "@feedback"
+  static constexpr SigId kCycle = 2;     ///< "@cycle" (in-progress marker)
 
-  const std::string& signature(CellId c) {
+  explicit SignatureInterner(const Graph& g) : g_(g) {}
+
+  SigId signature(CellId c) {
     auto it = memo_.find(c);
     if (it != memo_.end()) return it->second;
     // Mark in-progress to terminate on feedback loops: a cycle back into
     // an in-progress cell contributes a fixed token.
-    auto [slot, inserted] = memo_.emplace(c, "@cycle");
-    if (!inserted) return slot->second;
+    memo_.emplace(c, kCycle);
 
     const Cell& cell = g_.netlist().cell(c);
-    std::ostringstream os;
-    os << name(cell.kind);
+    // Key layout: [kind, has_reset, sorted child ids...]. Primary inputs
+    // are leaves and match any other primary input, so that e.g. the
+    // (a0,b0) cone matches the (a1,b1) cone. The key is a local — this
+    // function recurses.
+    std::vector<SigId> key;
+    key.push_back(static_cast<SigId>(cell.kind));
     if (cell.kind == CellKind::Input) {
-      // Primary inputs are leaves; they match any other primary input so
-      // that e.g. (a0,b0) cone matches (a1,b1) cone.
-      os << "()";
-      slot->second = os.str();
-      return slot->second;
+      key.push_back(0);
+      return memo_[c] = intern(key);
     }
 
-    std::vector<std::string> kids;
     const bool has_reset = info(cell.kind).has_reset;
-    const std::size_t data_pins =
-        cell.inputs.size() - (has_reset ? 1u : 0u);
+    const std::size_t data_pins = cell.inputs.size() - (has_reset ? 1u : 0u);
+    key.push_back(has_reset ? 1u : 0u);
     for (std::size_t pin = 0; pin < data_pins; ++pin) {
       const CellId drv = g_.netlist().net(cell.inputs[pin]).driver;
       // Only descend monotonically in level (feedback edges excluded),
       // mirroring Graph::fanin_cone.
       if (drv == kNoCell) {
-        kids.emplace_back("@undriven");
+        key.push_back(kUndriven);
       } else if (g_.level(drv) <= g_.level(c)) {
-        kids.push_back(signature(drv));
+        key.push_back(signature(drv));
       } else {
-        kids.emplace_back("@feedback");
+        key.push_back(kFeedback);
       }
     }
-    std::sort(kids.begin(), kids.end());
-    os << '(';
-    for (std::size_t i = 0; i < kids.size(); ++i) {
-      if (i) os << ',';
-      os << kids[i];
-    }
-    if (has_reset) os << ";rst";
-    os << ')';
-    slot->second = os.str();
-    return slot->second;
+    std::sort(key.begin() + 2, key.end());
+    return memo_[c] = intern(key);
   }
 
  private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<SigId>& k) const noexcept {
+      std::size_t h = 0x9e3779b97f4a7c15ULL;
+      for (SigId v : k) h = (h ^ v) * 0x100000001b3ULL;
+      return h;
+    }
+  };
+
+  SigId intern(const std::vector<SigId>& key) {
+    auto [it, inserted] = table_.try_emplace(key, next_id_);
+    if (inserted) ++next_id_;
+    return it->second;
+  }
+
   const Graph& g_;
-  std::map<CellId, std::string> memo_;
+  std::unordered_map<std::vector<SigId>, SigId, KeyHash> table_;
+  std::unordered_map<CellId, SigId> memo_;
+  SigId next_id_ = 3;  // 0..2 reserved for the special leaves
 };
 
-/// kind -> count histogram per level of the cone.
-std::map<int, std::map<CellKind, std::size_t>> level_histogram(
-    const Graph& g, const std::vector<CellId>& cone) {
-  std::map<int, std::map<CellKind, std::size_t>> h;
+using Histogram = std::map<int, std::map<CellKind, std::size_t>>;
+
+/// Everything pair comparison needs about one rail, computed once.
+struct RailInfo {
+  std::size_t cone_size = 0;
+  Histogram hist;  ///< kind -> count per level, pseudo-cells excluded
+  bool driven = false;
+  SignatureInterner::SigId sig = SignatureInterner::kUndriven;
+};
+
+RailInfo rail_info(const Graph& g, SignatureInterner& interner, NetId rail) {
+  RailInfo info;
+  const auto cone = g.fanin_cone(rail);
+  info.cone_size = cone.size();
   for (CellId c : cone) {
     const CellKind k = g.netlist().cell(c).kind;
     if (is_pseudo(k)) continue;
-    ++h[g.level(c)][k];
+    ++info.hist[g.level(c)][k];
   }
-  return h;
+  const CellId drv = g.netlist().net(rail).driver;
+  info.driven = drv != kNoCell;
+  if (info.driven) info.sig = interner.signature(drv);
+  return info;
 }
 
-}  // namespace
-
-SymmetryReport check_rail_symmetry(const Graph& g, NetId rail0, NetId rail1) {
+SymmetryReport compare_rails(const RailInfo& a, const RailInfo& b) {
   SymmetryReport rep;
-  const auto cone0 = g.fanin_cone(rail0);
-  const auto cone1 = g.fanin_cone(rail1);
-  rep.cone_size0 = cone0.size();
-  rep.cone_size1 = cone1.size();
+  rep.cone_size0 = a.cone_size;
+  rep.cone_size1 = b.cone_size;
 
-  if (cone0.size() != cone1.size()) {
+  if (a.cone_size != b.cone_size) {
     std::ostringstream os;
-    os << "cone sizes differ: " << cone0.size() << " vs " << cone1.size();
+    os << "cone sizes differ: " << a.cone_size << " vs " << b.cone_size;
     rep.diagnostics.push_back(os.str());
   }
 
-  const auto h0 = level_histogram(g, cone0);
-  const auto h1 = level_histogram(g, cone1);
-  rep.level_histograms_match = (h0 == h1);
+  rep.level_histograms_match = (a.hist == b.hist);
   if (!rep.level_histograms_match) {
-    for (const auto& [lvl, kinds] : h0) {
-      auto it = h1.find(lvl);
-      if (it == h1.end() || it->second != kinds) {
+    for (const auto& [lvl, kinds] : a.hist) {
+      auto it = b.hist.find(lvl);
+      if (it == b.hist.end() || it->second != kinds) {
         std::ostringstream os;
         os << "level " << lvl << " gate-kind histograms differ";
         rep.diagnostics.push_back(os.str());
       }
     }
-    for (const auto& [lvl, kinds] : h1) {
+    for (const auto& [lvl, kinds] : b.hist) {
       (void)kinds;
-      if (h0.find(lvl) == h0.end()) {
+      if (a.hist.find(lvl) == a.hist.end()) {
         std::ostringstream os;
         os << "level " << lvl << " present only in rail1 cone";
         rep.diagnostics.push_back(os.str());
@@ -119,14 +146,11 @@ SymmetryReport check_rail_symmetry(const Graph& g, NetId rail0, NetId rail1) {
     }
   }
 
-  const CellId d0 = g.netlist().net(rail0).driver;
-  const CellId d1 = g.netlist().net(rail1).driver;
-  if (d0 == kNoCell || d1 == kNoCell) {
+  if (!a.driven || !b.driven) {
     rep.diagnostics.emplace_back("one of the rails is undriven");
     rep.isomorphic = false;
   } else {
-    ConeSignature sig(g);
-    rep.isomorphic = (sig.signature(d0) == sig.signature(d1));
+    rep.isomorphic = (a.sig == b.sig);
     if (!rep.isomorphic)
       rep.diagnostics.emplace_back("cone structural signatures differ");
   }
@@ -136,20 +160,87 @@ SymmetryReport check_rail_symmetry(const Graph& g, NetId rail0, NetId rail1) {
   return rep;
 }
 
+void bind_to_channel(SymmetryReport& rep, const std::string& channel,
+                     std::size_t rail_a, std::size_t rail_b) {
+  rep.channel = channel;
+  rep.rail_a = rail_a;
+  rep.rail_b = rail_b;
+  for (std::string& d : rep.diagnostics) {
+    std::ostringstream os;
+    os << "channel '" << channel << "' rails (" << rail_a << "," << rail_b
+       << "): " << d;
+    d = os.str();
+  }
+}
+
+}  // namespace
+
+SymmetryReport check_rail_symmetry(const Graph& g, NetId rail0, NetId rail1) {
+  SignatureInterner interner(g);
+  const RailInfo a = rail_info(g, interner, rail0);
+  const RailInfo b = rail_info(g, interner, rail1);
+  return compare_rails(a, b);
+}
+
 std::vector<SymmetryReport> check_all_channels(const Graph& g) {
   std::vector<SymmetryReport> out;
   out.reserve(g.netlist().num_channels());
+  SignatureInterner interner(g);
+  // Rails shared between channels (e.g. the per-layer group channels of
+  // the S-Box merge trees) are analyzed once.
+  std::unordered_map<NetId, RailInfo> cache;
+  auto info_of = [&](NetId rail) -> const RailInfo& {
+    auto it = cache.find(rail);
+    if (it == cache.end())
+      it = cache.emplace(rail, rail_info(g, interner, rail)).first;
+    return it->second;
+  };
+
   for (const Channel& ch : g.netlist().channels()) {
-    // For 1-of-N channels every rail must be symmetric to rail 0; report
-    // the worst pair.
-    SymmetryReport worst = check_rail_symmetry(g, ch.rails[0], ch.rails[1]);
-    for (std::size_t r = 2; r < ch.rails.size(); ++r) {
-      SymmetryReport rep = check_rail_symmetry(g, ch.rails[0], ch.rails[r]);
-      if (!rep.symmetric && worst.symmetric) worst = rep;
+    if (ch.rails.size() < 2) {
+      // A single-rail channel has no pair to compare: vacuously symmetric.
+      SymmetryReport rep;
+      rep.symmetric = true;
+      rep.level_histograms_match = true;
+      rep.isomorphic = true;
+      if (!ch.rails.empty()) {
+        const RailInfo& only = info_of(ch.rails[0]);
+        rep.cone_size0 = rep.cone_size1 = only.cone_size;
+      }
+      bind_to_channel(rep, ch.name, 0, 0);
+      out.push_back(std::move(rep));
+      continue;
     }
-    out.push_back(std::move(worst));
+    // All-rail-pairs coverage (the 1-of-4 extension): the channel is
+    // symmetric only when every pair of its N rails is. Because the
+    // verdict is pure equality on the cached per-rail facts (cone size,
+    // histogram, interned signature, driven-ness), pairwise symmetry is
+    // transitive — comparing every rail against rail 0 decides all
+    // N·(N−1)/2 pairs, and the first asymmetric (0, r) pair is also the
+    // first asymmetric pair overall. Report it, or (0, 1) when all
+    // rails match.
+    SymmetryReport chosen = compare_rails(info_of(ch.rails[0]),
+                                          info_of(ch.rails[1]));
+    std::size_t chosen_b = 1;
+    for (std::size_t r = 2; chosen.symmetric && r < ch.rails.size(); ++r) {
+      SymmetryReport rep =
+          compare_rails(info_of(ch.rails[0]), info_of(ch.rails[r]));
+      if (!rep.symmetric) {
+        chosen = std::move(rep);
+        chosen_b = r;
+      }
+    }
+    bind_to_channel(chosen, ch.name, 0, chosen_b);
+    out.push_back(std::move(chosen));
   }
   return out;
+}
+
+std::size_t count_asymmetric_channels(const Graph& g) {
+  std::size_t n = 0;
+  for (const SymmetryReport& rep : check_all_channels(g))
+    if (!rep.symmetric) ++n;
+  return n;
 }
 
 }  // namespace qdi::netlist

@@ -4,13 +4,34 @@
 
 namespace qdi::pnr {
 
+namespace {
+
+/// True when every cell on the net has a position in the placement.
+/// Nets (or cells) created after the placement ran — e.g. buffer cells
+/// an xform pass spliced in — are "unplaced": they have no wirelength,
+/// and their capacitance must come from the pin model alone instead of
+/// a stale or out-of-range position-table entry.
+bool net_fully_placed(const netlist::Netlist& nl, const Placement& p,
+                      netlist::NetId id) {
+  const netlist::Net& net = nl.net(id);
+  if (net.driver != netlist::kNoCell && net.driver >= p.cell_pos.size())
+    return false;
+  for (const netlist::Pin& pin : net.sinks)
+    if (pin.cell >= p.cell_pos.size()) return false;
+  return true;
+}
+
+}  // namespace
+
 ExtractionSummary extract(netlist::Netlist& nl, const Placement& placement,
                           const ExtractionParams& params) {
   ExtractionSummary s;
   const std::size_t n = nl.num_nets();
   for (netlist::NetId i = 0; i < n; ++i) {
+    const bool placed = net_fully_placed(nl, placement, i);
+    if (!placed) ++s.unplaced_nets;
     netlist::Net& net = nl.net(i);
-    const double wl = net_hpwl_um(nl, placement, i);
+    const double wl = placed ? net_hpwl_um(nl, placement, i) : 0.0;
     double driver_wl = wl;
     if (params.repeater_distance_um > 0.0)
       driver_wl = std::min(driver_wl, params.repeater_distance_um);

@@ -26,6 +26,11 @@ struct ExtractionSummary {
   double total_cap_ff = 0.0;
   double max_net_cap_ff = 0.0;
   double mean_net_cap_ff = 0.0;
+  /// Nets touching a cell with no placement entry (created after the
+  /// placement ran, e.g. by an xform pass). They get the defined
+  /// pin-model default capacitance — zero wirelength, pin + driver caps,
+  /// floored at min_cap_ff — instead of reading stale table entries.
+  std::size_t unplaced_nets = 0;
 };
 
 /// Annotate nl's nets (cap_ff, wirelength_um) from the placement.

@@ -339,7 +339,11 @@ class Annealer {
 double net_hpwl_um(const Netlist& nl, const Placement& p, NetId net) {
   const netlist::Net& n = nl.net(net);
   double x0 = 1e18, x1 = -1e18, y0 = 1e18, y1 = -1e18;
+  // Cells created after the placement ran (e.g. by an xform pass) have
+  // no position entry; they contribute nothing to the bounding box
+  // instead of reading past the end of the table.
   auto acc = [&](CellId c) {
+    if (c >= p.cell_pos.size()) return;
     x0 = std::min(x0, p.cell_pos[c].x_um);
     x1 = std::max(x1, p.cell_pos[c].x_um);
     y0 = std::min(y0, p.cell_pos[c].y_um);

@@ -33,7 +33,11 @@ CompiledNetlist::CompiledNetlist(const netlist::Netlist& nl, DelayModel model)
     kind[c] = cell.kind;
     output[c] = cell.output;
     const double out_cap = cell.output != kNoNet ? cap_ff[cell.output] : 0.0;
-    delay_ps[c] = model_.delay_ps(cell.kind, out_cap);
+    // Per-cell jitter (random-delay-insertion countermeasure) folds into
+    // the precomputed delay so the hot loop stays untouched; the
+    // reference engine adds the same offset at evaluation time, keeping
+    // the two engines bit-identical.
+    delay_ps[c] = model_.delay_ps(cell.kind, out_cap) + cell.delay_jitter_ps;
     slew_ps[c] = model_.slew_ps(out_cap);
     fanin_offset[c] = fanin_total;
     fanin_total += static_cast<std::uint32_t>(cell.inputs.size());

@@ -70,7 +70,7 @@ class CompiledNetlist {
   // ---- per-cell ---------------------------------------------------------
   std::vector<netlist::CellKind> kind;
   std::vector<std::uint32_t> output;     ///< driven net, kNoNet when none
-  std::vector<double> delay_ps;          ///< DelayModel::delay_ps(kind, C_out)
+  std::vector<double> delay_ps;  ///< DelayModel::delay_ps(kind, C_out) + cell jitter
   std::vector<double> slew_ps;           ///< DelayModel::slew_ps(C_out)
   std::vector<std::uint32_t> fanin_offset;   ///< size num_cells + 1
   std::vector<std::uint32_t> fanin_net;      ///< CSR payload: input nets in pin order

@@ -78,7 +78,8 @@ void Simulator::evaluate_cell(CellId cell, double t_ps) {
       c.kind, std::span<const bool>(in_vals, c.inputs.size()), prev);
 
   const double cap = nl_->net(c.output).cap_ff;
-  schedule(c.output, out, t_ps + model_.delay_ps(c.kind, cap),
+  schedule(c.output, out,
+           t_ps + model_.delay_ps(c.kind, cap) + c.delay_jitter_ps,
            model_.slew_ps(cap));
 }
 

@@ -1,0 +1,76 @@
+#include <algorithm>
+
+#include "qdi/xform/passes.hpp"
+
+namespace qdi::xform {
+
+namespace {
+
+/// Worst pairwise dissymmetry of one channel under the current caps.
+double channel_da(const netlist::Netlist& nl, const netlist::Channel& ch) {
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (netlist::NetId r : ch.rails) {
+    const double c = nl.net(r).cap_ff;
+    if (first) {
+      lo = hi = c;
+      first = false;
+    } else {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+  }
+  if (lo <= 0.0) return 0.0;
+  return (hi - lo) / lo;
+}
+
+double max_da(const netlist::Netlist& nl) {
+  double worst = 0.0;
+  for (const netlist::Channel& ch : nl.channels())
+    worst = std::max(worst, channel_da(nl, ch));
+  return worst;
+}
+
+}  // namespace
+
+PassReport CapEqualizePass::run(netlist::Netlist& nl) const {
+  PassReport rep;
+  rep.pass = name();
+  rep.metric_before = max_da(nl);
+
+  // Channels may share rails (the S-Box merge trees register the same
+  // nets in layer group channels and in the final output channel), so
+  // padding one channel can raise another's max retroactively. Sweep to
+  // a fixpoint: caps only ever increase toward the overlap component's
+  // dominant rail, so the loop terminates within the component diameter.
+  std::vector<char> touched(nl.num_channels(), 0);
+  for (bool again = true; again;) {
+    again = false;
+    for (netlist::ChannelId id = 0; id < nl.num_channels(); ++id) {
+      const netlist::Channel& ch = nl.channel(id);
+      double cap_max = 0.0;
+      for (netlist::NetId r : ch.rails)
+        cap_max = std::max(cap_max, nl.net(r).cap_ff);
+      // Padding every rail up to C_max / (1 + tol) bounds each pairwise
+      // dA = (C_max − C_min') / C_min' by tol.
+      const double floor_cap = cap_max / (1.0 + opt_.tolerance_da);
+      for (netlist::NetId r : ch.rails) {
+        netlist::Net& net = nl.net(r);
+        if (net.cap_ff < floor_cap) {
+          rep.cap_added_ff += floor_cap - net.cap_ff;
+          net.cap_ff = floor_cap;
+          touched[id] = 1;
+          again = true;
+        }
+      }
+    }
+  }
+  for (char t : touched)
+    if (t) ++rep.channels_touched;
+
+  rep.metric_after = max_da(nl);
+  rep.changed = rep.channels_touched > 0;
+  return rep;
+}
+
+}  // namespace qdi::xform

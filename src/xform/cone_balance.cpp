@@ -1,0 +1,376 @@
+// Cone balancing by *unsharing*.
+//
+// The residual asymmetry class of this library's generated circuits
+// (see tests/test_symmetry.cpp, SboxOutputsAreIsomorphic) is: the two
+// rails' fanin cones are structurally isomorphic — same recursive
+// signature — but their *distinct* ancestor counts differ, because the
+// shared decode logic below the merge trees is shared more aggressively
+// on one side than the other. check_rail_symmetry rightly reports that
+// as asymmetric: the per-level distinct-gate histograms (and hence the
+// per-level switched capacitance available to one computation) differ.
+//
+// The fix is the dual of sharing: where rail r's cone is short one gate
+// of kind k at level l, find a cell of that kind and level inside the
+// cone whose output fans out to several in-cone sinks, clone it (same
+// kind, same inputs — the clone computes the identical function), and
+// rewire exactly one of those sinks to the clone. Function, protocol,
+// and hazard-freedom are untouched; the cone gains one distinct cell at
+// exactly (l, k). Repeating this until every rail matches the per-level
+// maximum makes the channel's histograms — and, because the signatures
+// were already isomorphic, the full SymmetryReport — symmetric.
+//
+// Channels whose asymmetry is NOT of this class (differing primary-
+// input support, genuinely different structure like dr_and's 3-vs-1
+// minterm merge, or no valid clone site) are left untouched and
+// reported as skipped: inventing structure would change transition
+// counts, which is the opposite of balancing.
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "qdi/netlist/graph.hpp"
+#include "qdi/netlist/symmetry.hpp"
+#include "qdi/xform/passes.hpp"
+
+namespace qdi::xform {
+
+namespace {
+
+using netlist::Cell;
+using netlist::CellId;
+using netlist::CellKind;
+using netlist::Channel;
+using netlist::ChannelId;
+using netlist::kNoCell;
+using netlist::kNoNet;
+using netlist::Net;
+using netlist::Netlist;
+using netlist::NetId;
+using netlist::Pin;
+
+/// (level, kind) -> distinct-cell count; std::map for deterministic
+/// deficit iteration order.
+using Hist = std::map<std::pair<int, int>, std::size_t>;
+
+struct RailCone {
+  std::vector<char> in_cone;  ///< per-cell membership mask
+  /// Cone cells in ascending id order (candidate iteration order). May
+  /// retain evicted cells — consumers re-check in_cone — and clones are
+  /// appended (their ids are the largest, so the order is preserved).
+  std::vector<CellId> members;
+  Hist hist;  ///< real gates only
+  std::size_t input_cells = 0;
+  std::size_t size = 0;  ///< all cells, pseudo included
+  bool driven = false;
+};
+
+/// Mirror of Graph::fanin_cone over the live (possibly just-mutated)
+/// netlist: walk driver edges, never ascending in level (feedback cut).
+RailCone compute_cone(const Netlist& nl, const std::vector<int>& level,
+                      NetId rail) {
+  RailCone rc;
+  rc.in_cone.assign(nl.num_cells(), 0);
+  const CellId root = nl.net(rail).driver;
+  if (root == kNoCell) return rc;
+  rc.driven = true;
+  std::vector<CellId> stack{root};
+  rc.in_cone[root] = 1;
+  while (!stack.empty()) {
+    const CellId c = stack.back();
+    stack.pop_back();
+    ++rc.size;
+    rc.members.push_back(c);
+    const Cell& cell = nl.cell(c);
+    if (cell.kind == CellKind::Input) {
+      ++rc.input_cells;
+    } else if (!netlist::is_pseudo(cell.kind)) {
+      ++rc.hist[{level[c], static_cast<int>(cell.kind)}];
+    }
+    for (NetId in : cell.inputs) {
+      const CellId p = nl.net(in).driver;
+      if (p != kNoCell && !rc.in_cone[p] && level[p] <= level[c]) {
+        rc.in_cone[p] = 1;
+        stack.push_back(p);
+      }
+    }
+  }
+  std::sort(rc.members.begin(), rc.members.end());
+  return rc;
+}
+
+/// One clone-and-rewire site: duplicate `cell`, move sink pin
+/// (sink_cell, sink_pin) onto the duplicate.
+struct CloneSite {
+  CellId cell = kNoCell;
+  CellId sink_cell = kNoCell;
+  int sink_pin = 0;
+};
+
+class Balancer {
+ public:
+  Balancer(Netlist& nl, const ConeBalanceOptions& opt, PassReport& rep)
+      : nl_(nl), opt_(opt), rep_(rep) {}
+
+  void run() {
+    for (int round = 0; round < opt_.max_rounds; ++round) {
+      refresh_levels();
+      bool changed = false;
+      for (ChannelId id = 0; id < nl_.num_channels(); ++id)
+        changed |= balance_channel(id);
+      if (!changed) break;
+    }
+    for (const auto& [id, note] : skip_notes_) {
+      ++rep_.channels_skipped;
+      rep_.notes.push_back(note);
+    }
+    // Touched = received at least one clone, whether or not it reached
+    // balance; a channel can be both touched and skipped (e.g. clone
+    // budget exhausted mid-way, or re-broken by a sibling's clones).
+    for (const auto& [id, clones] : clones_of_)
+      if (clones > 0) ++rep_.channels_touched;
+  }
+
+ private:
+  void refresh_levels() {
+    const netlist::Graph g(nl_);
+    level_.resize(nl_.num_cells());
+    for (CellId c = 0; c < nl_.num_cells(); ++c) level_[c] = g.level(c);
+  }
+
+  void skip(ChannelId id, const std::string& why) {
+    std::ostringstream os;
+    os << "channel '" << nl_.channel(id).name << "': " << why;
+    skip_notes_[id] = os.str();
+  }
+
+  /// Returns true when the channel was mutated this visit.
+  bool balance_channel(ChannelId id) {
+    const Channel& ch = nl_.channel(id);
+    if (ch.rails.size() < 2) return false;
+
+    // Cones are computed once per channel visit and then maintained
+    // incrementally: a clone-and-rewire changes membership in exactly
+    // one way per rail cone — the clone joins every cone containing the
+    // stolen sink, and the original leaves those where the stolen edge
+    // was its only forward path (its ancestors stay reachable through
+    // the clone, which shares its inputs). apply() applies that delta.
+    std::vector<RailCone> cones;
+    cones.reserve(ch.rails.size());
+    for (NetId r : ch.rails) cones.push_back(compute_cone(nl_, level_, r));
+    for (const RailCone& rc : cones) {
+      if (!rc.driven) {
+        skip(id, "undriven rail");
+        return false;
+      }
+    }
+
+    // Cloning adds gates, never primary inputs: rails with differing
+    // input support cannot be balanced by this pass.
+    for (std::size_t r = 1; r < cones.size(); ++r) {
+      if (cones[r].input_cells != cones[0].input_cells) {
+        skip(id, "primary-input support differs between rails");
+        return false;
+      }
+    }
+
+    bool changed = false;
+    for (;;) {
+      // Per-(level, kind) target = max over rails; first deficit in
+      // (rail, level, kind) order is the next hole to fill.
+      Hist target;
+      for (const RailCone& rc : cones)
+        for (const auto& [key, n] : rc.hist)
+          target[key] = std::max(target[key], n);
+      std::size_t rail = cones.size();
+      std::pair<int, int> key{};
+      for (std::size_t r = 0; r < cones.size() && rail == cones.size(); ++r) {
+        for (const auto& [k, want] : target) {
+          const auto it = cones[r].hist.find(k);
+          if ((it == cones[r].hist.end() ? 0 : it->second) < want) {
+            rail = r;
+            key = k;
+            break;
+          }
+        }
+      }
+      if (rail == cones.size()) {
+        // Histograms uniform (and with matching input support, cone
+        // sizes follow). Signature equality is the verifier's concern.
+        skip_notes_.erase(id);
+        return changed;
+      }
+
+      if (clones_of_[id] >= opt_.max_clones_per_channel) {
+        skip(id, "clone budget exhausted");
+        return changed;
+      }
+      const CloneSite site = find_site(ch, cones, rail, key);
+      if (site.cell == kNoCell) {
+        std::ostringstream os;
+        os << "no clone site for kind "
+           << netlist::name(static_cast<CellKind>(key.second)) << " at level "
+           << key.first << " on rail " << rail;
+        skip(id, os.str());
+        return changed;
+      }
+      apply(site, ch, cones, key);
+      ++clones_of_[id];
+      changed = true;
+    }
+  }
+
+  /// A valid site duplicates a shared cell of the wanted (level, kind)
+  /// inside rail `r`'s cone and steals one of its forward in-cone sinks.
+  /// Per rail cone containing the stolen sink, the clone joins it and
+  /// the original either stays (another edge keeps it reachable — the
+  /// cone gains one distinct cell, so it must be below target) or is
+  /// replaced by the clone (count unchanged — always safe). The target
+  /// rail `r` must be in the former class, or there is no progress.
+  CloneSite find_site(const Channel& ch, const std::vector<RailCone>& cones,
+                      std::size_t r, const std::pair<int, int>& key) const {
+    for (CellId c : cones[r].members) {
+      if (!cones[r].in_cone[c]) continue;  // evicted since discovery
+      const Cell& cell = nl_.cell(c);
+      if (static_cast<int>(cell.kind) != key.second) continue;
+      if (level_[c] != key.first) continue;
+      if (cell.output == kNoNet) continue;
+      const Net& net = nl_.net(cell.output);
+      for (const Pin& pin : net.sinks) {
+        if (netlist::is_pseudo(nl_.cell(pin.cell).kind)) continue;
+        // The cone traversal descends an edge iff level[driver] <=
+        // level[sink] (Graph::fanin_cone's cycle cut). Only such edges
+        // let the sink adopt the clone — level[clone] == level[c] —
+        // into a cone; the rule here must mirror the traversal exactly
+        // or the incremental cone bookkeeping drifts.
+        if (level_[pin.cell] < level_[c]) continue;
+        if (!cones[r].in_cone[pin.cell]) continue;
+        if (site_ok(ch, cones, c, pin, key, r)) return {c, pin.cell, pin.pin};
+      }
+    }
+    return {};
+  }
+
+  /// Does cell `c` keep a path into the cone after losing the `moved`
+  /// edge — i.e. does it drive the rail itself or feed another forward
+  /// in-cone sink?
+  bool stays_in_cone(const RailCone& rc, NetId rail, CellId c,
+                     const Pin& moved) const {
+    if (nl_.cell(c).output == rail) return true;
+    const Net& net = nl_.net(nl_.cell(c).output);
+    for (const Pin& other : net.sinks) {
+      if (other == moved) continue;
+      if (netlist::is_pseudo(nl_.cell(other.cell).kind)) continue;
+      // Same inclusive rule as the cone traversal (level[c] <=
+      // level[sink] edges are descended): see find_site.
+      if (level_[other.cell] < level_[c]) continue;
+      if (rc.in_cone[other.cell]) return true;
+    }
+    return false;
+  }
+
+  bool site_ok(const Channel& ch, const std::vector<RailCone>& cones, CellId c,
+               const Pin& moved, const std::pair<int, int>& key,
+               std::size_t target_rail) const {
+    for (std::size_t r2 = 0; r2 < cones.size(); ++r2) {
+      const RailCone& rc = cones[r2];
+      if (!rc.in_cone[moved.cell]) {
+        if (r2 == target_rail) return false;  // unreachable; defensive
+        continue;
+      }
+      const bool stays = stays_in_cone(rc, ch.rails[r2], c, moved);
+      if (r2 == target_rail) {
+        // Progress requires the original to remain: the cone must end up
+        // with both the original and the clone.
+        if (!stays) return false;
+        continue;
+      }
+      if (!stays) continue;  // clone replaces original: count unchanged
+      // Cone gains a distinct cell at (level, kind): only allowed while
+      // it is below the shared target, or the overshoot would ratchet
+      // the target upward on the next iteration.
+      auto it = rc.hist.find(key);
+      const std::size_t have = it == rc.hist.end() ? 0 : it->second;
+      std::size_t want = 0;
+      for (const RailCone& other : cones) {
+        auto jt = other.hist.find(key);
+        if (jt != other.hist.end()) want = std::max(want, jt->second);
+      }
+      if (have >= want) return false;
+    }
+    return true;
+  }
+
+  void apply(const CloneSite& site, const Channel& ch,
+             std::vector<RailCone>& cones, const std::pair<int, int>& key) {
+    const Cell original = nl_.cell(static_cast<CellId>(site.cell));
+    const Pin moved{site.sink_cell, site.sink_pin};
+    // Membership deltas are decided against the pre-rewire state.
+    std::vector<char> joins(cones.size(), 0), evicts(cones.size(), 0);
+    for (std::size_t r = 0; r < cones.size(); ++r) {
+      if (!cones[r].in_cone[site.sink_cell]) continue;
+      joins[r] = 1;
+      evicts[r] = !stays_in_cone(cones[r], ch.rails[r], site.cell, moved);
+    }
+
+    std::ostringstream os;
+    os << original.name << "$bal" << clone_counter_++;
+    const std::string cname = os.str();
+    const NetId nn = nl_.add_net(cname + "$o");
+    const CellId cc =
+        nl_.add_cell(original.kind, cname, original.inputs, nn, original.hier);
+    nl_.cell(cc).delay_jitter_ps = original.delay_jitter_ps;
+    nl_.rewire_input(site.sink_cell, site.sink_pin, nn);
+    level_.push_back(level_[site.cell]);
+    ++rep_.cells_added;
+    ++rep_.nets_added;
+
+    for (std::size_t r = 0; r < cones.size(); ++r) {
+      cones[r].in_cone.resize(nl_.num_cells(), 0);
+      if (!joins[r]) continue;
+      cones[r].in_cone[cc] = 1;
+      cones[r].members.push_back(cc);  // largest id: order preserved
+      ++cones[r].hist[key];
+      ++cones[r].size;
+      if (evicts[r]) {
+        cones[r].in_cone[site.cell] = 0;  // members entry goes stale
+        --cones[r].hist[key];
+        --cones[r].size;
+      }
+    }
+  }
+
+  Netlist& nl_;
+  const ConeBalanceOptions& opt_;
+  PassReport& rep_;
+  std::vector<int> level_;
+  std::map<ChannelId, std::string> skip_notes_;
+  std::map<ChannelId, std::size_t> clones_of_;
+  std::size_t clone_counter_ = 0;
+};
+
+std::size_t count_asymmetric(const Netlist& nl) {
+  return netlist::count_asymmetric_channels(netlist::Graph(nl));
+}
+
+}  // namespace
+
+PassReport ConeBalancePass::run(netlist::Netlist& nl) const {
+  PassReport rep;
+  rep.pass = name();
+  if (opt_.verify)
+    rep.metric_before = static_cast<double>(count_asymmetric(nl));
+
+  Balancer balancer(nl, opt_, rep);
+  balancer.run();
+  rep.changed = rep.cells_added > 0;
+
+  if (opt_.verify) {
+    rep.metric_after = static_cast<double>(count_asymmetric(nl));
+    rep.verified = true;
+  }
+  return rep;
+}
+
+}  // namespace qdi::xform

@@ -1,0 +1,89 @@
+#include "qdi/xform/pass.hpp"
+
+#include "qdi/xform/passes.hpp"
+
+namespace qdi::xform {
+
+bool PipelineReport::changed() const noexcept {
+  for (const PassReport& p : passes)
+    if (p.changed) return true;
+  return false;
+}
+
+std::size_t PipelineReport::cells_added() const noexcept {
+  std::size_t n = 0;
+  for (const PassReport& p : passes) n += p.cells_added;
+  return n;
+}
+
+std::size_t PipelineReport::nets_added() const noexcept {
+  std::size_t n = 0;
+  for (const PassReport& p : passes) n += p.nets_added;
+  return n;
+}
+
+double PipelineReport::cap_added_ff() const noexcept {
+  double c = 0.0;
+  for (const PassReport& p : passes) c += p.cap_added_ff;
+  return c;
+}
+
+const PassReport* PipelineReport::find(std::string_view pass_name) const noexcept {
+  for (const PassReport& p : passes)
+    if (p.pass == pass_name) return &p;
+  return nullptr;
+}
+
+util::Table PipelineReport::table() const {
+  util::Table t({"pass", "changed", "cells+", "nets+", "cap+fF", "touched",
+                 "skipped", "metric before", "metric after"});
+  for (const PassReport& p : passes) {
+    t.add_row({p.pass, p.changed ? "yes" : "no", std::to_string(p.cells_added),
+               std::to_string(p.nets_added), t.format_double(p.cap_added_ff),
+               std::to_string(p.channels_touched),
+               std::to_string(p.channels_skipped),
+               t.format_double(p.metric_before),
+               t.format_double(p.metric_after)});
+  }
+  return t;
+}
+
+Pipeline& Pipeline::add(std::shared_ptr<const Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+PipelineReport Pipeline::run(netlist::Netlist& nl) const {
+  PipelineReport rep;
+  rep.passes.reserve(passes_.size());
+  for (const auto& pass : passes_) {
+    rep.passes.push_back(pass->run(nl));
+    rep.passes.back().structure_preserving = pass->preserves_structure();
+  }
+  return rep;
+}
+
+Recipe unprotected() { return Recipe{"unprotected", Pipeline{}}; }
+
+Recipe balanced(ConeBalanceOptions cone, CapEqualizeOptions cap) {
+  Pipeline p;
+  p.emplace<ConeBalancePass>(cone).emplace<CapEqualizePass>(cap);
+  return Recipe{"balanced", std::move(p)};
+}
+
+Recipe hardened(ConeBalanceOptions cone, CapEqualizeOptions cap,
+                RandomDelayOptions delay) {
+  Pipeline p;
+  p.emplace<ConeBalancePass>(cone)
+      .emplace<CapEqualizePass>(cap)
+      .emplace<RandomDelayPass>(delay);
+  return Recipe{"hardened", std::move(p)};
+}
+
+Recipe jittered(RandomDelayOptions delay) {
+  Pipeline p;
+  p.emplace<RandomDelayPass>(delay);
+  return Recipe{"jittered", std::move(p)};
+}
+
+}  // namespace qdi::xform

@@ -1,0 +1,42 @@
+#include <algorithm>
+
+#include "qdi/xform/passes.hpp"
+
+#include "qdi/util/rng.hpp"
+
+namespace qdi::xform {
+
+PassReport RandomDelayPass::run(netlist::Netlist& nl) const {
+  PassReport rep;
+  rep.pass = name();
+
+  // Cell::delay_jitter_ps must stay >= 0 (the compiled kernel's
+  // time-wheel geometry assumes non-negative delays); a non-positive
+  // bound degenerates to "no jitter" instead of drawing negatives.
+  const double bound = std::max(0.0, opt_.max_jitter_ps);
+  double sum_before = 0.0, sum_after = 0.0;
+  std::size_t gates = 0;
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+    if (netlist::is_pseudo(nl.cell(c).kind)) continue;
+    ++gates;
+    sum_before += nl.cell(c).delay_jitter_ps;
+    // One private stream per (seed, cell id): the draw is independent of
+    // iteration order and of every other cell's draw, and *overwrites*
+    // the previous jitter — re-running the pass is a no-op.
+    const double jitter =
+        bound > 0.0 ? util::split_stream(opt_.seed, c).uniform(0.0, bound)
+                    : 0.0;
+    if (nl.cell(c).delay_jitter_ps != jitter) {
+      nl.cell(c).delay_jitter_ps = jitter;
+      rep.changed = true;
+    }
+    sum_after += jitter;
+  }
+  if (gates > 0) {
+    rep.metric_before = sum_before / static_cast<double>(gates);
+    rep.metric_after = sum_after / static_cast<double>(gates);
+  }
+  return rep;
+}
+
+}  // namespace qdi::xform

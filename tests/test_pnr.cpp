@@ -186,6 +186,40 @@ TEST(Extraction, MinCapFloor) {
   EXPECT_DOUBLE_EQ(nl.net(a).cap_ff, 0.7);
 }
 
+TEST(Extraction, CellsCreatedAfterPlacementGetDefinedDefaultCap) {
+  // An xform pass splicing cells after the flow leaves the placement's
+  // position table short: re-extraction must neither read out of range
+  // nor hand those nets stale caps — they get the pin-model default
+  // (zero wirelength, pin + driver caps, min floor) and are counted.
+  qn::Netlist nl("post");
+  const qn::NetId a = nl.add_input("a");
+  const qn::NetId q = nl.add_net("q");
+  nl.add_cell(qn::CellKind::Buf, "b", {a}, q);
+  nl.mark_output(q, "o");
+  const qp::Placement placement =
+      qp::place(nl, fast_options(qp::FlowMode::Flat, 3));
+
+  // Created after the placement ran: a second buffer on `a`.
+  const qn::NetId q2 = nl.add_net("q2");
+  nl.add_cell(qn::CellKind::Buf, "b2", {a}, q2);
+  nl.mark_output(q2, "o2");
+
+  qp::ExtractionParams params;
+  const qp::ExtractionSummary s = qp::extract(nl, placement, params);
+  // q2 touches two unplaced cells; `a` gained an unplaced sink.
+  EXPECT_GE(s.unplaced_nets, 2u);
+  for (const qn::Net& n : nl.nets()) {
+    EXPECT_GE(n.cap_ff, params.min_cap_ff);
+    EXPECT_GE(n.wirelength_um, 0.0);
+  }
+  // The unplaced net's cap is exactly the pin model (one Output sink).
+  const qn::Net& fresh = nl.net(q2);
+  EXPECT_DOUBLE_EQ(fresh.wirelength_um, 0.0);
+  EXPECT_DOUBLE_EQ(fresh.cap_ff,
+                   std::max(params.min_cap_ff,
+                            params.pin_cap_ff * 1.0 + params.driver_cap_ff));
+}
+
 TEST(Placement, RegionCapacityGuard) {
   // An absurd padding below 1.0 with depth so deep each cell is alone
   // should still either succeed or throw a clear error, not corrupt.

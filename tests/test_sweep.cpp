@@ -1,0 +1,190 @@
+// Campaign::sweep — the paper's unprotected-vs-balanced comparison as a
+// single API call. Asserts the security result (the balanced recipe
+// strictly increases measurements-to-disclosure / kills the known-key
+// bias on des_sbox_slice), the bit-identical equivalence between sweep
+// variants and standalone campaigns, and sweep determinism.
+#include <gtest/gtest.h>
+
+#include "qdi/qdi.hpp"
+
+namespace qc = qdi::campaign;
+namespace qn = qdi::netlist;
+namespace qx = qdi::xform;
+
+namespace {
+
+/// The "uncontrolled P&R" stand-in used across the campaign tests:
+/// deterministically unbalance the S-Box output rails.
+void unbalance(qn::Netlist& nl) {
+  for (qn::ChannelId ch = 0; ch < nl.num_channels(); ++ch) {
+    const qn::Channel& c = nl.channel(ch);
+    if (c.name.find("sbox/out") != std::string::npos)
+      nl.net(c.rails[1]).cap_ff *= 1.8;
+  }
+}
+
+qc::Campaign des_campaign() {
+  qc::Cpa cfg;
+  cfg.compute_mtd = true;
+  cfg.mtd_start = 40;
+  cfg.mtd_step = 40;
+  qc::Campaign campaign;
+  campaign.target(qc::des_sbox_slice())
+      .key(0x2b)
+      .seed(31337)
+      .traces(400)
+      .threads(2)
+      .prepare(unbalance)
+      .attack(cfg);
+  return campaign;
+}
+
+}  // namespace
+
+TEST(Sweep, BalancedRecipeStrictlyIncreasesMtd) {
+  const qc::SweepResult sweep =
+      des_campaign().sweep({qx::unprotected(), qx::balanced()});
+  ASSERT_EQ(sweep.variants.size(), 2u);
+  const qc::SweepVariant* raw = sweep.find("unprotected");
+  const qc::SweepVariant* bal = sweep.find("balanced");
+  ASSERT_NE(raw, nullptr);
+  ASSERT_NE(bal, nullptr);
+
+  // Unprotected: the attack works — key recovered, finite MTD.
+  ASSERT_TRUE(raw->result.attack.has_value());
+  EXPECT_EQ(raw->result.attack->true_key_rank, 0u);
+  ASSERT_GT(raw->mtd(), 0u);
+
+  // Balanced: dA collapses to zero and the attack stops working. MTD 0
+  // means "never disclosed at this budget" — strictly above any finite
+  // unprotected MTD; a finite balanced MTD must still be strictly
+  // larger.
+  ASSERT_TRUE(bal->result.attack.has_value());
+  EXPECT_DOUBLE_EQ(bal->result.max_da, 0.0);
+  EXPECT_GT(raw->result.max_da, 0.0);
+  EXPECT_GT(bal->result.attack->true_key_rank, 0u);
+  EXPECT_TRUE(bal->mtd() == 0 || bal->mtd() > raw->mtd());
+
+  // Structural side: the balanced variant is also more symmetric, and
+  // the transform reports say what it cost.
+  EXPECT_LT(bal->asymmetric_channels, raw->asymmetric_channels);
+  ASSERT_TRUE(bal->result.xform.has_value());
+  EXPECT_GT(bal->result.xform->cells_added(), 0u);
+  EXPECT_GT(bal->result.xform->cap_added_ff(), 0.0);
+  EXPECT_EQ(bal->result.recipe, "balanced");
+  EXPECT_EQ(sweep.table().rows(), 2u);
+}
+
+TEST(Sweep, BalancedRecipeDrivesKnownKeyBiasToZero) {
+  // Same sweep through the DPA view: the designer-side known-key bias
+  // must collapse below any decision threshold (it is orders of
+  // magnitude under the unprotected bias, which recovers the key).
+  qc::Dpa cfg;
+  qc::Campaign campaign;
+  campaign.target(qc::des_sbox_slice())
+      .key(0x2b)
+      .seed(31337)
+      .traces(400)
+      .threads(2)
+      .prepare(unbalance)
+      .attack(cfg);
+  const qc::SweepResult sweep =
+      campaign.sweep({qx::unprotected(), qx::balanced()});
+  const qc::SweepVariant* raw = sweep.find("unprotected");
+  const qc::SweepVariant* bal = sweep.find("balanced");
+  ASSERT_NE(raw, nullptr);
+  ASSERT_NE(bal, nullptr);
+  EXPECT_EQ(raw->result.attack->true_key_rank, 0u);
+  EXPECT_GT(raw->bias_peak(), 0.0);
+  EXPECT_LT(bal->bias_peak(), raw->bias_peak() * 1e-3);
+  EXPECT_GT(bal->result.attack->true_key_rank, 0u);
+}
+
+TEST(Sweep, VariantsMatchStandaloneCampaignsBitIdentically) {
+  // A sweep variant must be exactly the campaign it claims to be: the
+  // same .recipe(r) campaign run standalone in fused mode.
+  const qc::SweepResult sweep =
+      des_campaign().sweep({qx::unprotected(), qx::balanced()});
+  for (const char* name : {"unprotected", "balanced"}) {
+    const qc::SweepVariant* v = sweep.find(name);
+    ASSERT_NE(v, nullptr);
+    const qc::CampaignResult solo = des_campaign()
+                                        .recipe(name == std::string("balanced")
+                                                    ? qx::balanced()
+                                                    : qx::unprotected())
+                                        .fused()
+                                        .run();
+    ASSERT_TRUE(solo.attack.has_value());
+    EXPECT_EQ(v->result.attack->best_guess, solo.attack->best_guess);
+    EXPECT_EQ(v->result.attack->true_key_rank, solo.attack->true_key_rank);
+    EXPECT_EQ(v->result.attack->mtd, solo.attack->mtd);
+    EXPECT_EQ(v->result.attack->best_score, solo.attack->best_score);
+    ASSERT_EQ(v->result.attack->guess_scores.size(),
+              solo.attack->guess_scores.size());
+    for (std::size_t g = 0; g < solo.attack->guess_scores.size(); ++g)
+      EXPECT_EQ(v->result.attack->guess_scores[g], solo.attack->guess_scores[g])
+          << name << " guess " << g;
+  }
+}
+
+TEST(Sweep, DeterministicAcrossRunsAndThreadCounts) {
+  const qc::SweepResult a =
+      des_campaign().sweep({qx::unprotected(), qx::hardened()});
+  const qc::SweepResult b =
+      des_campaign().sweep({qx::unprotected(), qx::hardened()});
+  qc::Campaign single = des_campaign();
+  single.threads(1);
+  const qc::SweepResult c = single.sweep({qx::unprotected(), qx::hardened()});
+  ASSERT_EQ(a.variants.size(), b.variants.size());
+  for (std::size_t i = 0; i < a.variants.size(); ++i) {
+    for (const qc::SweepResult* other : {&b, &c}) {
+      EXPECT_EQ(a.variants[i].recipe, other->variants[i].recipe);
+      EXPECT_EQ(a.variants[i].asymmetric_channels,
+                other->variants[i].asymmetric_channels);
+      ASSERT_TRUE(other->variants[i].result.attack.has_value());
+      EXPECT_EQ(a.variants[i].result.attack->best_guess,
+                other->variants[i].result.attack->best_guess);
+      EXPECT_EQ(a.variants[i].result.attack->best_score,
+                other->variants[i].result.attack->best_score);
+      EXPECT_EQ(a.variants[i].result.attack->mtd,
+                other->variants[i].result.attack->mtd);
+    }
+  }
+}
+
+TEST(Sweep, RejectsEmptyRecipeListAndInvalidConfig) {
+  EXPECT_THROW(des_campaign().sweep({}), std::invalid_argument);
+  qc::Campaign no_target;
+  EXPECT_THROW(no_target.sweep({qx::unprotected()}), std::invalid_argument);
+}
+
+TEST(Sweep, FlowStageFeedsRecipesAndUnplacedCellsGetDefinedCaps) {
+  // Flow (placement + extraction) before the recipe: the cone-balance
+  // clones are created *after* the placement ran, so a re-extraction
+  // must give their nets the defined pin-model default instead of
+  // reading out-of-range position entries.
+  qdi::core::FlowOptions flow;
+  flow.placer.mode = qdi::pnr::FlowMode::Flat;
+  flow.placer.seed = 5;
+  flow.placer.moves_per_cell = 4;
+  flow.placer.stages = 8;
+  qc::Campaign campaign;
+  campaign.target(qc::xor_stage()).flow(flow).recipe(qx::balanced());
+  const qc::CampaignResult r = campaign.run();
+  ASSERT_TRUE(r.flow.has_value());
+  ASSERT_TRUE(r.xform.has_value());
+  // Post-flow caps are heterogeneous; the balanced recipe equalizes
+  // every channel exactly.
+  EXPECT_DOUBLE_EQ(r.max_da, 0.0);
+  // Re-extract over the stale placement: defined results, no crash, and
+  // any xform-added net is reported as unplaced.
+  qn::Netlist nl = r.nl;
+  const qdi::pnr::ExtractionSummary s =
+      qdi::pnr::extract(nl, r.flow->placement);
+  if (r.xform->cells_added() > 0)
+    EXPECT_GE(s.unplaced_nets, r.xform->nets_added());
+  for (const qn::Net& n : nl.nets()) {
+    EXPECT_GT(n.cap_ff, 0.0);
+    EXPECT_GE(n.wirelength_um, 0.0);
+  }
+}

@@ -97,4 +97,69 @@ TEST(Symmetry, CheckAllChannelsCoversRegistry) {
   const qn::Graph g(x.nl);
   const auto reps = qn::check_all_channels(g);
   EXPECT_EQ(reps.size(), x.nl.num_channels());
+  for (std::size_t i = 0; i < reps.size(); ++i)
+    EXPECT_EQ(reps[i].channel,
+              x.nl.channel(static_cast<qn::ChannelId>(i)).name);
+}
+
+TEST(Symmetry, OneOfFourComparesEveryRailPair) {
+  // A 1-of-4 channel where rail 0 matches rails 1 and 2, but rail 3 is
+  // wired through an Inv instead of a Buf: the all-pairs scan must flag
+  // the channel and name the offending pair.
+  qn::Netlist nl("q4");
+  qg::Builder b(nl);
+  const qg::OneOfN q = b.one_of_n_input("q", 4);
+  std::vector<qn::NetId> out_rails;
+  for (std::size_t i = 0; i < 3; ++i) out_rails.push_back(b.buf(q.rails[i]));
+  out_rails.push_back(b.inv(q.rails[3]));
+  nl.add_channel("qo", out_rails);
+  const qn::Graph g(nl);
+  const auto reps = qn::check_all_channels(g);
+  const qn::ChannelId qo = nl.find_channel("qo");
+  ASSERT_NE(qo, qn::Netlist::kNoChannel);
+  const qn::SymmetryReport& rep = reps[qo];
+  EXPECT_FALSE(rep.symmetric);
+  EXPECT_EQ(rep.channel, "qo");
+  EXPECT_EQ(rep.rail_b, 3u);  // first failing pair is (0, 3)
+  EXPECT_EQ(rep.rail_a, 0u);
+  ASSERT_FALSE(rep.diagnostics.empty());
+  // Diagnostics carry the channel name, not only the index.
+  EXPECT_NE(rep.diagnostics[0].find("'qo'"), std::string::npos);
+  EXPECT_NE(rep.diagnostics[0].find("(0,3)"), std::string::npos);
+}
+
+TEST(Symmetry, OneOfFourAllPairsSymmetric) {
+  // All four rails through identical buffers: every pair matches.
+  qn::Netlist nl("q4ok");
+  qg::Builder b(nl);
+  const qg::OneOfN q = b.one_of_n_input("q", 4);
+  std::vector<qn::NetId> out_rails;
+  for (qn::NetId r : q.rails) out_rails.push_back(b.buf(r));
+  nl.add_channel("qo", out_rails);
+  const qn::Graph g(nl);
+  const auto reps = qn::check_all_channels(g);
+  const qn::SymmetryReport& rep = reps[nl.find_channel("qo")];
+  EXPECT_TRUE(rep.symmetric);
+  EXPECT_TRUE(rep.diagnostics.empty());
+}
+
+TEST(Symmetry, AllChannelsAgreesWithPairwiseChecker) {
+  // The cached all-channels scan must agree with the direct rail-pair
+  // checker on every channel of a real target netlist.
+  qn::Netlist nl("sb");
+  qg::Builder b(nl);
+  std::vector<qg::DualRail> in;
+  for (int i = 0; i < 6; ++i) in.push_back(b.dr_input("i" + std::to_string(i)));
+  (void)qg::build_des_sbox(b, 0, in, "sbox");
+  const qn::Graph g(nl);
+  const auto reps = qn::check_all_channels(g);
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const qn::Channel& ch = nl.channel(static_cast<qn::ChannelId>(i));
+    bool all_pairs = true;
+    for (std::size_t p = 0; p < ch.rails.size(); ++p)
+      for (std::size_t r = p + 1; r < ch.rails.size(); ++r)
+        all_pairs &=
+            qn::check_rail_symmetry(g, ch.rails[p], ch.rails[r]).symmetric;
+    EXPECT_EQ(reps[i].symmetric, all_pairs) << ch.name;
+  }
 }
