@@ -352,6 +352,29 @@ static void BM_FusedCampaign(benchmark::State& state) {
 }
 BENCHMARK(BM_FusedCampaign)->Unit(benchmark::kMillisecond);
 
+// Fault-injection sweep on the des_sbox_slice victim: a fixed
+// (12 sites x stuck-at-0/1 x 2 repeats) grid, every run classified as
+// deadlock / masked / exploitable. The per-run cost is golden cycle +
+// epoch rewind + faulted cycle, so one fault run should stay within a
+// small factor of one BM_CampaignAcquire trace; the CI bench job prints
+// the BM_FaultSweep / BM_CampaignAcquire per-item ratio next to the
+// other engine ratios.
+static void BM_FaultSweep(benchmark::State& state) {
+  const qdi::campaign::CircuitTarget target = qdi::campaign::des_sbox_slice();
+  qdi::campaign::FaultCampaign campaign;
+  campaign.target(target).key(0x2b).seed(1).max_sites(12).repeats(2).dfa(
+      false);
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    const qdi::campaign::FaultCampaignResult r = campaign.run();
+    runs = r.summary.runs;
+    benchmark::DoNotOptimize(r.summary.deadlock);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(runs));
+}
+BENCHMARK(BM_FaultSweep)->Unit(benchmark::kMillisecond);
+
 int main(int argc, char** argv) {
   // The standard library_build_type context key describes the google-
   // benchmark LIBRARY binary (a debug build on some distros); this key

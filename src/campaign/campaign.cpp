@@ -229,6 +229,15 @@ void Campaign::validate(const TargetInstance& inst) const {
     throw std::invalid_argument(
         "Campaign: fused() discards traces, so it needs an attack() to "
         "stream them into");
+  if (faults_ && source_)
+    throw std::invalid_argument(
+        "Campaign: faults() injects into the simulated netlist, which a "
+        "custom source() bypasses — drop one of the two");
+  if (faults_ && !inst.simulatable)
+    throw std::invalid_argument(
+        "Campaign: target '" + inst.name +
+        "' is flow-only; faults() needs a simulatable netlist to inject "
+        "into");
 }
 
 /// Sweep-shared acquisition state: one WorkerPool living across every
@@ -357,6 +366,19 @@ CampaignResult Campaign::run_stages(
     }
   }
 
+  // ---- fault-resilience probe ----------------------------------------------
+  // Runs on the as-attacked netlist (post-flow, post-prepare,
+  // post-recipe) and must precede the move below — the probe's
+  // simulators point into inst.nl.
+  if (faults_) {
+    FaultCampaignOptions fo = *faults_;
+    fo.delays = opt_.delays;
+    fo.engine = opt_.engine;
+    fo.scheduler = opt_.scheduler;
+    res.faults =
+        run_fault_campaign(inst, key_, fo, seed_, threads_ == 0 ? 1 : threads_);
+  }
+
   res.nl = std::move(inst.nl);
   res.total_wall_ms = ms_since(t_run);
   return res;
@@ -432,8 +454,14 @@ const SweepVariant* SweepResult::find(std::string_view recipe) const noexcept {
 
 util::Table SweepResult::table() const {
   util::Table t({"recipe", "cells+", "cap+fF", "asym ch", "max dA", "rank",
-                 "MTD", "bias peak", "best score"});
+                 "MTD", "bias peak", "best score", "faults d/m/e"});
   for (const SweepVariant& v : variants) {
+    const FaultSummary* fs = v.faults();
+    const std::string fault_cell =
+        fs != nullptr ? std::to_string(fs->deadlock) + "/" +
+                            std::to_string(fs->masked) + "/" +
+                            std::to_string(fs->exploitable)
+                      : "-";
     const std::size_t cells_added =
         v.result.xform ? v.result.xform->cells_added() : 0;
     const double cap_added =
@@ -454,7 +482,8 @@ util::Table SweepResult::table() const {
                    ? t.format_double(v.bias_peak())
                    : "-",
                v.result.attack ? t.format_double(v.result.attack->best_score)
-                               : "-"});
+                               : "-",
+               fault_cell});
   }
   return t;
 }

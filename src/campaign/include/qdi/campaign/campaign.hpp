@@ -31,6 +31,7 @@
 #include <variant>
 #include <vector>
 
+#include "qdi/campaign/fault_campaign.hpp"
 #include "qdi/campaign/target.hpp"
 #include "qdi/campaign/trace_source.hpp"
 #include "qdi/core/criterion.hpp"
@@ -111,6 +112,11 @@ struct CampaignResult {
   std::optional<AttackOutcome> attack;
   std::vector<RankPoint> rank_trajectory;
 
+  /// Fault-resilience probe (Campaign::faults()): the full classified
+  /// sweep over the as-attacked netlist, run through the same
+  /// run_fault_campaign core as a standalone FaultCampaign.
+  std::optional<FaultCampaignResult> faults;
+
   double total_wall_ms = 0.0;
 
   bool key_recovered() const noexcept {
@@ -133,6 +139,10 @@ struct SweepVariant {
   double bias_peak() const noexcept {
     return result.attack ? result.attack->known_key_bias_peak : 0.0;
   }
+  /// Fault-resilience counters of this variant (null without faults()).
+  const FaultSummary* faults() const noexcept {
+    return result.faults ? &result.faults->summary : nullptr;
+  }
 };
 
 /// Outcome of Campaign::sweep — the paper's unprotected-vs-balanced
@@ -144,7 +154,8 @@ struct SweepResult {
 
   /// Comparison table: one row per variant (cells added, cap added,
   /// asymmetric channels, max dA, true-key rank, MTD, known-key bias,
-  /// best attack score).
+  /// best attack score, and — when faults() ran — the
+  /// deadlock/masked/exploitable counts).
   util::Table table() const;
 };
 
@@ -223,6 +234,20 @@ class Campaign {
     return *this;
   }
 
+  /// Fault-resilience probe: after acquisition, sweep the configured
+  /// (site x kind x time) fault injections over the as-attacked netlist
+  /// (post-flow, post-prepare, post-recipe) and classify every run as
+  /// deadlock / masked / exploitable (see fault_campaign.hpp). The probe
+  /// inherits the campaign's delay model, engine, and scheduler so it
+  /// exercises exactly the simulated victim; results land in
+  /// CampaignResult::faults and in the sweep comparison table.
+  /// Incompatible with source(): the probe injects into the simulated
+  /// netlist, which a custom source bypasses — validate() throws.
+  Campaign& faults(FaultCampaignOptions opt = {}) {
+    faults_ = std::move(opt);
+    return *this;
+  }
+
   /// Plug a different TraceSource (cache, replay, hardware bench). The
   /// default factory builds a SimTraceSource over the prepared netlist.
   Campaign& source(SourceFactory f) { source_ = std::move(f); return *this; }
@@ -270,6 +295,7 @@ class Campaign {
   std::uint64_t seed_ = 1;
   SimTraceSourceOptions opt_{};
   std::variant<std::monostate, Dpa, Cpa> attack_;
+  std::optional<FaultCampaignOptions> faults_;
   SourceFactory source_;
   std::size_t rank_step_ = 0;
   std::size_t fused_chunk_ = 0;  ///< 0 = materialize a TraceSet (default)

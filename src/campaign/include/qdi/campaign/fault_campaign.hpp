@@ -1,0 +1,198 @@
+// FaultCampaign — the fault-injection counterpart of the power-analysis
+// Campaign: sweep (site x kind x time) injections over a registry
+// target, classify every run, and feed the exploitable differentials to
+// DFA.
+//
+// The paper's DFA argument (sections V-VI) is that QDI dual-rail logic
+// converts faults into *denial of service* instead of faulty
+// ciphertexts: a stuck rail starves the completion tree, the four-phase
+// handshake stalls, and the attacker collects nothing. This campaign
+// measures that claim end to end. Every injection lands in exactly one
+// class:
+//
+//   * Deadlock     — the handshake stalled (or overran its period, or
+//                    the faulted netlist oscillated): no usable output.
+//   * Masked       — the handshake completed with the correct
+//                    ciphertext: the fault was logically absorbed.
+//   * Exploitable  — valid-looking but WRONG outputs were emitted: a
+//                    (golden, faulty) pair exists and DFA can vote on it.
+//
+// Determinism matches the power campaigns: run i draws its randomness
+// from the domain-tagged stream split_stream(seed, i, kFaultDomain)
+// (disjoint from acquisition's streams at the same seed), every run
+// starts from the post-reset epoch, and classification i is
+// bit-identical for any thread count, engine, or scheduler.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qdi/campaign/target.hpp"
+#include "qdi/sim/fault.hpp"
+#include "qdi/util/table.hpp"
+
+namespace qdi::campaign {
+
+enum class FaultClass : std::uint8_t {
+  Deadlock = 0,
+  Masked = 1,
+  Exploitable = 2,
+};
+
+inline const char* name(FaultClass c) noexcept {
+  switch (c) {
+    case FaultClass::Deadlock: return "deadlock";
+    case FaultClass::Masked: return "masked";
+    case FaultClass::Exploitable: return "exploitable";
+  }
+  return "?";
+}
+
+struct FaultCampaignOptions {
+  /// Explicit injection sites; empty = every gate-driven net of the
+  /// target, optionally narrowed by `site_filters` (substring match on
+  /// net names, see sim::fault_sites).
+  std::vector<netlist::NetId> sites;
+  std::vector<std::string> site_filters;
+  /// Deterministic subsample cap on the site list (0 = keep all). The
+  /// subsample is drawn from the campaign's domain-tagged stream, so it
+  /// is identical for any thread count.
+  std::size_t max_sites = 0;
+  /// Fault polarities/kinds swept per site.
+  std::vector<sim::FaultKind> kinds = {sim::FaultKind::StuckAt0,
+                                       sim::FaultKind::StuckAt1};
+  /// Injection offsets within the cycle, in ps from the cycle start.
+  std::vector<double> times_ps = {0.0};
+  /// Random plaintexts per (site, kind, time) combination.
+  std::size_t repeats = 4;
+  /// Transient width for Glitch0/Glitch1 kinds.
+  double glitch_ps = 200.0;
+  /// Run dfa_attack over the exploitable pairs (needs the target to
+  /// carry a DfaModel).
+  bool run_dfa = true;
+
+  sim::DelayModel delays{};
+  sim::EngineKind engine = sim::EngineKind::Compiled;
+  sim::SchedulerKind scheduler = sim::SchedulerKind::Wheel;
+};
+
+/// One classified injection run.
+struct FaultRecord {
+  netlist::NetId net = netlist::kNoNet;
+  sim::FaultKind kind = sim::FaultKind::StuckAt0;
+  double t_offset_ps = 0.0;
+  std::uint8_t plaintext = 0;  ///< first plaintext byte of the stimulus
+  std::uint8_t golden = 0;     ///< fault-free packed output byte
+  std::uint8_t faulty = 0;     ///< faulted packed output byte (Exploitable)
+  FaultClass cls = FaultClass::Deadlock;
+  /// Where the handshake stalled (Deadlock only; None otherwise).
+  sim::HandshakePhase stalled_phase = sim::HandshakePhase::None;
+};
+
+/// Per-variant fault-resilience counters — the row Campaign::sweep()
+/// adds next to the DPA metrics.
+struct FaultSummary {
+  std::size_t runs = 0;
+  std::size_t deadlock = 0;
+  std::size_t masked = 0;
+  std::size_t exploitable = 0;
+
+  /// Fraction of injections that yielded DFA material. The paper's
+  /// security claim is that this stays 0 on QDI targets.
+  double exploitable_rate() const noexcept {
+    return runs > 0 ? static_cast<double>(exploitable) /
+                          static_cast<double>(runs)
+                    : 0.0;
+  }
+};
+
+struct FaultCampaignResult {
+  std::string target;
+  std::uint64_t key = 0;
+  std::size_t sites = 0;       ///< injection sites after filters/subsample
+  std::size_t injections = 0;  ///< sites x kinds x times
+  FaultSummary summary;        ///< summary.runs = injections x repeats
+  std::vector<FaultRecord> records;  ///< one per run, in run order
+  /// The DFA material: (input, golden, faulty) for every exploitable run.
+  std::vector<dpa::DfaPair> pairs;
+  /// dfa_attack over `pairs` (present when run_dfa, the target has a
+  /// DfaModel, and at least one pair was collected).
+  std::optional<dpa::DfaResult> dfa;
+  unsigned true_guess = 0;  ///< what dfa->rank_of should be called with
+
+  /// One-line-per-class breakdown plus the DFA verdict.
+  util::Table table() const;
+};
+
+/// Shared campaign core: sweep + classify + DFA over an already-built
+/// (and possibly flow/recipe-processed) instance. Campaign::faults()
+/// routes through this too, so standalone and sweep-embedded fault runs
+/// agree bit for bit. Throws std::invalid_argument on a non-simulatable
+/// instance, an empty kinds/times list, repeats == 0, or an empty
+/// resolved site list.
+FaultCampaignResult run_fault_campaign(const TargetInstance& inst,
+                                       std::uint64_t key,
+                                       const FaultCampaignOptions& opt,
+                                       std::uint64_t seed, unsigned threads);
+
+/// Fluent front end mirroring Campaign:
+///
+///   auto r = FaultCampaign()
+///                .target(des_sbox_slice())
+///                .key(0x2b)
+///                .sites_matching("addkey0")
+///                .repeats(8)
+///                .threads(4)
+///                .run();
+class FaultCampaign {
+ public:
+  FaultCampaign& target(CircuitTarget t) { target_ = std::move(t); return *this; }
+  FaultCampaign& key(std::uint64_t k) { key_ = k; return *this; }
+  FaultCampaign& seed(std::uint64_t s) { seed_ = s; return *this; }
+  FaultCampaign& threads(unsigned n) { threads_ = n; return *this; }
+
+  FaultCampaign& sites(std::vector<netlist::NetId> s) {
+    opt_.sites = std::move(s);
+    return *this;
+  }
+  FaultCampaign& sites_matching(std::string filter) {
+    opt_.site_filters.push_back(std::move(filter));
+    return *this;
+  }
+  FaultCampaign& max_sites(std::size_t n) { opt_.max_sites = n; return *this; }
+  FaultCampaign& kinds(std::vector<sim::FaultKind> k) {
+    opt_.kinds = std::move(k);
+    return *this;
+  }
+  FaultCampaign& times(std::vector<double> t_ps) {
+    opt_.times_ps = std::move(t_ps);
+    return *this;
+  }
+  FaultCampaign& repeats(std::size_t n) { opt_.repeats = n; return *this; }
+  FaultCampaign& glitch_width(double ps) { opt_.glitch_ps = ps; return *this; }
+  FaultCampaign& dfa(bool enabled) { opt_.run_dfa = enabled; return *this; }
+  FaultCampaign& delays(sim::DelayModel d) { opt_.delays = d; return *this; }
+  FaultCampaign& engine(sim::EngineKind k) { opt_.engine = k; return *this; }
+  FaultCampaign& scheduler(sim::SchedulerKind k) {
+    opt_.scheduler = k;
+    return *this;
+  }
+
+  const FaultCampaignOptions& options() const noexcept { return opt_; }
+
+  /// Build the target under the key and run the sweep. Throws
+  /// std::invalid_argument on an inconsistent configuration (no target,
+  /// non-simulatable target, empty kind/time/site lists, repeats == 0).
+  FaultCampaignResult run() const;
+
+ private:
+  CircuitTarget target_;
+  std::uint64_t key_ = 0;
+  std::uint64_t seed_ = 1;
+  unsigned threads_ = 1;
+  FaultCampaignOptions opt_;
+};
+
+}  // namespace qdi::campaign

@@ -16,6 +16,7 @@
 
 #include "qdi/campaign/trace_source.hpp"
 #include "qdi/dpa/cpa.hpp"
+#include "qdi/dpa/dfa.hpp"
 #include "qdi/dpa/selection.hpp"
 #include "qdi/gates/aes_datapath.hpp"
 #include "qdi/xform/pass.hpp"
@@ -37,6 +38,15 @@ struct TargetInstance {
   std::vector<dpa::SelectionFn> selection_bits;
   /// Hamming-weight style model for CPA (may be empty).
   dpa::LeakageModel leakage;
+  /// Software reference: the decoded output-channel values a fault-free
+  /// run must produce for the given plaintext record (key bound at build
+  /// time, like `stimulus`). Empty for targets without a closed-form
+  /// reference. Drives the golden-path equivalence test and the fault
+  /// campaign's exploitability check.
+  std::function<std::vector<int>(const std::vector<std::uint8_t>&)> golden;
+  /// DFA consistency model over (input, golden, faulty) output words
+  /// (empty = target has no DFA interpretation).
+  dpa::DfaModel dfa;
   /// False for flow/criterion-only targets (e.g. the full AES core, whose
   /// round-loop control is not exercised at simulation scale).
   bool simulatable = true;
@@ -69,6 +79,12 @@ CircuitTarget aes_byte_slice(double period_ps = 20000.0);
 /// DES S-box slice q = SBOX<box>(p6 ^ k6): random 6-bit input, 64 guesses,
 /// 4 selection bits (the paper's historical D(C1, P6, K0)).
 CircuitTarget des_sbox_slice(int box = 0, double period_ps = 20000.0);
+
+/// Unprotected synchronous-style DES S-box slice (same function and
+/// channel interface as des_sbox_slice, single-rail SOP data path with
+/// faked input-validity completion): the fault-attack counterexample —
+/// injections yield wrong-but-valid ciphertexts instead of deadlocks.
+CircuitTarget des_sbox_sync(int box = 0, double period_ps = 20000.0);
 
 /// Fig. 4 dual-rail XOR stage: random bit pair; power-signature studies
 /// (not attackable — no keyed intermediate).

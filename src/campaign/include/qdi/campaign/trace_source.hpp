@@ -53,6 +53,9 @@ struct AcquiredTrace {
   std::vector<std::uint8_t> ciphertext;
   std::size_t transitions = 0;  ///< net transitions in the cycle
   std::size_t glitches = 0;     ///< cancelled events (0 on hazard-free QDI)
+  /// Fault classification when the acquisition was a fault injection
+  /// (campaign/fault_campaign.hpp); -1 for ordinary power acquisitions.
+  int fault_class = -1;
 };
 
 /// Stimulus for one acquisition: the 1-of-N value per environment input
@@ -158,6 +161,18 @@ class WorkerPool {
       std::size_t num_traces, std::uint64_t seed, std::size_t chunk,
       const std::function<void(const dpa::TraceSet& segment,
                                std::size_t first)>& consume,
+      AcquisitionStats* stats = nullptr);
+
+  /// Chunked acquisition delivering the raw AcquiredTrace records, in
+  /// index order, without assembling a power-trace matrix — the feed of
+  /// the fault campaign, whose records carry classifications and
+  /// ciphertexts but no interesting power samples. Same determinism
+  /// contract as acquire()/acquire_chunked(): consume(i, rec) sees
+  /// record i bit-identical for any thread count or chunk size.
+  void acquire_each(
+      std::size_t num_traces, std::uint64_t seed, std::size_t chunk,
+      const std::function<void(std::size_t index, const AcquiredTrace& rec)>&
+          consume,
       AcquisitionStats* stats = nullptr);
 
  private:

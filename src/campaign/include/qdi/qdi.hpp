@@ -39,6 +39,8 @@
 #include "qdi/sim/delay_model.hpp"
 #include "qdi/sim/engine.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/fault.hpp"
+#include "qdi/sim/force.hpp"
 #include "qdi/sim/simulator.hpp"
 #include "qdi/sim/transition.hpp"
 
@@ -65,6 +67,7 @@
 
 // attacks
 #include "qdi/dpa/cpa.hpp"
+#include "qdi/dpa/dfa.hpp"
 #include "qdi/dpa/dpa.hpp"
 #include "qdi/dpa/online.hpp"
 #include "qdi/dpa/selection.hpp"
@@ -73,5 +76,6 @@
 
 // campaign API
 #include "qdi/campaign/campaign.hpp"
+#include "qdi/campaign/fault_campaign.hpp"
 #include "qdi/campaign/target.hpp"
 #include "qdi/campaign/trace_source.hpp"

@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "qdi/crypto/aes.hpp"
 #include "qdi/crypto/des.hpp"
 #include "qdi/gates/builder.hpp"
 #include "qdi/gates/des_datapath.hpp"
@@ -23,6 +24,13 @@ namespace {
 /// Bits of `value` (LSB first) as 1-of-2 channel values.
 void push_bits(std::vector<int>& values, unsigned value, int bits) {
   for (int b = 0; b < bits; ++b) values.push_back((value >> b) & 1);
+}
+
+/// Bits of `value` (LSB first) as a golden output vector.
+std::vector<int> bit_outputs(unsigned value, int bits) {
+  std::vector<int> out;
+  for (int b = 0; b < bits; ++b) out.push_back((value >> b) & 1);
+  return out;
 }
 
 }  // namespace
@@ -46,6 +54,12 @@ CircuitTarget aes_byte_slice(double period_ps) {
     for (int b = 0; b < 8; ++b)
       inst.selection_bits.push_back(dpa::aes_sbox_selection(0, b));
     inst.leakage = dpa::aes_sbox_hw_model(0);
+    inst.golden = [key_byte](const std::vector<std::uint8_t>& pt) {
+      return bit_outputs(crypto::aes_sbox(
+                             static_cast<std::uint8_t>(pt.at(0) ^ key_byte)),
+                         8);
+    };
+    inst.dfa = dpa::aes_sbox_dfa_model();
     return inst;
   });
 }
@@ -69,6 +83,41 @@ CircuitTarget des_sbox_slice(int box, double period_ps) {
     for (int b = 0; b < 4; ++b)
       inst.selection_bits.push_back(dpa::des_sbox_selection(box, b));
     inst.leakage = dpa::des_sbox_hw_model(box);
+    inst.golden = [box, key6](const std::vector<std::uint8_t>& pt) {
+      return bit_outputs(
+          crypto::des_sbox(box, static_cast<std::uint8_t>(pt.at(0) ^ key6)),
+          4);
+    };
+    inst.dfa = dpa::des_sbox_dfa_model(box);
+    return inst;
+  });
+}
+
+CircuitTarget des_sbox_sync(int box, double period_ps) {
+  return CircuitTarget("des_sbox_sync", [box, period_ps](std::uint64_t key) {
+    gates::DesSboxSync sync = gates::build_des_sbox_sync(box, period_ps);
+    const auto key6 = static_cast<std::uint8_t>(key & 0x3f);
+    TargetInstance inst;
+    inst.nl = std::move(sync.nl);
+    inst.env = std::move(sync.env);
+    inst.stimulus = [key6](util::Rng& rng, std::size_t, Stimulus& st) {
+      const auto p = static_cast<std::uint8_t>(rng.below(64));
+      st.values.clear();
+      push_bits(st.values, p, 6);
+      push_bits(st.values, key6, 6);
+      st.plaintext.assign(1, p);
+    };
+    inst.num_guesses = 64;
+    inst.true_guess = key6;
+    for (int b = 0; b < 4; ++b)
+      inst.selection_bits.push_back(dpa::des_sbox_selection(box, b));
+    inst.leakage = dpa::des_sbox_hw_model(box);
+    inst.golden = [box, key6](const std::vector<std::uint8_t>& pt) {
+      return bit_outputs(
+          crypto::des_sbox(box, static_cast<std::uint8_t>(pt.at(0) ^ key6)),
+          4);
+    };
+    inst.dfa = dpa::des_sbox_dfa_model(box);
     return inst;
   });
 }
@@ -85,6 +134,9 @@ CircuitTarget xor_stage(double period_ps) {
       st.values.assign({a, b});
       st.plaintext.assign({static_cast<std::uint8_t>(a),
                            static_cast<std::uint8_t>(b)});
+    };
+    inst.golden = [](const std::vector<std::uint8_t>& pt) {
+      return std::vector<int>{pt.at(0) ^ pt.at(1)};
     };
     return inst;
   });
@@ -146,6 +198,9 @@ CircuitTarget dual_rail_pair(double period_ps) {
       st.values.assign({v & 1, (v >> 1) & 1});
       st.plaintext.assign(1, static_cast<std::uint8_t>(v));
     };
+    inst.golden = [](const std::vector<std::uint8_t>& pt) {
+      return std::vector<int>{pt.at(0) & 1, (pt.at(0) >> 1) & 1};
+    };
     return inst;
   });
 }
@@ -168,6 +223,9 @@ CircuitTarget one_of_four(double period_ps) {
       const int v = static_cast<int>(index % 4);
       st.values.assign(1, v);
       st.plaintext.assign(1, static_cast<std::uint8_t>(v));
+    };
+    inst.golden = [](const std::vector<std::uint8_t>& pt) {
+      return std::vector<int>{pt.at(0)};
     };
     return inst;
   });
@@ -212,6 +270,7 @@ struct RegistryEntry {
 const RegistryEntry kRegistry[] = {
     {"aes_byte_slice", [] { return aes_byte_slice(); }},
     {"des_sbox_slice", [] { return des_sbox_slice(); }},
+    {"des_sbox_sync", [] { return des_sbox_sync(); }},
     {"xor_stage", [] { return xor_stage(); }},
     {"des_round", [] { return des_round(); }},
     {"dual_rail_pair", [] { return dual_rail_pair(); }},

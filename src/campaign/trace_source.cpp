@@ -263,6 +263,33 @@ void WorkerPool::acquire_chunked(
   if (stats) *stats = std::move(st);
 }
 
+void WorkerPool::acquire_each(
+    std::size_t num_traces, std::uint64_t seed, std::size_t chunk,
+    const std::function<void(std::size_t index, const AcquiredTrace& rec)>&
+        consume,
+    AcquisitionStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (chunk == 0) chunk = 1;
+
+  AcquisitionStats st;
+  st.threads_used = clamp_threads(threads(), num_traces);
+
+  if (scratch_.size() < std::min(chunk, num_traces))
+    scratch_.resize(std::min(chunk, num_traces));
+  for (std::size_t first = 0; first < num_traces; first += chunk) {
+    const std::size_t hi = std::min(first + chunk, num_traces);
+    acquire_range(first, hi, seed);
+    for (std::size_t k = 0; k < hi - first; ++k) {
+      const AcquiredTrace& a = scratch_[k];
+      st.transitions += a.transitions;
+      st.glitches += a.glitches;
+      consume(first + k, a);
+    }
+  }
+  finish_stats(st, num_traces, t0);
+  if (stats) *stats = std::move(st);
+}
+
 // ---- one-shot wrappers ------------------------------------------------------
 
 dpa::TraceSet acquire_batch(TraceSource& src, std::size_t num_traces,

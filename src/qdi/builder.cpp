@@ -101,6 +101,27 @@ NetId Builder::nor2(NetId a, NetId b, const std::string& name) {
   return out;
 }
 
+NetId Builder::xor2(NetId a, NetId b, const std::string& name) {
+  const NetId out = fresh(stem_or(name, "xor"));
+  nl_->add_cell(CellKind::Xor2, nl_->net(out).name + ".g", {a, b}, out, hier_);
+  return out;
+}
+
+NetId Builder::and_tree(std::span<const NetId> nets, const std::string& name) {
+  assert(!nets.empty());
+  if (nets.size() == 1) return buf(nets[0], name);
+  std::vector<NetId> layer(nets.begin(), nets.end());
+  while (layer.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve((layer.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(and2(layer[i], layer[i + 1], name));
+    if (layer.size() % 2 != 0) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
 NetId Builder::muller2(NetId a, NetId b, const std::string& name) {
   const NetId out = fresh(stem_or(name, "c"));
   nl_->add_cell(CellKind::Muller2, nl_->net(out).name + ".g", {a, b}, out, hier_);

@@ -92,6 +92,10 @@ class Builder {
   NetId or2(NetId a, NetId b, const std::string& name = {});
   NetId and2(NetId a, NetId b, const std::string& name = {});
   NetId nor2(NetId a, NetId b, const std::string& name = {});
+  /// Single-rail XOR — only legal in the *unprotected* synchronous-style
+  /// testbenches (a dual-rail QDI design never XORs bare rails; use
+  /// dr_xor there).
+  NetId xor2(NetId a, NetId b, const std::string& name = {});
   NetId muller2(NetId a, NetId b, const std::string& name = {});
   NetId muller3(NetId a, NetId b, NetId c, const std::string& name = {});
   /// Resettable C-element; the reset pin is wired to reset_net().
@@ -100,6 +104,8 @@ class Builder {
   /// Balanced binary OR tree (depth ceil(log2(n))); single input passes
   /// through a Buf so every tree has at least one gate (constant Nt).
   NetId or_tree(std::span<const NetId> nets, const std::string& name = {});
+  /// Balanced binary AND tree (validity conjunction of the sync testbench).
+  NetId and_tree(std::span<const NetId> nets, const std::string& name = {});
   /// Balanced binary Muller tree — the multi-bit completion combiner.
   NetId muller_tree(std::span<const NetId> nets, const std::string& name = {});
 

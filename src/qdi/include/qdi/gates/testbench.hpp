@@ -72,4 +72,28 @@ struct DesSboxSlice {
 
 DesSboxSlice build_des_sbox_slice(int box, double period_ps = 20000.0);
 
+/// Unprotected synchronous-style DES S-Box slice — the fault-attack
+/// *counterexample* to the QDI targets. Same dual-rail channel interface
+/// (so the four-phase environment drives it unchanged), but internally
+/// the data path is single-rail SOP logic and "completion" is faked from
+/// input validity alone: the output rails are `bit & dv` / `~bit & dv`
+/// with dv derived only from the input channels. A fault that corrupts
+/// an internal value therefore still *completes the handshake* and emits
+/// a wrong ciphertext — the exploitable outcome DFA feeds on — where the
+/// dual-rail DIMS slice would stall its completion tree and deadlock.
+struct DesSboxSync {
+  netlist::Netlist nl;
+
+  std::array<DualRail, 6> p{};
+  std::array<DualRail, 6> k{};
+  std::array<NetId, 6> x{};     ///< single-rail S-box inputs p^k (fault sites)
+  std::array<DualRail, 4> q{};  ///< validity-gated outputs
+  NetId ack_in = kNoNet;        ///< consumer ack (unused by the logic)
+  NetId dv = kNoNet;            ///< input-validity "completion"
+  NetId reset = kNoNet;         ///< kNoNet: the data path is stateless
+  sim::EnvSpec env;
+};
+
+DesSboxSync build_des_sbox_sync(int box, double period_ps = 20000.0);
+
 }  // namespace qdi::gates

@@ -114,6 +114,85 @@ AesByteSlice build_aes_byte_slice(double period_ps) {
   return c;
 }
 
+DesSboxSync build_des_sbox_sync(int box, double period_ps) {
+  DesSboxSync c;
+  c.nl.set_name("des_sbox_sync");
+  Builder b(c.nl, "sync");
+
+  for (std::size_t i = 0; i < 6; ++i)
+    c.p[i] = b.dr_input("p" + std::to_string(i));
+  for (std::size_t i = 0; i < 6; ++i)
+    c.k[i] = b.dr_input("k" + std::to_string(i));
+  c.ack_in = b.input("ack_in");
+
+  // Key addition on bare rail-1 wires — the nets a DFA adversary targets.
+  // Named like the QDI slices' addkey stage so site filters transfer.
+  {
+    Builder::HierScope scope(b, "addkey0");
+    for (std::size_t i = 0; i < 6; ++i)
+      c.x[i] = b.xor2(c.p[i].r1, c.k[i].r1, "x" + std::to_string(i));
+  }
+
+  // Fake completion: input validity only. Nothing downstream of the
+  // S-box feeds it, which is exactly the unprotected design's flaw.
+  {
+    Builder::HierScope scope(b, "cd");
+    std::vector<NetId> valids;
+    for (std::size_t i = 0; i < 6; ++i)
+      valids.push_back(b.or2(c.p[i].r0, c.p[i].r1, "vp" + std::to_string(i)));
+    for (std::size_t i = 0; i < 6; ++i)
+      valids.push_back(b.or2(c.k[i].r0, c.k[i].r1, "vk" + std::to_string(i)));
+    c.dv = b.and_tree(valids, "dv");
+  }
+
+  // S-box as shared-minterm SOP over the single-rail x word.
+  std::array<NetId, 4> bits{};
+  {
+    Builder::HierScope scope(b, "bytesub");
+    std::array<NetId, 6> nx{};
+    for (std::size_t i = 0; i < 6; ++i)
+      nx[i] = b.inv(c.x[i], "nx" + std::to_string(i));
+    std::array<NetId, 64> minterm{};
+    for (unsigned v = 0; v < 64; ++v) {
+      std::array<NetId, 6> lits{};
+      for (std::size_t i = 0; i < 6; ++i)
+        lits[i] = (v >> i) & 1u ? c.x[i] : nx[i];
+      minterm[v] = b.and_tree(lits, "mt" + std::to_string(v));
+    }
+    for (int j = 0; j < 4; ++j) {
+      std::vector<NetId> ones;
+      for (unsigned v = 0; v < 64; ++v)
+        if ((crypto::des_sbox(box, static_cast<std::uint8_t>(v)) >> j) & 1u)
+          ones.push_back(minterm[v]);
+      bits[j] = b.or_tree(ones, "b" + std::to_string(j));
+    }
+  }
+
+  // Validity-gated output rails: complementary only while fault-free.
+  {
+    Builder::HierScope scope(b, "out");
+    for (int j = 0; j < 4; ++j) {
+      const std::string qn = "q" + std::to_string(j);
+      const NetId r1 = b.and2(bits[static_cast<std::size_t>(j)], c.dv, qn + "_t");
+      const NetId r0 = b.and2(b.inv(bits[static_cast<std::size_t>(j)], qn + "_n"),
+                              c.dv, qn + "_f");
+      c.q[static_cast<std::size_t>(j)] = b.as_dual_rail(r0, r1, qn);
+    }
+  }
+  // The ack input plays no logical role; echo it so no net floats.
+  b.output(b.buf(c.ack_in, "ack_echo"), "ack");
+  for (std::size_t j = 0; j < 4; ++j)
+    b.dr_output(c.q[j], "q" + std::to_string(j) + "_out");
+
+  for (const auto& d : c.p) c.env.inputs.push_back(d.ch);
+  for (const auto& d : c.k) c.env.inputs.push_back(d.ch);
+  for (const auto& d : c.q) c.env.outputs.push_back(d.ch);
+  c.env.acks_to_block = {c.ack_in};
+  c.env.reset = c.reset;
+  c.env.period_ps = period_ps;
+  return c;
+}
+
 DesSboxSlice build_des_sbox_slice(int box, double period_ps) {
   DesSboxSlice c;
   c.nl.set_name("des_sbox_slice");

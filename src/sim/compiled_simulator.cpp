@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <stdexcept>
 
 namespace qdi::sim {
@@ -111,6 +112,7 @@ void CompiledSimulator::reset_state() {
   std::fill(pending_value_.begin(), pending_value_.end(), char{0});
   std::fill(pending_slew_.begin(), pending_slew_.end(), 0.0);
   clear_queue();
+  forces_.clear();
   clear_dirty();
   baseline_epoch_ = 0;
   next_seq_ = 1;
@@ -125,6 +127,10 @@ CompiledSimulator::Epoch CompiledSimulator::save_epoch() {
     throw std::logic_error(
         "CompiledSimulator::save_epoch: event queue must be drained "
         "(run run_until_stable first)");
+  if (!forces_.empty())
+    throw std::logic_error(
+        "CompiledSimulator::save_epoch: clear_forces() before snapshotting "
+        "(an epoch must capture fault-free state)");
   Epoch e;
   e.values = values_;
   e.now = now_;
@@ -159,6 +165,7 @@ void CompiledSimulator::restore_epoch(const Epoch& e) {
     clear_dirty();
     baseline_epoch_ = e.id;
   }
+  forces_.clear();
   next_seq_ = e.next_seq;
   now_ = e.now;
   log_.clear();
@@ -176,6 +183,58 @@ void CompiledSimulator::drive(NetId net, bool value, double at_ps) {
     throw std::invalid_argument(
         "CompiledSimulator::drive: only primary-input nets can be driven");
   schedule(net, value, at_ps, 0.0);
+}
+
+void CompiledSimulator::arm_force(NetId net, bool value, double from_ps,
+                                  double until_ps) {
+  if (net >= values_.size())
+    throw std::invalid_argument("CompiledSimulator::arm_force: no such net");
+  if (from_ps < now_)
+    throw std::invalid_argument(
+        "CompiledSimulator::arm_force: force window starts in the past");
+  if (!(until_ps > from_ps))
+    throw std::invalid_argument(
+        "CompiledSimulator::arm_force: empty force window");
+  forces_.arm(net, value, from_ps, until_ps);
+  // Marker events carry flag bits in seq, bypassing the pending arrays —
+  // inertial filtering can neither cancel them nor be confused by them.
+  push_event(Event{from_ps, kForceMarkerFlag | next_seq_++, net, value});
+  if (std::isfinite(until_ps))
+    push_event(Event{until_ps, kForceMarkerFlag | kForceReleaseBit | next_seq_++,
+                     net, value});
+}
+
+void CompiledSimulator::handle_force_marker(const Event& ev) {
+  now_ = ev.t_ps;
+  if ((ev.seq & kForceReleaseBit) == 0) {
+    NetForce* f = forces_.find(ev.net);
+    if (f == nullptr) return;  // force was cleared after arming
+    f->active = true;
+    // Any in-flight event on the net yields to the force; its value is
+    // shadowed first (a drive scheduled before the window opened but
+    // landing inside it must still replay at release). The forced edge
+    // then schedules (or dedupes) against the committed value.
+    if (pending_seq_[ev.net] != 0) {
+      f->shadow_valid = true;
+      f->shadow_value = pending_value_[ev.net];
+      pending_seq_[ev.net] = 0;
+      ++tombstones_;  // the orphaned event pops as stale later
+    }
+    schedule(ev.net, f->value, ev.t_ps, 0.0);
+  } else {
+    NetForce rec;
+    if (!forces_.take(ev.net, rec)) return;
+    const netlist::CellId driver = cn_->source().net(ev.net).driver;
+    if (driver == netlist::kNoCell) return;
+    if (cn_->driven_by_input[ev.net]) {
+      // Replay what the environment drove while the force held the net.
+      if (rec.shadow_valid) schedule(ev.net, rec.shadow_value, ev.t_ps, 0.0);
+    } else {
+      // The net recovers its combinational value one gate delay after
+      // the release, like a node let go by a probe.
+      evaluate_cell(driver, ev.t_ps);
+    }
+  }
 }
 
 void CompiledSimulator::push_event(const Event& ev) {
@@ -369,7 +428,9 @@ CompiledSimulator::Event CompiledSimulator::pop_event() {
 /// it only bounds queue growth under pathological retraction patterns.
 void CompiledSimulator::purge_tombstones() {
   const auto stale = [this](const Event& ev) {
-    return pending_seq_[ev.net] != ev.seq;
+    // Force markers are never stale: their flagged seq lives outside the
+    // pending arrays entirely.
+    return (ev.seq & kForceMarkerFlag) == 0 && pending_seq_[ev.net] != ev.seq;
   };
   std::size_t removed = 0;
   if (sched_ == SchedulerKind::Heap) {
@@ -407,6 +468,10 @@ void CompiledSimulator::purge_tombstones() {
 
 void CompiledSimulator::schedule(NetId net, bool value, double t_ps,
                                  double slew_ps) {
+  // An active force suppresses contradicting commits before sequence
+  // allocation, so faulty and fault-free runs share the same event
+  // numbering up to the injection point in both engines.
+  if (!forces_.empty() && forces_.suppress(net, value)) return;
   // Inertial filtering — identical to Simulator::schedule.
   if (pending_seq_[net] != 0) {
     if (pending_value_[net] == static_cast<char>(value)) return;
@@ -529,6 +594,10 @@ std::size_t CompiledSimulator::run_until_stable(std::size_t max_events) {
   std::size_t committed = 0;
   while (queue_size_ != 0) {
     const Event ev = pop_event();
+    if (ev.seq & kForceMarkerFlag) {  // fault-injection start/release
+      handle_force_marker(ev);
+      continue;
+    }
     if (pending_seq_[ev.net] != ev.seq) {  // cancelled/stale
       --tombstones_;
       continue;

@@ -64,6 +64,19 @@ bool FourPhaseEnv::outputs_empty() const {
   return true;
 }
 
+ChannelId FourPhaseEnv::first_invalid_output() const {
+  for (ChannelId ch : spec_.outputs)
+    if (read_channel(ch) < 0) return ch;
+  return netlist::Netlist::kNoChannel;
+}
+
+ChannelId FourPhaseEnv::first_occupied_output() const {
+  for (ChannelId ch : spec_.outputs)
+    for (netlist::NetId rail : sim_->netlist().channel(ch).rails)
+      if (sim_->value(rail)) return ch;
+  return netlist::Netlist::kNoChannel;
+}
+
 void FourPhaseEnv::drive_acks(bool value, double at_ps) {
   for (netlist::NetId ack : spec_.acks_to_block) sim_->drive(ack, value, at_ps);
 }
@@ -83,6 +96,7 @@ void FourPhaseEnv::send_into(std::span<const int> values, CycleResult& res) {
   res.outputs.clear();
   res.transitions = 0;
   res.ok = false;
+  res.handshake = HandshakeOutcome{};
   const std::size_t before = sim_->transition_count();
 
   // Align the cycle start on the period grid.
@@ -99,7 +113,10 @@ void FourPhaseEnv::send_into(std::span<const int> values, CycleResult& res) {
   }
   sim_->run_until_stable();
   if (!outputs_valid()) {
-    util::log_warn("FourPhaseEnv: outputs did not become valid");
+    if (spec_.strict)
+      util::log_warn("FourPhaseEnv: outputs did not become valid");
+    res.handshake.stalled_phase = HandshakePhase::DataValid;
+    res.handshake.stalling_channel = first_invalid_output();
     res.ok = false;
     return;
   }
@@ -119,7 +136,10 @@ void FourPhaseEnv::send_into(std::span<const int> values, CycleResult& res) {
   }
   sim_->run_until_stable();
   if (!outputs_empty()) {
-    util::log_warn("FourPhaseEnv: outputs did not return to zero");
+    if (spec_.strict)
+      util::log_warn("FourPhaseEnv: outputs did not return to zero");
+    res.handshake.stalled_phase = HandshakePhase::ReturnToZero;
+    res.handshake.stalling_channel = first_occupied_output();
     res.ok = false;
     return;
   }
@@ -130,12 +150,22 @@ void FourPhaseEnv::send_into(std::span<const int> values, CycleResult& res) {
   sim_->run_until_stable();
   res.t_end = sim_->now();
 
-  if (res.t_end - res.t_start >= spec_.period_ps)
-    throw std::runtime_error(
-        "FourPhaseEnv: cycle exceeded the period; increase EnvSpec::period_ps");
+  if (res.t_end - res.t_start >= spec_.period_ps) {
+    if (spec_.strict)
+      throw std::runtime_error(
+          "FourPhaseEnv: cycle exceeded the period; increase "
+          "EnvSpec::period_ps");
+    // Tolerant mode: a fault stretched the handshake past the trace
+    // window — report it as an overrun, not a completed cycle.
+    res.handshake.period_overrun = true;
+    res.ok = false;
+    res.transitions = sim_->transition_count() - before;
+    return;
+  }
 
   res.transitions = sim_->transition_count() - before;
   res.ok = true;
+  res.handshake.completed = true;
 }
 
 }  // namespace qdi::sim

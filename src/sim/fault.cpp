@@ -1,0 +1,47 @@
+#include "qdi/sim/fault.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace qdi::sim {
+
+void FaultInjector::arm(const FaultSpec& spec, double cycle_start_ps) {
+  if (spec.net == netlist::kNoNet ||
+      spec.net >= sim_->netlist().num_nets())
+    throw std::invalid_argument("FaultInjector::arm: no such net");
+  if (spec.t_offset_ps < 0.0)
+    throw std::invalid_argument(
+        "FaultInjector::arm: negative injection offset");
+  const double from = cycle_start_ps + spec.t_offset_ps;
+  double until = std::numeric_limits<double>::infinity();
+  if (is_transient(spec.kind)) {
+    if (!(spec.duration_ps > 0.0))
+      throw std::invalid_argument(
+          "FaultInjector::arm: transient fault needs a positive duration");
+    until = from + spec.duration_ps;
+  }
+  sim_->arm_force(spec.net, forced_value(spec.kind), from, until);
+}
+
+std::vector<netlist::NetId> fault_sites(
+    const netlist::Netlist& nl, std::span<const std::string> name_filters) {
+  std::vector<netlist::NetId> sites;
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    if (net.driver == netlist::kNoCell) continue;
+    if (nl.cell(net.driver).kind == netlist::CellKind::Input) continue;
+    if (!name_filters.empty()) {
+      bool hit = false;
+      for (const std::string& f : name_filters)
+        if (net.name.find(f) != std::string::npos) {
+          hit = true;
+          break;
+        }
+      if (!hit) continue;
+    }
+    sites.push_back(n);
+  }
+  return sites;
+}
+
+}  // namespace qdi::sim

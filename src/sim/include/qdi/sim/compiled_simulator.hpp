@@ -70,6 +70,13 @@ class CompiledSimulator final : public SimEngine {
   void drive(netlist::NetId net, bool value, double at_ps) override;
   std::size_t run_until_stable(std::size_t max_events = 10'000'000) override;
 
+  // ---- fault injection (see force.hpp) -----------------------------------
+
+  void arm_force(netlist::NetId net, bool value, double from_ps,
+                 double until_ps) override;
+  void clear_forces() override { forces_.clear(); }
+  std::size_t armed_forces() const noexcept override { return forces_.size(); }
+
   double now() const noexcept override { return now_; }
   void advance_to(double t_ps) noexcept override {
     if (t_ps > now_) now_ = t_ps;
@@ -141,6 +148,7 @@ class CompiledSimulator final : public SimEngine {
   void schedule(netlist::NetId net, bool value, double t_ps, double slew_ps);
   void evaluate_cell(std::uint32_t cell, double t_ps);
   void commit(const Event& ev);
+  void handle_force_marker(const Event& ev);
   void push_event(const Event& ev);
   Event pop_event();
 
@@ -174,6 +182,7 @@ class CompiledSimulator final : public SimEngine {
   std::vector<char> pending_value_;
   std::vector<double> pending_slew_;
   std::uint64_t next_seq_ = 1;
+  ForceSet forces_;
 
   // Heap scheduler: binary min-heap on (t_ps, seq); clear() keeps capacity.
   std::vector<Event> heap_;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "qdi/netlist/netlist.hpp"
+#include "qdi/sim/force.hpp"
 #include "qdi/sim/transition.hpp"
 
 namespace qdi::sim {
@@ -58,6 +59,23 @@ class SimEngine {
 
   /// Process events until the queue drains; see Simulator.
   virtual std::size_t run_until_stable(std::size_t max_events = 10'000'000) = 0;
+
+  /// Arm a forced value on any net (fault injection, see force.hpp):
+  /// from `from_ps` (>= now) the net is pinned to `value`; contradicting
+  /// commits are suppressed until `until_ps` (exclusive; +infinity = a
+  /// stuck-at fault that holds until clear_forces()). One force per net.
+  /// Both engines produce bit-identical event streams under the same
+  /// armed force. Throws std::invalid_argument on a window starting in
+  /// the past, an empty window, or a double-armed net.
+  virtual void arm_force(netlist::NetId net, bool value, double from_ps,
+                         double until_ps) = 0;
+
+  /// Disarm every force. Net values are left as-is (restore an epoch or
+  /// reset to recover the fault-free state).
+  virtual void clear_forces() = 0;
+
+  /// Number of currently armed forces.
+  virtual std::size_t armed_forces() const noexcept = 0;
 
   virtual double now() const noexcept = 0;
   virtual void advance_to(double t_ps) noexcept = 0;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -28,6 +29,50 @@ struct EnvSpec {
   netlist::NetId reset = netlist::kNoNet;  ///< active-high reset input
   double period_ps = 4000.0;  ///< cycle period (trace window length)
   double phase_gap_ps = 50.0; ///< idle gap the env waits before each phase
+  /// Strict mode (default) logs a warning on a stalled handshake and
+  /// throws when a cycle overruns the period — right for fault-free
+  /// acquisition, where either is a harness bug. Fault campaigns run
+  /// tolerant (strict = false): stalls and overruns are expected outcomes
+  /// of an injection and are reported through CycleResult::handshake
+  /// without noise or unwinding.
+  bool strict = true;
+};
+
+/// Where a four-phase cycle stalled (first phase that failed to complete).
+enum class HandshakePhase : std::uint8_t {
+  None,          ///< no stall
+  DataValid,     ///< outputs never became valid after data was driven
+  Ack,           ///< (reserved — ack assertion cannot stall in this env)
+  ReturnToZero,  ///< outputs never emptied after inputs returned to zero
+  AckRelease,    ///< (reserved — ack release cannot stall in this env)
+};
+
+inline const char* name(HandshakePhase p) noexcept {
+  switch (p) {
+    case HandshakePhase::None: return "none";
+    case HandshakePhase::DataValid: return "data-valid";
+    case HandshakePhase::Ack: return "ack";
+    case HandshakePhase::ReturnToZero: return "return-to-zero";
+    case HandshakePhase::AckRelease: return "ack-release";
+  }
+  return "?";
+}
+
+/// Outcome of one four-phase handshake cycle. A QDI block hit by a fault
+/// does not produce a wrong answer and move on — it *stalls* (the
+/// completion tree waits forever for a rail that cannot rise); this
+/// struct is the observable form of that deadlock, and the primitive the
+/// fault classifier is built on.
+struct HandshakeOutcome {
+  bool completed = false;  ///< all four phases ran to completion
+  HandshakePhase stalled_phase = HandshakePhase::None;
+  /// First output channel that was invalid (DataValid stall) or still
+  /// occupied (ReturnToZero stall); Netlist::kNoChannel when not a
+  /// channel-attributable stall.
+  netlist::ChannelId stalling_channel = netlist::Netlist::kNoChannel;
+  /// The handshake finished but took >= period_ps (tolerant mode only;
+  /// strict mode throws instead).
+  bool period_overrun = false;
 };
 
 /// Drives any SimEngine (the reference Simulator or the compiled kernel)
@@ -57,6 +102,7 @@ class FourPhaseEnv {
     std::vector<int> outputs;       ///< decoded output values
     std::size_t transitions = 0;    ///< net transitions in the whole cycle
     bool ok = false;                ///< protocol completed correctly
+    HandshakeOutcome handshake;     ///< where (and whether) the cycle stalled
   };
 
   /// Run one full four-phase cycle transmitting values[i] on input
@@ -77,6 +123,8 @@ class FourPhaseEnv {
 
  private:
   void drive_acks(bool value, double at_ps);
+  netlist::ChannelId first_invalid_output() const;
+  netlist::ChannelId first_occupied_output() const;
 
   SimEngine* sim_;
   EnvSpec spec_;

@@ -1,0 +1,104 @@
+// sim::FaultInjector — fault injection on simulated netlists, the
+// attacker model of the DFA half of the paper (sections V–VI): an
+// adversary who can pin a circuit node to a rail value (stuck-at, e.g.
+// probing or laser with the beam held) or flip it for a bounded window
+// (transient glitch, e.g. a single laser pulse or supply spike), and
+// observes faulty ciphertexts.
+//
+// The injector is a thin policy layer over SimEngine::arm_force (see
+// force.hpp for the mechanism): it translates a FaultSpec — net, kind,
+// injection offset within the cycle, transient duration — into a force
+// window anchored at the cycle start. Both engines honour forces with
+// bit-identical event streams, so fault campaigns are as deterministic
+// and engine-independent as power-acquisition campaigns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qdi/sim/engine.hpp"
+
+namespace qdi::sim {
+
+/// What the fault does to the net.
+enum class FaultKind : std::uint8_t {
+  StuckAt0,  ///< pinned low until disarm (permanent within the run)
+  StuckAt1,  ///< pinned high until disarm
+  Glitch0,   ///< pulled low for duration_ps, then released
+  Glitch1,   ///< pulled high for duration_ps, then released
+};
+
+inline const char* name(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::StuckAt0: return "stuck-at-0";
+    case FaultKind::StuckAt1: return "stuck-at-1";
+    case FaultKind::Glitch0: return "glitch-0";
+    case FaultKind::Glitch1: return "glitch-1";
+  }
+  return "?";
+}
+
+/// The value the fault forces onto the net.
+inline constexpr bool forced_value(FaultKind k) noexcept {
+  return k == FaultKind::StuckAt1 || k == FaultKind::Glitch1;
+}
+
+/// Transient faults release after duration_ps; stuck-at faults hold
+/// until disarm().
+inline constexpr bool is_transient(FaultKind k) noexcept {
+  return k == FaultKind::Glitch0 || k == FaultKind::Glitch1;
+}
+
+/// One injection: which net, what kind, and when within the cycle.
+struct FaultSpec {
+  netlist::NetId net = netlist::kNoNet;
+  FaultKind kind = FaultKind::StuckAt0;
+  /// Injection time relative to the cycle start (>= 0). 0 hits the net
+  /// before data propagates; mid-cycle offsets catch the wavefront.
+  double t_offset_ps = 0.0;
+  /// Forced-window width for transient kinds; ignored for stuck-at.
+  double duration_ps = 200.0;
+};
+
+/// Arms FaultSpecs on a SimEngine. One live injection at a time is the
+/// supported campaign discipline (matching the paper's single-fault
+/// adversary); arm() composes with an engine-side force per call, so
+/// multi-fault experiments remain possible by calling it repeatedly
+/// with distinct nets.
+class FaultInjector {
+ public:
+  explicit FaultInjector(SimEngine& sim) noexcept : sim_(&sim) {}
+
+  SimEngine& engine() const noexcept { return *sim_; }
+
+  /// Arm `spec` against the cycle starting at `cycle_start_ps` (use
+  /// FourPhaseEnv::next_cycle_start()). Throws std::invalid_argument on
+  /// an unknown net, a negative offset, a non-positive transient
+  /// duration, or a net that already carries a force.
+  void arm(const FaultSpec& spec, double cycle_start_ps);
+
+  /// Release every armed fault immediately (stuck-at faults have no
+  /// release marker — this is how they end). Net values are left as-is;
+  /// restore an epoch or reset to recover the fault-free state.
+  void disarm() { sim_->clear_forces(); }
+
+  std::size_t armed() const noexcept { return sim_->armed_forces(); }
+
+ private:
+  SimEngine* sim_;
+};
+
+/// Candidate injection sites of a netlist: every gate-driven net
+/// (primary inputs are excluded — forcing those models a different,
+/// less interesting adversary who simply feeds wrong plaintexts).
+/// When `name_filters` is non-empty, only nets whose name contains at
+/// least one of the filters (substring match) are kept — e.g. {"addkey"}
+/// restricts injection to the key-mixing stage. Sorted by NetId, so
+/// site indices are stable across runs.
+std::vector<netlist::NetId> fault_sites(
+    const netlist::Netlist& nl,
+    std::span<const std::string> name_filters = {});
+
+}  // namespace qdi::sim

@@ -69,6 +69,13 @@ class Simulator final : public SimEngine {
   /// commits (runaway oscillation — a ring would otherwise hang).
   std::size_t run_until_stable(std::size_t max_events = 10'000'000) override;
 
+  // ---- fault injection (see force.hpp) -----------------------------------
+
+  void arm_force(netlist::NetId net, bool value, double from_ps,
+                 double until_ps) override;
+  void clear_forces() override { forces_.clear(); }
+  std::size_t armed_forces() const noexcept override { return forces_.size(); }
+
   /// Current simulation time = commit time of the latest event.
   double now() const noexcept override { return now_; }
   /// Move the clock forward (idle gap between handshake phases).
@@ -116,6 +123,7 @@ class Simulator final : public SimEngine {
   void schedule(netlist::NetId net, bool value, double t_ps, double slew_ps);
   void evaluate_cell(netlist::CellId cell, double t_ps);
   void commit(const Event& ev);
+  void handle_force_marker(const Event& ev);
 
   const netlist::Netlist* nl_;
   DelayModel model_;
@@ -126,6 +134,7 @@ class Simulator final : public SimEngine {
   std::vector<double> pending_slew_;
   EventQueue queue_;
   std::uint64_t next_seq_ = 1;
+  ForceSet forces_;
 
   double now_ = 0.0;
   PowerSink* sink_ = nullptr;

@@ -1,6 +1,7 @@
 #include "qdi/sim/simulator.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 namespace qdi::sim {
@@ -24,6 +25,7 @@ void Simulator::reset_state() {
   pending_value_.assign(nl_->num_nets(), 0);
   pending_slew_.assign(nl_->num_nets(), 0.0);
   queue_.clear();
+  forces_.clear();
   now_ = 0.0;
   log_.clear();
   glitches_ = 0;
@@ -42,7 +44,61 @@ void Simulator::drive(NetId net, bool value, double at_ps) {
   schedule(net, value, at_ps, 0.0);
 }
 
+void Simulator::arm_force(NetId net, bool value, double from_ps,
+                          double until_ps) {
+  if (net >= nl_->num_nets())
+    throw std::invalid_argument("Simulator::arm_force: no such net");
+  if (from_ps < now_)
+    throw std::invalid_argument(
+        "Simulator::arm_force: force window starts in the past");
+  if (!(until_ps > from_ps))
+    throw std::invalid_argument("Simulator::arm_force: empty force window");
+  forces_.arm(net, value, from_ps, until_ps);
+  // Marker events carry flag bits in seq, bypassing the pending arrays —
+  // inertial filtering can neither cancel them nor be confused by them.
+  queue_.push(Event{from_ps, kForceMarkerFlag | next_seq_++, net, value});
+  if (std::isfinite(until_ps))
+    queue_.push(Event{until_ps, kForceMarkerFlag | kForceReleaseBit | next_seq_++,
+                      net, value});
+}
+
+void Simulator::handle_force_marker(const Event& ev) {
+  now_ = ev.t_ps;
+  if ((ev.seq & kForceReleaseBit) == 0) {
+    NetForce* f = forces_.find(ev.net);
+    if (f == nullptr) return;  // force was cleared after arming
+    f->active = true;
+    // Any in-flight event on the net yields to the force; its value is
+    // shadowed first (a drive scheduled before the window opened but
+    // landing inside it must still replay at release). The forced edge
+    // then schedules (or dedupes) against the committed value.
+    if (pending_seq_[ev.net] != 0) {
+      f->shadow_valid = true;
+      f->shadow_value = pending_value_[ev.net];
+      pending_seq_[ev.net] = 0;
+    }
+    schedule(ev.net, f->value, ev.t_ps, 0.0);
+  } else {
+    NetForce rec;
+    if (!forces_.take(ev.net, rec)) return;
+    const CellId driver = nl_->net(ev.net).driver;
+    if (driver == kNoCell) return;
+    if (nl_->cell(driver).kind == CellKind::Input) {
+      // Replay what the environment drove while the force held the net.
+      if (rec.shadow_valid) schedule(ev.net, rec.shadow_value, ev.t_ps, 0.0);
+    } else {
+      // The net recovers its combinational value one gate delay after
+      // the release, like a node let go by a probe.
+      evaluate_cell(driver, ev.t_ps);
+    }
+  }
+}
+
 void Simulator::schedule(NetId net, bool value, double t_ps, double slew_ps) {
+  // An active force suppresses contradicting commits before sequence
+  // allocation, so faulty and fault-free runs share the same event
+  // numbering up to the injection point in both engines.
+  if (!forces_.empty() && forces_.suppress(net, value)) return;
   // Inertial filtering: if a pending event exists, the new evaluation
   // supersedes it. If the new target equals the current steady value and
   // a pending event would have changed it, the pending event was a glitch.
@@ -102,6 +158,10 @@ std::size_t Simulator::run_until_stable(std::size_t max_events) {
   while (!queue_.empty()) {
     const Event ev = queue_.top();
     queue_.pop();
+    if (ev.seq & kForceMarkerFlag) {  // fault-injection start/release
+      handle_force_marker(ev);
+      continue;
+    }
     if (pending_seq_[ev.net] != ev.seq) continue;  // cancelled/stale
     pending_seq_[ev.net] = 0;
     commit(ev);

@@ -103,6 +103,10 @@ class Rng {
   std::uint64_t s_[4]{};
 };
 
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
 /// Deterministic stream split: derives an independent generator from a
 /// root seed and a stream index. Used to give every trace of an
 /// acquisition campaign its own RNG stream keyed by (campaign seed,
@@ -114,6 +118,24 @@ constexpr Rng split_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
   SplitMix64 a(seed);
   SplitMix64 b(stream ^ 0x63686172676521ULL);
   return Rng(a.next() ^ (b.next() + 0x9e3779b97f4a7c15ULL));
+}
+
+/// Domain tag for fault-campaign streams (see the three-argument
+/// split_stream below). ASCII "faultdom".
+inline constexpr std::uint64_t kFaultDomain = 0x6661756c74646f6dULL;
+
+/// Domain-separated stream split: like the two-argument form, but the
+/// `domain` tag guarantees that two subsystems drawing from the same
+/// (seed, stream) pair — e.g. power acquisition and fault injection of
+/// the same campaign index — see non-overlapping streams. The
+/// two-argument form is NOT the same as domain 0: its outputs stay
+/// bit-identical to what they were before the domain form existed.
+constexpr Rng split_stream(std::uint64_t seed, std::uint64_t stream,
+                           std::uint64_t domain) noexcept {
+  SplitMix64 a(seed);
+  SplitMix64 b(stream ^ 0x63686172676521ULL);
+  SplitMix64 c(domain ^ 0x646f6d61696e7321ULL);
+  return Rng(a.next() ^ (b.next() + 0x9e3779b97f4a7c15ULL) ^ rotl64(c.next(), 23));
 }
 
 }  // namespace qdi::util

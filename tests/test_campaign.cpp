@@ -128,6 +128,24 @@ TEST(CampaignRng, SplitStreamIsReproducibleAndIndependent) {
   EXPECT_NE(qu::split_stream(42, 7).next(), qu::split_stream(43, 7).next());
 }
 
+TEST(CampaignRng, DomainTagSeparatesFaultAndAcquisitionStreams) {
+  // The fault campaign draws run i from the kFaultDomain-tagged stream;
+  // power acquisition draws trace i from the untagged one. At the same
+  // (seed, index) the two must not overlap — arming a fault probe next
+  // to an acquisition must never replay the acquisition's plaintexts.
+  for (std::uint64_t seed : {1ull, 42ull, 31337ull}) {
+    for (std::uint64_t index : {0ull, 1ull, 255ull}) {
+      qu::Rng acq = qu::split_stream(seed, index);
+      qu::Rng fault = qu::split_stream(seed, index, qu::kFaultDomain);
+      EXPECT_NE(acq.next(), fault.next()) << seed << "/" << index;
+    }
+  }
+  // And the tagged stream is itself reproducible.
+  qu::Rng a = qu::split_stream(9, 4, qu::kFaultDomain);
+  qu::Rng b = qu::split_stream(9, 4, qu::kFaultDomain);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
 // ---- acquisition determinism -----------------------------------------------
 
 TEST(CampaignAcquisition, MultiThreadedTracesAreBitIdentical) {

@@ -13,6 +13,7 @@
 #include "qdi/gates/builder.hpp"
 #include "qdi/sim/compiled_simulator.hpp"
 #include "qdi/sim/environment.hpp"
+#include "qdi/sim/fault.hpp"
 #include "qdi/sim/simulator.hpp"
 #include "qdi/util/rng.hpp"
 
@@ -306,3 +307,94 @@ TEST_P(FuzzScheduler, WheelMatchesHeapOnRandomNetlistsDelaysAndEpochs) {
 
 INSTANTIATE_TEST_SUITE_P(RandomDags, FuzzScheduler,
                          ::testing::Range<std::uint64_t>(0, 20));
+
+// ---- fault-injection differential fuzz -------------------------------------
+//
+// With a randomly armed fault (site, kind, offset, width all fuzzed) the
+// three engines must still agree transition for transition: the marker
+// events and forced-value suppression are part of the deterministic
+// (t_ps, seq) order, whether the faulted cycle completes, stalls, or
+// aborts.
+
+class FuzzFaultInjection : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzFaultInjection, EnginesAgreeUnderRandomFaults) {
+  qu::Rng rng(GetParam() + 9100);
+  const int num_inputs = 2 + static_cast<int>(rng.below(3));
+  const int num_nodes = 3 + static_cast<int>(rng.below(10));
+  const ExprDag dag = random_dag(rng, num_inputs, num_nodes);
+  Hardware hw(dag);
+  ASSERT_TRUE(hw.nl.check().empty());
+  qs::EnvSpec spec = hw.spec;
+  spec.strict = false;  // stalls are an expected outcome, not a bug
+
+  const std::vector<qn::NetId> sites = qs::fault_sites(hw.nl);
+  ASSERT_FALSE(sites.empty());
+  const auto cn = qs::compile(hw.nl);
+
+  struct Run {
+    bool threw = false;
+    bool completed = false;
+    std::vector<int> outputs;
+    std::vector<qs::Transition> log;
+  };
+  const auto faulted_cycle = [&](qs::SimEngine& sim, const qs::FaultSpec& fs,
+                                 const std::vector<int>& values) {
+    qs::FourPhaseEnv env(sim, spec);
+    sim.reset_state();
+    env.apply_reset();
+    sim.set_log_enabled(true);
+    sim.clear_log();
+    qs::FaultInjector inj(sim);
+    inj.arm(fs, env.next_cycle_start());
+    Run r;
+    try {
+      const auto cyc = env.send(values);
+      r.completed = cyc.handshake.completed;
+      r.outputs = cyc.outputs;
+    } catch (const std::runtime_error&) {
+      r.threw = true;
+    }
+    r.log = sim.log();
+    return r;
+  };
+
+  for (int round = 0; round < 10; ++round) {
+    qs::FaultSpec fs;
+    fs.net = sites[rng.below(sites.size())];
+    fs.kind = static_cast<qs::FaultKind>(rng.below(4));
+    fs.t_offset_ps = rng.uniform(0.0, spec.period_ps * 0.5);
+    fs.duration_ps = 50.0 + rng.uniform(0.0, 500.0);
+    std::vector<int> values(static_cast<std::size_t>(num_inputs));
+    for (int i = 0; i < num_inputs; ++i)
+      values[static_cast<std::size_t>(i)] = static_cast<int>(rng.below(2));
+
+    qs::Simulator ref_sim(hw.nl);
+    qs::CompiledSimulator wheel(cn, qs::SchedulerKind::Wheel);
+    qs::CompiledSimulator heap(cn, qs::SchedulerKind::Heap);
+    const Run ref = faulted_cycle(ref_sim, fs, values);
+    for (qs::SimEngine* sim : {static_cast<qs::SimEngine*>(&wheel),
+                               static_cast<qs::SimEngine*>(&heap)}) {
+      const Run got = faulted_cycle(*sim, fs, values);
+      ASSERT_EQ(got.threw, ref.threw)
+          << "seed " << GetParam() << " round " << round;
+      ASSERT_EQ(got.completed, ref.completed)
+          << "seed " << GetParam() << " round " << round;
+      ASSERT_EQ(got.outputs, ref.outputs)
+          << "seed " << GetParam() << " round " << round;
+      ASSERT_EQ(got.log.size(), ref.log.size())
+          << "seed " << GetParam() << " round " << round;
+      for (std::size_t i = 0; i < ref.log.size(); ++i) {
+        ASSERT_EQ(got.log[i].t_ps, ref.log[i].t_ps)
+            << "seed " << GetParam() << " round " << round << " tr " << i;
+        ASSERT_EQ(got.log[i].net, ref.log[i].net)
+            << "seed " << GetParam() << " round " << round << " tr " << i;
+        ASSERT_EQ(got.log[i].rising, ref.log[i].rising)
+            << "seed " << GetParam() << " round " << round << " tr " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, FuzzFaultInjection,
+                         ::testing::Range<std::uint64_t>(0, 12));

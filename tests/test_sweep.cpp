@@ -188,3 +188,36 @@ TEST(Sweep, FlowStageFeedsRecipesAndUnplacedCellsGetDefinedCaps) {
     EXPECT_GE(n.wirelength_um, 0.0);
   }
 }
+
+TEST(Sweep, FaultProbeReportsPerVariantResilienceCounts) {
+  // The fault-resilience probe rides the sweep: every variant gets the
+  // same (site x kind) injection grid on its *transformed* netlist, and
+  // the countermeasure recipes must not regress the paper's DFA claim —
+  // QDI stays deadlock/masked only, with zero exploitable faults.
+  qc::FaultCampaignOptions probe;
+  probe.max_sites = 8;
+  probe.repeats = 2;
+  qc::Campaign campaign;
+  campaign.target(qc::des_sbox_slice())
+      .key(0x2b)
+      .seed(31337)
+      .threads(2)
+      .prepare(unbalance)
+      .faults(probe);
+  const qc::SweepResult sweep =
+      campaign.sweep({qx::unprotected(), qx::balanced()});
+  ASSERT_EQ(sweep.variants.size(), 2u);
+  for (const qc::SweepVariant& v : sweep.variants) {
+    SCOPED_TRACE(v.recipe);
+    const qc::FaultSummary* fs = v.faults();
+    ASSERT_NE(fs, nullptr);
+    EXPECT_GT(fs->runs, 0u);
+    EXPECT_EQ(fs->runs, fs->deadlock + fs->masked + fs->exploitable);
+    EXPECT_EQ(fs->exploitable, 0u)
+        << "countermeasure recipe regressed fault resilience";
+    EXPECT_GT(fs->deadlock, 0u);
+  }
+  const std::string table = sweep.table().to_string();
+  EXPECT_NE(table.find("faults d/m/e"), std::string::npos);
+  EXPECT_NE(table.find("/0"), std::string::npos);
+}
