@@ -126,36 +126,131 @@ static void BM_CampaignAcquire(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignAcquire)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
-// Interpreted-vs-compiled acquisition pair: identical 32-trace batches
-// from one prebuilt AES byte slice, differing only in the engine. The CI
-// bench job prints the BM_CompiledAcquire / BM_ReferenceAcquire speedup
-// from these two rows. (Traces are bit-identical between the rows —
-// tests/test_compiled_sim.cpp.)
+// Run a persistent pool at steady state: acquire_chunked reuses the
+// pool's member segment buffer (capacity kept across calls), so after
+// warm-up the timed loop is allocation-free — it measures per-trace
+// engine cost plus the segment memcpy both engines share, not TraceSet
+// construction churn. This is the fused campaign's production feed.
+static void steady_state_acquire(qdi::campaign::WorkerPool& pool,
+                                 std::size_t traces) {
+  pool.acquire_chunked(traces, 1, traces,
+                       [](const qdi::dpa::TraceSet& seg, std::size_t) {
+                         benchmark::DoNotOptimize(seg.size());
+                       });
+}
+
+// Scalar-engine acquisition rows: identical 32-trace batches from one
+// prebuilt target, differing only in the engine. The CI bench job
+// prints the BM_CompiledAcquire / BM_ReferenceAcquire speedup from the
+// AES pair, and divides the per-trace times of the des_round /
+// des_sbox_slice compiled rows by their BM_BatchAcquire* twins below.
+// (Traces are bit-identical between the rows — tests/test_compiled_sim
+// and tests/test_batch_sim.)
 static void acquire_engine_bench(benchmark::State& state,
-                                 qdi::sim::EngineKind kind) {
-  const qdi::campaign::TargetInstance inst =
-      qdi::campaign::aes_byte_slice().build(0x2b);
+                                 const qdi::campaign::TargetInstance& inst,
+                                 qdi::sim::EngineKind kind,
+                                 std::size_t traces) {
   qdi::campaign::SimTraceSourceOptions opt;
   opt.engine = kind;
-  // Source (and, for the compiled row, netlist compilation) constructed
+  // Source (and, for the compiled rows, netlist compilation) constructed
   // once outside the timed loop: the rows differ only in per-trace
-  // engine cost, exactly what the CI speedup line divides.
+  // engine cost, exactly what the CI speedup lines divide.
   qdi::campaign::SimTraceSource src(inst.nl, inst.env, inst.stimulus, opt);
+  // The pool persists across iterations so its scratch slots and chunk
+  // buffer reach steady state: the loop measures per-trace acquisition
+  // cost, not pool setup.
+  qdi::campaign::WorkerPool pool(src, 1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(qdi::campaign::acquire_batch(src, 32, 1).size());
+    steady_state_acquire(pool, traces);
   }
-  state.SetItemsProcessed(state.iterations() * 32);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(traces));
+}
+
+static const qdi::campaign::TargetInstance& aes_workload() {
+  static const qdi::campaign::TargetInstance inst =
+      qdi::campaign::aes_byte_slice().build(0x2b);
+  return inst;
 }
 
 static void BM_ReferenceAcquire(benchmark::State& state) {
-  acquire_engine_bench(state, qdi::sim::EngineKind::Reference);
+  acquire_engine_bench(state, aes_workload(), qdi::sim::EngineKind::Reference,
+                       32);
 }
 BENCHMARK(BM_ReferenceAcquire)->Unit(benchmark::kMillisecond);
 
 static void BM_CompiledAcquire(benchmark::State& state) {
-  acquire_engine_bench(state, qdi::sim::EngineKind::Compiled);
+  acquire_engine_bench(state, aes_workload(), qdi::sim::EngineKind::Compiled,
+                       32);
 }
 BENCHMARK(BM_CompiledAcquire)->Unit(benchmark::kMillisecond);
+
+static void BM_CompiledAcquireDes(benchmark::State& state) {
+  // Same workload as BM_BatchAcquire: the per-trace quotient of this
+  // row and that one is the guarded batch-kernel speedup.
+  static const qdi::campaign::TargetInstance inst =
+      qdi::campaign::des_round().build(0x2b);
+  acquire_engine_bench(state, inst, qdi::sim::EngineKind::Compiled, 32);
+}
+BENCHMARK(BM_CompiledAcquireDes)->Unit(benchmark::kMillisecond);
+
+static void BM_CompiledAcquireSbox(benchmark::State& state) {
+  // Same workload as BM_BatchAcquireSbox.
+  static const qdi::campaign::TargetInstance inst =
+      qdi::campaign::des_sbox_slice().build(0x2b);
+  acquire_engine_bench(state, inst, qdi::sim::EngineKind::Compiled, 32);
+}
+BENCHMARK(BM_CompiledAcquireSbox)->Unit(benchmark::kMillisecond);
+
+// Batch-engine acquisition rows: the same per-trace contract as the
+// compiled rows (bit-identical traces — tests/test_batch_sim.cpp), but
+// 64 lanes advance per machine word. Dividing the per-trace times of
+// BM_CompiledAcquireDes and BM_BatchAcquire (same des_round workload) is
+// the headline speedup of the batch kernel; the CI bench job prints and
+// guards that ratio, with the sbox and aes pairs alongside. The
+// mean_lane_occupancy counter reports how many of the 64 lanes commit
+// per merged event pop — the lockstep quality the speedup rides on.
+static void batch_acquire_bench(benchmark::State& state,
+                                const qdi::campaign::TargetInstance& inst,
+                                std::size_t traces) {
+  qdi::campaign::SimTraceSourceOptions opt;
+  opt.engine = qdi::sim::EngineKind::Batch;
+  // Source (batch compilation, lane state, epoch) constructed once
+  // outside the timed loop, mirroring acquire_engine_bench.
+  qdi::campaign::BatchSimTraceSource src(inst.nl, inst.env, inst.stimulus,
+                                         opt);
+  // Persistent pool, as in acquire_engine_bench: steady-state scratch.
+  qdi::campaign::WorkerPool pool(src, 1);
+  for (auto _ : state) {
+    steady_state_acquire(pool, traces);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(traces));
+  state.counters["mean_lane_occupancy"] = src.mean_lane_occupancy();
+}
+
+static void BM_BatchAcquireAes(benchmark::State& state) {
+  static const qdi::campaign::TargetInstance inst =
+      qdi::campaign::aes_byte_slice().build(0x2b);
+  batch_acquire_bench(state, inst, 64);
+}
+BENCHMARK(BM_BatchAcquireAes)->Unit(benchmark::kMillisecond);
+
+static void BM_BatchAcquire(benchmark::State& state) {
+  // des_round: the heaviest simulatable target (same host as the
+  // scheduler rows), one full 64-lane block per iteration.
+  static const qdi::campaign::TargetInstance inst =
+      qdi::campaign::des_round().build(0x2b);
+  batch_acquire_bench(state, inst, 64);
+}
+BENCHMARK(BM_BatchAcquire)->Unit(benchmark::kMillisecond);
+
+static void BM_BatchAcquireSbox(benchmark::State& state) {
+  static const qdi::campaign::TargetInstance inst =
+      qdi::campaign::des_sbox_slice().build(0x2b);
+  batch_acquire_bench(state, inst, 64);
+}
+BENCHMARK(BM_BatchAcquireSbox)->Unit(benchmark::kMillisecond);
 
 // End-to-end campaign including the DPA analysis stage (the per-scenario
 // unit of bench/dpa_key_recovery), on each engine. BM_CampaignDpaEndToEnd
@@ -218,7 +313,7 @@ static void scheduler_bench(benchmark::State& state,
   // the per-trace loop — exactly where the schedulers differ.
   qdi::campaign::WorkerPool pool(src, 1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pool.acquire(32, 1).size());
+    steady_state_acquire(pool, 32);
   }
   state.SetItemsProcessed(state.iterations() * 32);
 }
@@ -296,6 +391,23 @@ BENCHMARK(BM_CpaOnline)->Unit(benchmark::kMillisecond);
 static void sweep_variant_bench(benchmark::State& state,
                                 const qdi::xform::Recipe& (*recipe)()) {
   const qdi::campaign::CircuitTarget target = qdi::campaign::des_round();
+  // Compile hoisted out of the timed loop: the recipe is deterministic,
+  // so the post-transform netlist — and therefore its compiled form —
+  // is identical every iteration. Build it once here and hand the
+  // shared compiled netlist to each iteration's source; the rows then
+  // measure recipe + campaign throughput, not repeated compilation.
+  qdi::campaign::TargetInstance pre = target.build(0x2b);
+  recipe().pipeline.run(pre.nl);
+  const std::shared_ptr<const qdi::sim::CompiledNetlist> cn =
+      qdi::sim::compile(pre.nl);
+  const auto source = [&cn](const qdi::campaign::TargetInstance& inst,
+                            const qdi::campaign::SimTraceSourceOptions& opt)
+      -> std::unique_ptr<qdi::campaign::TraceSource> {
+    qdi::campaign::SimTraceSourceOptions o = opt;
+    o.precompiled = cn;
+    return std::make_unique<qdi::campaign::SimTraceSource>(
+        inst.nl, inst.env, inst.stimulus, o);
+  };
   for (auto _ : state) {
     const qdi::campaign::CampaignResult r = qdi::campaign::Campaign()
                                                 .target(target)
@@ -303,6 +415,7 @@ static void sweep_variant_bench(benchmark::State& state,
                                                 .traces(16)
                                                 .fused(8)
                                                 .recipe(recipe())
+                                                .source(source)
                                                 .attack(qdi::campaign::Cpa{})
                                                 .run();
     benchmark::DoNotOptimize(r.attack->best_guess);
@@ -360,13 +473,23 @@ BENCHMARK(BM_FusedCampaign)->Unit(benchmark::kMillisecond);
 // the BM_FaultSweep / BM_CampaignAcquire per-item ratio next to the
 // other engine ratios.
 static void BM_FaultSweep(benchmark::State& state) {
-  const qdi::campaign::CircuitTarget target = qdi::campaign::des_sbox_slice();
-  qdi::campaign::FaultCampaign campaign;
-  campaign.target(target).key(0x2b).seed(1).max_sites(12).repeats(2).dfa(
-      false);
+  // Target build and netlist compilation hoisted out of the timed loop
+  // (FaultCampaignOptions::precompiled): every iteration sweeps the same
+  // victim, so the rows measure injection + classification throughput,
+  // not repeated target construction.
+  static const qdi::campaign::TargetInstance inst =
+      qdi::campaign::des_sbox_slice().build(0x2b);
+  static const std::shared_ptr<const qdi::sim::CompiledNetlist> cn =
+      qdi::sim::compile(inst.nl);
+  qdi::campaign::FaultCampaignOptions opt;
+  opt.max_sites = 12;
+  opt.repeats = 2;
+  opt.run_dfa = false;
+  opt.precompiled = cn;
   std::size_t runs = 0;
   for (auto _ : state) {
-    const qdi::campaign::FaultCampaignResult r = campaign.run();
+    const qdi::campaign::FaultCampaignResult r =
+        qdi::campaign::run_fault_campaign(inst, 0x2b, opt, 1, 1);
     runs = r.summary.runs;
     benchmark::DoNotOptimize(r.summary.deadlock);
   }
@@ -386,6 +509,10 @@ int main(int argc, char** argv) {
 #else
   benchmark::AddCustomContext("qdi_build_type", "debug");
 #endif
+  // Lane width of the batch kernel (BM_BatchAcquire* rows process this
+  // many traces per machine word); occupancy is per-row (counters).
+  benchmark::AddCustomContext(
+      "batch_lane_width", std::to_string(qdi::sim::kBatchLanes));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

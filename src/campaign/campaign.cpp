@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "qdi/campaign/batch_trace_source.hpp"
 #include "qdi/dpa/online.hpp"
 #include "qdi/netlist/graph.hpp"
 #include "qdi/netlist/symmetry.hpp"
@@ -238,6 +239,11 @@ void Campaign::validate(const TargetInstance& inst) const {
         "Campaign: target '" + inst.name +
         "' is flow-only; faults() needs a simulatable netlist to inject "
         "into");
+  if (faults_ && opt_.engine == sim::EngineKind::Batch)
+    throw std::invalid_argument(
+        "Campaign: faults() needs a scalar engine — the batch kernel "
+        "cannot inject forces; drop faults() or use engine(Compiled / "
+        "Reference)");
 }
 
 /// Sweep-shared acquisition state: one WorkerPool living across every
@@ -291,8 +297,11 @@ CampaignResult Campaign::run_stages(
   if (num_traces_ > 0) {
     std::unique_ptr<TraceSource> owned_src =
         source_ ? source_(inst, opt_)
-                : std::make_unique<SimTraceSource>(inst.nl, inst.env,
-                                                   inst.stimulus, opt_);
+        : opt_.engine == sim::EngineKind::Batch
+            ? std::unique_ptr<TraceSource>(std::make_unique<
+                  BatchSimTraceSource>(inst.nl, inst.env, inst.stimulus, opt_))
+            : std::make_unique<SimTraceSource>(inst.nl, inst.env,
+                                               inst.stimulus, opt_);
     // Worker clones (per-thread simulators + scratch) are campaign
     // state: created once and persistent across every segment the
     // acquisition below runs. A sweep hands in its own PoolState so the

@@ -75,7 +75,8 @@ class FaultTraceSource final : public TraceSource {
         spec_(tolerant(std::move(env))),
         plan_(std::move(plan)),
         compiled_(opt.engine == sim::EngineKind::Compiled
-                      ? sim::compile(nl, opt.delays)
+                      ? (opt.precompiled ? opt.precompiled
+                                         : sim::compile(nl, opt.delays))
                       : nullptr),
         delays_(opt.delays),
         scheduler_(opt.scheduler),
@@ -223,6 +224,10 @@ FaultCampaignResult run_fault_campaign(const TargetInstance& inst,
   if (!inst.simulatable)
     throw std::invalid_argument("FaultCampaign: target '" + inst.name +
                                 "' is flow-only and cannot be simulated");
+  if (opt.engine == sim::EngineKind::Batch)
+    throw std::invalid_argument(
+        "FaultCampaign: EngineKind::Batch cannot inject forces — fault "
+        "sweeps need the compiled or reference engine");
   if (!inst.stimulus)
     throw std::invalid_argument("FaultCampaign: target '" + inst.name +
                                 "' provides no stimulus");

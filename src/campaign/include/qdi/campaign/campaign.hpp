@@ -199,9 +199,14 @@ class Campaign {
     return *this;
   }
 
-  /// Simulation engine for the default SimTraceSource: the compiled SoA
-  /// kernel (default) or the construction-form reference interpreter.
-  /// Traces are bit-identical either way (tests/test_compiled_sim.cpp).
+  /// Simulation engine for the default trace source: the compiled SoA
+  /// kernel (default), the construction-form reference interpreter, or
+  /// the bit-parallel 64-lane batch kernel (Batch builds a
+  /// BatchSimTraceSource — fault-free acquisition only, and the netlist
+  /// must batch-compile; unsupported combinations throw with the
+  /// offending cell/option named instead of silently falling back).
+  /// Traces are bit-identical across all engines
+  /// (tests/test_compiled_sim.cpp, tests/test_batch_sim.cpp).
   Campaign& engine(sim::EngineKind k) {
     opt_.engine = k;
     return *this;

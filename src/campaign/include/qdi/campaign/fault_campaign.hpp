@@ -25,11 +25,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "qdi/campaign/target.hpp"
+#include "qdi/sim/compiled_netlist.hpp"
 #include "qdi/sim/fault.hpp"
 #include "qdi/util/table.hpp"
 
@@ -74,8 +76,15 @@ struct FaultCampaignOptions {
   bool run_dfa = true;
 
   sim::DelayModel delays{};
+  /// Compiled or Reference; the batch kernel cannot inject forces, so
+  /// EngineKind::Batch is rejected by run_fault_campaign.
   sim::EngineKind engine = sim::EngineKind::Compiled;
   sim::SchedulerKind scheduler = sim::SchedulerKind::Wheel;
+  /// Reuse an existing compiled form of the (post-flow) target netlist
+  /// instead of flattening it once per sweep — what lets benches hoist
+  /// compilation out of their timed loops. Must match the instance's
+  /// netlist and `delays`. Compiled engine only.
+  std::shared_ptr<const sim::CompiledNetlist> precompiled;
 };
 
 /// One classified injection run.

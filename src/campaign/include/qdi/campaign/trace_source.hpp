@@ -93,6 +93,24 @@ class TraceSource {
     return out;
   }
 
+  /// Natural block size of this source: how many consecutive trace
+  /// indices one acquire_block() call acquires at once. 1 for scalar
+  /// sources; sim::kBatchLanes for the bit-parallel batch engine. The
+  /// WorkerPool hands out work in blocks of this width.
+  virtual std::size_t batch_width() const { return 1; }
+
+  /// Acquire traces [first, first + count) of campaign `seed` into
+  /// out[0 .. count). `count` is at most batch_width() (the final block
+  /// of a range may be partial). Per-trace results must be bit-identical
+  /// to acquire_into on the same indices — block partitioning is a
+  /// scheduling choice, never an observable one. The default forwards to
+  /// acquire_into per index.
+  virtual void acquire_block(std::uint64_t seed, std::size_t first,
+                             std::size_t count, AcquiredTrace* out) {
+    for (std::size_t i = 0; i < count; ++i)
+      acquire_into({seed, first + i}, out[i]);
+  }
+
   /// Independent copy for a worker thread.
   virtual std::unique_ptr<TraceSource> clone() const = 0;
 
@@ -184,6 +202,11 @@ class WorkerPool {
   /// Reused result slots: slot buffers (samples, plaintext, ciphertext)
   /// retain capacity across segments and across acquire calls.
   std::vector<AcquiredTrace> scratch_;
+  /// Reused chunk segment of acquire_chunked: clear() keeps the matrix
+  /// and arena capacity, so repeated chunked acquisitions (the fused
+  /// campaign's steady state, and every sweep step after the first) run
+  /// without reallocating the segment.
+  dpa::TraceSet chunk_buf_;
 };
 
 /// One-shot batched acquisition over a transient WorkerPool. Kept as the
@@ -212,9 +235,17 @@ struct SimTraceSourceOptions {
   /// samples stream into the accumulator at commit time (no transition
   /// log), and after the first trace each epoch restores the post-reset
   /// snapshot instead of re-simulating reset. Reference: the
-  /// construction-form interpreter with a post-hoc log walk. Both
-  /// produce bit-identical traces.
+  /// construction-form interpreter with a post-hoc log walk. Batch: the
+  /// 64-lane bit-parallel kernel — handled by BatchSimTraceSource, which
+  /// Campaign::engine(Batch) builds; constructing a SimTraceSource with
+  /// it throws. All engines produce bit-identical traces.
   sim::EngineKind engine = sim::EngineKind::Compiled;
+  /// Reuse an existing compiled form instead of flattening the netlist
+  /// again (benches and sweeps that build several sources over one
+  /// victim). Must have been compiled from the SAME netlist with the
+  /// SAME delay model — the source trusts it. Ignored by the reference
+  /// engine.
+  std::shared_ptr<const sim::CompiledNetlist> precompiled;
   /// Event-queue implementation of the compiled kernel (ignored by the
   /// reference engine). Wheel and Heap are bit-identical; the heap is
   /// kept for differential testing.

@@ -34,6 +34,8 @@
 #include "qdi/gates/testbench.hpp"
 
 // simulation (reference interpreter + compiled kernel)
+#include "qdi/sim/batch_netlist.hpp"
+#include "qdi/sim/batch_simulator.hpp"
 #include "qdi/sim/compiled_netlist.hpp"
 #include "qdi/sim/compiled_simulator.hpp"
 #include "qdi/sim/delay_model.hpp"
@@ -75,6 +77,7 @@
 #include "qdi/dpa/trace_set.hpp"
 
 // campaign API
+#include "qdi/campaign/batch_trace_source.hpp"
 #include "qdi/campaign/campaign.hpp"
 #include "qdi/campaign/fault_campaign.hpp"
 #include "qdi/campaign/target.hpp"

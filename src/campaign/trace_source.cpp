@@ -1,5 +1,6 @@
 #include "qdi/campaign/trace_source.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -22,14 +23,28 @@ std::unique_ptr<sim::SimEngine> make_engine(
 
 }  // namespace
 
+namespace {
+
+const SimTraceSourceOptions& reject_batch(const SimTraceSourceOptions& opt) {
+  if (opt.engine == sim::EngineKind::Batch)
+    throw std::invalid_argument(
+        "SimTraceSource: EngineKind::Batch runs through "
+        "campaign::BatchSimTraceSource (Campaign::engine(Batch) builds "
+        "it); SimTraceSource drives the scalar engines only");
+  return opt;
+}
+
+}  // namespace
+
 SimTraceSource::SimTraceSource(const netlist::Netlist& nl, sim::EnvSpec env,
                                StimulusFn stimulus, SimTraceSourceOptions opt)
     : nl_(&nl),
       spec_(std::move(env)),
       stimulus_(std::move(stimulus)),
-      opt_(opt),
+      opt_(reject_batch(opt)),
       compiled_(opt_.engine == sim::EngineKind::Compiled
-                    ? sim::compile(nl, opt_.delays)
+                    ? (opt_.precompiled ? opt_.precompiled
+                                        : sim::compile(nl, opt_.delays))
                     : nullptr),
       sim_(make_engine(compiled_, nl, opt_)),
       csim_(compiled_ ? static_cast<sim::CompiledSimulator*>(sim_.get())
@@ -160,14 +175,20 @@ void WorkerPool::unbind() noexcept {
 }
 
 /// Acquire requests [lo, hi) into scratch_[0 .. hi-lo), fanned out over
-/// the primary source plus the clones. Deterministic in (seed, index)
-/// per the TraceSource contract, whatever the thread count.
+/// the primary source plus the clones in blocks of the source's
+/// batch_width (1 for scalar sources, 64 for the batch engine; the last
+/// block of a range may be partial). Deterministic in (seed, index) per
+/// the TraceSource contract, whatever the thread count or the block
+/// partition.
 void WorkerPool::acquire_range(std::size_t lo, std::size_t hi,
                                std::uint64_t seed) {
   const std::size_t count = hi - lo;
+  const std::size_t width = std::max<std::size_t>(src_->batch_width(), 1);
+  const std::size_t num_blocks = (count + width - 1) / width;
   if (clones_.empty()) {
-    for (std::size_t i = 0; i < count; ++i)
-      src_->acquire_into({seed, lo + i}, scratch_[i]);
+    for (std::size_t b = 0; b < count; b += width)
+      src_->acquire_block(seed, lo + b, std::min(width, count - b),
+                          scratch_.data() + b);
     return;
   }
   std::atomic<std::size_t> next{0};
@@ -175,14 +196,16 @@ void WorkerPool::acquire_range(std::size_t lo, std::size_t hi,
   std::exception_ptr first_error;
   auto worker = [&](TraceSource& s) {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
+      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= num_blocks) return;
+      const std::size_t b = k * width;
       try {
-        s.acquire_into({seed, lo + i}, scratch_[i]);
+        s.acquire_block(seed, lo + b, std::min(width, count - b),
+                        scratch_.data() + b);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(err_mu);
         if (!first_error) first_error = std::current_exception();
-        next.store(count, std::memory_order_relaxed);  // drain
+        next.store(num_blocks, std::memory_order_relaxed);  // drain
         return;
       }
     }
@@ -246,7 +269,7 @@ void WorkerPool::acquire_chunked(
 
   if (scratch_.size() < std::min(chunk, num_traces))
     scratch_.resize(std::min(chunk, num_traces));
-  dpa::TraceSet segment;
+  dpa::TraceSet& segment = chunk_buf_;
   for (std::size_t first = 0; first < num_traces; first += chunk) {
     const std::size_t hi = std::min(first + chunk, num_traces);
     acquire_range(first, hi, seed);

@@ -80,6 +80,26 @@ class OnlineCpa {
   /// Full correlation trace rho[j] of one guess at the current prefix.
   std::vector<double> correlation_trace(unsigned guess) const;
 
+  /// Fold another accumulator's traces into this one. Every statistic is
+  /// an additive running sum, so merging N disjoint partial passes is
+  /// equivalent to one pass over the union — up to floating-point
+  /// re-association (sums are added blockwise instead of trace by
+  /// trace), which perturbs results at the 1e-12 level, not the
+  /// attack-outcome level (tests/test_online_merge.cpp). Both sides must
+  /// share num_guesses and sample geometry (an empty side merges
+  /// trivially); `other` must have been built over the same leakage
+  /// model for the result to mean anything — that cannot be checked
+  /// here. Throws std::invalid_argument on mismatched geometry.
+  void merge(const OnlineCpa& other);
+
+  /// Compact byte snapshot of the accumulator state (counts + running
+  /// sums; the model is NOT serialized — it is code, not data).
+  /// restore_state() requires an accumulator constructed with the same
+  /// model and num_guesses, and replaces its state wholesale. Round-trip
+  /// is exact: serialize/restore reproduces bit-identical results.
+  std::vector<std::uint8_t> serialize_state() const;
+  void restore_state(std::span<const std::uint8_t> bytes);
+
  private:
   void ensure_geometry(std::size_t m);
   /// Hypothesis row h[g] for one trace: a LUT row (byte-indexed) or the
@@ -125,6 +145,16 @@ class OnlineDpa {
   /// uses (the paper's historical single-bit D-function attack).
   KeyRecoveryResult recover_single(std::size_t bit,
                                    SampleWindow window = {}) const;
+
+  /// Fold another accumulator's traces into this one; see
+  /// OnlineCpa::merge for the contract (here both sides must also share
+  /// the selection-bit count).
+  void merge(const OnlineDpa& other);
+
+  /// State snapshot / restore; see OnlineCpa. restore_state() requires
+  /// the same selection bits and num_guesses at construction.
+  std::vector<std::uint8_t> serialize_state() const;
+  void restore_state(std::span<const std::uint8_t> bytes);
 
  private:
   void ensure_geometry(std::size_t m);

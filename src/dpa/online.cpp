@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace qdi::dpa {
@@ -353,6 +354,196 @@ KeyRecoveryResult OnlineDpa::recover(SampleWindow window) const {
   }
   rank_finalize(r, guesses_);
   return r;
+}
+
+// ---- merge + state serialization -------------------------------------------
+
+namespace {
+
+// Tiny little-endian byte codec for the accumulator snapshots. The
+// format is an implementation detail shared by serialize_state and
+// restore_state only — not a stable interchange format.
+constexpr std::uint32_t kCpaMagic = 0x71647043;  // "qdpC"
+constexpr std::uint32_t kDpaMagic = 0x71647044;  // "qdpD"
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_doubles(std::vector<std::uint8_t>& out,
+                 const std::vector<double>& v) {
+  put_u64(out, v.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+  out.insert(out.end(), p, p + v.size() * sizeof(double));
+}
+
+void put_u32s(std::vector<std::uint8_t>& out,
+              const std::vector<std::uint32_t>& v) {
+  put_u64(out, v.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+  out.insert(out.end(), p, p + v.size() * sizeof(std::uint32_t));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint64_t u64() {
+    if (pos_ + 8 > bytes_.size()) fail();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  void doubles(std::vector<double>& out) {
+    const std::uint64_t n = u64();
+    if (pos_ + n * sizeof(double) > bytes_.size()) fail();
+    out.resize(n);
+    std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+  }
+
+  void u32s(std::vector<std::uint32_t>& out) {
+    const std::uint64_t n = u64();
+    if (pos_ + n * sizeof(std::uint32_t) > bytes_.size()) fail();
+    out.resize(n);
+    std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(std::uint32_t));
+    pos_ += n * sizeof(std::uint32_t);
+  }
+
+  void expect_end() const {
+    if (pos_ != bytes_.size()) fail();
+  }
+
+ private:
+  [[noreturn]] static void fail() {
+    throw std::invalid_argument(
+        "Online accumulator: malformed state snapshot");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void add_into(std::vector<double>& dst, const std::vector<double>& src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+
+}  // namespace
+
+void OnlineCpa::merge(const OnlineCpa& other) {
+  if (other.guesses_ != guesses_)
+    throw std::invalid_argument("OnlineCpa::merge: num_guesses differ");
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    ensure_geometry(other.m_);
+  } else if (other.m_ != m_) {
+    throw std::invalid_argument(
+        "OnlineCpa::merge: sample geometry differs");
+  }
+  add_into(sum_s_, other.sum_s_);
+  add_into(sum_s2_, other.sum_s2_);
+  add_into(sum_h_, other.sum_h_);
+  add_into(sum_h2_, other.sum_h2_);
+  add_into(sum_hs_, other.sum_hs_);
+  n_ += other.n_;
+}
+
+std::vector<std::uint8_t> OnlineCpa::serialize_state() const {
+  std::vector<std::uint8_t> out;
+  put_u64(out, kCpaMagic);
+  put_u64(out, guesses_);
+  put_u64(out, m_);
+  put_u64(out, n_);
+  put_doubles(out, sum_s_);
+  put_doubles(out, sum_s2_);
+  put_doubles(out, sum_h_);
+  put_doubles(out, sum_h2_);
+  put_doubles(out, sum_hs_);
+  return out;
+}
+
+void OnlineCpa::restore_state(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  if (r.u64() != kCpaMagic)
+    throw std::invalid_argument(
+        "OnlineCpa::restore_state: not an OnlineCpa snapshot");
+  if (r.u64() != guesses_)
+    throw std::invalid_argument(
+        "OnlineCpa::restore_state: snapshot was taken with a different "
+        "num_guesses");
+  const std::uint64_t m = r.u64();
+  const std::uint64_t n = r.u64();
+  r.doubles(sum_s_);
+  r.doubles(sum_s2_);
+  r.doubles(sum_h_);
+  r.doubles(sum_h2_);
+  r.doubles(sum_hs_);
+  r.expect_end();
+  if (sum_s_.size() != m || sum_s2_.size() != m ||
+      sum_h_.size() != guesses_ || sum_h2_.size() != guesses_ ||
+      sum_hs_.size() != static_cast<std::size_t>(guesses_) * m)
+    throw std::invalid_argument(
+        "OnlineCpa::restore_state: inconsistent snapshot geometry");
+  m_ = m;
+  n_ = n;
+}
+
+void OnlineDpa::merge(const OnlineDpa& other) {
+  if (other.guesses_ != guesses_ || other.bits_.size() != bits_.size())
+    throw std::invalid_argument(
+        "OnlineDpa::merge: guess or selection-bit counts differ");
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    ensure_geometry(other.m_);
+  } else if (other.m_ != m_) {
+    throw std::invalid_argument(
+        "OnlineDpa::merge: sample geometry differs");
+  }
+  add_into(sum_s_, other.sum_s_);
+  for (std::size_t i = 0; i < n1_.size(); ++i) n1_[i] += other.n1_[i];
+  add_into(sum1_, other.sum1_);
+  n_ += other.n_;
+}
+
+std::vector<std::uint8_t> OnlineDpa::serialize_state() const {
+  std::vector<std::uint8_t> out;
+  put_u64(out, kDpaMagic);
+  put_u64(out, guesses_);
+  put_u64(out, bits_.size());
+  put_u64(out, m_);
+  put_u64(out, n_);
+  put_doubles(out, sum_s_);
+  put_u32s(out, n1_);
+  put_doubles(out, sum1_);
+  return out;
+}
+
+void OnlineDpa::restore_state(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  if (r.u64() != kDpaMagic)
+    throw std::invalid_argument(
+        "OnlineDpa::restore_state: not an OnlineDpa snapshot");
+  if (r.u64() != guesses_ || r.u64() != bits_.size())
+    throw std::invalid_argument(
+        "OnlineDpa::restore_state: snapshot was taken with a different "
+        "guess/selection-bit configuration");
+  const std::uint64_t m = r.u64();
+  const std::uint64_t n = r.u64();
+  r.doubles(sum_s_);
+  r.u32s(n1_);
+  r.doubles(sum1_);
+  r.expect_end();
+  if (sum_s_.size() != m ||
+      n1_.size() != bits_.size() * guesses_ ||
+      sum1_.size() != bits_.size() * static_cast<std::size_t>(guesses_) * m)
+    throw std::invalid_argument(
+        "OnlineDpa::restore_state: inconsistent snapshot geometry");
+  m_ = m;
+  n_ = n;
 }
 
 KeyRecoveryResult OnlineDpa::recover_single(std::size_t bit,

@@ -1,0 +1,700 @@
+#include "qdi/sim/batch_simulator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace qdi::sim {
+
+using netlist::CellKind;
+using netlist::kNoNet;
+using netlist::NetId;
+
+namespace {
+
+constexpr std::uint64_t kAllLanes = ~std::uint64_t{0};
+
+inline std::uint64_t lane_bit(unsigned lane) noexcept {
+  return std::uint64_t{1} << lane;
+}
+
+std::uint64_t next_power_of_two(std::uint64_t v) noexcept {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+BatchSimulator::BatchSimulator(std::shared_ptr<const BatchNetlist> bn)
+    : bn_(std::move(bn)), cn_(&bn_->compiled()) {
+  const std::uint32_t nn = cn_->num_nets();
+  cur_.resize(nn);
+  pend_.resize(nn);
+  spill_.resize(nn);
+  // Calendar geometry — the scalar wheel's derivation (see
+  // CompiledSimulator's constructor): buckets of 4x the smallest gate
+  // delay, enough of them to cover the delay range so only the
+  // environment's phase-gap jumps reach the far-list.
+  double width = 4.0 * cn_->min_delay_ps();
+  if (!(width > 0.0)) width = 1.0;
+  inv_bucket_width_ = 1.0 / width;
+  const auto span =
+      static_cast<std::uint64_t>(cn_->max_delay_ps() * inv_bucket_width_) + 2;
+  num_buckets_ = std::clamp<std::uint64_t>(next_power_of_two(span), 64, 4096);
+  bucket_mask_ = num_buckets_ - 1;
+  buckets_.resize(num_buckets_);
+  occupied_.resize(num_buckets_ / 64);
+  reset_state();
+}
+
+void BatchSimulator::clear_queue() {
+  if (wheel_count_ > 0)
+    for (std::vector<HeapEvent>& b : buckets_) b.clear();
+  std::fill(occupied_.begin(), occupied_.end(), std::uint64_t{0});
+  wheel_count_ = 0;
+  ready_.clear();
+  ready_pos_ = 0;
+  overflow_.clear();
+  cur_tick_ = 0;
+  queue_size_ = 0;
+}
+
+void BatchSimulator::reset_state() {
+  std::fill(cur_.begin(), cur_.end(), std::uint64_t{0});
+  std::fill(pend_.begin(), pend_.end(), PendState{});
+  for (auto& g : spill_) g.clear();
+  clear_queue();
+  std::fill(std::begin(now_), std::end(now_), 0.0);
+  std::fill(std::begin(glitches_), std::end(glitches_), std::size_t{0});
+  std::fill(std::begin(transitions_), std::end(transitions_), std::size_t{0});
+}
+
+BatchSimulator::Epoch BatchSimulator::save_epoch() const {
+  if (queue_size_ != 0)
+    throw std::logic_error(
+        "BatchSimulator::save_epoch: event queue must be drained");
+  Epoch e;
+  e.values.resize(cur_.size());
+  for (std::size_t net = 0; net < cur_.size(); ++net) {
+    const std::uint64_t w = cur_[net];
+    if (w != 0 && w != kAllLanes)
+      throw std::logic_error(
+          "BatchSimulator::save_epoch: lanes diverged — an epoch must "
+          "capture lane-uniform (post-reset) state");
+    e.values[net] = w != 0 ? 1 : 0;
+  }
+  for (std::size_t l = 1; l < kBatchLanes; ++l)
+    if (now_[l] != now_[0] || glitches_[l] != glitches_[0] ||
+        transitions_[l] != transitions_[0])
+      throw std::logic_error(
+          "BatchSimulator::save_epoch: lane clocks diverged — an epoch "
+          "must capture lane-uniform (post-reset) state");
+  e.now = now_[0];
+  e.glitches = glitches_[0];
+  e.transitions = transitions_[0];
+  return e;
+}
+
+void BatchSimulator::restore_epoch(const Epoch& e) {
+  if (queue_size_ != 0)
+    throw std::logic_error(
+        "BatchSimulator::restore_epoch: event queue must be drained");
+  if (e.values.size() != cur_.size())
+    throw std::invalid_argument(
+        "BatchSimulator::restore_epoch: epoch geometry does not match "
+        "this netlist");
+  for (std::size_t net = 0; net < cur_.size(); ++net)
+    cur_[net] = e.values[net] != 0 ? kAllLanes : std::uint64_t{0};
+  // A drained queue implies no live pending lanes (every group born
+  // pushed a key, and that key's pop either commits the group or
+  // tombstones its absence); clear defensively anyway — it is O(nets)
+  // next to a 64-trace block.
+  std::fill(pend_.begin(), pend_.end(), PendState{});
+  for (auto& g : spill_) g.clear();
+  std::fill(std::begin(now_), std::end(now_), e.now);
+  std::fill(std::begin(glitches_), std::end(glitches_), e.glitches);
+  std::fill(std::begin(transitions_), std::end(transitions_), e.transitions);
+}
+
+void BatchSimulator::advance_to(double t_ps, std::uint64_t mask) {
+  while (mask != 0) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(mask));
+    mask &= mask - 1;
+    now_[lane] = std::max(now_[lane], t_ps);
+  }
+}
+
+void BatchSimulator::initialize(std::uint64_t mask) {
+  const std::uint32_t nc = cn_->num_cells();
+  for (std::uint32_t c = 0; c < nc; ++c) evaluate_cell(c, now_[0], mask);
+}
+
+void BatchSimulator::drive(NetId net, bool value, double at_ps,
+                           std::uint64_t mask) {
+  if (net >= cur_.size() || !cn_->driven_by_input[net])
+    throw std::invalid_argument(
+        "BatchSimulator::drive: only primary-input nets can be driven");
+  schedule_word(net, value ? mask : 0, mask, at_ps);
+}
+
+void BatchSimulator::push_key(double t_ps, std::uint32_t net) {
+  const HeapEvent ev{t_ps, net};
+  ++queue_size_;
+  const std::uint64_t tick = tick_of(t_ps);
+  if (queue_size_ == 1) {
+    // Queue was empty: re-anchor the wheel on this key.
+    cur_tick_ = tick;
+    ready_.clear();
+    ready_pos_ = 0;
+  } else if (tick < cur_tick_) {
+    // Only reachable from drive() calls behind the serve point while the
+    // loop is idle (commits always schedule at t >= now). Re-anchor;
+    // multi-lap bucket residents stay correct because extraction filters
+    // by exact tick.
+    spill_ready();
+    cur_tick_ = tick;
+  }
+  if (ready_pos_ < ready_.size() && tick == cur_tick_) {
+    // Key born into the tick currently being served: keep the batch
+    // sorted. It sorts after everything already popped (its time is
+    // strictly later than the commit that birthed it), so pop order
+    // stays exact.
+    ready_.insert(std::upper_bound(ready_.begin() +
+                                       static_cast<std::ptrdiff_t>(ready_pos_),
+                                   ready_.end(), ev, Earlier{}),
+                  ev);
+    return;
+  }
+  if (tick - cur_tick_ < num_buckets_) {
+    bucket_insert(ev);
+  } else {
+    overflow_.push_back(ev);
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
+}
+
+void BatchSimulator::bucket_insert(const HeapEvent& ev) {
+  const std::uint64_t b = tick_of(ev.t_ps) & bucket_mask_;
+  if (buckets_[b].empty()) set_occupied(b);
+  buckets_[b].push_back(ev);
+  ++wheel_count_;
+}
+
+/// Push the unserved remainder of the ready batch back into the wheel
+/// (cold path: only before re-anchoring the wheel backwards).
+void BatchSimulator::spill_ready() {
+  for (std::size_t i = ready_pos_; i < ready_.size(); ++i)
+    bucket_insert(ready_[i]);
+  ready_.clear();
+  ready_pos_ = 0;
+}
+
+/// Next occupied bucket index scanning one full wrap from
+/// `start_bucket`; num_buckets_ when the wheel is empty.
+std::uint64_t BatchSimulator::find_next_occupied(
+    std::uint64_t start_bucket) const noexcept {
+  const std::size_t words = occupied_.size();
+  std::size_t w = start_bucket >> 6;
+  std::uint64_t word = occupied_[w] & (~std::uint64_t{0} << (start_bucket & 63));
+  for (std::size_t step = 0; step < words; ++step) {
+    if (word != 0)
+      return ((w & (words - 1)) << 6) +
+             static_cast<std::uint64_t>(std::countr_zero(word));
+    w = (w + 1) % words;
+    word = occupied_[w];
+  }
+  word = occupied_[start_bucket >> 6] &
+         ~(~std::uint64_t{0} << (start_bucket & 63));
+  if (word != 0)
+    return ((start_bucket >> 6) << 6) +
+           static_cast<std::uint64_t>(std::countr_zero(word));
+  return num_buckets_;
+}
+
+void BatchSimulator::sort_ready() {
+  // Batches are typically a handful of keys: insertion sort beats the
+  // introsort dispatch there, and both are exact on the (t, net) order.
+  if (ready_.size() <= 16) {
+    for (std::size_t i = 1; i < ready_.size(); ++i) {
+      const HeapEvent ev = ready_[i];
+      std::size_t j = i;
+      for (; j > 0 && Earlier{}(ev, ready_[j - 1]); --j)
+        ready_[j] = ready_[j - 1];
+      ready_[j] = ev;
+    }
+  } else {
+    std::sort(ready_.begin(), ready_.end(), Earlier{});
+  }
+}
+
+/// Common-case refill: the next occupied bucket holds exactly one tick's
+/// keys (true in all normal operation — multi-lap residents require a
+/// backward re-anchor), so the whole bucket becomes the ready batch by
+/// swap. Returns false without extracting anything on the cold cases.
+bool BatchSimulator::fast_refill() {
+  const std::uint64_t s = cur_tick_ & bucket_mask_;
+  const std::uint64_t b = find_next_occupied(s);
+  if (b == num_buckets_) return false;  // wheel empty
+  const std::uint64_t tick = cur_tick_ + ((b - s) & bucket_mask_);
+  std::vector<HeapEvent>& bucket = buckets_[b];
+  for (const HeapEvent& ev : bucket)
+    if (tick_of(ev.t_ps) != tick) return false;  // multi-lap: cold path
+  std::swap(ready_, bucket);  // bucket inherits the old ready_ capacity
+  clear_occupied(b);
+  wheel_count_ -= ready_.size();
+  cur_tick_ = tick;
+  sort_ready();
+  return true;
+}
+
+/// Exact-tick rotation scan — correct in every state the wheel can
+/// reach, at a bucket walk's cost. Only runs when fast_refill declined.
+bool BatchSimulator::cold_refill() {
+  for (std::uint64_t step = 0; step < num_buckets_; ++step) {
+    const std::uint64_t tick = cur_tick_ + step;
+    std::vector<HeapEvent>& b = buckets_[tick & bucket_mask_];
+    if (b.empty()) continue;
+    for (std::size_t i = 0; i < b.size();) {
+      if (tick_of(b[i].t_ps) == tick) {
+        ready_.push_back(b[i]);
+        b[i] = b.back();
+        b.pop_back();
+      } else {
+        ++i;  // a later lap of this bucket
+      }
+    }
+    if (b.empty()) clear_occupied(tick & bucket_mask_);
+    if (!ready_.empty()) {
+      wheel_count_ -= ready_.size();
+      cur_tick_ = tick;
+      sort_ready();
+      return true;
+    }
+  }
+  return false;
+}
+
+void BatchSimulator::refill_ready() {
+  ready_.clear();
+  ready_pos_ = 0;
+  for (;;) {
+    if (wheel_count_ == 0) {
+      // Everything queued sits in the far-list: jump the wheel straight
+      // to its earliest tick instead of scanning empty buckets.
+      cur_tick_ = tick_of(overflow_.front().t_ps);
+    }
+    // Migrate far-list keys that fell inside the horizon as the wheel
+    // turned. They all have ticks > cur_tick_ of any previous serve, so
+    // nothing is migrated late.
+    while (!overflow_.empty() &&
+           tick_of(overflow_.front().t_ps) < cur_tick_ + num_buckets_) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+      const HeapEvent ev = overflow_.back();
+      overflow_.pop_back();
+      bucket_insert(ev);
+    }
+    if (fast_refill()) return;
+    if (cold_refill()) return;
+    if (wheel_count_ > 0) {
+      // Stranded beyond one rotation (possible only after a backward
+      // re-anchor): jump to the earliest bucket resident. Cold path.
+      std::uint64_t min_tick = ~std::uint64_t{0};
+      for (const std::vector<HeapEvent>& b : buckets_)
+        for (const HeapEvent& ev : b)
+          min_tick = std::min(min_tick, tick_of(ev.t_ps));
+      cur_tick_ = min_tick;
+    }
+    // else: loop re-anchors on the far-list and migrates.
+  }
+}
+
+// The word form of the scalar inertial-filtering schedule(): per lane of
+// `mask`, drop a same-value pending, cancel (glitch) a contradicting
+// one, and queue a new edge iff the wanted value differs from the
+// committed one. Identical per-lane outcomes to
+// CompiledSimulator::schedule / Simulator::schedule by construction.
+void BatchSimulator::schedule_word(std::uint32_t net, std::uint64_t want,
+                                   std::uint64_t mask, double t_ps) {
+  PendState& ps = pend_[net];
+  const std::uint64_t pend = ps.mask;
+  // Nearly half of all evaluations re-derive the value the net already
+  // holds with nothing in flight: no edge to queue, none to cancel.
+  // Return before the update path dirties the net's pending line.
+  if (((want ^ cur_[net]) & mask) == 0 && (pend & mask) == 0) return;
+  const std::uint64_t val = ps.value;
+  const std::uint64_t have = pend & mask;
+  std::uint64_t cancel = have & (val ^ want);  // pending, different value
+  const std::uint64_t need =
+      ((mask & ~have) | cancel) & (want ^ cur_[net]);
+  ps.mask = (pend & ~cancel) | need;
+  if (need != 0) ps.value = (val & ~need) | (want & need);
+  // Computed from the pre-update state: lanes pending outside the inline
+  // group can only live in spill_[net].
+  const bool had_spill = (pend & ~ps.g0_mask) != 0;
+  if (cancel != 0) {
+    // Retract the cancelled lanes from their old time groups; an emptied
+    // group dies silently and its heap key pops as a tombstone.
+    ps.g0_mask &= ~cancel;
+    if (had_spill) {
+      std::vector<PendGroup>& sp = spill_[net];
+      for (std::size_t i = 0; i < sp.size();) {
+        sp[i].mask &= ~cancel;
+        if (sp[i].mask == 0) {
+          sp[i] = sp.back();
+          sp.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+    std::uint64_t m = cancel;
+    while (m != 0) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+      m &= m - 1;
+      ++glitches_[lane];
+    }
+  }
+  if (need != 0) {
+    if (ps.g0_mask != 0 && ps.g0_t == t_ps) {
+      ps.g0_mask |= need;
+      return;
+    }
+    if (had_spill) {
+      for (PendGroup& g : spill_[net]) {
+        if (g.t_ps == t_ps) {
+          g.mask |= need;
+          return;
+        }
+      }
+    }
+    if (ps.g0_mask == 0) {
+      ps.g0_t = t_ps;
+      ps.g0_mask = need;
+    } else {
+      spill_[net].push_back(PendGroup{t_ps, need});
+    }
+    push_key(t_ps, net);  // one key per group: born here, popped once
+  }
+}
+
+void BatchSimulator::evaluate_cell(std::uint32_t cell, double t_ps,
+                                   std::uint64_t mask) {
+  const CompiledNetlist& cn = *cn_;
+  const CellKind k = cn.kind[cell];
+  const std::uint32_t out_net = cn.output[cell];
+  if (k == CellKind::Input || k == CellKind::Output || out_net == kNoNet)
+    return;
+
+  // Word truth tables — the per-lane projection must mirror
+  // netlist::evaluate() exactly, like the scalar kernels' inlined
+  // switch.
+  const std::uint32_t lo = cn.fanin_offset[cell];
+  const std::uint32_t hi = cn.fanin_offset[cell + 1];
+  const auto in = [&](std::uint32_t i) { return cur_[cn.fanin_net[lo + i]]; };
+  const auto all = [&](std::uint32_t a, std::uint32_t b) {
+    std::uint64_t w = kAllLanes;
+    for (std::uint32_t i = a; i < b; ++i) w &= cur_[cn.fanin_net[i]];
+    return w;
+  };
+  const auto any = [&](std::uint32_t a, std::uint32_t b) {
+    std::uint64_t w = 0;
+    for (std::uint32_t i = a; i < b; ++i) w |= cur_[cn.fanin_net[i]];
+    return w;
+  };
+  // Muller word formula: set where all inputs high, hold where some are.
+  const auto muller = [&](std::uint32_t a, std::uint32_t b,
+                          std::uint64_t prev) {
+    return all(a, b) | (prev & any(a, b));
+  };
+
+  const std::uint64_t prev = cur_[out_net];
+  std::uint64_t out = 0;
+  switch (k) {
+    case CellKind::Input:
+    case CellKind::Output:
+      return;
+    case CellKind::Buf:
+      out = in(0);
+      break;
+    case CellKind::Inv:
+      out = ~in(0);
+      break;
+    case CellKind::And2:
+    case CellKind::And3:
+      out = all(lo, hi);
+      break;
+    case CellKind::Or2:
+    case CellKind::Or3:
+    case CellKind::Or4:
+      out = any(lo, hi);
+      break;
+    case CellKind::Nor2:
+    case CellKind::Nor3:
+    case CellKind::Nor4:
+      out = ~any(lo, hi);
+      break;
+    case CellKind::Nand2:
+    case CellKind::Nand3:
+      out = ~all(lo, hi);
+      break;
+    case CellKind::Xor2:
+      out = in(0) ^ in(1);
+      break;
+    case CellKind::Xnor2:
+      out = ~(in(0) ^ in(1));
+      break;
+    case CellKind::Muller2:
+    case CellKind::Muller3:
+    case CellKind::Muller4:
+      out = muller(lo, hi, prev);
+      break;
+    case CellKind::Muller2R:
+    case CellKind::Muller3R:
+      // Last pin is the active-high reset: it forces the output low.
+      out = muller(lo, hi - 1, prev) & ~cur_[cn.fanin_net[hi - 1]];
+      break;
+  }
+
+  schedule_word(out_net, out, mask, t_ps + cn.delay_ps[cell]);
+}
+
+void BatchSimulator::commit(double t_ps, std::uint32_t net,
+                            std::uint64_t live) {
+  const CompiledNetlist& cn = *cn_;
+  const std::uint64_t val = pend_[net].value;
+  cur_[net] = (cur_[net] & ~live) | (val & live);
+  ++merged_commits_;
+  lane_commits_ += static_cast<std::uint64_t>(std::popcount(live));
+  std::uint64_t m = live;
+  while (m != 0) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+    m &= m - 1;
+    now_[lane] = t_ps;
+    ++transitions_[lane];
+  }
+  if (sink_ != nullptr)
+    sink_->on_batch_transition(t_ps, net, live, val & live,
+                               bn_->net_slew_ps()[net]);
+  const std::uint32_t lo = cn.fanout_offset[net];
+  const std::uint32_t hi = cn.fanout_offset[net + 1];
+  for (std::uint32_t i = lo; i < hi; ++i)
+    evaluate_cell(cn.fanout_cell[i], t_ps, live);
+}
+
+std::size_t BatchSimulator::run_until_stable(std::size_t max_events) {
+  std::size_t committed = 0;
+  while (queue_size_ > 0) {
+    if (ready_pos_ >= ready_.size()) refill_ready();
+    const HeapEvent ev = ready_[ready_pos_++];
+    --queue_size_;
+    // Merge duplicate keys (a group can die to cancellation and a new
+    // one be born at the same (t, net), each pushing a key). Duplicates
+    // share a tick, so they sit adjacent in the sorted ready batch.
+    while (ready_pos_ < ready_.size() && ready_[ready_pos_].t_ps == ev.t_ps &&
+           ready_[ready_pos_].net == ev.net) {
+      ++ready_pos_;
+      --queue_size_;
+    }
+    // Live lanes: the group scheduled for exactly this time. A missing
+    // group means every lane of it was cancelled or rescheduled — the
+    // key is a tombstone, like the scalar engines' stale-seq check.
+    PendState& ps = pend_[ev.net];
+    std::uint64_t live = 0;
+    if (ps.g0_mask != 0 && ps.g0_t == ev.t_ps) {
+      live = ps.g0_mask;
+      ps.g0_mask = 0;
+    } else if ((ps.mask & ~ps.g0_mask) != 0) {
+      std::vector<PendGroup>& sp = spill_[ev.net];
+      for (std::size_t i = 0; i < sp.size(); ++i) {
+        if (sp[i].t_ps == ev.t_ps) {
+          live = sp[i].mask;
+          sp[i] = sp.back();
+          sp.pop_back();
+          break;
+        }
+      }
+    }
+    if (live == 0) continue;
+    ps.mask &= ~live;
+    commit(ev.t_ps, ev.net, live);
+    if (++committed > max_events)
+      throw std::runtime_error(
+          "BatchSimulator::run_until_stable: event budget exhausted "
+          "(oscillating netlist?)");
+  }
+  return committed;
+}
+
+// ---- BatchFourPhaseEnv ------------------------------------------------------
+
+BatchFourPhaseEnv::BatchFourPhaseEnv(BatchSimulator& sim, EnvSpec spec)
+    : sim_(&sim), spec_(std::move(spec)) {
+  if (!spec_.strict)
+    throw std::invalid_argument(
+        "BatchFourPhaseEnv: tolerant handshakes (fault campaigns) are a "
+        "scalar-engine feature — the batch environment is strict-only");
+  for (netlist::ChannelId ch : spec_.inputs)
+    assert(ch < sim_->netlist().num_channels());
+  for (netlist::ChannelId ch : spec_.outputs)
+    assert(ch < sim_->netlist().num_channels());
+}
+
+void BatchFourPhaseEnv::drive_grouped(NetId net, bool value,
+                                      const double* t_ps,
+                                      std::uint64_t mask) {
+  while (mask != 0) {
+    const unsigned lead = static_cast<unsigned>(std::countr_zero(mask));
+    const double t = t_ps[lead];
+    std::uint64_t group = 0;
+    std::uint64_t m = mask;
+    while (m != 0) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+      m &= m - 1;
+      if (t_ps[lane] == t) group |= lane_bit(lane);
+    }
+    sim_->drive(net, value, t, group);
+    mask &= ~group;
+  }
+}
+
+void BatchFourPhaseEnv::apply_reset(double pulse_ps) {
+  // Lane-uniform replica of FourPhaseEnv::apply_reset across all 64
+  // lanes (so the saved epoch serves full and partial blocks alike).
+  double t[kBatchLanes];
+  const auto now_times = [&] {
+    for (std::size_t l = 0; l < kBatchLanes; ++l) t[l] = sim_->now(l);
+  };
+  now_times();
+  if (spec_.reset != kNoNet) drive_grouped(spec_.reset, true, t, kAllLanes);
+  sim_->initialize(kAllLanes);
+  sim_->run_until_stable();
+  if (spec_.reset != kNoNet) {
+    now_times();
+    for (double& x : t) x += pulse_ps;
+    drive_grouped(spec_.reset, false, t, kAllLanes);
+    sim_->run_until_stable();
+  }
+  now_times();
+  for (netlist::ChannelId ch : spec_.inputs)
+    for (NetId rail : sim_->netlist().channel(ch).rails)
+      drive_grouped(rail, false, t, kAllLanes);
+  for (NetId ack : spec_.acks_to_block) drive_grouped(ack, false, t, kAllLanes);
+  sim_->run_until_stable();
+}
+
+int BatchFourPhaseEnv::read_channel(netlist::ChannelId ch,
+                                    std::size_t lane) const {
+  const netlist::Channel& c = sim_->netlist().channel(ch);
+  int value = -1;
+  for (std::size_t r = 0; r < c.rails.size(); ++r) {
+    if (sim_->value(c.rails[r], lane)) {
+      if (value != -1) return -1;  // two rails high: protocol violation
+      value = static_cast<int>(r);
+    }
+  }
+  return value;
+}
+
+void BatchFourPhaseEnv::send_into(
+    std::span<const std::vector<int>* const> values, BatchCycleResult& res) {
+  const std::size_t lanes = values.size();
+  assert(lanes >= 1 && lanes <= kBatchLanes);
+  const std::uint64_t mask =
+      lanes == kBatchLanes ? kAllLanes : (lane_bit(lanes) - 1);
+
+  res.lanes = lanes;
+  res.num_outputs = spec_.outputs.size();
+  res.outputs.assign(lanes * res.num_outputs, -1);
+
+  std::size_t before[kBatchLanes];
+  double t[kBatchLanes];
+  for (std::size_t l = 0; l < lanes; ++l) {
+    assert(values[l] != nullptr &&
+           values[l]->size() == spec_.inputs.size() &&
+           "send: one value per input channel");
+    before[l] = sim_->transition_count(l);
+    t[l] = next_cycle_start(l);
+    res.t_start[l] = t[l];
+    sim_->advance_to(t[l], lane_bit(static_cast<unsigned>(l)));
+  }
+
+  // Phase 1: drive valid data — per channel, the lanes picking the same
+  // rail go out as one masked word.
+  for (std::size_t i = 0; i < spec_.inputs.size(); ++i) {
+    const netlist::Channel& ch = sim_->netlist().channel(spec_.inputs[i]);
+    for (std::size_t r = 0; r < ch.rails.size(); ++r) {
+      std::uint64_t m = 0;
+      for (std::size_t l = 0; l < lanes; ++l)
+        if (static_cast<std::size_t>((*values[l])[i]) == r)
+          m |= lane_bit(static_cast<unsigned>(l));
+      if (m != 0) drive_grouped(ch.rails[r], true, t, m);
+    }
+  }
+  sim_->run_until_stable();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    for (std::size_t i = 0; i < res.num_outputs; ++i) {
+      const int v = read_channel(spec_.outputs[i], l);
+      if (v < 0)
+        throw std::runtime_error(
+            "BatchFourPhaseEnv: outputs did not become valid "
+            "(four-phase protocol failure)");
+      res.outputs[l * res.num_outputs + i] = v;
+    }
+    res.t_valid[l] = sim_->now(l);
+  }
+
+  // Next phase-drive time per lane — the exact expression of
+  // FourPhaseEnv::send_into's phase_time (a configured tester grid
+  // re-converges the lanes' phase times, turning the RTZ wavefront back
+  // into full-width word drives).
+  const auto phase_time = [&](double now) {
+    const double tt = now + spec_.phase_gap_ps;
+    if (spec_.phase_align_ps <= 0.0) return tt;
+    return std::ceil(tt / spec_.phase_align_ps) * spec_.phase_align_ps;
+  };
+
+  // Phase 2: consumer acknowledges.
+  for (std::size_t l = 0; l < lanes; ++l) t[l] = phase_time(sim_->now(l));
+  for (NetId ack : spec_.acks_to_block) drive_grouped(ack, true, t, mask);
+  sim_->run_until_stable();
+
+  // Phase 3: return to zero.
+  for (std::size_t l = 0; l < lanes; ++l) t[l] = phase_time(sim_->now(l));
+  for (std::size_t i = 0; i < spec_.inputs.size(); ++i) {
+    const netlist::Channel& ch = sim_->netlist().channel(spec_.inputs[i]);
+    for (std::size_t r = 0; r < ch.rails.size(); ++r) {
+      std::uint64_t m = 0;
+      for (std::size_t l = 0; l < lanes; ++l)
+        if (static_cast<std::size_t>((*values[l])[i]) == r)
+          m |= lane_bit(static_cast<unsigned>(l));
+      if (m != 0) drive_grouped(ch.rails[r], false, t, m);
+    }
+  }
+  sim_->run_until_stable();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    for (netlist::ChannelId ch : spec_.outputs)
+      for (NetId rail : sim_->netlist().channel(ch).rails)
+        if (sim_->value(rail, l))
+          throw std::runtime_error(
+              "BatchFourPhaseEnv: outputs did not return to zero "
+              "(four-phase protocol failure)");
+    res.t_empty[l] = sim_->now(l);
+  }
+
+  // Phase 4: release acknowledge.
+  for (std::size_t l = 0; l < lanes; ++l) t[l] = phase_time(sim_->now(l));
+  for (NetId ack : spec_.acks_to_block) drive_grouped(ack, false, t, mask);
+  sim_->run_until_stable();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    res.t_end[l] = sim_->now(l);
+    if (res.t_end[l] - res.t_start[l] >= spec_.period_ps)
+      throw std::runtime_error(
+          "FourPhaseEnv: cycle exceeded the period; increase "
+          "EnvSpec::period_ps");
+    res.transitions[l] = sim_->transition_count(l) - before[l];
+  }
+}
+
+}  // namespace qdi::sim

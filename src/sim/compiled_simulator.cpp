@@ -14,18 +14,23 @@ using netlist::NetId;
 
 namespace {
 
-// Queue order: earliest (t_ps, seq) pops first. The pair is unique per
-// event, so pop order is a total order — any correct scheduler yields
-// the same commit sequence as the reference priority_queue.
+// Queue order: earliest (t_ps, net, seq) pops first — the canonical
+// total order shared with the reference engine and the batch engine
+// (see Simulator::EventOrder for why net breaks timestamp ties). The
+// triple is unique per event, so pop order is a total order — any
+// correct scheduler yields the same commit sequence as the reference
+// priority_queue.
 template <typename Event>
 bool later(const Event& a, const Event& b) noexcept {
   if (a.t_ps != b.t_ps) return a.t_ps > b.t_ps;
+  if (a.net != b.net) return a.net > b.net;
   return a.seq > b.seq;
 }
 
 template <typename Event>
 bool earlier(const Event& a, const Event& b) noexcept {
   if (a.t_ps != b.t_ps) return a.t_ps < b.t_ps;
+  if (a.net != b.net) return a.net < b.net;
   return a.seq < b.seq;
 }
 

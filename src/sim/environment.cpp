@@ -90,6 +90,14 @@ FourPhaseEnv::CycleResult FourPhaseEnv::send(std::span<const int> values) {
 void FourPhaseEnv::send_into(std::span<const int> values, CycleResult& res) {
   assert(values.size() == spec_.inputs.size() &&
          "send: one value per input channel");
+  // Next phase-drive time: the tester waits out the gap, then (when a
+  // grid is configured) fires on its next clock edge. The batch
+  // environment computes the identical expression per lane.
+  const auto phase_time = [&](double now) {
+    const double t = now + spec_.phase_gap_ps;
+    if (spec_.phase_align_ps <= 0.0) return t;
+    return std::ceil(t / spec_.phase_align_ps) * spec_.phase_align_ps;
+  };
 
   // Reset in place; `outputs` keeps its capacity across reuses.
   res.t_start = res.t_valid = res.t_empty = res.t_end = 0.0;
@@ -125,11 +133,11 @@ void FourPhaseEnv::send_into(std::span<const int> values, CycleResult& res) {
   for (ChannelId ch : spec_.outputs) res.outputs.push_back(read_channel(ch));
 
   // Phase 2: consumer acknowledges.
-  drive_acks(true, sim_->now() + spec_.phase_gap_ps);
+  drive_acks(true, phase_time(sim_->now()));
   sim_->run_until_stable();
 
   // Phase 3: return to zero.
-  const double t3 = sim_->now() + spec_.phase_gap_ps;
+  const double t3 = phase_time(sim_->now());
   for (std::size_t i = 0; i < values.size(); ++i) {
     const netlist::Channel& ch = sim_->netlist().channel(spec_.inputs[i]);
     sim_->drive(ch.rails[static_cast<std::size_t>(values[i])], false, t3);
@@ -146,7 +154,7 @@ void FourPhaseEnv::send_into(std::span<const int> values, CycleResult& res) {
   res.t_empty = sim_->now();
 
   // Phase 4: release acknowledge.
-  drive_acks(false, sim_->now() + spec_.phase_gap_ps);
+  drive_acks(false, phase_time(sim_->now()));
   sim_->run_until_stable();
   res.t_end = sim_->now();
 

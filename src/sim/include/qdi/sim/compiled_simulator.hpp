@@ -19,7 +19,7 @@
 //     served (delay < width) is inserted into the sorted ready batch;
 //     events whose tick falls beyond one wheel rotation spill into a
 //     far-list (a small min-heap) and migrate back as the wheel turns.
-//     Pop order is the exact (t_ps, seq) total order either way; the
+//     Pop order is the exact (t_ps, net, seq) total order either way; the
 //     heap stays selectable through SchedulerKind for differential
 //     testing.
 //   * the transition log is OFF by default — acquisition streams power
@@ -184,7 +184,8 @@ class CompiledSimulator final : public SimEngine {
   std::uint64_t next_seq_ = 1;
   ForceSet forces_;
 
-  // Heap scheduler: binary min-heap on (t_ps, seq); clear() keeps capacity.
+  // Heap scheduler: binary min-heap on (t_ps, net, seq); clear() keeps
+  // capacity.
   std::vector<Event> heap_;
 
   // Wheel scheduler. buckets_[tick & mask] holds the events of absolute

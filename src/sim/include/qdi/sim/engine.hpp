@@ -26,10 +26,16 @@ namespace qdi::sim {
 enum class EngineKind {
   Compiled,   ///< flattened SoA kernel (default)
   Reference,  ///< construction-form interpreter
+  /// Bit-parallel 64-lane kernel (sim::BatchSimulator): fault-free power
+  /// acquisition only. Campaign::engine(Batch) builds a
+  /// campaign::BatchSimTraceSource; combinations the kernel cannot honor
+  /// (fault injection, non-levelizable netlists) throw instead of
+  /// silently falling back to a scalar engine.
+  Batch,
 };
 
 /// Event-queue implementation of the compiled kernel. Both schedulers
-/// pop events in the exact (t_ps, seq) total order, so every trace,
+/// pop events in the exact (t_ps, net, seq) total order, so every trace,
 /// power sample, and campaign result is bit-identical between them —
 /// the heap stays selectable for differential testing
 /// (tests/test_compiled_sim.cpp, tests/test_property_fuzz.cpp).

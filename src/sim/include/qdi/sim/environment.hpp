@@ -29,6 +29,15 @@ struct EnvSpec {
   netlist::NetId reset = netlist::kNoNet;  ///< active-high reset input
   double period_ps = 4000.0;  ///< cycle period (trace window length)
   double phase_gap_ps = 50.0; ///< idle gap the env waits before each phase
+  /// Tester time grid for the ack/return-to-zero phase drives: when > 0,
+  /// each phase 2/3/4 drive time is rounded UP to the next multiple of
+  /// this grid (a real tester toggles pins on a clock, not at the DUT's
+  /// exact completion instant). 0 keeps the exact now + phase_gap_ps
+  /// times. Besides realism, a grid makes traces with different data
+  /// reach the later phases at the SAME absolute times — which is what
+  /// lets the batch engine keep its 64 lanes in lockstep through the
+  /// return-to-zero wavefront instead of diverging per lane.
+  double phase_align_ps = 0.0;
   /// Strict mode (default) logs a warning on a stalled handshake and
   /// throws when a cycle overruns the period — right for fault-free
   /// acquisition, where either is a harness bug. Fault campaigns run

@@ -17,10 +17,12 @@
 //     input-driven nets replay the shadow drive.
 //
 // Because suppression happens before sequence allocation and marker
-// handling is identical in both engines, the (t_ps, seq) event stream —
-// and hence every transition, power sample, and classification — stays
-// bit-identical between the reference interpreter and the compiled
-// kernel (wheel or heap) under the same armed fault.
+// handling is identical in both engines, the (t_ps, net, seq) event
+// stream — and hence every transition, power sample, and classification
+// — stays bit-identical between the reference interpreter and the
+// compiled kernel (wheel or heap) under the same armed fault. (Markers
+// sort after normal events of the *same net* at the same timestamp;
+// across nets the net id decides, consistently in every engine.)
 #pragma once
 
 #include <cstdint>

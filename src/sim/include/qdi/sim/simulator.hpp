@@ -108,9 +108,17 @@ class Simulator final : public SimEngine {
     netlist::NetId net;
     bool value;
   };
+  // Canonical (t_ps, net, seq) total order shared by every engine. The
+  // net tie-break (rather than raw insertion order) is what lets the
+  // batch engine key its merged 64-lane queue on (t, net) and still
+  // replay each lane's commit/glitch/power stream bit-identically —
+  // see sim/batch_simulator.hpp. At most one *live* event exists per
+  // (t, net) (delays are strictly positive; one pending per net), so
+  // the seq component only orders tombstones and force markers.
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.t_ps != b.t_ps) return a.t_ps > b.t_ps;
+      if (a.net != b.net) return a.net > b.net;
       return a.seq > b.seq;
     }
   };

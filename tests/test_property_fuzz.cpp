@@ -7,9 +7,13 @@
 //   * stay glitch-free.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "qdi/campaign/batch_trace_source.hpp"
+#include "qdi/campaign/trace_source.hpp"
 #include "qdi/gates/builder.hpp"
 #include "qdi/sim/compiled_simulator.hpp"
 #include "qdi/sim/environment.hpp"
@@ -190,7 +194,7 @@ INSTANTIATE_TEST_SUITE_P(RandomDags, FuzzSymmetry,
 //
 // The time-wheel and heap schedulers of the compiled kernel must produce
 // identical transition logs on ANY netlist, delay model, stimulus
-// sequence, and epoch save/restore pattern — the (t_ps, seq) total order
+// sequence, and epoch save/restore pattern — the (t_ps, net, seq) total order
 // is scheduler-independent by construction, and this fuzz pass pins it
 // across random instances of all four dimensions (plus the reference
 // interpreter as a third witness).
@@ -313,7 +317,7 @@ INSTANTIATE_TEST_SUITE_P(RandomDags, FuzzScheduler,
 // With a randomly armed fault (site, kind, offset, width all fuzzed) the
 // three engines must still agree transition for transition: the marker
 // events and forced-value suppression are part of the deterministic
-// (t_ps, seq) order, whether the faulted cycle completes, stalls, or
+// (t_ps, net, seq) order, whether the faulted cycle completes, stalls, or
 // aborts.
 
 class FuzzFaultInjection : public ::testing::TestWithParam<std::uint64_t> {};
@@ -397,4 +401,95 @@ TEST_P(FuzzFaultInjection, EnginesAgreeUnderRandomFaults) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomDags, FuzzFaultInjection,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+// ---- batch-engine differential fuzz ----------------------------------------
+//
+// Three-way witness for the 64-lane batch kernel: on random DAGs, random
+// delay models, and random stimuli, acquisition through the batch engine
+// must be bit-identical (samples, ciphertexts, transition and glitch
+// counts) to BOTH scalar schedulers — at batch sizes that hit a single
+// lane, a partial block, exactly one full block, and a full block plus a
+// 1-lane tail.
+
+class FuzzBatch : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzBatch, BatchMatchesWheelAndHeapAtAwkwardBatchSizes) {
+  namespace qc = qdi::campaign;
+  qu::Rng rng(GetParam() + 11000);
+  const int num_inputs = 2 + static_cast<int>(rng.below(3));  // 2..4
+  const int num_nodes = 3 + static_cast<int>(rng.below(10));  // 3..12
+  const ExprDag dag = random_dag(rng, num_inputs, num_nodes);
+  Hardware hw(dag);
+  ASSERT_TRUE(hw.nl.check().empty());
+
+  qs::DelayModel dm;
+  dm.base_ps = 1.0 + rng.uniform(0.0, 60.0);
+  dm.per_input_ps = rng.uniform(0.0, 10.0);
+  dm.per_ff_ps = rng.uniform(0.0, 12.0);
+  dm.slew_base_ps = 1.0 + rng.uniform(0.0, 20.0);
+  dm.slew_per_ff_ps = rng.uniform(0.0, 8.0);
+
+  // Random dual-rail stimulus; the plaintext byte records the bits so a
+  // mismatch pinpoints the offending assignment.
+  const int ni = num_inputs;
+  const qc::StimulusFn stimulus = [ni](qu::Rng& r, std::size_t,
+                                       qc::Stimulus& out) {
+    out.values.clear();
+    out.plaintext.assign(1, 0);
+    for (int i = 0; i < ni; ++i) {
+      const int bit = static_cast<int>(r.below(2));
+      out.values.push_back(bit);
+      out.plaintext[0] |= static_cast<std::uint8_t>(bit << i);
+    }
+  };
+
+  const auto acquire = [&](qs::EngineKind kind, qs::SchedulerKind sched,
+                           std::size_t n) {
+    qc::SimTraceSourceOptions opt;
+    opt.engine = kind;
+    opt.scheduler = sched;
+    opt.delays = dm;
+    std::unique_ptr<qc::TraceSource> src;
+    if (kind == qs::EngineKind::Batch)
+      src = std::make_unique<qc::BatchSimTraceSource>(hw.nl, hw.spec, stimulus,
+                                                      opt);
+    else
+      src = std::make_unique<qc::SimTraceSource>(hw.nl, hw.spec, stimulus, opt);
+    return qc::acquire_batch(*src, n, /*seed=*/GetParam() + 1, 1, nullptr);
+  };
+
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}}) {
+    const qdi::dpa::TraceSet wheel =
+        acquire(qs::EngineKind::Compiled, qs::SchedulerKind::Wheel, n);
+    const qdi::dpa::TraceSet heap =
+        acquire(qs::EngineKind::Compiled, qs::SchedulerKind::Heap, n);
+    const qdi::dpa::TraceSet batch =
+        acquire(qs::EngineKind::Batch, qs::SchedulerKind::Wheel, n);
+    ASSERT_EQ(wheel.size(), n);
+    ASSERT_EQ(batch.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto pt = wheel.plaintext(i);
+      ASSERT_TRUE(std::equal(pt.begin(), pt.end(), batch.plaintext(i).begin(),
+                             batch.plaintext(i).end()))
+          << "seed " << GetParam() << " n " << n << " trace " << i;
+      const auto ct = wheel.ciphertext(i);
+      ASSERT_TRUE(std::equal(ct.begin(), ct.end(), heap.ciphertext(i).begin(),
+                             heap.ciphertext(i).end()));
+      ASSERT_TRUE(std::equal(ct.begin(), ct.end(), batch.ciphertext(i).begin(),
+                             batch.ciphertext(i).end()))
+          << "seed " << GetParam() << " n " << n << " trace " << i;
+      for (std::size_t j = 0; j < wheel.num_samples(); ++j) {
+        ASSERT_EQ(wheel.trace(i)[j], heap.trace(i)[j])
+            << "seed " << GetParam() << " n " << n << " trace " << i;
+        ASSERT_EQ(wheel.trace(i)[j], batch.trace(i)[j])
+            << "seed " << GetParam() << " n " << n << " trace " << i
+            << " sample " << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, FuzzBatch,
                          ::testing::Range<std::uint64_t>(0, 12));
