@@ -4,6 +4,8 @@
 // paper's experiments and guard against performance regressions.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "qdi/qdi.hpp"
 
 namespace qg = qdi::gates;
@@ -464,6 +466,56 @@ static void BM_FusedCampaign(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_FusedCampaign)->Unit(benchmark::kMillisecond);
+
+// The sharded-overhead pair: the SAME des_round acquire-and-attack
+// workload (16384 traces, end to end including target build), once
+// through the fused streaming loop and once through the crash-safe
+// sharded runtime committing at its DEFAULT checkpoint interval. The
+// delta is the per-trace cost of crash safety: the stream digest plus,
+// every interval, an accumulator snapshot sealed with SHA-256 and
+// published by atomic rename (~6 MB for a des_round DPA state). The CI
+// bench job prints the fused/sharded ratio as an informational row —
+// at the default interval the tax should stay under ~5% per trace.
+// The trace count matters: it has to cover several default-interval
+// windows, or the pair would only measure the one final commit.
+static void BM_FusedCampaignDes(benchmark::State& state) {
+  const qdi::campaign::CircuitTarget target = qdi::campaign::des_round();
+  for (auto _ : state) {
+    const qdi::campaign::CampaignResult r = qdi::campaign::Campaign()
+                                                .target(target)
+                                                .key(0x0123456789abULL)
+                                                .traces(16384)
+                                                .fused(256)
+                                                .attack(qdi::campaign::Dpa{})
+                                                .run();
+    benchmark::DoNotOptimize(r.attack->best_guess);
+  }
+  state.SetItemsProcessed(state.iterations() * 16384);
+}
+BENCHMARK(BM_FusedCampaignDes)->Unit(benchmark::kMillisecond);
+
+static void BM_ShardedCampaign(benchmark::State& state) {
+  const qdi::campaign::CircuitTarget target = qdi::campaign::des_round();
+  qdi::campaign::ShardedOptions opt;
+  opt.shards = 1;  // isolate the checkpoint tax, not the merge/partition
+  opt.checkpoint_dir = "bench_sharded_ckpt";
+  for (auto _ : state) {
+    // Wipe the previous iteration's checkpoints: a completed store would
+    // short-circuit the run into pure recovery and measure nothing.
+    std::remove(qdi::campaign::checkpoint_path(opt.checkpoint_dir, 0).c_str());
+    std::remove(
+        qdi::campaign::checkpoint_prev_path(opt.checkpoint_dir, 0).c_str());
+    const qdi::campaign::ShardedResult r = qdi::campaign::Campaign()
+                                               .target(target)
+                                               .key(0x0123456789abULL)
+                                               .traces(16384)
+                                               .attack(qdi::campaign::Dpa{})
+                                               .sharded(opt);
+    benchmark::DoNotOptimize(r.attack->best_guess);
+  }
+  state.SetItemsProcessed(state.iterations() * 16384);
+}
+BENCHMARK(BM_ShardedCampaign)->Unit(benchmark::kMillisecond);
 
 // Fault-injection sweep on the des_sbox_slice victim: a fixed
 // (12 sites x stuck-at-0/1 x 2 repeats) grid, every run classified as

@@ -6,10 +6,12 @@
 #include <stdexcept>
 #include <utility>
 
+#include "attack_state.hpp"
 #include "qdi/campaign/batch_trace_source.hpp"
 #include "qdi/dpa/online.hpp"
 #include "qdi/netlist/graph.hpp"
 #include "qdi/netlist/symmetry.hpp"
+#include "qdi/util/sha256.hpp"
 
 namespace qdi::campaign {
 
@@ -21,47 +23,25 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Resolve the Dpa bit list against the target's selection functions.
-std::vector<dpa::SelectionFn> resolve_bits(const Dpa& cfg,
-                                           const TargetInstance& inst) {
-  std::vector<dpa::SelectionFn> bits;
-  if (cfg.bits.empty()) {
-    bits = inst.selection_bits;
-  } else {
-    for (int b : cfg.bits) {
-      if (b < 0 || static_cast<std::size_t>(b) >= inst.selection_bits.size())
-        throw std::invalid_argument(
-            "Campaign: Dpa bit index out of range for target '" + inst.name +
-            "'");
-      bits.push_back(inst.selection_bits[static_cast<std::size_t>(b)]);
-    }
-  }
-  return bits;
-}
-
 /// Single-pass analysis driver shared by the materialized and fused
 /// campaign paths. Traces are fed in index order (whole set at once, or
 /// chunk by chunk); at each precomputed checkpoint the running sums are
 /// finalized in place to emit a rank-trajectory point and/or advance the
 /// measurements-to-disclosure scan. Because both paths push the same
 /// traces through the same accumulators in the same order, their
-/// results are bit-identical by construction.
+/// results are bit-identical by construction. The accumulator pair and
+/// the probe rules live in detail::AttackState, shared with the sharded
+/// runtime (shard.cpp) so the two paths cannot drift.
 class StreamingAnalysis {
  public:
-  StreamingAnalysis(const std::variant<std::monostate, Dpa, Cpa>& attack,
-                    const TargetInstance& inst, std::size_t rank_step,
-                    std::size_t total)
-      : inst_(inst), total_(total) {
+  StreamingAnalysis(const AttackConfig& attack, const TargetInstance& inst,
+                    std::size_t rank_step, std::size_t total)
+      : state_(attack, inst), total_(total) {
     if (const Dpa* cfg = std::get_if<Dpa>(&attack)) {
-      dpa_cfg_ = *cfg;
-      dpa_.emplace(resolve_bits(*cfg, inst), inst.num_guesses);
-      if (cfg->compute_mtd)
-        plan_mtd(cfg->mtd_start, cfg->mtd_step);
+      if (cfg->compute_mtd) plan_mtd(cfg->mtd_start, cfg->mtd_step);
     } else {
-      cpa_cfg_ = std::get<Cpa>(attack);
-      cpa_.emplace(inst.leakage, inst.num_guesses);
-      if (cpa_cfg_->compute_mtd)
-        plan_mtd(cpa_cfg_->mtd_start, cpa_cfg_->mtd_step);
+      const Cpa& c = std::get<Cpa>(attack);
+      if (c.compute_mtd) plan_mtd(c.mtd_start, c.mtd_step);
     }
     if (rank_step > 0)
       for (std::size_t n = rank_step; n < total_; n += rank_step)
@@ -90,46 +70,19 @@ class StreamingAnalysis {
     while (next_cp_ < checkpoints_.size() &&
            checkpoints_[next_cp_].n <= first + segment.size()) {
       const Checkpoint& cp = checkpoints_[next_cp_];
-      add_rows(segment, lo, cp.n - first);
+      state_.add_rows(segment, lo, cp.n - first);
       lo = cp.n - first;
       probe(cp);
       ++next_cp_;
     }
-    add_rows(segment, lo, segment.size());
+    state_.add_rows(segment, lo, segment.size());
   }
 
   /// Final attack outcome + the closing rank-trajectory point.
   AttackOutcome finish(std::size_t rank_step,
                        std::vector<RankPoint>& trajectory) {
-    AttackOutcome out;
-    if (dpa_) {
-      const dpa::KeyRecoveryResult rec = dpa_->recover(dpa_cfg_->window);
-      out.kind = "dpa";
-      out.guess_scores = rec.guess_peak;
-      out.best_guess = rec.best_guess;
-      out.best_score = rec.best_peak;
-      out.second_score = rec.second_peak;
-      out.margin = rec.margin();
-      out.true_key_rank = rec.rank_of(inst_.true_guess);
-      const dpa::BiasResult known =
-          dpa_->bias(inst_.true_guess, 0, dpa_cfg_->window);
-      out.known_key_bias_peak = known.peak;
-      out.known_key_bias_integral = known.integrated;
-      if (dpa_cfg_->compute_mtd && out.true_key_rank == 0)
-        out.mtd = mtd_.value();
-    } else {
-      const dpa::CpaResult rec =
-          cpa_->finalize(cpa_cfg_->window_lo, cpa_cfg_->window_hi);
-      out.kind = "cpa";
-      out.guess_scores = rec.correlation;
-      out.best_guess = rec.best_guess;
-      out.best_score = rec.best_rho;
-      out.second_score = rec.second_rho;
-      out.margin = rec.margin();
-      out.true_key_rank = rec.rank_of(inst_.true_guess);
-      if (cpa_cfg_->compute_mtd && out.true_key_rank == 0)
-        out.mtd = mtd_.value();
-    }
+    AttackOutcome out = state_.outcome();
+    if (state_.mtd_enabled() && out.true_key_rank == 0) out.mtd = mtd_.value();
     trajectory = std::move(trajectory_);
     if (rank_step > 0) trajectory.push_back({total_, out.true_key_rank});
     return out;
@@ -147,43 +100,13 @@ class StreamingAnalysis {
       mtd_points_.push_back(n);
   }
 
-  void add_rows(const dpa::TraceSet& segment, std::size_t lo, std::size_t hi) {
-    if (lo >= hi) return;
-    if (dpa_)
-      dpa_->add_prefix(segment, lo, hi);
-    else
-      cpa_->add_prefix(segment, lo, hi);
-  }
-
   void probe(const Checkpoint& cp) {
-    if (dpa_) {
-      if (cp.rank) {
-        const dpa::KeyRecoveryResult r = dpa_->recover(dpa_cfg_->window);
-        trajectory_.push_back({cp.n, r.rank_of(inst_.true_guess)});
-      }
-      if (cp.mtd) {
-        // The MTD scan uses the single-bit D-function (the paper's
-        // historical attack), exactly like dpa::measurements_to_disclosure.
-        const dpa::KeyRecoveryResult r = dpa_->recover_single(0, dpa_cfg_->window);
-        mtd_.probe((r.best_guess == inst_.true_guess) && r.best_peak > 0.0,
-                   cp.n);
-      }
-    } else {
-      const dpa::CpaResult r =
-          cpa_->finalize(cpa_cfg_->window_lo, cpa_cfg_->window_hi);
-      if (cp.rank) trajectory_.push_back({cp.n, r.rank_of(inst_.true_guess)});
-      if (cp.mtd)
-        mtd_.probe((r.best_guess == inst_.true_guess) && r.best_rho > 0.0,
-                   cp.n);
-    }
+    if (cp.rank) trajectory_.push_back({cp.n, state_.rank_now()});
+    if (cp.mtd) mtd_.probe(state_.mtd_success_now(), cp.n);
   }
 
-  const TargetInstance& inst_;
+  detail::AttackState state_;
   std::size_t total_;
-  std::optional<Dpa> dpa_cfg_;
-  std::optional<Cpa> cpa_cfg_;
-  std::optional<dpa::OnlineDpa> dpa_;
-  std::optional<dpa::OnlineCpa> cpa_;
   std::vector<Checkpoint> checkpoints_;
   std::vector<std::size_t> mtd_points_;
   std::size_t next_cp_ = 0;
@@ -389,6 +312,122 @@ CampaignResult Campaign::run_stages(
   }
 
   res.nl = std::move(inst.nl);
+  res.total_wall_ms = ms_since(t_run);
+  return res;
+}
+
+namespace {
+
+/// Campaign-configuration fingerprint: ties a shard checkpoint to one
+/// (target, key, seed, budget, shard geometry, attack, trace physics)
+/// tuple. Engine, scheduler, thread count, and checkpoint interval are
+/// deliberately excluded — none of them changes a single trace value
+/// (the determinism contract of trace_source.hpp), so a campaign may
+/// resume on a different engine or commit cadence; the shard stream
+/// digest remains the arbiter of trace identity.
+std::uint64_t config_fingerprint(const TargetInstance& inst, std::uint64_t key,
+                                 std::uint64_t seed, std::size_t num_traces,
+                                 std::size_t shards, const AttackConfig& attack,
+                                 const SimTraceSourceOptions& opt) {
+  util::Sha256 h;
+  const auto str = [&](std::string_view s) {
+    h.update_u64(s.size());
+    h.update(s.data(), s.size());
+  };
+  const auto f64 = [&](double v) { h.update(&v, sizeof(v)); };
+  str("qdi-sharded-campaign-v1");
+  str(inst.name);
+  h.update_u64(key);
+  h.update_u64(seed);
+  h.update_u64(num_traces);
+  h.update_u64(shards);
+  h.update_u64(inst.num_guesses);
+  if (const Dpa* d = std::get_if<Dpa>(&attack)) {
+    str("dpa");
+    h.update_u64(d->bits.size());
+    for (int b : d->bits) h.update_u64(static_cast<std::uint64_t>(b));
+    h.update_u64(inst.selection_bits.size());
+  } else {
+    str("cpa");
+  }
+  // Trace physics: any change alters the sample values themselves, so
+  // sums from an old configuration must never merge into a new one.
+  f64(opt.delays.base_ps);
+  f64(opt.delays.per_input_ps);
+  f64(opt.delays.per_ff_ps);
+  f64(opt.delays.slew_base_ps);
+  f64(opt.delays.slew_per_ff_ps);
+  f64(opt.power.vdd);
+  f64(opt.power.sample_period_ps);
+  f64(opt.power.cpar_ff);
+  f64(opt.power.csc_ff);
+  f64(opt.power.rise_weight);
+  f64(opt.power.fall_weight);
+  f64(opt.power.noise_sigma_ua);
+  f64(opt.start_jitter_ps);
+  const std::array<std::uint8_t, 32> d = h.digest();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(d[static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+ShardedResult Campaign::sharded(ShardedOptions opt) const {
+  const auto t_run = std::chrono::steady_clock::now();
+  if (!target_.valid())
+    throw std::invalid_argument("Campaign: no target set");
+  if (std::holds_alternative<std::monostate>(attack_))
+    throw std::invalid_argument(
+        "Campaign: sharded() streams into attack accumulators — configure "
+        "attack(Dpa) or attack(Cpa)");
+  if (num_traces_ == 0)
+    throw std::invalid_argument("Campaign: sharded() needs traces(n > 0)");
+  if (opt.checkpoint_dir.empty())
+    throw std::invalid_argument(
+        "Campaign: sharded() needs a checkpoint_dir for its durable state");
+  if (faults_)
+    throw std::invalid_argument(
+        "Campaign: sharded() does not run the faults() probe — run it as a "
+        "separate campaign over the same target");
+  if (rank_step_ > 0)
+    throw std::invalid_argument(
+        "Campaign: sharded() probes the rank trajectory at shard merge "
+        "boundaries; drop rank_trajectory()");
+  TargetInstance inst = target_.build(key_);
+  validate(inst);
+
+  // Same victim-preparation stages as run_stages: the shard runtime
+  // attacks exactly the netlist a fused run() would attack.
+  if (flow_) core::run_secure_flow(inst.nl, *flow_);
+  for (const PrepareFn& fn : prepare_) fn(inst.nl);
+  if (recipe_) recipe_->pipeline.run(inst.nl);
+
+  const std::unique_ptr<TraceSource> src =
+      source_ ? source_(inst, opt_)
+      : opt_.engine == sim::EngineKind::Batch
+          ? std::unique_ptr<TraceSource>(std::make_unique<BatchSimTraceSource>(
+                inst.nl, inst.env, inst.stimulus, opt_))
+          : std::make_unique<SimTraceSource>(inst.nl, inst.env, inst.stimulus,
+                                             opt_);
+
+  const std::size_t shards =
+      plan_shards(num_traces_, opt.shards).size();  // after clamping
+  CoordinatorConfig cfg;
+  cfg.inst = &inst;
+  cfg.attack = &attack_;
+  cfg.primary = src.get();
+  cfg.fingerprint = config_fingerprint(inst, key_, seed_, num_traces_, shards,
+                                       attack_, opt_);
+  cfg.seed = seed_;
+  cfg.num_traces = num_traces_;
+  cfg.threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads_ == 0 ? 1 : threads_, num_traces_));
+  opt.shards = shards;
+  Coordinator coordinator(cfg, std::move(opt));
+  ShardedResult res = coordinator.run();
+  res.key = key_;
   res.total_wall_ms = ms_since(t_run);
   return res;
 }

@@ -31,7 +31,9 @@
 #include <variant>
 #include <vector>
 
+#include "qdi/campaign/attack.hpp"
 #include "qdi/campaign/fault_campaign.hpp"
+#include "qdi/campaign/shard.hpp"
 #include "qdi/campaign/target.hpp"
 #include "qdi/campaign/trace_source.hpp"
 #include "qdi/core/criterion.hpp"
@@ -40,50 +42,6 @@
 #include "qdi/xform/pass.hpp"
 
 namespace qdi::campaign {
-
-/// Difference-of-means DPA (eqs. 7-9 of the paper).
-struct Dpa {
-  /// Selection-bit indices into the target's selection_bits (empty = all:
-  /// the multi-bit refinement). A single entry is the paper's historical
-  /// single-bit D-function.
-  std::vector<int> bits;
-  dpa::SampleWindow window{};
-  /// Also scan measurements-to-disclosure (uses the first selection bit).
-  bool compute_mtd = false;
-  std::size_t mtd_start = 50;
-  std::size_t mtd_step = 50;
-};
-
-/// Correlation power analysis over the target's leakage model.
-struct Cpa {
-  std::size_t window_lo = 0;
-  std::size_t window_hi = 0;
-  /// Also scan measurements-to-disclosure (same stability rule as Dpa).
-  bool compute_mtd = false;
-  std::size_t mtd_start = 50;
-  std::size_t mtd_step = 50;
-};
-
-struct AttackOutcome {
-  std::string kind;  ///< "dpa" or "cpa"
-  std::vector<double> guess_scores;
-  unsigned best_guess = 0;
-  double best_score = 0.0;
-  double second_score = 0.0;
-  double margin = 0.0;           ///< best / nearest rival
-  std::size_t true_key_rank = 0; ///< 0 = key recovered exactly
-  std::size_t mtd = 0;           ///< measurements-to-disclosure (0 = n/a)
-  /// Designer-side known-key assessment: DPA bias at the true guess.
-  double known_key_bias_peak = 0.0;
-  double known_key_bias_integral = 0.0;
-  double wall_ms = 0.0;
-};
-
-/// True-key rank as a function of the trace-count prefix.
-struct RankPoint {
-  std::size_t traces = 0;
-  std::size_t rank = 0;
-};
 
 struct CampaignResult {
   std::string target;
@@ -268,6 +226,21 @@ class Campaign {
   /// std::invalid_argument on an inconsistent configuration.
   CampaignResult run() const;
 
+  /// Crash-safe sharded run (shard.hpp): partition the trace budget
+  /// into `opt.shards` deterministic index ranges, run each shard's
+  /// fused acquire-and-attack loop with durable checkpoints every
+  /// `opt.checkpoint_interval` traces, and merge the shard states into
+  /// one attack outcome. A killed run re-invoked with the same
+  /// configuration resumes from the checkpoints in `opt.checkpoint_dir`
+  /// and produces bit-identical results to an uninterrupted sharded run
+  /// (tests/test_shard_runtime.cpp); a degraded run (a shard exhausted
+  /// its attempts) merges every durable partial sum and reports honest
+  /// per-shard coverage instead of throwing. Requires attack(),
+  /// traces(n > 0), and a checkpoint_dir; incompatible with faults()
+  /// and rank_trajectory() (the sharded trajectory is probed at shard
+  /// boundaries instead). Throws std::invalid_argument otherwise.
+  ShardedResult sharded(ShardedOptions opt) const;
+
   /// Run the same campaign once per countermeasure recipe and compare:
   /// each variant rebuilds the victim from the target's parameterized
   /// builder, runs flow + prepare, applies the recipe's pass pipeline,
@@ -299,7 +272,7 @@ class Campaign {
   unsigned threads_ = 1;
   std::uint64_t seed_ = 1;
   SimTraceSourceOptions opt_{};
-  std::variant<std::monostate, Dpa, Cpa> attack_;
+  AttackConfig attack_;
   std::optional<FaultCampaignOptions> faults_;
   SourceFactory source_;
   std::size_t rank_step_ = 0;

@@ -181,6 +181,19 @@ class WorkerPool {
                                std::size_t first)>& consume,
       AcquisitionStats* stats = nullptr);
 
+  /// Ranged form of acquire_chunked: stream traces [first, first + count)
+  /// of campaign `seed` — the feed of one campaign shard, whose range
+  /// does not start at 0. Trace values are bit-identical to acquire()/
+  /// acquire_chunked() on the same indices for any thread count, chunk
+  /// size, or range partition (the determinism contract above).
+  /// acquire_chunked(n, ...) is exactly acquire_chunked_range(0, n, ...).
+  void acquire_chunked_range(
+      std::size_t first_index, std::size_t count, std::uint64_t seed,
+      std::size_t chunk,
+      const std::function<void(const dpa::TraceSet& segment,
+                               std::size_t first)>& consume,
+      AcquisitionStats* stats = nullptr);
+
   /// Chunked acquisition delivering the raw AcquiredTrace records, in
   /// index order, without assembling a power-trace matrix — the feed of
   /// the fault campaign, whose records carry classifications and

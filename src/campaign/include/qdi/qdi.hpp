@@ -9,8 +9,10 @@
 #pragma once
 
 // util
+#include "qdi/util/atomic_file.hpp"
 #include "qdi/util/log.hpp"
 #include "qdi/util/rng.hpp"
+#include "qdi/util/sha256.hpp"
 #include "qdi/util/stats.hpp"
 #include "qdi/util/table.hpp"
 
@@ -77,8 +79,11 @@
 #include "qdi/dpa/trace_set.hpp"
 
 // campaign API
+#include "qdi/campaign/attack.hpp"
 #include "qdi/campaign/batch_trace_source.hpp"
 #include "qdi/campaign/campaign.hpp"
+#include "qdi/campaign/checkpoint.hpp"
 #include "qdi/campaign/fault_campaign.hpp"
+#include "qdi/campaign/shard.hpp"
 #include "qdi/campaign/target.hpp"
 #include "qdi/campaign/trace_source.hpp"

@@ -258,20 +258,30 @@ void WorkerPool::acquire_chunked(
     const std::function<void(const dpa::TraceSet& segment, std::size_t first)>&
         consume,
     AcquisitionStats* stats) {
+  acquire_chunked_range(0, num_traces, seed, chunk, consume, stats);
+}
+
+void WorkerPool::acquire_chunked_range(
+    std::size_t first_index, std::size_t count, std::uint64_t seed,
+    std::size_t chunk,
+    const std::function<void(const dpa::TraceSet& segment, std::size_t first)>&
+        consume,
+    AcquisitionStats* stats) {
   const auto t0 = std::chrono::steady_clock::now();
   if (chunk == 0) chunk = 1;
+  const std::size_t end = first_index + count;
 
   AcquisitionStats st;
-  st.threads_used = clamp_threads(threads(), num_traces);
+  st.threads_used = clamp_threads(threads(), count);
   // No per_trace_transitions here: a per-trace vector would grow with
   // the trace budget, defeating the O(chunk) memory contract. Aggregate
   // counters are still exact.
 
-  if (scratch_.size() < std::min(chunk, num_traces))
-    scratch_.resize(std::min(chunk, num_traces));
+  if (scratch_.size() < std::min(chunk, count))
+    scratch_.resize(std::min(chunk, count));
   dpa::TraceSet& segment = chunk_buf_;
-  for (std::size_t first = 0; first < num_traces; first += chunk) {
-    const std::size_t hi = std::min(first + chunk, num_traces);
+  for (std::size_t first = first_index; first < end; first += chunk) {
+    const std::size_t hi = std::min(first + chunk, end);
     acquire_range(first, hi, seed);
     segment.clear();
     for (std::size_t k = 0; k < hi - first; ++k) {
@@ -282,7 +292,7 @@ void WorkerPool::acquire_chunked(
     }
     consume(segment, first);
   }
-  finish_stats(st, num_traces, t0);
+  finish_stats(st, count, t0);
   if (stats) *stats = std::move(st);
 }
 

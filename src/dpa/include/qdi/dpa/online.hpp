@@ -29,6 +29,8 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "qdi/dpa/cpa.hpp"
@@ -37,6 +39,31 @@
 #include "qdi/dpa/trace_set.hpp"
 
 namespace qdi::dpa {
+
+/// Named failure of OnlineCpa/OnlineDpa::restore_state — the hardened
+/// deserialization contract the crash-safe shard runtime depends on.
+/// Every malformed buffer (truncated at any byte, trailing garbage, a
+/// foreign magic, or a snapshot taken under different guess/bit/sample
+/// geometry) is rejected with the matching kind, and the accumulator is
+/// left exactly as it was (restore parses into temporaries and commits
+/// only after every check passed).
+class StateError : public std::runtime_error {
+ public:
+  enum class Kind {
+    Truncated,  ///< buffer ends before the declared fields
+    Oversized,  ///< trailing bytes after the last field
+    BadMagic,   ///< not a snapshot of this accumulator type
+    Geometry,   ///< guess / selection-bit / sample-count mismatch
+  };
+
+  StateError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
 
 /// Stability accumulator of a measurements-to-disclosure scan: feed the
 /// (success, prefix) outcome of each probe in increasing prefix order;
@@ -96,7 +123,11 @@ class OnlineCpa {
   /// sums; the model is NOT serialized — it is code, not data).
   /// restore_state() requires an accumulator constructed with the same
   /// model and num_guesses, and replaces its state wholesale. Round-trip
-  /// is exact: serialize/restore reproduces bit-identical results.
+  /// is exact: serialize/restore reproduces bit-identical results. A
+  /// truncated, oversized, foreign, or geometry-mismatched buffer throws
+  /// StateError with the matching kind and leaves this accumulator
+  /// untouched (tests/test_online_merge.cpp fuzzes every truncation
+  /// length).
   std::vector<std::uint8_t> serialize_state() const;
   void restore_state(std::span<const std::uint8_t> bytes);
 
@@ -151,8 +182,10 @@ class OnlineDpa {
   /// the selection-bit count).
   void merge(const OnlineDpa& other);
 
-  /// State snapshot / restore; see OnlineCpa. restore_state() requires
-  /// the same selection bits and num_guesses at construction.
+  /// State snapshot / restore; see OnlineCpa (same StateError contract:
+  /// malformed buffers are rejected wholesale, the accumulator keeps its
+  /// prior state). restore_state() requires the same selection bits and
+  /// num_guesses at construction.
   std::vector<std::uint8_t> serialize_state() const;
   void restore_state(std::span<const std::uint8_t> bytes);
 

@@ -390,7 +390,7 @@ class Reader {
   explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
   std::uint64_t u64() {
-    if (pos_ + 8 > bytes_.size()) fail();
+    if (bytes_.size() - pos_ < 8) truncated();
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i)
       v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
@@ -398,9 +398,13 @@ class Reader {
     return v;
   }
 
+  // The element counts are length-prefixed and attacker-controlled, so
+  // the bound checks divide instead of multiplying — `n * sizeof(T)`
+  // on a hostile n would wrap around std::uint64_t and pass a `pos + n
+  // * size > total` comparison that the buffer cannot actually satisfy.
   void doubles(std::vector<double>& out) {
     const std::uint64_t n = u64();
-    if (pos_ + n * sizeof(double) > bytes_.size()) fail();
+    if (n > (bytes_.size() - pos_) / sizeof(double)) truncated();
     out.resize(n);
     std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(double));
     pos_ += n * sizeof(double);
@@ -408,20 +412,24 @@ class Reader {
 
   void u32s(std::vector<std::uint32_t>& out) {
     const std::uint64_t n = u64();
-    if (pos_ + n * sizeof(std::uint32_t) > bytes_.size()) fail();
+    if (n > (bytes_.size() - pos_) / sizeof(std::uint32_t)) truncated();
     out.resize(n);
     std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(std::uint32_t));
     pos_ += n * sizeof(std::uint32_t);
   }
 
   void expect_end() const {
-    if (pos_ != bytes_.size()) fail();
+    if (pos_ != bytes_.size())
+      throw StateError(StateError::Kind::Oversized,
+                       "Online accumulator: state snapshot has trailing "
+                       "bytes past the last field");
   }
 
  private:
-  [[noreturn]] static void fail() {
-    throw std::invalid_argument(
-        "Online accumulator: malformed state snapshot");
+  [[noreturn]] static void truncated() {
+    throw StateError(StateError::Kind::Truncated,
+                     "Online accumulator: state snapshot ends before the "
+                     "declared fields");
   }
 
   std::span<const std::uint8_t> bytes_;
@@ -467,27 +475,38 @@ std::vector<std::uint8_t> OnlineCpa::serialize_state() const {
 }
 
 void OnlineCpa::restore_state(std::span<const std::uint8_t> bytes) {
+  // Parse into temporaries and commit only after every check passed:
+  // a rejected snapshot (StateError of any kind) must leave this
+  // accumulator exactly as it was, or a shard that falls back to an
+  // older checkpoint after a corrupt one would start from garbage.
   Reader r(bytes);
   if (r.u64() != kCpaMagic)
-    throw std::invalid_argument(
-        "OnlineCpa::restore_state: not an OnlineCpa snapshot");
+    throw StateError(StateError::Kind::BadMagic,
+                     "OnlineCpa::restore_state: not an OnlineCpa snapshot");
   if (r.u64() != guesses_)
-    throw std::invalid_argument(
-        "OnlineCpa::restore_state: snapshot was taken with a different "
-        "num_guesses");
+    throw StateError(StateError::Kind::Geometry,
+                     "OnlineCpa::restore_state: snapshot was taken with a "
+                     "different num_guesses");
   const std::uint64_t m = r.u64();
   const std::uint64_t n = r.u64();
-  r.doubles(sum_s_);
-  r.doubles(sum_s2_);
-  r.doubles(sum_h_);
-  r.doubles(sum_h2_);
-  r.doubles(sum_hs_);
+  std::vector<double> s, s2, h, h2, hs;
+  r.doubles(s);
+  r.doubles(s2);
+  r.doubles(h);
+  r.doubles(h2);
+  r.doubles(hs);
   r.expect_end();
-  if (sum_s_.size() != m || sum_s2_.size() != m ||
-      sum_h_.size() != guesses_ || sum_h2_.size() != guesses_ ||
-      sum_hs_.size() != static_cast<std::size_t>(guesses_) * m)
-    throw std::invalid_argument(
-        "OnlineCpa::restore_state: inconsistent snapshot geometry");
+  if (s.size() != m || s2.size() != m || h.size() != guesses_ ||
+      h2.size() != guesses_ ||
+      hs.size() != static_cast<std::size_t>(guesses_) * m)
+    throw StateError(StateError::Kind::Geometry,
+                     "OnlineCpa::restore_state: inconsistent snapshot "
+                     "geometry");
+  sum_s_ = std::move(s);
+  sum_s2_ = std::move(s2);
+  sum_h_ = std::move(h);
+  sum_h2_ = std::move(h2);
+  sum_hs_ = std::move(hs);
   m_ = m;
   n_ = n;
 }
@@ -523,25 +542,31 @@ std::vector<std::uint8_t> OnlineDpa::serialize_state() const {
 }
 
 void OnlineDpa::restore_state(std::span<const std::uint8_t> bytes) {
+  // Same parse-then-commit discipline as OnlineCpa::restore_state.
   Reader r(bytes);
   if (r.u64() != kDpaMagic)
-    throw std::invalid_argument(
-        "OnlineDpa::restore_state: not an OnlineDpa snapshot");
+    throw StateError(StateError::Kind::BadMagic,
+                     "OnlineDpa::restore_state: not an OnlineDpa snapshot");
   if (r.u64() != guesses_ || r.u64() != bits_.size())
-    throw std::invalid_argument(
-        "OnlineDpa::restore_state: snapshot was taken with a different "
-        "guess/selection-bit configuration");
+    throw StateError(StateError::Kind::Geometry,
+                     "OnlineDpa::restore_state: snapshot was taken with a "
+                     "different guess/selection-bit configuration");
   const std::uint64_t m = r.u64();
   const std::uint64_t n = r.u64();
-  r.doubles(sum_s_);
-  r.u32s(n1_);
-  r.doubles(sum1_);
+  std::vector<double> s, s1;
+  std::vector<std::uint32_t> counts;
+  r.doubles(s);
+  r.u32s(counts);
+  r.doubles(s1);
   r.expect_end();
-  if (sum_s_.size() != m ||
-      n1_.size() != bits_.size() * guesses_ ||
-      sum1_.size() != bits_.size() * static_cast<std::size_t>(guesses_) * m)
-    throw std::invalid_argument(
-        "OnlineDpa::restore_state: inconsistent snapshot geometry");
+  if (s.size() != m || counts.size() != bits_.size() * guesses_ ||
+      s1.size() != bits_.size() * static_cast<std::size_t>(guesses_) * m)
+    throw StateError(StateError::Kind::Geometry,
+                     "OnlineDpa::restore_state: inconsistent snapshot "
+                     "geometry");
+  sum_s_ = std::move(s);
+  n1_ = std::move(counts);
+  sum1_ = std::move(s1);
   m_ = m;
   n_ = n;
 }

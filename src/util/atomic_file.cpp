@@ -1,0 +1,94 @@
+#include "qdi/util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace qdi::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& step, const std::string& path) {
+  throw std::runtime_error("atomic_write_file: " + step + " failed for '" +
+                           path + "': " + std::strerror(errno));
+}
+
+/// RAII fd so every error path closes.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void fsync_parent_dir(const std::string& path) {
+  // Durability of the rename itself: fsync the containing directory.
+  // Best-effort — some filesystems refuse O_RDONLY|O_DIRECTORY fsync;
+  // the rename is still atomic without it, only its persistence across
+  // a whole-machine crash is weaker.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  Fd d{::open(dir.c_str(), O_RDONLY | O_DIRECTORY)};
+  if (d.fd >= 0) ::fsync(d.fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes,
+                       Durability durability) {
+  const std::string tmp = path + ".tmp";
+  {
+    Fd f{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644)};
+    if (f.fd < 0) fail("open(tmp)", tmp);
+    const std::uint8_t* p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+      const ::ssize_t n = ::write(f.fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::unlink(tmp.c_str());
+        fail("write", tmp);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    if (durability == Durability::Fsync && ::fsync(f.fd) != 0) {
+      ::unlink(tmp.c_str());
+      fail("fsync", tmp);
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("rename", path);
+  }
+  if (durability == Durability::Fsync) fsync_parent_dir(path);
+}
+
+std::optional<std::vector<std::uint8_t>> read_file_if_exists(
+    const std::string& path) {
+  Fd f{::open(path.c_str(), O_RDONLY)};
+  if (f.fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throw std::runtime_error("read_file_if_exists: open failed for '" + path +
+                             "': " + std::strerror(errno));
+  }
+  std::vector<std::uint8_t> out;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ::ssize_t n = ::read(f.fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("read_file_if_exists: read failed for '" +
+                               path + "': " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  return out;
+}
+
+}  // namespace qdi::util

@@ -1,0 +1,48 @@
+// Crash-safe file primitives for the checkpoint runtime.
+//
+// atomic_write_file publishes a byte buffer with the classic
+// temp-file + fsync + rename(2) sequence: the data is fully durable in
+// a sibling temp file before the atomic rename makes it visible under
+// the final name. A process killed at ANY instant therefore leaves the
+// destination either untouched (old content, or absent) or fully
+// written — never a torn mix. That property is what lets the shard
+// checkpoint loader treat a malformed file as corruption to reject
+// rather than an expected intermediate state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qdi::util {
+
+/// How hard atomic_write_file pushes the bytes toward stable storage.
+enum class Durability {
+  /// fsync the temp file before the rename and the directory after it:
+  /// the published contents survive even a whole-machine crash.
+  Fsync,
+  /// Skip both fsyncs. The rename is still atomic and the temp file
+  /// never aliases `path`, so a killed PROCESS leaves either the old
+  /// or the new complete contents — but an OS crash or power loss may
+  /// roll the file back to whatever the page cache last wrote out.
+  RenameOnly,
+};
+
+/// Atomically replace `path` with `bytes`. The temp file lives in the
+/// same directory (rename must not cross filesystems) and, under
+/// Durability::Fsync, is fsynced before the rename with the directory
+/// fsynced after it so the rename itself survives a crash. Throws
+/// std::runtime_error naming the failing step on I/O errors (and
+/// unlinks the temp file best-effort).
+void atomic_write_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes,
+                       Durability durability = Durability::Fsync);
+
+/// Whole-file read. Returns nullopt when the file does not exist;
+/// throws std::runtime_error on any other I/O failure.
+std::optional<std::vector<std::uint8_t>> read_file_if_exists(
+    const std::string& path);
+
+}  // namespace qdi::util

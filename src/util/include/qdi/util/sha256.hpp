@@ -1,0 +1,93 @@
+// Incremental SHA-256 (FIPS 180-4) — the integrity primitive of the
+// crash-safe campaign runtime.
+//
+// Two jobs, one implementation:
+//   * record integrity: every shard checkpoint ends in the SHA-256 of
+//     its payload, so a torn or bit-flipped file is detected instead of
+//     silently mis-restored;
+//   * stream identity: each shard keeps a running digest of its trace
+//     stream (index, plaintext, ciphertext, and a 64-bit fingerprint
+//     of the raw samples per trace — see campaign::feed_stream_digest
+//     for why the bulky sample vector enters folded). Traces are
+//     bit-identical across engines and thread counts, so two runs that
+//     produce the same digest replayed the same acquisitions — the
+//     verifiable-reproduction scheme of ROADMAP item 2.
+//
+// The running-digest use case is why the hasher exposes its mid-state
+// (`save()`/`restore()`): a checkpoint persists the digest state at the
+// committed trace index, and a resumed shard continues hashing exactly
+// where the killed one stopped. `digest()` is non-destructive — it pads
+// a copy — so the stream digest can be inspected at any commit point
+// and still keep accumulating.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace qdi::util {
+
+class Sha256 {
+ public:
+  /// Exported mid-state: the eight chaining words, the total byte count,
+  /// and the buffered partial block (`total_bytes % 64` bytes of `buf`
+  /// are meaningful). Plain data so checkpoints can serialize it.
+  struct State {
+    std::array<std::uint32_t, 8> h{};
+    std::uint64_t total_bytes = 0;
+    std::array<std::uint8_t, 64> buf{};
+
+    std::size_t buffered() const noexcept {
+      return static_cast<std::size_t>(total_bytes % 64);
+    }
+  };
+
+  Sha256() noexcept;
+
+  void update(const void* data, std::size_t len) noexcept;
+  void update(std::span<const std::uint8_t> bytes) noexcept {
+    update(bytes.data(), bytes.size());
+  }
+  /// Convenience for fixed-width fields (little-endian, matching the
+  /// checkpoint codec's integer encoding).
+  void update_u64(std::uint64_t v) noexcept;
+
+  /// Digest of everything fed so far. Non-destructive: pads a copy of
+  /// the state, so updates may continue afterwards.
+  std::array<std::uint8_t, 32> digest() const noexcept;
+  std::string hex() const;
+
+  State save() const noexcept { return state_; }
+  void restore(const State& s) noexcept { state_ = s; }
+
+  static std::array<std::uint8_t, 32> of(std::span<const std::uint8_t> bytes);
+  static std::string hex_of(std::span<const std::uint8_t> bytes);
+
+ private:
+  State state_;
+};
+
+/// True when the hasher runs on the hardware compression path (x86
+/// SHA-NI), picked once at load time. Both paths produce identical
+/// digests — the FIPS vectors pin whichever is active, and the
+/// cross-path test pins them against each other on SHA-NI machines.
+bool sha256_hw_accelerated() noexcept;
+
+namespace detail {
+/// Raw multi-block compressors over a chaining state, exposed so tests
+/// can drive the portable and dispatched paths side by side. `blocks`
+/// is `n` consecutive 64-byte message blocks; `h` is updated in place.
+void sha256_compress_portable(std::array<std::uint32_t, 8>& h,
+                              const std::uint8_t* blocks,
+                              std::size_t n) noexcept;
+/// Whatever update() itself uses: SHA-NI when available, else portable.
+void sha256_compress_best(std::array<std::uint32_t, 8>& h,
+                          const std::uint8_t* blocks, std::size_t n) noexcept;
+}  // namespace detail
+
+/// Lowercase hex rendering of a raw digest.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace qdi::util

@@ -1,0 +1,399 @@
+#include "qdi/util/sha256.hpp"
+
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QDI_SHA256_X86 1
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
+namespace qdi::util {
+
+namespace {
+
+constexpr std::uint32_t kInit[8] = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+
+constexpr std::uint32_t kRound[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+constexpr std::uint32_t rotr(std::uint32_t x, int n) noexcept {
+  return (x >> n) | (x << (32 - n));
+}
+
+#ifdef QDI_SHA256_X86
+
+bool cpu_has_sha_ni() noexcept {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (__get_cpuid_count(7, 0, &a, &b, &c, &d) == 0) return false;
+  if ((b & (1u << 29)) == 0) return false;  // SHA extensions
+  if (__get_cpuid(1, &a, &b, &c, &d) == 0) return false;
+  return (c & (1u << 9)) != 0 && (c & (1u << 19)) != 0;  // SSSE3, SSE4.1
+}
+
+// Two SHA-NI rounds per sha256rnds2; the message schedule advances four
+// words at a time through msg1/msg2. The lane layout (ABEF/CDGH state
+// pairs, byte-swapped message loads) follows the instruction set's
+// native ordering, so the packing shuffles at entry/exit are the whole
+// interface to the portable chaining state.
+__attribute__((target("sha,sse4.1,ssse3"))) void compress_shani(
+    std::array<std::uint32_t, 8>& h, const std::uint8_t* p,
+    std::size_t n) noexcept {
+  const __m128i kByteSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bll, 0x0405060700010203ll);
+  const auto k = [](std::uint64_t hi2, std::uint64_t lo2) {
+    return _mm_set_epi64x(static_cast<long long>(hi2),
+                          static_cast<long long>(lo2));
+  };
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&h[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&h[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);     // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);          // CDGH
+
+  while (n-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg, msg0, msg1, msg2, msg3;
+
+    // Rounds 0-3
+    msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 0)), kByteSwap);
+    msg = _mm_add_epi32(msg0, k(0xE9B5DBA5B5C0FBCFull, 0x71374491428A2F98ull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7
+    msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16)), kByteSwap);
+    msg = _mm_add_epi32(msg1, k(0xAB1C5ED5923F82A4ull, 0x59F111F13956C25Bull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11
+    msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32)), kByteSwap);
+    msg = _mm_add_epi32(msg2, k(0x550C7DC3243185BEull, 0x12835B01D807AA98ull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15
+    msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48)), kByteSwap);
+    msg = _mm_add_epi32(msg3, k(0xC19BF1749BDC06A7ull, 0x80DEB1FE72BE5D74ull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19
+    msg = _mm_add_epi32(msg0, k(0x240CA1CC0FC19DC6ull, 0xEFBE4786E49B69C1ull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23
+    msg = _mm_add_epi32(msg1, k(0x76F988DA5CB0A9DCull, 0x4A7484AA2DE92C6Full));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27
+    msg = _mm_add_epi32(msg2, k(0xBF597FC7B00327C8ull, 0xA831C66D983E5152ull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31
+    msg = _mm_add_epi32(msg3, k(0x1429296706CA6351ull, 0xD5A79147C6E00BF3ull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35
+    msg = _mm_add_epi32(msg0, k(0x53380D134D2C6DFCull, 0x2E1B213827B70A85ull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39
+    msg = _mm_add_epi32(msg1, k(0x92722C8581C2C92Eull, 0x766A0ABB650A7354ull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43
+    msg = _mm_add_epi32(msg2, k(0xC76C51A3C24B8B70ull, 0xA81A664BA2BFE8A1ull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47
+    msg = _mm_add_epi32(msg3, k(0x106AA070F40E3585ull, 0xD6990624D192E819ull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51
+    msg = _mm_add_epi32(msg0, k(0x34B0BCB52748774Cull, 0x1E376C0819A4C116ull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55 (message schedule exhausted after w[63])
+    msg = _mm_add_epi32(msg1, k(0x682E6FF35B9CCA4Full, 0x4ED8AA4A391C0CB3ull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59
+    msg = _mm_add_epi32(msg2, k(0x8CC7020884C87814ull, 0x78A5636F748F82EEull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63
+    msg = _mm_add_epi32(msg3, k(0xC67178F2BEF9A3F7ull, 0xA4506CEB90BEFFFAull));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    p += 64;
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);          // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);             // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&h[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&h[4]), state1);
+}
+
+#endif  // QDI_SHA256_X86
+
+using CompressFn = void (*)(std::array<std::uint32_t, 8>&,
+                            const std::uint8_t*, std::size_t);
+
+CompressFn pick_compress() noexcept {
+#ifdef QDI_SHA256_X86
+  if (cpu_has_sha_ni()) return &compress_shani;
+#endif
+  return &detail::sha256_compress_portable;
+}
+
+const CompressFn kCompress = pick_compress();
+
+}  // namespace
+
+namespace detail {
+
+void sha256_compress_portable(std::array<std::uint32_t, 8>& hs,
+                              const std::uint8_t* block,
+                              std::size_t n) noexcept {
+  for (; n > 0; --n, block += 64) {
+    std::uint32_t w[64];
+    for (int t = 0; t < 16; ++t)
+      w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+             (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+             static_cast<std::uint32_t>(block[4 * t + 3]);
+    for (int t = 16; t < 64; ++t) {
+      const std::uint32_t s0 =
+          rotr(w[t - 15], 7) ^ rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[t - 2], 17) ^ rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
+      w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+    }
+    std::uint32_t a = hs[0], b = hs[1], c = hs[2], d = hs[3], e = hs[4],
+                  f = hs[5], g = hs[6], h = hs[7];
+    for (int t = 0; t < 64; ++t) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = h + s1 + ch + kRound[t] + w[t];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    hs[0] += a;
+    hs[1] += b;
+    hs[2] += c;
+    hs[3] += d;
+    hs[4] += e;
+    hs[5] += f;
+    hs[6] += g;
+    hs[7] += h;
+  }
+}
+
+void sha256_compress_best(std::array<std::uint32_t, 8>& h,
+                          const std::uint8_t* blocks, std::size_t n) noexcept {
+  kCompress(h, blocks, n);
+}
+
+}  // namespace detail
+
+bool sha256_hw_accelerated() noexcept {
+  return kCompress != &detail::sha256_compress_portable;
+}
+
+Sha256::Sha256() noexcept {
+  for (int i = 0; i < 8; ++i) state_.h[static_cast<std::size_t>(i)] = kInit[i];
+}
+
+void Sha256::update(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t fill = state_.buffered();
+  state_.total_bytes += len;
+  if (fill > 0) {
+    const std::size_t take = std::min(len, 64 - fill);
+    std::memcpy(state_.buf.data() + fill, p, take);
+    p += take;
+    len -= take;
+    fill += take;
+    if (fill < 64) return;
+    kCompress(state_.h, state_.buf.data(), 1);
+  }
+  if (len >= 64) {
+    const std::size_t blocks = len / 64;
+    kCompress(state_.h, p, blocks);
+    p += blocks * 64;
+    len -= blocks * 64;
+  }
+  if (len > 0) std::memcpy(state_.buf.data(), p, len);
+}
+
+void Sha256::update_u64(std::uint64_t v) noexcept {
+  std::uint8_t le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  update(le, 8);
+}
+
+std::array<std::uint8_t, 32> Sha256::digest() const noexcept {
+  // Pad a copy: 0x80, zeros to 56 mod 64, then the bit length big-endian.
+  Sha256 tmp(*this);
+  const std::uint64_t bits = state_.total_bytes * 8;
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t fill = state_.buffered();
+  const std::size_t pad_len = (fill < 56 ? 56 - fill : 120 - fill);
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i)
+    len_be[i] = static_cast<std::uint8_t>(bits >> (8 * (7 - i)));
+  tmp.update(pad, pad_len);
+  tmp.update(len_be, 8);
+  std::array<std::uint8_t, 32> out{};
+  for (int i = 0; i < 8; ++i) {
+    const std::uint32_t v = tmp.state_.h[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(v >> 24);
+    out[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(v >> 16);
+    out[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(v >> 8);
+    out[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(v);
+  }
+  return out;
+}
+
+std::string Sha256::hex() const {
+  const auto d = digest();
+  return to_hex(d);
+}
+
+std::array<std::uint8_t, 32> Sha256::of(std::span<const std::uint8_t> bytes) {
+  Sha256 h;
+  h.update(bytes);
+  return h.digest();
+}
+
+std::string Sha256::hex_of(std::span<const std::uint8_t> bytes) {
+  const auto d = of(bytes);
+  return to_hex(d);
+}
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace qdi::util

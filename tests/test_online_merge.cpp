@@ -216,7 +216,26 @@ TEST(OnlineMerge, DpaSnapshotRoundTripIsBitExact) {
     EXPECT_DOUBLE_EQ(a.guess_peak[g], b.guess_peak[g]);
 }
 
-TEST(OnlineMerge, MalformedOrMismatchedSnapshotThrows) {
+namespace {
+
+/// Kind of the StateError a restore_state call throws (the call must
+/// throw).
+template <typename Acc>
+qd::StateError::Kind restore_kind(Acc& acc,
+                                  const std::vector<std::uint8_t>& bytes) {
+  try {
+    acc.restore_state(bytes);
+  } catch (const qd::StateError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "restore_state accepted a malformed snapshot of "
+                << bytes.size() << " bytes";
+  return qd::StateError::Kind::Truncated;
+}
+
+}  // namespace
+
+TEST(OnlineMerge, MalformedOrMismatchedSnapshotThrowsNamedErrors) {
   qu::Rng rng(0x57);
   const qd::TraceSet ts = random_traces(20, 8, rng);
   const qd::LeakageModel model = qd::aes_xor_hw_model(0);
@@ -227,17 +246,69 @@ TEST(OnlineMerge, MalformedOrMismatchedSnapshotThrows) {
 
   // Wrong receiver configuration.
   qd::OnlineCpa other_guesses(model, 8);
-  EXPECT_THROW(other_guesses.restore_state(snap), std::invalid_argument);
+  EXPECT_EQ(restore_kind(other_guesses, snap), qd::StateError::Kind::Geometry);
 
-  // Truncated and trailing-garbage payloads.
+  // Truncated and trailing-garbage payloads. StateError derives from
+  // std::runtime_error, so generic catch sites still work.
   std::vector<std::uint8_t> cut(snap.begin(), snap.end() - 3);
   qd::OnlineCpa fresh(model, 16);
-  EXPECT_THROW(fresh.restore_state(cut), std::invalid_argument);
+  EXPECT_EQ(restore_kind(fresh, cut), qd::StateError::Kind::Truncated);
+  EXPECT_THROW(fresh.restore_state(cut), std::runtime_error);
   snap.push_back(0);
-  EXPECT_THROW(fresh.restore_state(snap), std::invalid_argument);
+  EXPECT_EQ(restore_kind(fresh, snap), qd::StateError::Kind::Oversized);
 
   // A CPA snapshot fed to a DPA accumulator (magic mismatch).
   qd::OnlineDpa dpa({qd::aes_sbox_selection(0, 0)}, 16);
   const std::vector<std::uint8_t> cpa_snap = acc.serialize_state();
-  EXPECT_THROW(dpa.restore_state(cpa_snap), std::invalid_argument);
+  EXPECT_EQ(restore_kind(dpa, cpa_snap), qd::StateError::Kind::BadMagic);
+}
+
+TEST(OnlineMerge, EveryTruncationLengthIsRejectedAndLeavesStateUntouched) {
+  // Tiny geometry so every truncation length is cheap to fuzz: the
+  // snapshot must be rejected at EVERY proper prefix, and a failed
+  // restore must leave the receiving accumulator bit-identical.
+  qu::Rng rng(0x58);
+  const qd::TraceSet ts = random_traces(12, 5, rng);
+  const qd::LeakageModel model = qd::aes_xor_hw_model(0);
+
+  {
+    qd::OnlineCpa acc(model, 4);
+    acc.add_prefix(ts, 0, 12);
+    const std::vector<std::uint8_t> snap = acc.serialize_state();
+
+    qd::OnlineCpa victim(model, 4);
+    victim.add_prefix(ts, 0, 7);
+    const std::vector<std::uint8_t> before = victim.serialize_state();
+    for (std::size_t len = 0; len < snap.size(); ++len) {
+      const std::vector<std::uint8_t> cut(snap.begin(),
+                                          snap.begin() + static_cast<long>(len));
+      EXPECT_THROW(victim.restore_state(cut), qd::StateError)
+          << "CPA snapshot truncated to " << len << " bytes";
+      EXPECT_EQ(victim.serialize_state(), before)
+          << "failed restore disturbed the accumulator (len " << len << ")";
+    }
+    victim.restore_state(snap);  // the untruncated snapshot still lands
+    EXPECT_EQ(victim.count(), acc.count());
+  }
+
+  {
+    const std::vector<qd::SelectionFn> bits = {qd::aes_sbox_selection(0, 0)};
+    qd::OnlineDpa acc(bits, 4);
+    acc.add_prefix(ts, 0, 12);
+    const std::vector<std::uint8_t> snap = acc.serialize_state();
+
+    qd::OnlineDpa victim(bits, 4);
+    victim.add_prefix(ts, 0, 7);
+    const std::vector<std::uint8_t> before = victim.serialize_state();
+    for (std::size_t len = 0; len < snap.size(); ++len) {
+      const std::vector<std::uint8_t> cut(snap.begin(),
+                                          snap.begin() + static_cast<long>(len));
+      EXPECT_THROW(victim.restore_state(cut), qd::StateError)
+          << "DPA snapshot truncated to " << len << " bytes";
+      EXPECT_EQ(victim.serialize_state(), before)
+          << "failed restore disturbed the accumulator (len " << len << ")";
+    }
+    victim.restore_state(snap);
+    EXPECT_EQ(victim.count(), acc.count());
+  }
 }
