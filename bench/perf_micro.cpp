@@ -290,14 +290,12 @@ BENCHMARK(BM_CompiledDpaEndToEnd)->Unit(benchmark::kMillisecond);
 // victim, differing only in the compiled kernel's event queue (time
 // wheel vs binary heap; traces are bit-identical — see
 // tests/test_compiled_sim.cpp and the FuzzScheduler suite). The host is
-// the DES Feistel round — the largest *simulatable* registry target and
-// the widest event wavefront, where queue pressure is real. The larger
-// aes_core cannot host an acquisition row: it is flow-only by design
-// (no four-phase stimulus), and a QDI circuit's return-to-zero idle
-// state is already stable, so driving its inputs without a full
-// environment produces no sustained event activity to schedule. The CI
-// bench job prints the BM_SchedulerHeap / BM_SchedulerWheel speedup and
-// guards it against regression.
+// the DES Feistel round — the simulatable registry target with the
+// widest event wavefront relative to its size, where queue pressure is
+// real. (The full aes_core has its own acquisition row below,
+// BM_AesCoreAcquire, now that it carries a four-phase environment.)
+// The CI bench job prints the BM_SchedulerHeap / BM_SchedulerWheel
+// speedup and guards it against regression.
 static const qdi::campaign::TargetInstance& scheduler_workload() {
   static const qdi::campaign::TargetInstance inst =
       qdi::campaign::des_round().build(0x2b);
@@ -329,6 +327,46 @@ static void BM_SchedulerHeap(benchmark::State& state) {
   scheduler_bench(state, qdi::sim::SchedulerKind::Heap);
 }
 BENCHMARK(BM_SchedulerHeap)->Unit(benchmark::kMillisecond);
+
+// Full-core rows: the fig. 8 ~25k-cell aes_core, end to end. The
+// acquisition row measures steady-state per-trace cost of one complete
+// four-phase handshake of the whole core (compiled engine, persistent
+// worker — the production feed of a fused full-core CPA campaign). The
+// cone-balance row runs ConeBalancePass to its fixpoint on a pristine
+// copy of the core netlist: the PR's scaling target (plan-then-commit
+// with incremental cross-round invalidation; single thread, verify
+// scans off so the row measures the transform, not the symmetry
+// audit). The CI bench job prints their informational ratio — the
+// designer-side balancing cost in units of 64-trace acquisitions.
+static const qdi::campaign::TargetInstance& aes_core_workload() {
+  static const qdi::campaign::TargetInstance inst =
+      qdi::campaign::aes_core().build(0x2b);
+  return inst;
+}
+
+static void BM_AesCoreAcquire(benchmark::State& state) {
+  const qdi::campaign::TargetInstance& inst = aes_core_workload();
+  const qdi::campaign::SimTraceSourceOptions opt;
+  qdi::campaign::SimTraceSource src(inst.nl, inst.env, inst.stimulus, opt);
+  qdi::campaign::WorkerPool pool(src, 1);
+  for (auto _ : state) {
+    steady_state_acquire(pool, 8);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_AesCoreAcquire)->Unit(benchmark::kMillisecond);
+
+static void BM_ConeBalanceAes(benchmark::State& state) {
+  const qdi::campaign::TargetInstance& pristine = aes_core_workload();
+  for (auto _ : state) {
+    qdi::netlist::Netlist nl = pristine.nl;  // fresh copy per iteration
+    const qdi::xform::PassReport rep =
+        qdi::xform::ConeBalancePass{{.verify = false, .threads = 1}}.run(nl);
+    benchmark::DoNotOptimize(rep.cells_added);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConeBalanceAes)->Unit(benchmark::kMillisecond);
 
 // Batch-vs-online analysis pair on the aes_byte_slice workload: 256
 // guesses, full measurements-to-disclosure scan (prefix grid 8, 8).

@@ -47,8 +47,8 @@ struct TargetInstance {
   /// DFA consistency model over (input, golden, faulty) output words
   /// (empty = target has no DFA interpretation).
   dpa::DfaModel dfa;
-  /// False for flow/criterion-only targets (e.g. the full AES core, whose
-  /// round-loop control is not exercised at simulation scale).
+  /// False for flow/criterion-only targets (reduced builds without a
+  /// drivable environment, e.g. aes_core without its key path).
   bool simulatable = true;
   std::string name;
 };
@@ -100,8 +100,13 @@ CircuitTarget des_round(double period_ps = 30000.0);
 CircuitTarget dual_rail_pair(double period_ps = 2000.0);
 CircuitTarget one_of_four(double period_ps = 2000.0);
 
-/// The fig. 8 QDI AES crypto-processor — flow/criterion campaigns only
-/// (tens of thousands of cells; not functionally simulated at this scale).
+/// The fig. 8 QDI AES crypto-processor, end-to-end: each trace is one
+/// four-phase handshake of the full ~25k-cell core (random data word +
+/// fixed key word through AES_KEY, BYTESUB, DECALHOR, MIXCOLUMN),
+/// golden-checked against the software AES reference. First-round CPA
+/// targets sbox(data0 ^ subkey0) with the derived subkey byte as the
+/// guess. Reduced builds (no key path or no interface) remain
+/// flow/criterion-only.
 CircuitTarget aes_core(gates::AesCoreParams params = {});
 
 /// Wrap an already-built instance so repeated campaigns over one victim
@@ -115,9 +120,11 @@ CircuitTarget prebuilt(TargetInstance inst);
 /// entry, named "<base>+<recipe>". The transformed netlist keeps the
 /// base target's channel metadata (environment, stimulus, analysis
 /// side) and compiles through the existing sim::compile() path
-/// unchanged. Prefer Campaign::recipe()/sweep() when the campaign also
-/// runs a flow stage — this wrapper transforms at build time, before
-/// any flow.
+/// unchanged. Builds are memoized per key (build + pipeline are
+/// deterministic), so repeated campaigns over one wrapped target pay
+/// the transform once. Prefer Campaign::recipe()/sweep() when the
+/// campaign also runs a flow stage — this wrapper transforms at build
+/// time, before any flow.
 CircuitTarget transformed(CircuitTarget base, xform::Recipe recipe);
 
 // ---- registry --------------------------------------------------------------

@@ -52,8 +52,21 @@ SymmetryReport check_rail_symmetry(const Graph& g, NetId rail0, NetId rail1);
 /// near-linear in circuit size.
 std::vector<SymmetryReport> check_all_channels(const Graph& g);
 
+/// Parallel scan: channels are partitioned into contiguous slabs, one
+/// signature-interner memo shard per worker (interned ids are private to
+/// a shard, but a channel's verdict is a pure function of the graph, so
+/// the reports are identical to the serial scan for any thread count —
+/// only the id namespace differs, and ids never leave this function).
+/// threads == 0 means one worker per hardware thread.
+std::vector<SymmetryReport> check_all_channels(const Graph& g,
+                                               unsigned threads);
+
 /// Number of channels check_all_channels reports asymmetric — the
 /// scalar the cone-balancing pass and campaign sweeps track.
 std::size_t count_asymmetric_channels(const Graph& g);
+
+/// Parallel count with the same sharded-memo contract as the parallel
+/// check_all_channels overload.
+std::size_t count_asymmetric_channels(const Graph& g, unsigned threads);
 
 }  // namespace qdi::netlist

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "qdi/util/parallel.hpp"
+
 namespace qdi::netlist {
 
 namespace {
@@ -182,9 +184,12 @@ SymmetryReport check_rail_symmetry(const Graph& g, NetId rail0, NetId rail1) {
   return compare_rails(a, b);
 }
 
-std::vector<SymmetryReport> check_all_channels(const Graph& g) {
-  std::vector<SymmetryReport> out;
-  out.reserve(g.netlist().num_channels());
+namespace {
+
+/// Scan channels [first, last) into out[first..last), sharing one
+/// signature memo and per-rail cache across the range.
+void check_channel_range(const Graph& g, std::size_t first, std::size_t last,
+                         SymmetryReport* out) {
   SignatureInterner interner(g);
   // Rails shared between channels (e.g. the per-layer group channels of
   // the S-Box merge trees) are analyzed once.
@@ -196,7 +201,8 @@ std::vector<SymmetryReport> check_all_channels(const Graph& g) {
     return it->second;
   };
 
-  for (const Channel& ch : g.netlist().channels()) {
+  for (std::size_t i = first; i < last; ++i) {
+    const Channel& ch = g.netlist().channels()[i];
     if (ch.rails.size() < 2) {
       // A single-rail channel has no pair to compare: vacuously symmetric.
       SymmetryReport rep;
@@ -208,7 +214,7 @@ std::vector<SymmetryReport> check_all_channels(const Graph& g) {
         rep.cone_size0 = rep.cone_size1 = only.cone_size;
       }
       bind_to_channel(rep, ch.name, 0, 0);
-      out.push_back(std::move(rep));
+      out[i] = std::move(rep);
       continue;
     }
     // All-rail-pairs coverage (the 1-of-4 extension): the channel is
@@ -231,14 +237,44 @@ std::vector<SymmetryReport> check_all_channels(const Graph& g) {
       }
     }
     bind_to_channel(chosen, ch.name, 0, chosen_b);
-    out.push_back(std::move(chosen));
+    out[i] = std::move(chosen);
   }
+}
+
+}  // namespace
+
+std::vector<SymmetryReport> check_all_channels(const Graph& g) {
+  std::vector<SymmetryReport> out(g.netlist().num_channels());
+  check_channel_range(g, 0, out.size(), out.data());
+  return out;
+}
+
+std::vector<SymmetryReport> check_all_channels(const Graph& g,
+                                               unsigned threads) {
+  if (threads == 0) threads = util::hardware_threads();
+  std::vector<SymmetryReport> out(g.netlist().num_channels());
+  // One memo shard per worker: a slab re-derives signatures its
+  // neighbors also derive, trading some redundant interning for
+  // lock-free scanning. Each channel's verdict depends only on the
+  // graph, so out[] is identical for any slab partition.
+  util::parallel_for_slabs(
+      threads, out.size(),
+      [&](unsigned, std::size_t begin, std::size_t end) {
+        check_channel_range(g, begin, end, out.data());
+      });
   return out;
 }
 
 std::size_t count_asymmetric_channels(const Graph& g) {
   std::size_t n = 0;
   for (const SymmetryReport& rep : check_all_channels(g))
+    if (!rep.symmetric) ++n;
+  return n;
+}
+
+std::size_t count_asymmetric_channels(const Graph& g, unsigned threads) {
+  std::size_t n = 0;
+  for (const SymmetryReport& rep : check_all_channels(g, threads))
     if (!rep.symmetric) ++n;
   return n;
 }

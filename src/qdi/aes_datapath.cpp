@@ -83,6 +83,21 @@ std::vector<DualRail> mux2_bus(Builder& b, const DualRail& sel,
   return out;
 }
 
+std::vector<DualRail> merge_bus(Builder& b, std::span<const DualRail> a,
+                                std::span<const DualRail> b_in,
+                                const std::string& name) {
+  assert(a.size() == b_in.size());
+  std::vector<DualRail> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string cn = name + std::to_string(i);
+    const NetId r0 = b.or2(a[i].r0, b_in[i].r0, cn + "_0");
+    const NetId r1 = b.or2(a[i].r1, b_in[i].r1, cn + "_1");
+    out.push_back(b.as_dual_rail(r0, r1, cn));
+  }
+  return out;
+}
+
 std::vector<std::vector<DualRail>> demux4_bus(Builder& b, const OneOfN& sel,
                                               std::span<const DualRail> in,
                                               const std::string& name) {
@@ -167,10 +182,11 @@ AesCoreNetlist build_aes_core(const AesCoreParams& params) {
   AesCoreNetlist result;
   result.nl.set_name("aes_crypto_processor");
   Builder b(result.nl);
-  b.reset_net();
+  result.reset = b.reset_net();
 
   // Shared testbench acknowledge for all half-buffer stages.
   const NetId gack = result.nl.add_input("gack");
+  result.gack = gack;
 
   // ======================= AES_KEY region =================================
   std::vector<DualRail> subkey;
@@ -181,6 +197,7 @@ AesCoreNetlist build_aes_core(const AesCoreParams& params) {
     {
       Builder::HierScope s(b, "lecture");
       key_in = bus_input(b, "key", 32);
+      result.key_in_channels = channels_of(key_in);
     }
     DualRail sel_key;
     OneOfN ctrl_key;
@@ -188,6 +205,8 @@ AesCoreNetlist build_aes_core(const AesCoreParams& params) {
       Builder::HierScope s(b, "controle_key");
       sel_key = b.dr_input("sel");
       ctrl_key = b.one_of_n_input("cnt", 4);
+      result.sel_key_channel = sel_key.ch;
+      result.ctrl_key_channel = ctrl_key.ch;
       // Control distribution pipeline (one HB on the select channel).
       std::vector<DualRail> v = b.latch_stage(std::span(&sel_key, 1), gack, "selq");
       sel_key = v[0];
@@ -213,15 +232,30 @@ AesCoreNetlist build_aes_core(const AesCoreParams& params) {
         fifo_out = b.latch_stage(fifo_out, gack, "f" + std::to_string(d));
     }
 
-    // demux1_3_xor: steer FIFO head to the S-Box path / RC path / output.
+    // demux1_3_xor: distribute the FIFO head to the S-Box path / RC path /
+    // output XOR. This is a QDI FORK, not a demux: the three consumers are
+    // XOR gates that need *every* operand valid before their outputs
+    // validate, so steering (leaving two ways empty) would deadlock the
+    // sub-key computation. Each way gets its own buffered rail copy — a
+    // registered channel per branch, which is what the balancing passes
+    // and the capacitance criterion see as three distinct loads.
     std::vector<DualRail> to_sbox, to_rc, to_out;
     {
       Builder::HierScope s(b, "demux1_3_xor");
-      OneOfN sel3 = b.one_of_n_input("sel3", 4);  // 1-of-4, 3 ways used
-      auto ways = demux4_bus(b, sel3, fifo_out, "w");
-      to_sbox = std::move(ways[0]);
-      to_rc = std::move(ways[1]);
-      to_out = std::move(ways[2]);
+      auto fork_way = [&](const char* way) {
+        std::vector<DualRail> w;
+        w.reserve(fifo_out.size());
+        for (std::size_t i = 0; i < fifo_out.size(); ++i) {
+          const std::string cn = std::string(way) + std::to_string(i);
+          const NetId r0 = b.buf(fifo_out[i].r0, cn + "_0");
+          const NetId r1 = b.buf(fifo_out[i].r1, cn + "_1");
+          w.push_back(b.as_dual_rail(r0, r1, cn));
+        }
+        return w;
+      };
+      to_sbox = fork_way("s");
+      to_rc = fork_way("r");
+      to_out = fork_way("o");
     }
 
     // mux2_1_sbox + ByteSub (RotWord is rail wiring upstream of the boxes).
@@ -243,6 +277,7 @@ AesCoreNetlist build_aes_core(const AesCoreParams& params) {
     {
       Builder::HierScope s(b, "xor_rc");
       std::vector<DualRail> rc = bus_input(b, "rc", 8);
+      result.rc_channels = channels_of(rc);
       std::vector<DualRail> first(sbox_out.begin(), sbox_out.begin() + 8);
       std::vector<DualRail> x = xor_bus(b, first, rc, "x");
       rc_applied = x;
@@ -265,6 +300,7 @@ AesCoreNetlist build_aes_core(const AesCoreParams& params) {
       Builder::HierScope s(b, "duplic_nk");
       std::vector<DualRail> nk = b.latch_stage(subkey, gack, "nk");
       bus_output(b, nk, "nk_out");
+      result.nk_out_channels = channels_of(nk);
     }
     (void)key_loop_placeholder;
   } else {
@@ -279,6 +315,7 @@ AesCoreNetlist build_aes_core(const AesCoreParams& params) {
     Builder::HierScope s(b, params.include_interface ? "interface/sa_interface2"
                                                      : "interface");
     data_in = bus_input(b, "data", 32);
+    result.data_in_channels = channels_of(data_in);
     if (params.include_interface) data_in = b.latch_stage(data_in, gack, "ib");
   }
   OneOfN round_sel;
@@ -287,6 +324,8 @@ AesCoreNetlist build_aes_core(const AesCoreParams& params) {
     Builder::HierScope s(b, "interface/controle_interface");
     round_sel = b.one_of_n_input("round", 4);
     path_sel = b.dr_input("path");
+    result.round_sel_channel = round_sel.ch;
+    result.path_sel_channel = path_sel.ch;
     if (params.include_interface) {
       std::vector<DualRail> v = b.latch_stage(std::span(&path_sel, 1), gack, "pq");
       path_sel = v[0];
@@ -303,12 +342,14 @@ AesCoreNetlist build_aes_core(const AesCoreParams& params) {
     {
       Builder::HierScope s(b, "controle");
       loop_sel = b.dr_input("loop");
+      result.loop_sel_channel = loop_sel.ch;
       std::vector<DualRail> v = b.latch_stage(std::span(&loop_sel, 1), gack, "lq");
       loop_sel = v[0];
     }
     {
       Builder::HierScope s(b, "compteur4");
       bank_sel = b.one_of_n_input("bank", 4);
+      result.bank_sel_channel = bank_sel.ch;
     }
     {
       Builder::HierScope s(b, "canal_controle");
@@ -391,6 +432,7 @@ AesCoreNetlist build_aes_core(const AesCoreParams& params) {
     {
       Builder::HierScope s(b, "dmux");
       OneOfN dsel = b.one_of_n_input("dsel", 4);
+      result.dsel_channel = dsel.ch;
       auto ways = demux4_bus(b, dsel, sr_out, "w");
       to_mix = std::move(ways[0]);
       to_last = std::move(ways[1]);
@@ -425,13 +467,18 @@ AesCoreNetlist build_aes_core(const AesCoreParams& params) {
                         "mx");
     }
 
-    // AddLastKey and primary output (fig. 8 block 4).
+    // AddLastKey and primary output (fig. 8 block 4). The dmux above
+    // leaves exactly one of the two branches valid per cycle (`dsel` way 0
+    // feeds MixColumn and the register banks, way 1 feeds AddLastKey), so
+    // the primary output is the QDI MERGE of the two: a rail-wise OR that
+    // forwards whichever branch computed. An XOR here would wait forever
+    // on the empty branch.
     {
       Builder::HierScope s(b, "addlastkey");
       std::vector<DualRail> out = xor_bus(b, to_last, subkey_c, "alk");
-      // Merge the recirculation tail so every path terminates at a port.
-      std::vector<DualRail> merged = xor_bus(b, out, recirc, "fin");
+      std::vector<DualRail> merged = merge_bus(b, out, recirc, "fin");
       bus_output(b, merged, "data_out");
+      result.data_out_channels = channels_of(merged);
     }
   }
 

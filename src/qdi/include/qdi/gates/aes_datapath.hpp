@@ -7,12 +7,14 @@
 // tag ("aes_core/bytesub", "aes_key/fifo", ...), built from real balanced
 // dual-rail gate structures (DIMS S-Boxes, fig. 4 XOR banks, WCHB
 // half-buffers, DIMS mux/demux steering). The generator's purpose is the
-// place-and-route study of section VI (Table 2): tens of thousands of
+// place-and-route study of section VI (Table 2) — tens of thousands of
 // cells, thousands of registered dual-rail channels, and a two-level
-// hierarchy for the constrained floorplan. Functional round-loop control
-// is not exercised in simulation at this scale — the functional DPA
-// experiments use the byte-slice circuits of testbench.hpp, which share
-// the same gate structures.
+// hierarchy for the constrained floorplan — and, since the core became
+// simulatable, the full-scale DPA/fault campaigns: every primary channel
+// is exposed through AesCoreNetlist so campaign::aes_core() can assemble
+// a four-phase environment and drive one round iteration per handshake
+// (initial AddKey0, ByteSub, ShiftRow, then either MixColumn+AddRoundKey
+// through the register banks or AddLastKey, steered by `dsel`).
 //
 // Latch-stage acknowledges are tied to a single environment-driven "gack"
 // input (testbench convention), keeping the netlist structurally closed.
@@ -38,6 +40,26 @@ struct AesCoreNetlist {
   std::vector<netlist::ChannelId> bytesub_in_channels;
   std::size_t num_cells = 0;
   std::size_t num_channels = 0;
+
+  // --- environment ports (four-phase testbench wiring) ---------------------
+  // Primary-input channels in the order an EnvSpec should drive them, and
+  // the primary-output channel groups an environment should wait on. All
+  // are filled by build_aes_core; key-path fields stay empty when
+  // include_key_path is false.
+  std::vector<netlist::ChannelId> data_in_channels;  ///< 32 dual-rail
+  std::vector<netlist::ChannelId> key_in_channels;   ///< 32 dual-rail
+  std::vector<netlist::ChannelId> rc_channels;       ///< 8 dual-rail (round constant)
+  netlist::ChannelId sel_key_channel = 0;   ///< dual-rail: 1 = RotWord the key word
+  netlist::ChannelId ctrl_key_channel = 0;  ///< 1-of-4 control distribution
+  netlist::ChannelId round_sel_channel = 0; ///< 1-of-4: recirculation bank read
+  netlist::ChannelId path_sel_channel = 0;  ///< dual-rail interface steering
+  netlist::ChannelId loop_sel_channel = 0;  ///< dual-rail: 1 = take the loop value
+  netlist::ChannelId bank_sel_channel = 0;  ///< 1-of-4: register bank write
+  netlist::ChannelId dsel_channel = 0;      ///< 1-of-4: 0 = MixColumn, 1 = AddLastKey
+  std::vector<netlist::ChannelId> data_out_channels;  ///< 32 dual-rail
+  std::vector<netlist::ChannelId> nk_out_channels;    ///< 32 dual-rail (next key)
+  netlist::NetId gack = 0;   ///< shared half-buffer acknowledge (env-driven)
+  netlist::NetId reset = 0;  ///< global reset input
 };
 
 AesCoreNetlist build_aes_core(const AesCoreParams& params = {});
@@ -67,6 +89,15 @@ std::vector<DualRail> mux2_bus(Builder& b, const DualRail& sel,
 std::vector<std::vector<DualRail>> demux4_bus(Builder& b, const OneOfN& sel,
                                               std::span<const DualRail> in,
                                               const std::string& name);
+
+/// Rail-wise OR merge of two mutually-exclusive dual-rail buses: exactly
+/// one operand carries a valid codeword per cycle (the other stays empty,
+/// both rails low), so the OR forwards the valid one — the QDI MERGE of
+/// two conditional branches. XORing such branches instead deadlocks: a
+/// DIMS XOR needs *all* operands valid before its output validates.
+std::vector<DualRail> merge_bus(Builder& b, std::span<const DualRail> a,
+                                std::span<const DualRail> b_in,
+                                const std::string& name);
 
 /// DIMS 4:1 mux bank steered by a 1-of-4 channel.
 std::vector<DualRail> mux4_bus(Builder& b, const OneOfN& sel,

@@ -1,0 +1,30 @@
+// Minimal fork/join helper for the deterministic fan-out phases of the
+// transformation passes (and any other layer below campaign's persistent
+// WorkerPool, which is specialized for TraceSource acquisition and lives
+// two layers up the include graph).
+//
+// Determinism contract: parallel_for_slabs partitions [0, n) into
+// `threads` contiguous slabs, so a caller that writes results into a
+// preallocated slot per index observes output independent of the thread
+// count and of scheduling. With threads <= 1 (or n small) the body runs
+// inline on the calling thread — no spawn, byte-identical by
+// construction.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace qdi::util {
+
+/// Threads worth spawning on this machine (>= 1).
+unsigned hardware_threads() noexcept;
+
+/// Run `fn(worker, begin, end)` over a contiguous partition of [0, n)
+/// on min(threads, n) workers. worker 0 runs on the calling thread.
+/// The first exception thrown by any worker is rethrown after join.
+void parallel_for_slabs(
+    unsigned threads, std::size_t n,
+    const std::function<void(unsigned worker, std::size_t begin,
+                             std::size_t end)>& fn);
+
+}  // namespace qdi::util

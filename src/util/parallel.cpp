@@ -1,0 +1,57 @@
+#include "qdi/util/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qdi::util {
+
+unsigned hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+void parallel_for_slabs(
+    unsigned threads, std::size_t n,
+    const std::function<void(unsigned worker, std::size_t begin,
+                             std::size_t end)>& fn) {
+  if (n == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(std::max(threads, 1u), n));
+  if (workers == 1) {
+    fn(0, 0, n);
+    return;
+  }
+
+  // Contiguous slabs: worker w gets [w*base + min(w, rem) ...), the first
+  // `rem` slabs one element longer.
+  const std::size_t base = n / workers, rem = n % workers;
+  auto slab = [&](unsigned w) {
+    const std::size_t begin = w * base + std::min<std::size_t>(w, rem);
+    return std::pair<std::size_t, std::size_t>(
+        begin, begin + base + (w < rem ? 1 : 0));
+  };
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto guarded = [&](unsigned w) {
+    const auto [begin, end] = slab(w);
+    try {
+      fn(w, begin, end);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(guarded, w);
+  guarded(0);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace qdi::util

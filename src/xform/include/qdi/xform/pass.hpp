@@ -55,6 +55,10 @@ struct PassReport {
   /// report consumers reason about which passes could have changed the
   /// netlist's connectivity.
   bool structure_preserving = false;
+  /// Wall-clock time of this pass's run() — stamped by Pipeline::run
+  /// (0.0 for a bare Pass::run call), so recipe reports show where the
+  /// transform time goes at core scale.
+  double wall_ms = 0.0;
   std::vector<std::string> notes;
 };
 

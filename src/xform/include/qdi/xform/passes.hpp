@@ -28,6 +28,12 @@ struct ConeBalanceOptions {
   /// after the transform and count the asymmetric channels before/after
   /// (metric_before / metric_after). Costs one full symmetry scan.
   bool verify = true;
+  /// Worker threads for the per-channel plan phase and the verify scans.
+  /// 0 = one per hardware thread. The committed netlist is byte-identical
+  /// for every thread count: planning fans out over a frozen netlist,
+  /// commits apply serially in channel-id order, and any plan invalidated
+  /// by an earlier commit is re-planned at its serial position.
+  unsigned threads = 0;
 };
 
 /// Equalizes the per-level gate-kind histograms of every channel's rail

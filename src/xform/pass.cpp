@@ -1,5 +1,7 @@
 #include "qdi/xform/pass.hpp"
 
+#include <chrono>
+
 #include "qdi/xform/passes.hpp"
 
 namespace qdi::xform {
@@ -36,14 +38,14 @@ const PassReport* PipelineReport::find(std::string_view pass_name) const noexcep
 
 util::Table PipelineReport::table() const {
   util::Table t({"pass", "changed", "cells+", "nets+", "cap+fF", "touched",
-                 "skipped", "metric before", "metric after"});
+                 "skipped", "metric before", "metric after", "wall ms"});
   for (const PassReport& p : passes) {
     t.add_row({p.pass, p.changed ? "yes" : "no", std::to_string(p.cells_added),
                std::to_string(p.nets_added), t.format_double(p.cap_added_ff),
                std::to_string(p.channels_touched),
                std::to_string(p.channels_skipped),
                t.format_double(p.metric_before),
-               t.format_double(p.metric_after)});
+               t.format_double(p.metric_after), t.format_double(p.wall_ms)});
   }
   return t;
 }
@@ -57,8 +59,12 @@ PipelineReport Pipeline::run(netlist::Netlist& nl) const {
   PipelineReport rep;
   rep.passes.reserve(passes_.size());
   for (const auto& pass : passes_) {
+    const auto t0 = std::chrono::steady_clock::now();
     rep.passes.push_back(pass->run(nl));
+    const auto t1 = std::chrono::steady_clock::now();
     rep.passes.back().structure_preserving = pass->preserves_structure();
+    rep.passes.back().wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
   }
   return rep;
 }

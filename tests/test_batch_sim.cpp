@@ -197,9 +197,14 @@ TEST(BatchKernel, LockstepOccupancyIsHighOnRegistryTargets) {
 // ---- guard rails: unsupported combinations throw ---------------------------
 
 TEST(BatchGuards, FlowOnlyTargetIsRejectedByValidate) {
-  // aes_core is flow-only: there is nothing to simulate, batch or not.
+  // A flow-only victim (explicitly opted out of simulation — aes_core
+  // itself simulates these days) has nothing to acquire, batch or not.
+  qc::TargetInstance flow_only;
+  flow_only.nl = qn::Netlist("flow_only");
+  flow_only.simulatable = false;
+  flow_only.name = "flow_only";
   EXPECT_THROW(qc::Campaign()
-                   .target(qc::aes_core())
+                   .target(qc::prebuilt(std::move(flow_only)))
                    .key(0x2b)
                    .traces(64)
                    .engine(qs::EngineKind::Batch)

@@ -11,6 +11,14 @@ namespace qc = qdi::campaign;
 namespace qn = qdi::netlist;
 namespace qu = qdi::util;
 
+#if defined(__SANITIZE_ADDRESS__)
+#define QDI_ASAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define QDI_ASAN_ACTIVE 1
+#endif
+#endif
+
 // ---- builder validation ----------------------------------------------------
 
 TEST(CampaignValidation, EmptyTargetThrows) {
@@ -44,8 +52,15 @@ TEST(CampaignValidation, DpaBitIndexOutOfRangeThrows) {
 }
 
 TEST(CampaignValidation, FlowOnlyTargetRefusesAcquisition) {
-  EXPECT_THROW(qc::Campaign().target(qc::aes_core()).traces(1).run(),
-               std::invalid_argument);
+  // aes_core is simulatable these days; a flow-only victim is modeled
+  // with an explicit prebuilt instance that opted out of simulation.
+  qc::TargetInstance flow_only;
+  flow_only.nl = qn::Netlist("flow_only");
+  flow_only.simulatable = false;
+  flow_only.name = "flow_only";
+  EXPECT_THROW(
+      qc::Campaign().target(qc::prebuilt(std::move(flow_only))).traces(1).run(),
+      std::invalid_argument);
 }
 
 TEST(CampaignValidation, RankTrajectoryWithoutAttackThrows) {
@@ -291,6 +306,70 @@ TEST(CampaignEndToEnd, CpaAgreesOnTheSameCampaign) {
   ASSERT_TRUE(r.attack.has_value());
   EXPECT_EQ(r.attack->kind, "cpa");
   EXPECT_EQ(r.attack->true_key_rank, 0u);
+}
+
+TEST(CampaignEndToEnd, AesCoreGoldenPathFusedCpaAndFaultProbe) {
+#ifdef QDI_ASAN_ACTIVE
+  GTEST_SKIP() << "25k-cell campaigns are minutes-long under sanitizers";
+#endif
+  const std::uint64_t key = 0x2b7e151628aed2a6ull;
+
+  // Golden path: every materialized trace of the full core decodes to
+  // exactly what the crypto::aes-derived reference computes for its
+  // plaintext record (data_out and nk_out, all 64 rail-group values).
+  const qc::TargetInstance ref = qc::aes_core().build(key);
+  const qc::CampaignResult mat =
+      qc::Campaign().target(qc::aes_core()).key(key).seed(5).traces(8).run();
+  ASSERT_EQ(mat.traces.size(), 8u);
+  EXPECT_GT(mat.acquisition.transitions, 0u);
+  for (std::size_t i = 0; i < mat.traces.size(); ++i) {
+    const auto pt = mat.traces.plaintext(i);
+    const std::vector<int> want =
+        ref.golden(std::vector<std::uint8_t>(pt.begin(), pt.end()));
+    // Trace ciphertexts pack the decoded output-channel bits LSB-first.
+    std::vector<std::uint8_t> packed((want.size() + 7) / 8, 0);
+    for (std::size_t b = 0; b < want.size(); ++b)
+      if (want[b]) packed[b / 8] |= static_cast<std::uint8_t>(1u << (b % 8));
+    const auto got = mat.traces.ciphertext(i);
+    ASSERT_EQ(got.size(), packed.size()) << "trace " << i;
+    for (std::size_t j = 0; j < packed.size(); ++j)
+      EXPECT_EQ(got[j], packed[j]) << "trace " << i << " byte " << j;
+  }
+
+  // Fused CPA through the standard streaming path: the 256-guess
+  // first-round S-Box analysis runs on the whole core without ever
+  // materializing a TraceSet.
+  const qc::CampaignResult fused = qc::Campaign()
+                                       .target(qc::aes_core())
+                                       .key(key)
+                                       .seed(5)
+                                       .traces(64)
+                                       .fused(16)
+                                       .attack(qc::Cpa{})
+                                       .run();
+  ASSERT_TRUE(fused.attack.has_value());
+  EXPECT_EQ(fused.attack->kind, "cpa");
+  EXPECT_EQ(fused.traces.size(), 0u);  // fused mode keeps no samples
+  EXPECT_LT(fused.attack->best_guess, 256u);
+  EXPECT_LT(fused.attack->true_key_rank, 256u);
+
+  // Bounded fault probe: a handful of injection sites on the full core
+  // classify through the same deadlock/masked/exploitable machinery as
+  // the slice targets.
+  qc::FaultCampaignOptions probe;
+  probe.max_sites = 4;
+  probe.repeats = 1;
+  const qc::CampaignResult faulted = qc::Campaign()
+                                         .target(qc::aes_core())
+                                         .key(key)
+                                         .seed(5)
+                                         .faults(probe)
+                                         .run();
+  ASSERT_TRUE(faulted.faults.has_value());
+  EXPECT_GT(faulted.faults->summary.runs, 0u);
+  EXPECT_EQ(faulted.faults->summary.runs,
+            faulted.faults->summary.deadlock + faulted.faults->summary.masked +
+                faulted.faults->summary.exploitable);
 }
 
 TEST(CampaignFlow, FlowOnlyCampaignEvaluatesCriterion) {

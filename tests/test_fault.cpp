@@ -426,12 +426,22 @@ TEST(FaultGuards, CustomSourcePlusFaultsThrows) {
 }
 
 TEST(FaultGuards, FlowOnlyTargetThrows) {
-  EXPECT_THROW(
-      qc::Campaign().target(qc::aes_core()).faults(qc::FaultCampaignOptions{}).run(),
-      std::invalid_argument);
-  EXPECT_THROW(
-      qc::FaultCampaign().target(qc::aes_core()).run(),
-      std::invalid_argument);
+  // aes_core is simulatable these days; a flow-only victim is modeled
+  // with an explicit prebuilt instance that opted out of simulation.
+  const auto flow_only = [] {
+    qc::TargetInstance inst;
+    inst.nl = qn::Netlist("flow_only");
+    inst.simulatable = false;
+    inst.name = "flow_only";
+    return qc::prebuilt(std::move(inst));
+  };
+  EXPECT_THROW(qc::Campaign()
+                   .target(flow_only())
+                   .faults(qc::FaultCampaignOptions{})
+                   .run(),
+               std::invalid_argument);
+  EXPECT_THROW(qc::FaultCampaign().target(flow_only()).run(),
+               std::invalid_argument);
 }
 
 TEST(FaultGuards, DegenerateSweepGridsThrow) {
