@@ -356,6 +356,29 @@ static void BM_AesCoreAcquire(benchmark::State& state) {
 }
 BENCHMARK(BM_AesCoreAcquire)->Unit(benchmark::kMillisecond);
 
+// Fused full-core CPA: BM_AesCoreAcquire's steady-state acquisition
+// with the 256-guess streaming analysis fused in — the production
+// shape of a full-core attack campaign (acquire a chunk, fold it into
+// the accumulators, discard it). The delta against BM_AesCoreAcquire
+// is the analysis tax per trace on a ~25k-cell victim; the CI bench
+// job prints it as an informational row.
+static void BM_AesCoreFusedCpa(benchmark::State& state) {
+  const qdi::campaign::TargetInstance& inst = aes_core_workload();
+  const qdi::campaign::SimTraceSourceOptions opt;
+  qdi::campaign::SimTraceSource src(inst.nl, inst.env, inst.stimulus, opt);
+  qdi::campaign::WorkerPool pool(src, 1);
+  qd::OnlineCpa acc(inst.leakage, inst.num_guesses);
+  for (auto _ : state) {
+    pool.acquire_chunked(8, 1, 8,
+                         [&](const qdi::dpa::TraceSet& seg, std::size_t) {
+                           acc.add_prefix(seg, 0, seg.size());
+                         });
+    benchmark::DoNotOptimize(acc.count());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_AesCoreFusedCpa)->Unit(benchmark::kMillisecond);
+
 static void BM_ConeBalanceAes(benchmark::State& state) {
   const qdi::campaign::TargetInstance& pristine = aes_core_workload();
   for (auto _ : state) {
@@ -419,6 +442,40 @@ static void BM_CpaOnline(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<long>(state.iterations() * ts.size()));
 }
 BENCHMARK(BM_CpaOnline)->Unit(benchmark::kMillisecond);
+
+// SIMD-dispatch pair: the 256-guess byte-indexed CPA ingest of the
+// same materialized 128-trace workload, once pinned to the portable
+// kernel arm and once on the load-time kernels::active() pick (AVX2 on
+// CI). Identical accumulator state by the arms' bit-identity contract
+// (tests/test_dpa_kernels.cpp); the CI bench job prints the
+// BM_CpaIngestPortable / BM_CpaIngestSimd per-ingest speedup and
+// guards it against regression. Note the portable arm is itself
+// autovectorized by -O3 (SSE2 on x86-64), so this ratio measures the
+// AVX2 arm against real compiled scalar code, not against a strawman.
+static void cpa_ingest_bench(benchmark::State& state,
+                             const qd::kernels::KernelTable& table) {
+  const qd::TraceSet& ts = cpa_workload();
+  const qd::LeakageModel model = qd::aes_sbox_hw_model(0);
+  qd::OnlineCpa acc(model, 256);
+  acc.set_kernels(table);
+  for (auto _ : state) {
+    acc.reset();
+    acc.add_prefix(ts, 0, ts.size());
+    benchmark::DoNotOptimize(acc.count());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations() * ts.size()));
+  state.SetLabel(table.name);
+}
+
+static void BM_CpaIngestPortable(benchmark::State& state) {
+  cpa_ingest_bench(state, *qd::kernels::table(qd::kernels::Kind::Portable));
+}
+BENCHMARK(BM_CpaIngestPortable)->Unit(benchmark::kMillisecond);
+
+static void BM_CpaIngestSimd(benchmark::State& state) {
+  cpa_ingest_bench(state, qd::kernels::active());
+}
+BENCHMARK(BM_CpaIngestSimd)->Unit(benchmark::kMillisecond);
 
 // Countermeasure-variant campaign rows on the DES round (the heaviest
 // simulatable registry target): the same fused CPA campaign against the

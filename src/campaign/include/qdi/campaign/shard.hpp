@@ -82,6 +82,21 @@ struct ShardedOptions {
   /// Acquisition chunk within a window (cancel/progress granularity;
   /// never observable in results).
   std::size_t chunk_traces = 256;
+  /// Thread-sharded window ingest: when > 0, each checkpoint window's
+  /// traces are partitioned into blocks of this width (cut at absolute
+  /// multiples of the trace index), folded into pooled partial
+  /// accumulators on the acquiring workers, and merged into the shard
+  /// accumulator in ascending block order
+  /// (WorkerPool::acquire_sharded_range). The stream digest is fed
+  /// trace by trace at commit time, so it stays bit-identical to the
+  /// serial path; the accumulator's FP reduction order changes (merge()
+  /// adds block sums where the serial feed adds traces, ~1e-12 apart),
+  /// which is why Campaign::sharded() extends the configuration
+  /// fingerprint when this is enabled — a block-fold run never adopts a
+  /// serial run's checkpoints or vice versa. Results are independent of
+  /// the thread count either way. 0 = serial in-order feeding (the
+  /// default).
+  std::size_t ingest_block_traces = 0;
   /// Shards in flight at once. Each running shard drives its own
   /// WorkerPool of `threads` workers.
   unsigned concurrency = 1;

@@ -206,6 +206,43 @@ class WorkerPool {
           consume,
       AcquisitionStats* stats = nullptr);
 
+  /// Consumer pair of acquire_sharded_range. `ingest` runs on worker
+  /// threads — one call per block, unordered ACROSS blocks (any one
+  /// worker's calls are serialized on its thread); it must only touch
+  /// per-worker or per-block state. `commit` is serialized in strictly
+  /// ascending block order (on whichever worker thread completed the
+  /// frontier block) — this is where results are folded into shared
+  /// state. Both see the block's assembled segment and the absolute
+  /// index of its first trace; the segment is a recycled buffer, valid
+  /// only for the duration of the call.
+  struct ShardedIngest {
+    std::function<void(unsigned worker, std::size_t block,
+                       const dpa::TraceSet& segment, std::size_t first)>
+        ingest;
+    std::function<void(std::size_t block, const dpa::TraceSet& segment,
+                       std::size_t first)>
+        commit;
+  };
+
+  /// Thread-sharded streaming acquisition: traces [first_index,
+  /// first_index + count) are partitioned into blocks cut at ABSOLUTE
+  /// multiples of `block_traces` plus the caller's `extra_cuts`
+  /// (absolute trace indices — analysis checkpoint positions land on
+  /// block edges this way). Workers claim blocks in ascending order,
+  /// acquire and `ingest` them concurrently, and `commit` replays every
+  /// block in ascending block-index order. The partition depends only
+  /// on (range, block_traces, extra_cuts) — never on the thread count
+  /// or scheduling — so a consumer that folds per-block partials into
+  /// shared state at commit time produces BIT-IDENTICAL results at any
+  /// thread count, and a killed/resumed range re-derives the identical
+  /// blocks. In-flight blocks are bounded (a few per worker), keeping
+  /// memory O(threads · block) however far the fast workers run ahead.
+  void acquire_sharded_range(std::size_t first_index, std::size_t count,
+                             std::uint64_t seed, std::size_t block_traces,
+                             const std::vector<std::size_t>& extra_cuts,
+                             const ShardedIngest& consumer,
+                             AcquisitionStats* stats = nullptr);
+
  private:
   void acquire_range(std::size_t lo, std::size_t hi, std::uint64_t seed);
 
@@ -220,6 +257,11 @@ class WorkerPool {
   /// campaign's steady state, and every sweep step after the first) run
   /// without reallocating the segment.
   dpa::TraceSet chunk_buf_;
+  /// acquire_sharded_range scratch, persistent across calls (the shard
+  /// runtime issues one call per checkpoint window): per-worker
+  /// AcquiredTrace slots plus a free list of recycled block segments.
+  std::vector<std::vector<AcquiredTrace>> sharded_scratch_;
+  std::vector<std::unique_ptr<dpa::TraceSet>> sharded_segments_;
 };
 
 /// One-shot batched acquisition over a transient WorkerPool. Kept as the

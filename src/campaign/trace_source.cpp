@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -320,6 +321,165 @@ void WorkerPool::acquire_each(
     }
   }
   finish_stats(st, num_traces, t0);
+  if (stats) *stats = std::move(st);
+}
+
+void WorkerPool::acquire_sharded_range(std::size_t first_index,
+                                       std::size_t count, std::uint64_t seed,
+                                       std::size_t block_traces,
+                                       const std::vector<std::size_t>& extra_cuts,
+                                       const ShardedIngest& consumer,
+                                       AcquisitionStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (block_traces == 0) block_traces = 1;
+  const std::size_t end = first_index + count;
+
+  AcquisitionStats st;
+  st.threads_used = clamp_threads(threads(), count);
+
+  // Blocks are keyed by ABSOLUTE trace index — cut at global multiples
+  // of block_traces plus the caller's extra cuts — so the partition
+  // depends only on (range, width, cuts). A re-threaded or resumed run
+  // re-derives the identical block set, which is what makes the
+  // commit-side fold independent of the thread count.
+  std::vector<std::size_t> cuts(extra_cuts);
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  {
+    std::size_t lo = first_index;
+    std::size_t ci = 0;
+    while (lo < end) {
+      std::size_t hi = std::min(end, (lo / block_traces + 1) * block_traces);
+      while (ci < cuts.size() && cuts[ci] <= lo) ++ci;
+      if (ci < cuts.size() && cuts[ci] < hi) hi = cuts[ci];
+      blocks.emplace_back(lo, hi);
+      lo = hi;
+    }
+  }
+
+  if (sharded_scratch_.size() < threads()) sharded_scratch_.resize(threads());
+  const std::size_t width = std::max<std::size_t>(src_->batch_width(), 1);
+
+  // Acquire + assemble + ingest one block on worker `w`.
+  auto run_block = [&](unsigned w, std::size_t k, dpa::TraceSet& seg,
+                       std::size_t* transitions, std::size_t* glitches) {
+    const std::size_t lo = blocks[k].first;
+    const std::size_t cnt = blocks[k].second - lo;
+    std::vector<AcquiredTrace>& slots = sharded_scratch_[w];
+    if (slots.size() < cnt) slots.resize(cnt);
+    TraceSource& s = (w == 0) ? *src_ : *clones_[w - 1];
+    for (std::size_t b = 0; b < cnt; b += width)
+      s.acquire_block(seed, lo + b, std::min(width, cnt - b),
+                      slots.data() + b);
+    seg.clear();
+    for (std::size_t i = 0; i < cnt; ++i) {
+      const AcquiredTrace& a = slots[i];
+      *transitions += a.transitions;
+      *glitches += a.glitches;
+      seg.add(power::TraceView(a.trace), a.plaintext, a.ciphertext);
+    }
+    if (consumer.ingest) consumer.ingest(w, k, seg, lo);
+  };
+
+  if (clones_.empty() || blocks.size() <= 1) {
+    // Single-worker form: same block partition, same ingest-then-commit
+    // calls per block — bit-identical consumer observations, no threads.
+    if (sharded_segments_.empty())
+      sharded_segments_.push_back(std::make_unique<dpa::TraceSet>());
+    dpa::TraceSet& seg = *sharded_segments_.front();
+    for (std::size_t k = 0; k < blocks.size(); ++k) {
+      run_block(0, k, seg, &st.transitions, &st.glitches);
+      if (consumer.commit) consumer.commit(k, seg, blocks[k].first);
+    }
+    finish_stats(st, count, t0);
+    if (stats) *stats = std::move(st);
+    return;
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t next = 0;      // next unclaimed block
+  std::size_t frontier = 0;  // next block to commit
+  bool committing = false;   // a worker is inside the commit chain
+  std::exception_ptr first_error;
+  std::vector<std::unique_ptr<dpa::TraceSet>> done(blocks.size());
+  // Claim gate: fast workers may run at most a few blocks ahead of the
+  // commit frontier, bounding live segments at O(threads). The frontier
+  // block's owner is never gated (its claim already happened), so the
+  // frontier always advances — no deadlock.
+  const std::size_t max_inflight = 2 * static_cast<std::size_t>(threads()) + 2;
+
+  auto worker = [&](unsigned w) {
+    std::size_t my_transitions = 0;
+    std::size_t my_glitches = 0;
+    for (;;) {
+      std::size_t k = 0;
+      std::unique_ptr<dpa::TraceSet> seg;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] {
+          return first_error != nullptr || next >= blocks.size() ||
+                 next - frontier < max_inflight;
+        });
+        if (first_error != nullptr || next >= blocks.size()) break;
+        k = next++;
+        if (!sharded_segments_.empty()) {
+          seg = std::move(sharded_segments_.back());
+          sharded_segments_.pop_back();
+        }
+      }
+      if (!seg) seg = std::make_unique<dpa::TraceSet>();
+      try {
+        run_block(w, k, *seg, &my_transitions, &my_glitches);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        cv.notify_all();
+        break;
+      }
+      std::unique_lock<std::mutex> lock(mu);
+      done[k] = std::move(seg);
+      if (!committing) {
+        // Drain the commit chain: everything contiguous from the
+        // frontier, in ascending block order, outside the lock. The
+        // `committing` flag keeps the chain single-threaded while other
+        // workers keep claiming and ingesting.
+        committing = true;
+        while (first_error == nullptr && frontier < blocks.size() &&
+               done[frontier]) {
+          const std::size_t fk = frontier;
+          std::unique_ptr<dpa::TraceSet> fs = std::move(done[fk]);
+          lock.unlock();
+          try {
+            if (consumer.commit) consumer.commit(fk, *fs, blocks[fk].first);
+          } catch (...) {
+            lock.lock();
+            if (!first_error) first_error = std::current_exception();
+            break;
+          }
+          lock.lock();
+          sharded_segments_.push_back(std::move(fs));
+          ++frontier;
+          cv.notify_all();
+        }
+        committing = false;
+        cv.notify_all();
+      }
+    }
+    const std::lock_guard<std::mutex> lock(mu);
+    st.transitions += my_transitions;
+    st.glitches += my_glitches;
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(clones_.size());
+  for (unsigned w = 1; w <= static_cast<unsigned>(clones_.size()); ++w)
+    pool.emplace_back(worker, w);
+  worker(0);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  finish_stats(st, count, t0);
   if (stats) *stats = std::move(st);
 }
 

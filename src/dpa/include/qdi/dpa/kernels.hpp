@@ -1,0 +1,88 @@
+// Runtime-dispatched SIMD kernels for the streaming analysis engine.
+//
+// The ingest hot loops of dpa::OnlineCpa / dpa::OnlineDpa (per-sample
+// moments, the guesses x m rank update, the DPA partitioned sums) and
+// the finalize-side covariance scans are factored into this table of
+// function pointers with portable, SSE2, and AVX2 arms. The arm is
+// picked ONCE at load via util::cpu_features() — the same pattern as
+// util::Sha256's SHA-NI compressor — and QDI_FORCE_PORTABLE pins the
+// portable arm everywhere.
+//
+// Determinism contract (why the arms are interchangeable): every
+// kernel vectorizes over the SAMPLE axis j only. Each accumulator cell
+// (g, j) still receives its contributions in strict trace order, one
+// rounding per add and one per multiply (mul-then-add, never FMA —
+// the arms exclude "fma" from their target sets so the compiler cannot
+// contract), and the scalar tail performs the identical operations on
+// the identical values. There is no reassociation anywhere, so the
+// SSE2 and AVX2 arms are BIT-IDENTICAL to the portable arm — a
+// property tests/test_dpa_kernels.cpp asserts on awkward geometries
+// rather than assumes.
+#pragma once
+
+#include <cstddef>
+
+namespace qdi::dpa::kernels {
+
+/// One implementation of every analysis hot loop. All pointers are
+/// non-null in any table returned by table() / active().
+struct KernelTable {
+  const char* name;  ///< "portable" / "sse2" / "avx2"
+
+  /// CPA per-sample moments: for each trace c in order,
+  /// sum_s[j] += s[j]; sum_s2[j] += s[j]*s[j].
+  void (*cpa_moments)(double* sum_s, double* sum_s2,
+                      const double* const* rows, std::size_t cnt,
+                      std::size_t m);
+
+  /// CPA rank update: for each guess g, dst = sum_hs + g*m; for each
+  /// trace c in order: h = hyp[c][g]; if h == 0.0 the trace is skipped
+  /// (identical skip decision in every arm); else dst[j] += h * s[j].
+  void (*cpa_rank_update)(double* sum_hs, const double* const* rows,
+                          const double* const* hyp, std::size_t cnt,
+                          unsigned guesses, std::size_t m);
+
+  /// dst[j] += src[j] (the DPA shared per-sample sum, one trace row).
+  void (*row_add)(double* dst, const double* src, std::size_t m);
+
+  /// DPA partitioned sum, branch-free: for each trace c in order,
+  /// dst[j] += mask[c] * rows[c][j], with mask[c] in {0.0, 1.0}.
+  /// Bit-identical to the historical "if (d) dst[j] += s[j]" loop:
+  /// 1.0*x == x exactly, and adding the resulting +/-0.0 of a masked-
+  /// out trace never changes a finite accumulator (an accumulator
+  /// seeded with +0.0 can never become -0.0 under round-to-nearest).
+  void (*masked_sum)(double* dst, const double* const* rows,
+                     const double* mask, std::size_t cnt, std::size_t m);
+
+  /// var[j] = sum_s2[j] - sum_s[j] * (sum_s[j] / nn) is NOT what we
+  /// compute — the scan keeps the engine's historical expression
+  /// var[j] = sum_s2[j] - sum_s[j] * sum_s[j] / nn (mul, then divide,
+  /// then subtract) so cached variances match the pre-kernel bits.
+  void (*variance)(double* var, const double* sum_s, const double* sum_s2,
+                   double nn, std::size_t m);
+
+  /// Signed correlation scan for one guess over a sample range:
+  /// cov = hs[j] - sum_h * sum_s[j] / nn;
+  /// rho[j] = var_s[j] > 0.0 ? cov / sqrt(var_h * var_s[j]) : 0.0.
+  /// The zeroed lanes can never win finalize()'s strict max scan, so
+  /// the select reproduces the historical "skip non-positive variance"
+  /// semantics bit-for-bit.
+  void (*corr_scan)(double* rho, const double* hs, const double* sum_s,
+                    const double* var_s, double sum_h, double var_h,
+                    double nn, std::size_t m);
+};
+
+enum class Kind { Portable, Sse2, Avx2 };
+
+/// True when this build/CPU can run the given arm (Portable: always).
+bool supported(Kind k) noexcept;
+
+/// The named arm, or nullptr when unsupported on this build/CPU.
+/// Differential tests use this to pit the arms against each other.
+const KernelTable* table(Kind k) noexcept;
+
+/// The arm every accumulator uses by default: the widest supported
+/// one, picked once at load; QDI_FORCE_PORTABLE pins Portable.
+const KernelTable& active() noexcept;
+
+}  // namespace qdi::dpa::kernels

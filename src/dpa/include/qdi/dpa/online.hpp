@@ -25,6 +25,13 @@
 // Accumulation order is trace order regardless of blocking, so add()
 // one-at-a-time, add_prefix() in bulk, and the fused campaign's chunked
 // feed all produce bit-identical results.
+//
+// The hot loops themselves live in qdi/dpa/kernels.hpp: a table of
+// portable / SSE2 / AVX2 implementations picked once at load. Every
+// arm vectorizes over the sample axis only — each accumulator cell
+// receives contributions in trace order with no reassociation and no
+// FMA contraction — so the dispatch choice (and QDI_FORCE_PORTABLE)
+// never changes a single result bit.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +42,7 @@
 
 #include "qdi/dpa/cpa.hpp"
 #include "qdi/dpa/dpa.hpp"
+#include "qdi/dpa/kernels.hpp"
 #include "qdi/dpa/selection.hpp"
 #include "qdi/dpa/trace_set.hpp"
 
@@ -131,6 +139,21 @@ class OnlineCpa {
   std::vector<std::uint8_t> serialize_state() const;
   void restore_state(std::span<const std::uint8_t> bytes);
 
+  /// Drop all accumulated traces but keep the model, LUT, and (once
+  /// fixed) the sample geometry and capacity — lets the thread-sharded
+  /// campaign feed recycle one accumulator per block with zero
+  /// steady-state allocation.
+  void reset() noexcept;
+
+  /// Pin a specific kernel arm (differential-testing seam; production
+  /// accumulators keep the load-time kernels::active() pick). The arms
+  /// are bit-identical, so this never changes results.
+  void set_kernels(const kernels::KernelTable& k) noexcept {
+    kernels_ = &k;
+    var_valid_ = false;
+  }
+  const char* kernel_name() const noexcept { return kernels_->name; }
+
  private:
   void ensure_geometry(std::size_t m);
   /// Hypothesis row h[g] for one trace: a LUT row (byte-indexed) or the
@@ -138,9 +161,14 @@ class OnlineCpa {
   const double* hyp_row(std::span<const std::uint8_t> plaintext);
   void ingest(const double* const* rows, const double* const* hyp,
               std::size_t cnt);
+  /// The cached per-sample variance scan shared by finalize() and
+  /// correlation_trace(); recomputed only after ingest/merge/restore
+  /// invalidated it, so repeated prefix probes in MTD scans pay it once.
+  const std::vector<double>& var_s_cache() const;
 
   LeakageModel model_;
   unsigned guesses_;
+  const kernels::KernelTable* kernels_ = &kernels::active();
   std::size_t m_ = 0;
   std::size_t n_ = 0;
   std::vector<double> lut_;       ///< hyp[v*guesses + g], byte-indexed models
@@ -148,6 +176,9 @@ class OnlineCpa {
   std::vector<double> sum_s_, sum_s2_;  ///< per sample, shared by all guesses
   std::vector<double> sum_h_, sum_h2_;  ///< per guess
   std::vector<double> sum_hs_;          ///< guesses × m
+  mutable std::vector<double> var_cache_;  ///< per-sample variances at n_
+  mutable std::vector<double> rho_scratch_;  ///< finalize() scan buffer
+  mutable bool var_valid_ = false;
 };
 
 /// All-guess, multi-bit streaming difference-of-means DPA accumulator.
@@ -189,6 +220,14 @@ class OnlineDpa {
   std::vector<std::uint8_t> serialize_state() const;
   void restore_state(std::span<const std::uint8_t> bytes);
 
+  /// Drop accumulated traces, keep selections/LUT/geometry; see
+  /// OnlineCpa::reset().
+  void reset() noexcept;
+
+  /// Pin a kernel arm; see OnlineCpa::set_kernels().
+  void set_kernels(const kernels::KernelTable& k) noexcept { kernels_ = &k; }
+  const char* kernel_name() const noexcept { return kernels_->name; }
+
  private:
   void ensure_geometry(std::size_t m);
   void ingest(const double* const* rows, const std::uint8_t* const* pts,
@@ -197,11 +236,12 @@ class OnlineDpa {
 
   std::vector<SelectionFn> bits_;
   unsigned guesses_;
+  const kernels::KernelTable* kernels_ = &kernels::active();
   std::size_t m_ = 0;
   std::size_t n_ = 0;
-  bool lut_ok_ = false;            ///< all selection bits byte-indexed
-  std::vector<std::uint8_t> lut_;  ///< d[(b*256 + v)*guesses + g]
-  std::vector<std::uint8_t> scratch_;  ///< one decision row, generic selections
+  bool lut_ok_ = false;          ///< all selection bits byte-indexed
+  std::vector<double> lut_;      ///< d[(b*256 + v)*guesses + g] in {0.0, 1.0}
+  std::vector<double> scratch_;  ///< one decision row, generic selections
   std::vector<double> sum_s_;       ///< per sample, shared
   std::vector<std::uint32_t> n1_;   ///< bits × guesses
   std::vector<double> sum1_;        ///< bits × guesses × m

@@ -76,33 +76,23 @@ void OnlineCpa::ensure_geometry(std::size_t m) {
 
 void OnlineCpa::ingest(const double* const* rows, const double* const* hyp,
                        std::size_t cnt) {
-  // Shared per-sample and per-guess moments, one trace at a time (trace
-  // order — identical whatever the caller's blocking).
+  // Shared per-sample moments (trace order — identical whatever the
+  // caller's blocking), then the per-guess moments, then the rank-cnt
+  // update of the guesses × m products matrix. The sample-axis loops
+  // run through the dispatched kernel table; per (g, j) cell the adds
+  // happen in trace order in every arm, so neither blocking nor the
+  // dispatch choice changes the floating-point result.
+  kernels_->cpa_moments(sum_s_.data(), sum_s2_.data(), rows, cnt, m_);
   for (std::size_t c = 0; c < cnt; ++c) {
-    const double* s = rows[c];
-    for (std::size_t j = 0; j < m_; ++j) {
-      sum_s_[j] += s[j];
-      sum_s2_[j] += s[j] * s[j];
-    }
     const double* h = hyp[c];
     for (unsigned g = 0; g < guesses_; ++g) {
       sum_h_[g] += h[g];
       sum_h2_[g] += h[g] * h[g];
     }
   }
-  // Rank-cnt update of the guesses × m products matrix. Inner loops run
-  // over contiguous memory; per (g, j) cell the adds happen in trace
-  // order, so blocking does not change the floating-point result.
-  for (unsigned g = 0; g < guesses_; ++g) {
-    double* dst = sum_hs_.data() + static_cast<std::size_t>(g) * m_;
-    for (std::size_t c = 0; c < cnt; ++c) {
-      const double h = hyp[c][g];
-      if (h == 0.0) continue;
-      const double* s = rows[c];
-      for (std::size_t j = 0; j < m_; ++j) dst[j] += h * s[j];
-    }
-  }
+  kernels_->cpa_rank_update(sum_hs_.data(), rows, hyp, cnt, guesses_, m_);
   n_ += cnt;
+  var_valid_ = false;
 }
 
 const double* OnlineCpa::hyp_row(std::span<const std::uint8_t> plaintext) {
@@ -145,31 +135,48 @@ void OnlineCpa::add_prefix(const TraceSet& ts, std::size_t lo, std::size_t hi) {
   }
 }
 
+const std::vector<double>& OnlineCpa::var_s_cache() const {
+  // Shared by finalize() and correlation_trace(): repeated prefix
+  // probes of an MTD scan hit the cache until the next ingest (or
+  // merge/restore) invalidates it.
+  if (!var_valid_) {
+    var_cache_.resize(m_);
+    kernels_->variance(var_cache_.data(), sum_s_.data(), sum_s2_.data(),
+                       static_cast<double>(n_), m_);
+    var_valid_ = true;
+  }
+  return var_cache_;
+}
+
 CpaResult OnlineCpa::finalize(std::size_t window_lo,
                               std::size_t window_hi) const {
   CpaResult res;
   res.correlation.assign(guesses_, 0.0);
   if (n_ == 0 || m_ == 0) return res;
   const std::size_t hi = (window_hi == 0) ? m_ : std::min(window_hi, m_);
+  const std::size_t span = hi > window_lo ? hi - window_lo : 0;
   const double nn = static_cast<double>(n_);
-
-  std::vector<double> var_s(m_);
-  for (std::size_t j = 0; j < m_; ++j)
-    var_s[j] = sum_s2_[j] - sum_s_[j] * sum_s_[j] / nn;
+  const std::vector<double>& var_s = var_s_cache();
+  rho_scratch_.resize(m_);
 
   for (unsigned g = 0; g < guesses_; ++g) {
     const double var_h = sum_h2_[g] - sum_h_[g] * sum_h_[g] / nn;
     double best = 0.0;
     std::size_t best_j = window_lo;
-    if (var_h > 0.0) {
+    if (var_h > 0.0 && span > 0) {
       const double* hs = sum_hs_.data() + static_cast<std::size_t>(g) * m_;
-      for (std::size_t j = window_lo; j < hi; ++j) {
-        if (var_s[j] <= 0.0) continue;
-        const double cov = hs[j] - sum_h_[g] * sum_s_[j] / nn;
-        const double a = std::fabs(cov / std::sqrt(var_h * var_s[j]));
+      double* rho = rho_scratch_.data();
+      // Zero-variance samples scan as rho == 0.0, which can never win
+      // the strict max below — the same candidates as the historical
+      // "skip non-positive variance" loop, peak values bit-identical.
+      kernels_->corr_scan(rho, hs + window_lo, sum_s_.data() + window_lo,
+                          var_s.data() + window_lo, sum_h_[g], var_h, nn,
+                          span);
+      for (std::size_t j = 0; j < span; ++j) {
+        const double a = std::fabs(rho[j]);
         if (a > best) {
           best = a;
-          best_j = j;
+          best_j = window_lo + j;
         }
       }
     }
@@ -194,14 +201,21 @@ std::vector<double> OnlineCpa::correlation_trace(unsigned guess) const {
   const double nn = static_cast<double>(n_);
   const double var_h = sum_h2_[guess] - sum_h_[guess] * sum_h_[guess] / nn;
   if (var_h <= 0.0) return rho;
+  const std::vector<double>& var_s = var_s_cache();
   const double* hs = sum_hs_.data() + static_cast<std::size_t>(guess) * m_;
-  for (std::size_t j = 0; j < m_; ++j) {
-    const double var_s = sum_s2_[j] - sum_s_[j] * sum_s_[j] / nn;
-    if (var_s <= 0.0) continue;
-    const double cov = hs[j] - sum_h_[guess] * sum_s_[j] / nn;
-    rho[j] = cov / std::sqrt(var_h * var_s);
-  }
+  kernels_->corr_scan(rho.data(), hs, sum_s_.data(), var_s.data(),
+                      sum_h_[guess], var_h, nn, m_);
   return rho;
+}
+
+void OnlineCpa::reset() noexcept {
+  n_ = 0;
+  std::fill(sum_s_.begin(), sum_s_.end(), 0.0);
+  std::fill(sum_s2_.begin(), sum_s2_.end(), 0.0);
+  std::fill(sum_h_.begin(), sum_h_.end(), 0.0);
+  std::fill(sum_h2_.begin(), sum_h2_.end(), 0.0);
+  std::fill(sum_hs_.begin(), sum_hs_.end(), 0.0);
+  var_valid_ = false;
 }
 
 // ---- OnlineDpa -------------------------------------------------------------
@@ -214,12 +228,16 @@ OnlineDpa::OnlineDpa(std::vector<SelectionFn> bits, unsigned num_guesses)
   lut_ok_ = std::all_of(bits_.begin(), bits_.end(),
                         [](const SelectionFn& d) { return d.is_byte_indexed(); });
   if (lut_ok_) {
+    // Decisions are stored as {0.0, 1.0} doubles: the ingest kernel
+    // turns them into a mask row and accumulates every set-1 trace
+    // branch-free (dst[j] += mask * s[j]).
     lut_.resize(bits_.size() * 256 * static_cast<std::size_t>(guesses_));
     for (std::size_t b = 0; b < bits_.size(); ++b)
       for (unsigned v = 0; v < 256; ++v)
         for (unsigned g = 0; g < guesses_; ++g)
-          lut_[(b * 256 + v) * guesses_ + g] = static_cast<std::uint8_t>(
-              bits_[b].eval_byte(static_cast<std::uint8_t>(v), g) != 0);
+          lut_[(b * 256 + v) * guesses_ + g] =
+              bits_[b].eval_byte(static_cast<std::uint8_t>(v), g) != 0 ? 1.0
+                                                                       : 0.0;
   } else {
     // One decision row (bits × guesses): generic selections are fed one
     // trace per ingest, never blocked.
@@ -243,26 +261,31 @@ void OnlineDpa::ingest(const double* const* rows,
                        const std::uint8_t* const* pts, std::size_t cnt) {
   assert(lut_ok_ || cnt == 1);  // generic selections share one scratch row
   const std::size_t nbits = bits_.size();
-  for (std::size_t c = 0; c < cnt; ++c) {
-    const double* s = rows[c];
-    for (std::size_t j = 0; j < m_; ++j) sum_s_[j] += s[j];
-  }
+  for (std::size_t c = 0; c < cnt; ++c)
+    kernels_->row_add(sum_s_.data(), rows[c], m_);
+  // Branch-free partitioned sums: per (bit, guess) the {0.0, 1.0} LUT
+  // decisions become a mask over the trace block and the kernel runs
+  // dst[j] += mask[c] * s[j] with no data-dependent branch in the
+  // sample loop. A masked-out trace adds a signed zero, which cannot
+  // change any accumulator bit (see kernels.hpp), so this is
+  // bit-identical to the historical "if (d) skip" loop.
+  double mask[kBlock];
   for (std::size_t b = 0; b < nbits; ++b) {
     const auto byte =
         lut_ok_ ? static_cast<std::size_t>(bits_[b].byte()) : std::size_t{0};
     for (unsigned g = 0; g < guesses_; ++g) {
       double* dst = sum1_.data() +
                     (b * static_cast<std::size_t>(guesses_) + g) * m_;
-      std::uint32_t* count = n1_.data() + b * guesses_ + g;
+      std::uint32_t ones = 0;
       for (std::size_t c = 0; c < cnt; ++c) {
-        const std::uint8_t d = lut_ok_
-                                   ? lut_[(b * 256 + pts[c][byte]) * guesses_ + g]
-                                   : scratch_[b * guesses_ + g];
-        if (d == 0) continue;
-        ++*count;
-        const double* s = rows[c];
-        for (std::size_t j = 0; j < m_; ++j) dst[j] += s[j];
+        const double d = lut_ok_
+                             ? lut_[(b * 256 + pts[c][byte]) * guesses_ + g]
+                             : scratch_[b * guesses_ + g];
+        mask[c] = d;
+        ones += static_cast<std::uint32_t>(d);
       }
+      n1_[b * guesses_ + g] += ones;
+      kernels_->masked_sum(dst, rows, mask, cnt, m_);
     }
   }
   n_ += cnt;
@@ -272,11 +295,10 @@ void OnlineDpa::add(std::span<const std::uint8_t> plaintext,
                     std::span<const double> samples) {
   ensure_geometry(samples.size());
   if (!lut_ok_) {
-    std::uint8_t* dst = scratch_.data();
+    double* dst = scratch_.data();
     for (std::size_t b = 0; b < bits_.size(); ++b)
       for (unsigned g = 0; g < guesses_; ++g)
-        dst[b * guesses_ + g] =
-            static_cast<std::uint8_t>(bits_[b](plaintext, g) != 0);
+        dst[b * guesses_ + g] = bits_[b](plaintext, g) != 0 ? 1.0 : 0.0;
   }
   const double* row = samples.data();
   const std::uint8_t* pt = plaintext.data();
@@ -458,6 +480,7 @@ void OnlineCpa::merge(const OnlineCpa& other) {
   add_into(sum_h2_, other.sum_h2_);
   add_into(sum_hs_, other.sum_hs_);
   n_ += other.n_;
+  var_valid_ = false;
 }
 
 std::vector<std::uint8_t> OnlineCpa::serialize_state() const {
@@ -509,6 +532,7 @@ void OnlineCpa::restore_state(std::span<const std::uint8_t> bytes) {
   sum_hs_ = std::move(hs);
   m_ = m;
   n_ = n;
+  var_valid_ = false;
 }
 
 void OnlineDpa::merge(const OnlineDpa& other) {
@@ -580,6 +604,13 @@ KeyRecoveryResult OnlineDpa::recover_single(std::size_t bit,
     r.guess_peak[g] = peak_of(g, bit, window);
   rank_finalize(r, guesses_);
   return r;
+}
+
+void OnlineDpa::reset() noexcept {
+  n_ = 0;
+  std::fill(sum_s_.begin(), sum_s_.end(), 0.0);
+  std::fill(n1_.begin(), n1_.end(), 0u);
+  std::fill(sum1_.begin(), sum1_.end(), 0.0);
 }
 
 }  // namespace qdi::dpa

@@ -70,9 +70,11 @@ class Sha256 {
 };
 
 /// True when the hasher runs on the hardware compression path (x86
-/// SHA-NI), picked once at load time. Both paths produce identical
-/// digests — the FIPS vectors pin whichever is active, and the
-/// cross-path test pins them against each other on SHA-NI machines.
+/// SHA-NI), picked once at load time via util::cpu_features() and
+/// disabled by QDI_FORCE_PORTABLE (see qdi/util/cpu.hpp). Both paths
+/// produce identical digests — the FIPS vectors pin whichever is
+/// active, and the cross-path test pins them against each other on
+/// SHA-NI machines.
 bool sha256_hw_accelerated() noexcept;
 
 namespace detail {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "qdi/util/cpu.hpp"
+
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define QDI_SHA256_X86 1
 #include <cpuid.h>
@@ -36,14 +38,6 @@ constexpr std::uint32_t rotr(std::uint32_t x, int n) noexcept {
 }
 
 #ifdef QDI_SHA256_X86
-
-bool cpu_has_sha_ni() noexcept {
-  unsigned a = 0, b = 0, c = 0, d = 0;
-  if (__get_cpuid_count(7, 0, &a, &b, &c, &d) == 0) return false;
-  if ((b & (1u << 29)) == 0) return false;  // SHA extensions
-  if (__get_cpuid(1, &a, &b, &c, &d) == 0) return false;
-  return (c & (1u << 9)) != 0 && (c & (1u << 19)) != 0;  // SSSE3, SSE4.1
-}
 
 // Two SHA-NI rounds per sha256rnds2; the message schedule advances four
 // words at a time through msg1/msg2. The lane layout (ABEF/CDGH state
@@ -244,7 +238,9 @@ using CompressFn = void (*)(std::array<std::uint32_t, 8>&,
 
 CompressFn pick_compress() noexcept {
 #ifdef QDI_SHA256_X86
-  if (cpu_has_sha_ni()) return &compress_shani;
+  const CpuFeatures& f = cpu_features();
+  if (!force_portable() && f.sha_ni && f.ssse3 && f.sse41)
+    return &compress_shani;
 #endif
   return &detail::sha256_compress_portable;
 }
